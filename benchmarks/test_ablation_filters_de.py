@@ -1,0 +1,69 @@
+"""Ablation — comparison filters and DE-SXNM windowing (Sec. 5 outlook).
+
+The paper asks how edit-distance filters "interact" with the windowing
+filter, and whether DE-SNM's duplicate-elimination idea helps SXNM.
+This bench measures both on dirty movie data: identical duplicate pairs,
+fewer expensive comparisons.
+"""
+
+from conftest import SEED, write_result
+
+from repro.core import SxnmDetector
+from repro.datagen import generate_dirty_movies
+from repro.eval import render_table
+from repro.experiments import dataset1_config
+
+
+def test_filters_skip_edit_distances(benchmark):
+    document = generate_dirty_movies(200, seed=SEED, profile="effectiveness")
+    config = dataset1_config()
+    plain = SxnmDetector(config).run(document, window=10)
+
+    def run_filtered():
+        return SxnmDetector(config, use_filters=True).run(document, window=10)
+
+    filtered = benchmark.pedantic(run_filtered, rounds=1, iterations=1)
+
+    outcome = filtered.outcomes["movie"]
+    rows = [
+        ["plain window", plain.outcomes["movie"].comparisons, 0,
+         plain.timings.window],
+        ["with length/bag filters", outcome.comparisons,
+         outcome.filtered_comparisons, filtered.timings.window],
+    ]
+    write_result("ablation_filters", render_table(
+        ["strategy", "comparisons", "filtered early", "SW seconds"], rows,
+        title="Ablation: comparison filters inside the window"))
+
+    # Filters never change the result under the gates decision...
+    assert filtered.pairs("movie") == plain.pairs("movie")
+    # ...and they short-circuit a substantial share of comparisons.
+    assert outcome.filtered_comparisons > 0.3 * outcome.comparisons
+
+
+def test_de_sxnm_on_heavily_duplicated_data(benchmark):
+    document = generate_dirty_movies(150, seed=SEED, profile="many")
+    config = dataset1_config()
+    plain = SxnmDetector(config).run(document, window=6)
+
+    def run_de():
+        return SxnmDetector(config,
+                            duplicate_elimination=True).run(document, window=6)
+
+    de_result = benchmark.pedantic(run_de, rounds=1, iterations=1)
+
+    plain_pairs = len(plain.pairs("movie"))
+    de_pairs = len(de_result.pairs("movie"))
+    rows = [
+        ["plain window", plain.outcomes["movie"].comparisons, plain_pairs],
+        ["DE-SXNM", de_result.outcomes["movie"].comparisons, de_pairs],
+    ]
+    write_result("ablation_de_sxnm", render_table(
+        ["strategy", "comparisons", "duplicate pairs"], rows,
+        title="Ablation: DE-SXNM vs plain windowing, many duplicates"))
+
+    # On heavily duplicated data DE-SXNM compares less...
+    assert (de_result.outcomes["movie"].comparisons
+            <= plain.outcomes["movie"].comparisons)
+    # ...while keeping the bulk of the detected duplicates.
+    assert de_pairs >= 0.7 * plain_pairs

@@ -1,0 +1,75 @@
+"""Ablation — key complementarity and sampling-based window choice.
+
+Backs two sentences of the paper with numbers: "the choice of good keys
+is of course very decisive" (per-key contribution to the multi-pass
+union) and the plan to "examine how sampling techniques can help
+determine an appropriate window size for each data set".
+"""
+
+from conftest import SEED, write_result
+
+from repro.core import SxnmDetector, suggest_window_size
+from repro.datagen import generate_dirty_movies
+from repro.eval import evaluate_pairs, gold_pairs, render_table
+from repro.experiments import MOVIE_XPATH, dataset1_config, key_contributions
+from repro.similarity import levenshtein_similarity
+
+
+def test_key_contribution_attribution(benchmark):
+    document = generate_dirty_movies(200, seed=SEED, profile="effectiveness")
+    config = dataset1_config()
+
+    def analyze():
+        return key_contributions(document, config, "movie", window=6)
+
+    report = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    rows = [[c.key_name, c.found, c.exclusive, f"{c.share_of_union:.1%}"]
+            for c in report.contributions]
+    rows.append(["union (MP)", report.union_size, "-", "100.0%"])
+    rows.append(["found by all keys", report.found_by_all, "-", "-"])
+    write_result("ablation_key_contribution", render_table(
+        ["key", "pairs found", "exclusive", "share of union"], rows,
+        title="Ablation: per-key contribution to the multi-pass union"))
+
+    # Key 1 (title consonants) carries the largest share...
+    shares = {c.key_name: c.share_of_union for c in report.contributions}
+    assert shares["Key 1"] >= shares["Key 2"]
+    # ...but the union strictly exceeds every single key: multi-pass pays.
+    best_single = max(c.found for c in report.contributions)
+    assert report.union_size > best_single
+
+
+def test_sampled_window_suggestion_quality(benchmark):
+    document = generate_dirty_movies(200, seed=SEED, profile="effectiveness")
+    config = dataset1_config()
+    detector = SxnmDetector(config)
+    base = detector.run(document, window=2)
+    table = base.gk["movie"]
+
+    def od_similar(left, right):
+        return levenshtein_similarity(left.ods[0] or "",
+                                      right.ods[0] or "") >= 0.85
+
+    def suggest():
+        return suggest_window_size(table, od_similar, sample_size=150,
+                                   coverage=0.9, seed=3)
+
+    window = benchmark.pedantic(suggest, rounds=1, iterations=1)
+
+    gold = gold_pairs(document, MOVIE_XPATH)
+    rows = []
+    for label, w in [("suggested", window), ("half", max(2, window // 2)),
+                     ("double", min(50, window * 2))]:
+        result = detector.run(document, window=w, gk=base.gk)
+        metrics = evaluate_pairs(result.pairs("movie"), gold)
+        rows.append([f"{label} (w={w})", metrics.recall, metrics.precision,
+                     result.outcomes["movie"].comparisons])
+    write_result("ablation_window_suggestion", render_table(
+        ["window", "recall", "precision", "comparisons"], rows,
+        title="Ablation: sampling-based window suggestion"))
+
+    assert 2 <= window <= 50
+    suggested_recall = rows[0][1]
+    half_recall = rows[1][1]
+    assert suggested_recall >= half_recall - 1e-9

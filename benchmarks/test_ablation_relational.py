@@ -1,0 +1,69 @@
+"""Ablation — the relational SNM family on flattened movie records.
+
+Grounds SXNM in its ancestry: classical SNM vs DE-SNM vs standard
+blocking vs all-pairs on the same flat relation.  The paper's Sec. 2.2
+describes SNM and mentions DE-SNM [19] as a candidate improvement; this
+bench shows the comparison-count ordering on duplicated data.
+"""
+
+from conftest import SEED, write_result
+
+from repro.datagen import generate_dirty_movies
+from repro.eval import evaluate_pairs, pairs_from_clusters, render_table
+from repro.relational import (FieldRule, Relation, RelationalKey,
+                              WeightedFieldMatcher, all_pairs,
+                              duplicate_elimination_snm, sorted_neighborhood,
+                              standard_blocking)
+from repro.xpath import first_value, resolve_absolute
+
+
+def _flatten_movies(seed):
+    """Flatten the XML movies into a (title, year) relation + gold pairs."""
+    document = generate_dirty_movies(200, seed=seed, profile="effectiveness")
+    relation = Relation(["title", "year", "oid"])
+    for movie in resolve_absolute(document.root, "movie_database/movies/movie"):
+        relation.insert({
+            "title": first_value(movie, "title[1]/text()") or "",
+            "year": movie.get("year") or "",
+            "oid": movie.get("oid") or "",
+        })
+    by_oid: dict[str, list[int]] = {}
+    for record in relation:
+        by_oid.setdefault(record.get("oid"), []).append(record.rid)
+    gold = pairs_from_clusters(by_oid.values())
+    return relation, gold
+
+
+KEY = RelationalKey.create([("title", "K1-K5"), ("year", "D3,D4")])
+MATCHER = WeightedFieldMatcher(
+    [FieldRule("title", 0.8), FieldRule("year", 0.2, "year")], threshold=0.7)
+
+
+def test_relational_family(benchmark):
+    relation, gold = _flatten_movies(SEED)
+
+    def run_snm():
+        return sorted_neighborhood(relation, [KEY], MATCHER, window=5)
+
+    snm = benchmark.pedantic(run_snm, rounds=1, iterations=1)
+    desnm = duplicate_elimination_snm(relation, [KEY], MATCHER, window=5)
+    blocking = standard_blocking(relation, [KEY], MATCHER)
+    exhaustive = all_pairs(relation, MATCHER)
+
+    rows = []
+    for name, result in [("SNM w=5", snm), ("DE-SNM w=5", desnm),
+                         ("blocking", blocking), ("all pairs", exhaustive)]:
+        evaluation = evaluate_pairs(pairs_from_clusters(result.clusters), gold)
+        rows.append([name, evaluation.recall, evaluation.precision,
+                     result.comparisons])
+    write_result("ablation_relational", render_table(
+        ["method", "recall", "precision", "comparisons"], rows,
+        title="Ablation: relational SNM family on flattened movies"))
+
+    assert snm.comparisons < exhaustive.comparisons
+    assert desnm.comparisons <= snm.comparisons
+    assert blocking.comparisons < exhaustive.comparisons
+    snm_recall = evaluate_pairs(pairs_from_clusters(snm.clusters), gold).recall
+    all_recall = evaluate_pairs(pairs_from_clusters(exhaustive.clusters),
+                                gold).recall
+    assert snm_recall >= 0.7 * all_recall

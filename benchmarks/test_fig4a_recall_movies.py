@@ -1,0 +1,42 @@
+"""Fig. 4(a) — recall over window sizes, data set 1 (artificial movies).
+
+Paper shape: recall increases with window size for every key; Key 1
+(five title consonants) is the best single key and close to MP; the
+multi-pass method has the highest recall.
+"""
+
+from conftest import write_figure
+
+from repro.eval import render_series
+from repro.experiments import series_values
+
+
+def test_fig4a_recall(ds1_result, benchmark):
+    sweep = ds1_result.sweep
+    recall = series_values(sweep, "recall")
+    write_figure(
+        "fig4a_recall_movies",
+        render_series("window", ds1_result.windows, recall,
+                      title="Fig 4(a): recall vs window size, data set 1"),
+        ds1_result.windows, recall, x_label="window size", y_label="recall",
+        title="Fig 4(a)")
+
+    for name, values in recall.items():
+        assert values[-1] >= values[0], f"{name}: recall must grow with window"
+    # MP has the best recall at every window.
+    for index in range(len(ds1_result.windows)):
+        best_single = max(recall["Key 1"][index], recall["Key 2"][index],
+                          recall["Key 3"][index])
+        assert recall["MP"][index] >= best_single
+    # Key 1 (title consonants) is the best single key at large windows.
+    assert recall["Key 1"][-1] >= recall["Key 2"][-1]
+    assert recall["Key 1"][-1] >= recall["Key 3"][-1]
+
+    # Benchmark one representative detection run (window 10, Key 1).
+    from repro.experiments import dataset1_config
+    from repro.core import SxnmDetector
+    detector = SxnmDetector(dataset1_config())
+    document = ds1_result.document
+    benchmark.pedantic(
+        lambda: detector.run(document, window=10, key_selection=0),
+        rounds=1, iterations=1)

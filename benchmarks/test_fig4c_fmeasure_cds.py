@@ -1,0 +1,44 @@
+"""Fig. 4(c) — f-measure over window sizes, data set 2 (CDs).
+
+Paper shape: f-measure increases with window size for all keys; Key 2
+(disc-id characters) is the best single key, Key 3 (genre/year) the
+worst; the multi-pass method dominates every single key, and a small
+multi-pass window (4) already beats every single key at window 12.
+"""
+
+from conftest import write_figure
+
+from repro.eval import render_series
+from repro.experiments import series_values
+
+
+def test_fig4c_fmeasure(ds2_result, benchmark):
+    sweep = ds2_result.sweep
+    f_measure = series_values(sweep, "f_measure")
+    write_figure(
+        "fig4c_fmeasure_cds",
+        render_series("window", ds2_result.windows, f_measure,
+                      title="Fig 4(c): f-measure vs window size, data set 2"),
+        ds2_result.windows, f_measure, x_label="window size",
+        y_label="f-measure", title="Fig 4(c)")
+
+    for name, values in f_measure.items():
+        assert values[-1] >= values[0], f"{name}: f-measure must grow"
+    final = {name: values[-1] for name, values in f_measure.items()}
+    # Key 2 (disc id) best single key; Key 3 (genre/year) worst.
+    assert final["Key 2"] >= final["Key 1"] >= final["Key 3"]
+    # MP dominates every single key at every window.
+    for index in range(len(ds2_result.windows)):
+        best_single = max(f_measure["Key 1"][index], f_measure["Key 2"][index],
+                          f_measure["Key 3"][index])
+        assert f_measure["MP"][index] >= best_single
+    # MP at window 4 beats every single key at window 12.
+    mp_at_4 = f_measure["MP"][ds2_result.windows.index(4)]
+    assert mp_at_4 >= max(final["Key 1"], final["Key 2"], final["Key 3"])
+
+    from repro.core import SxnmDetector
+    from repro.experiments import dataset2_config
+    detector = SxnmDetector(dataset2_config())
+    document = ds2_result.document
+    benchmark.pedantic(lambda: detector.run(document, window=4),
+                       rounds=1, iterations=1)

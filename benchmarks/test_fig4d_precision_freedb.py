@@ -1,0 +1,85 @@
+"""Fig. 4(d) — precision and duplicate counts, data set 3 (large catalog).
+
+Paper shape: Key 2 (disc id) yields the highest precision but detects
+few duplicates; Key 1 (title/artist consonants) has lower precision but
+detects far more; multi-pass cumulates both keys' false positives.  The
+false-positive anatomy matches the paper's: series/various-artists CDs
+dominate (54–77%, decreasing with window), unreadable entries second
+(19–36%, increasing), everything else under 10%.
+"""
+
+from conftest import write_figure, write_result
+
+from repro.eval import gold_pairs, render_series, render_table
+from repro.experiments import (DISC_XPATH, classify_false_positives,
+                               dataset3_config, series_values)
+
+
+def test_fig4d_precision_and_counts(ds3_result, benchmark):
+    from repro.core import SxnmDetector
+    detector = SxnmDetector(dataset3_config())
+    benchmark.pedantic(
+        lambda: detector.run(ds3_result.document, window=5, key_selection=1),
+        rounds=1, iterations=1)
+
+    sweep = ds3_result.sweep
+    precision = series_values(sweep, "precision")
+    counts = series_values(sweep, "duplicate_pairs")
+    write_figure(
+        "fig4d_precision_freedb",
+        render_series("window", ds3_result.windows, precision,
+                      title="Fig 4(d): precision vs window size, data set 3"),
+        ds3_result.windows, precision, x_label="window size",
+        y_label="precision", title="Fig 4(d) precision")
+    write_figure(
+        "fig4d_duplicates_freedb",
+        render_series("window", ds3_result.windows, counts,
+                      title="Fig 4(d): duplicates found vs window size"),
+        ds3_result.windows, counts, x_label="window size",
+        y_label="duplicate pairs found", title="Fig 4(d) duplicates")
+
+    for index in range(len(ds3_result.windows)):
+        # Key 2 is the most precise key at every window.
+        assert precision["Key 2"][index] >= precision["Key 1"][index]
+        assert precision["Key 2"][index] >= precision["MP"][index]
+        # Key 1 detects more duplicates than Key 2; MP more than both.
+        assert counts["Key 1"][index] >= counts["Key 2"][index]
+        assert counts["MP"][index] >= counts["Key 1"][index]
+
+
+def test_fig4d_false_positive_anatomy(ds3_result, benchmark):
+    from repro.core import SxnmDetector
+    document = ds3_result.document
+    gold = gold_pairs(document, DISC_XPATH)
+    detector = SxnmDetector(dataset3_config())
+
+    def run_window_5():
+        return detector.run(document, window=5)
+
+    result = benchmark.pedantic(run_window_5, rounds=1, iterations=1)
+
+    rows = []
+    fractions_by_window = {}
+    for window in (2, 5, 10):
+        outcome = result if window == 5 else detector.run(document,
+                                                          window=window,
+                                                          gk=result.gk)
+        breakdown = classify_false_positives(
+            document, outcome.pairs("disc"), gold)
+        fractions = breakdown.fractions()
+        fractions_by_window[window] = fractions
+        rows.append([window, breakdown.total,
+                     fractions["series_or_various"], fractions["unreadable"],
+                     fractions["other"]])
+    write_result("fig4d_fp_anatomy", render_table(
+        ["window", "false pairs", "series/VA", "unreadable", "other"], rows,
+        title="Fig 4(d) discussion: false-positive anatomy, data set 3"))
+
+    for window, fractions in fractions_by_window.items():
+        assert fractions["series_or_various"] >= 0.4, \
+            f"w={window}: series/VA should dominate false positives"
+        assert fractions["other"] < 0.15, \
+            f"w={window}: 'other' false positives should stay rare"
+    # Unreadable share increases with window size (paper: 19% -> 36%).
+    assert fractions_by_window[10]["unreadable"] >= \
+        fractions_by_window[2]["unreadable"] - 0.05

@@ -1,0 +1,98 @@
+"""Figs. 5(a)–5(d) — scalability of the SXNM phases.
+
+Paper shape: key generation grows linearly with file size while the
+sliding-window comparisons dominate; the few-duplicates file costs
+nearly the same as clean data; with many duplicates the dirty data is
+several times the clean size, duplicate detection blows up, and (with
+the 2006-era quadratic closure) the TC phase grows much faster than KG.
+"""
+
+from conftest import SCALABILITY_SIZES, write_result
+
+from repro.eval import render_table
+from repro.experiments import overhead_vs_clean
+
+
+def _rows(points):
+    return [[p.movie_count, p.element_count, p.kg_seconds, p.sw_seconds,
+             p.tc_seconds, p.dd_seconds] for p in points]
+
+
+HEADERS = ["movies", "elements", "KG s", "SW s", "TC s", "DD s"]
+
+
+def test_fig5a_clean(scalability_results, benchmark):
+    points = scalability_results["clean"]
+    write_result("fig5a_scalability_clean", render_table(
+        HEADERS, _rows(points), title="Fig 5(a): phase times, clean data"))
+    # KG roughly linear: doubling the size should not quadruple KG.
+    for small, large in zip(points, points[1:]):
+        growth = large.kg_seconds / max(small.kg_seconds, 1e-9)
+        size_growth = large.element_count / small.element_count
+        assert growth < size_growth * 2.5
+    # TC is negligible on (almost) duplicate-free data.
+    for point in points:
+        assert point.tc_seconds <= 0.2 * max(point.kg_seconds, 1e-9) + 0.05
+
+    from repro.experiments import run_scalability
+    benchmark.pedantic(
+        lambda: run_scalability("clean", sizes=[SCALABILITY_SIZES[0]]),
+        rounds=1, iterations=1)
+
+
+def test_fig5b_few_duplicates(scalability_results, benchmark):
+    points = scalability_results["few"]
+    write_result("fig5b_scalability_few", render_table(
+        HEADERS, _rows(points), title="Fig 5(b): phase times, few duplicates"))
+    clean = scalability_results["clean"]
+    # Few duplicates stay in the same cost regime as clean data.
+    for dirty_point, clean_point in zip(points, clean):
+        assert dirty_point.total_seconds <= 2.5 * clean_point.total_seconds
+
+    from repro.experiments import run_scalability
+    benchmark.pedantic(
+        lambda: run_scalability("few", sizes=[SCALABILITY_SIZES[0]]),
+        rounds=1, iterations=1)
+
+
+def test_fig5c_many_duplicates(scalability_results, benchmark):
+    points = scalability_results["many"]
+    write_result("fig5c_scalability_many", render_table(
+        HEADERS, _rows(points), title="Fig 5(c): phase times, many duplicates"))
+    clean = scalability_results["clean"]
+    # The dirty data is several times the clean size (paper: about 4x) and
+    # costs far more to deduplicate.
+    for dirty_point, clean_point in zip(points, clean):
+        assert dirty_point.element_count >= 2.5 * clean_point.element_count
+        assert dirty_point.dd_seconds >= 1.5 * clean_point.dd_seconds
+    # TC (quadratic closure) grows much faster than KG: its share of KG
+    # rises steeply with size.
+    first_ratio = points[0].tc_seconds / max(points[0].kg_seconds, 1e-9)
+    last_ratio = points[-1].tc_seconds / max(points[-1].kg_seconds, 1e-9)
+    assert last_ratio > first_ratio
+
+    from repro.experiments import run_scalability
+    benchmark.pedantic(
+        lambda: run_scalability("many", sizes=[SCALABILITY_SIZES[0]]),
+        rounds=1, iterations=1)
+
+
+def test_fig5d_overhead(scalability_results, benchmark):
+    clean = scalability_results["clean"]
+    few = scalability_results["few"]
+    many = scalability_results["many"]
+    few_overhead = overhead_vs_clean(few, clean)
+    many_overhead = overhead_vs_clean(many, clean)
+    rows = [[p.movie_count, f"{fo:.1%}", f"{mo:.1%}"]
+            for p, fo, mo in zip(clean, few_overhead, many_overhead)]
+    write_result("fig5d_overhead", render_table(
+        ["movies", "few dup overhead", "many dup overhead"], rows,
+        title="Fig 5(d): KG+SW overhead vs clean data"))
+    # Many-duplicates overhead dwarfs few-duplicates overhead.
+    for few_value, many_value in zip(few_overhead, many_overhead):
+        assert many_value > few_value
+
+    from repro.experiments import run_scalability
+    benchmark.pedantic(
+        lambda: run_scalability("clean", sizes=[SCALABILITY_SIZES[1]]),
+        rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""Figs. 6(a)–6(b) — threshold impact on data set 2.
+
+Paper shape: raising the OD threshold trades recall for precision with a
+single interior f-measure optimum; taking descendants into account beats
+the best OD-only f-measure; low descendants thresholds work best and
+very high ones degrade the result.
+"""
+
+from conftest import DS2_DISCS, SEED, write_figure
+
+from repro.datagen import generate_dataset2
+from repro.eval import render_table
+from repro.experiments import (best_f_measure, sweep_desc_threshold,
+                               sweep_od_threshold)
+
+
+def _rows(points):
+    return [[p.threshold, p.metrics.precision, p.metrics.recall,
+             p.metrics.f_measure, p.duplicate_pairs] for p in points]
+
+
+HEADERS = ["threshold", "precision", "recall", "f-measure", "pairs"]
+
+
+def test_fig6a_od_threshold(benchmark):
+    document = generate_dataset2(DS2_DISCS, seed=SEED)
+
+    def sweep():
+        return sweep_od_threshold(document=document)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thresholds = [p.threshold for p in points]
+    series = {"precision": [p.metrics.precision for p in points],
+              "recall": [p.metrics.recall for p in points],
+              "f-measure": [p.metrics.f_measure for p in points]}
+    write_figure(
+        "fig6a_od_threshold",
+        render_table(HEADERS, _rows(points),
+                     title="Fig 6(a): OD-threshold sweep, data set 2 (OD only)"),
+        thresholds, series, x_label="OD threshold", y_label="",
+        title="Fig 6(a)")
+
+    # Recall decreases and precision increases with the threshold.
+    recalls = [p.metrics.recall for p in points]
+    precisions = [p.metrics.precision for p in points]
+    assert recalls[0] >= recalls[-1]
+    assert precisions[0] <= max(precisions)
+    assert all(a >= b - 0.02 for a, b in zip(recalls, recalls[1:])), \
+        "recall must be (nearly) monotone decreasing"
+    # The f-measure peaks strictly inside the sweep, near the paper's 0.65.
+    best = best_f_measure(points)
+    assert points[0].threshold < best.threshold < points[-1].threshold
+    assert 0.6 <= best.threshold <= 0.8
+
+
+def test_fig6b_desc_threshold(benchmark):
+    document = generate_dataset2(DS2_DISCS, seed=SEED)
+    od_points = sweep_od_threshold(document=document)
+    od_best = best_f_measure(od_points)
+
+    def sweep():
+        return sweep_desc_threshold(document=document,
+                                    od_threshold=od_best.threshold)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thresholds = [p.threshold for p in points]
+    series = {"precision": [p.metrics.precision for p in points],
+              "recall": [p.metrics.recall for p in points],
+              "f-measure": [p.metrics.f_measure for p in points]}
+    write_figure(
+        "fig6b_desc_threshold",
+        render_table(HEADERS, _rows(points),
+                     title="Fig 6(b): descendants-threshold sweep, data set 2"),
+        thresholds, series, x_label="descendants threshold", y_label="",
+        title="Fig 6(b)")
+
+    best = best_f_measure(points)
+    # Using descendants beats the best OD-only configuration.
+    assert best.metrics.f_measure >= od_best.metrics.f_measure
+    # Low thresholds win; a very high descendants threshold degrades badly.
+    assert best.threshold <= 0.4
+    assert points[-1].metrics.f_measure < best.metrics.f_measure - 0.2

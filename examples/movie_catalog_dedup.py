@@ -1,0 +1,57 @@
+"""Movie-catalog deduplication with nested candidates and fusion.
+
+Run with::
+
+    python examples/movie_catalog_dedup.py [movie_count]
+
+Generates a dirty movie database (movies, titles, and persons all
+duplicated, persons shared across movies), runs bottom-up SXNM over all
+three candidate levels, contrasts it with the DELPHI-style top-down
+baseline on the M:N person relationship, and shows simple data fusion.
+"""
+
+import sys
+
+from repro import SxnmDetector, TopDownDetector, evaluate_pairs, fuse_clusters, gold_pairs
+from repro.datagen import generate_dirty_movies
+from repro.eval import render_table
+from repro.experiments import MOVIE_XPATH, scalability_config
+
+PERSON_XPATH = f"{MOVIE_XPATH}/person"
+TITLE_XPATH = f"{MOVIE_XPATH}/title"
+
+
+def main(movie_count: int = 150) -> None:
+    print(f"Generating {movie_count} movies with the 'few duplicates' "
+          "profile ...")
+    document = generate_dirty_movies(movie_count, seed=11, profile="few")
+    config = scalability_config(window=5)
+
+    bottom_up = SxnmDetector(config).run(document)
+    top_down = TopDownDetector(config).run(document)
+
+    rows = []
+    for xpath, name in [(MOVIE_XPATH, "movie"), (TITLE_XPATH, "title"),
+                        (PERSON_XPATH, "person")]:
+        gold = gold_pairs(document, xpath)
+        bu = evaluate_pairs(bottom_up.pairs(name), gold)
+        td = evaluate_pairs(top_down.pairs(name), gold)
+        rows.append([name, bu.recall, td.recall, bu.precision, td.precision])
+    print(render_table(
+        ["candidate", "recall (bottom-up)", "recall (top-down)",
+         "precision (bottom-up)", "precision (top-down)"], rows,
+        title="Bottom-up SXNM vs top-down pruning"))
+    print("\nNote the person row: the same actor appearing in different "
+          "movies is invisible to top-down pruning (the paper's M:N "
+          "argument, Sec. 2.1).")
+
+    # Fusion: one resolved record per movie cluster.
+    fused = fuse_clusters(document, bottom_up, config)
+    print(f"\nFused movie records: {len(fused['movie'])} "
+          f"(from {len(bottom_up.cluster_set('movie').members())} instances)")
+    for record in fused["movie"][:5]:
+        print(f"  {record}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

@@ -1,0 +1,82 @@
+"""Tune SXNM parameters the way the paper's outlook proposes.
+
+Run with::
+
+    python examples/parameter_tuning.py
+
+Three tuning tools on a CD catalog:
+
+1. *Key-quality diagnostics* — why one key sorts better than another
+   (the paper: "the choice of good keys is of course very decisive").
+2. *Sampling-based window suggestion* — "how sampling techniques can
+   help determine an appropriate window size for each data set".
+3. *Threshold calibration from a labelled sample* — the learning
+   technique the paper plans to adapt from DELPHI.
+"""
+
+from repro import SxnmDetector, evaluate_pairs, gold_pairs
+from repro.core import (calibrate_thresholds, key_statistics,
+                        suggest_window_size)
+from repro.datagen import generate_dataset2
+from repro.eval import render_table
+from repro.experiments import DISC_XPATH, dataset2_config
+from repro.similarity import levenshtein_similarity
+
+
+def main() -> None:
+    # A small labelled sample and the larger production data set.
+    sample = generate_dataset2(disc_count=80, seed=100)
+    production = generate_dataset2(disc_count=400, seed=200)
+    config = dataset2_config()
+
+    # ------------------------------------------------------------------
+    # 1. Key quality: inspect the three Table 3(b) keys on the sample.
+    detector = SxnmDetector(config)
+    sample_run = detector.run(sample, window=2)
+    table = sample_run.gk["disc"]
+    rows = []
+    for index, name in enumerate(config.candidate("disc").key_names):
+        stats = key_statistics(table, index)
+        rows.append([name, f"{stats.distinct_ratio:.2f}",
+                     f"{stats.empty_ratio:.2f}", stats.largest_block,
+                     f"{stats.prefix_entropy:.2f}"])
+    print(render_table(
+        ["key", "distinct ratio", "empty ratio", "largest block",
+         "prefix entropy"], rows, title="Key-quality diagnostics (disc)"))
+    print("High distinct ratio and entropy = a discriminating sort key.\n")
+
+    # ------------------------------------------------------------------
+    # 2. Window suggestion from a sample.
+    def likely_duplicate(left, right):
+        return levenshtein_similarity(left.ods[2] or "",
+                                      right.ods[2] or "") >= 0.85
+
+    window = suggest_window_size(table, likely_duplicate, sample_size=120,
+                                 coverage=0.9, seed=1)
+    print(f"Suggested window size (90% coverage): {window}")
+
+    # ------------------------------------------------------------------
+    # 3. Threshold calibration on the labelled sample, applied to
+    #    production data.
+    sample_gold = gold_pairs(sample, DISC_XPATH)
+    calibration = calibrate_thresholds(sample, config, "disc", sample_gold,
+                                       window=window)
+    print(f"Calibrated thresholds: OD >= {calibration.od_threshold}, "
+          f"descendants >= {calibration.desc_threshold} "
+          f"(sample f-measure {calibration.f_measure:.3f})")
+
+    calibrated_config = calibration.apply_to(config)
+    production_gold = gold_pairs(production, DISC_XPATH)
+    rows = []
+    for label, cfg in [("defaults", config), ("calibrated", calibrated_config)]:
+        result = SxnmDetector(cfg).run(production, window=window)
+        metrics = evaluate_pairs(result.pairs("disc"), production_gold)
+        rows.append([label, metrics.precision, metrics.recall,
+                     metrics.f_measure])
+    print()
+    print(render_table(["configuration", "precision", "recall", "f-measure"],
+                       rows, title="Production-run comparison"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — SXNM: XML duplicate detection using sorted neighborhoods.
+
+A full reproduction of Puhlmann, Weis & Naumann, *XML Duplicate Detection
+using Sorted Neighborhoods* (EDBT 2006), including every substrate: a
+from-scratch XML model/parser/serializer, an XPath subset, string
+similarity measures, the relational SNM family, the SXNM core, synthetic
+data generators equivalent to ToXGene / the Dirty XML Data Generator /
+FreeDB, and an evaluation harness.
+
+Quickstart::
+
+    from repro import CandidateSpec, SxnmConfig, detect_duplicates
+
+    config = SxnmConfig(window_size=5, od_threshold=0.65)
+    config.add(CandidateSpec.build(
+        "movie", "db/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[[("title/text()", "K1-K5"), ("@year", "D3,D4")]]))
+    result = detect_duplicates(xml_text, config)
+    print(result.cluster_set("movie").duplicate_clusters())
+"""
+
+from .config import (CandidateSpec, SxnmConfig, dump_config, load_config,
+                     load_config_file, save_config_file)
+from .core import (AdaptiveSxnmDetector, ClusterSet, DogmatixDetector,
+                   IncrementalSxnm, SxnmDetector, SxnmResult, TopDownDetector,
+                   XmlEquationalTheory, calibrate_thresholds,
+                   deduplicate_document, detect_duplicates, explain_pair,
+                   fuse_clusters, suggest_window_size)
+from .errors import (ConfigError, DataGenerationError, DetectionError,
+                     PathEvaluationError, PathSyntaxError, PatternSyntaxError,
+                     ReproError, XmlParseError)
+from .eval import (PrecisionRecall, evaluate_clusters, evaluate_pairs,
+                   gold_clusters, gold_pairs)
+from .keys import KeyDefinition, parse_pattern
+from .xmlmodel import (XmlDocument, XmlElement, parse, parse_file, serialize,
+                       write_file)
+from .xpath import parse_path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSxnmDetector",
+    "CandidateSpec",
+    "ClusterSet",
+    "ConfigError",
+    "DataGenerationError",
+    "DetectionError",
+    "KeyDefinition",
+    "PathEvaluationError",
+    "PathSyntaxError",
+    "PatternSyntaxError",
+    "PrecisionRecall",
+    "ReproError",
+    "SxnmConfig",
+    "SxnmDetector",
+    "SxnmResult",
+    "TopDownDetector",
+    "XmlDocument",
+    "XmlElement",
+    "XmlParseError",
+    "__version__",
+    "DogmatixDetector",
+    "IncrementalSxnm",
+    "XmlEquationalTheory",
+    "calibrate_thresholds",
+    "explain_pair",
+    "suggest_window_size",
+    "deduplicate_document",
+    "detect_duplicates",
+    "dump_config",
+    "evaluate_clusters",
+    "evaluate_pairs",
+    "fuse_clusters",
+    "gold_clusters",
+    "gold_pairs",
+    "load_config",
+    "load_config_file",
+    "parse",
+    "parse_file",
+    "parse_path",
+    "parse_pattern",
+    "save_config_file",
+    "serialize",
+    "write_file",
+]

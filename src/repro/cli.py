@@ -1,0 +1,286 @@
+"""Command-line interface: ``sxnm``.
+
+Subcommands::
+
+    sxnm detect  -c config.xml data.xml [-w N] [--report out.txt] [--gk gk.xml]
+    sxnm keygen  -c config.xml data.xml -o gk.xml
+    sxnm dedup   -c config.xml data.xml -o clean.xml
+    sxnm evaluate -c config.xml data.xml --candidate NAME [--oid oid]
+    sxnm generate {movies,cds} -n COUNT [-o out.xml] [--profile P] [--seed S]
+
+``detect`` prints per-candidate duplicate clusters; ``dedup`` writes a
+deduplicated copy (prime representatives); ``evaluate`` scores detected
+pairs against the oid ground truth; ``generate`` produces the synthetic
+corpora used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import load_config_file
+from .core import SxnmDetector, deduplicate_document
+from .datagen import generate_dataset2, generate_dataset3, generate_dirty_movies
+from .errors import ReproError
+from .eval import evaluate_pairs, gold_pairs, render_table
+from .xmlmodel import parse_file, write_file
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("data", help="XML data file")
+    parser.add_argument("-c", "--config", required=True,
+                        help="SXNM configuration XML file")
+    parser.add_argument("-w", "--window", type=int, default=None,
+                        help="override the configured window size")
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    from .core import generate_gk, save_gk
+    config = load_config_file(args.config)
+    document = parse_file(args.data)
+    tables = generate_gk(document, config)
+    save_gk(tables, args.output)
+    total_rows = sum(len(table) for table in tables.values())
+    print(f"wrote {args.output} ({len(tables)} GK tables, {total_rows} rows)")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    config = load_config_file(args.config)
+    document = parse_file(args.data)
+    gk = None
+    if getattr(args, "gk", None):
+        from .core import load_gk
+        gk = load_gk(args.gk)
+    result = SxnmDetector(config).run(document, window=args.window, gk=gk)
+    lines = []
+    for name, outcome in result.outcomes.items():
+        clusters = outcome.cluster_set.duplicate_clusters()
+        lines.append(f"candidate {name}: {len(clusters)} duplicate cluster(s), "
+                     f"{outcome.comparisons} comparisons")
+        for cluster in clusters:
+            lines.append(f"  eids {cluster}")
+    timings = result.timings
+    lines.append(f"KG {timings.key_generation:.3f}s  "
+                 f"SW {timings.window:.3f}s  TC {timings.closure:.3f}s")
+    output = "\n".join(lines)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+    print(output)
+    return 0
+
+
+def _cmd_dedup(args: argparse.Namespace) -> int:
+    config = load_config_file(args.config)
+    document = parse_file(args.data)
+    result = SxnmDetector(config).run(document, window=args.window)
+    deduped = deduplicate_document(document, result)
+    write_file(deduped, args.output)
+    removed = document.element_count() - deduped.element_count()
+    print(f"wrote {args.output} ({removed} elements removed)")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    config = load_config_file(args.config)
+    document = parse_file(args.data)
+    result = SxnmDetector(config).run(document, window=args.window)
+    rows = []
+    names = [args.candidate] if args.candidate else \
+        [spec.name for spec in config.candidates]
+    for name in names:
+        spec = config.candidate(name)
+        gold = gold_pairs(document, spec.xpath, oid_attribute=args.oid)
+        metrics = evaluate_pairs(result.pairs(name), gold)
+        rows.append([name, metrics.precision, metrics.recall,
+                     metrics.f_measure, len(result.pairs(name))])
+    print(render_table(["candidate", "precision", "recall", "f-measure",
+                        "pairs"], rows))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.corpus == "movies":
+        if args.profile == "clean":
+            from .datagen import generate_clean_movies
+            document = generate_clean_movies(args.count, seed=args.seed)
+        else:
+            document = generate_dirty_movies(args.count, seed=args.seed,
+                                             profile=args.profile)
+    elif args.profile == "large":
+        document = generate_dataset3(args.count, seed=args.seed)
+    else:
+        document = generate_dataset2(args.count, seed=args.seed)
+    write_file(document, args.output)
+    print(f"wrote {args.output} ({document.element_count()} elements)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core import explain_pair
+    config = load_config_file(args.config)
+    document = parse_file(args.data)
+    try:
+        left_text, right_text = args.pair.split(",", 1)
+        left_eid, right_eid = int(left_text), int(right_text)
+    except ValueError:
+        print("error: --pair expects two integers like '12,47'",
+              file=sys.stderr)
+        return 1
+    result = SxnmDetector(config).run(document, window=args.window)
+    try:
+        explanation = explain_pair(result, config, args.candidate,
+                                   left_eid, right_eid)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(explanation.render())
+    return 0
+
+
+_EXPERIMENTS = {
+    "4a": "recall vs window size, data set 1 (movies)",
+    "4b": "precision vs window size, data set 1 (movies)",
+    "4c": "f-measure vs window size, data set 2 (CDs)",
+    "4d": "precision and duplicate counts, data set 3 (large catalog)",
+    "5": "scalability of the SXNM phases (clean/few/many)",
+    "6a": "OD-threshold impact, data set 2",
+    "6b": "descendants-threshold impact, data set 2",
+}
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .eval import render_series, render_table
+    from . import experiments as exp
+
+    figure = args.figure
+    print(f"Reproducing figure {figure}: {_EXPERIMENTS[figure]}")
+    if figure in ("4a", "4b"):
+        result = exp.run_dataset1(movie_count=args.scale, seed=args.seed)
+        metric = "recall" if figure == "4a" else "precision"
+        print(render_series("window", result.windows,
+                            exp.series_values(result.sweep, metric),
+                            title=f"Fig {figure} ({metric})"))
+    elif figure == "4c":
+        result = exp.run_dataset2(disc_count=args.scale, seed=args.seed)
+        print(render_series("window", result.windows,
+                            exp.series_values(result.sweep, "f_measure"),
+                            title="Fig 4(c) (f-measure)"))
+    elif figure == "4d":
+        result = exp.run_dataset3(disc_count=max(args.scale, 500),
+                                  seed=args.seed)
+        print(render_series("window", result.windows,
+                            exp.series_values(result.sweep, "precision"),
+                            title="Fig 4(d) (precision)"))
+        print()
+        print(render_series("window", result.windows,
+                            exp.series_values(result.sweep,
+                                              "duplicate_pairs"),
+                            title="Fig 4(d) (duplicates found)"))
+    elif figure == "5":
+        sizes = [args.scale // 4, args.scale // 2, args.scale]
+        rows = []
+        for profile in ("clean", "few", "many"):
+            for point in exp.run_scalability(profile, sizes=sizes,
+                                             seed=args.seed):
+                rows.append([profile, point.movie_count, point.element_count,
+                             point.kg_seconds, point.sw_seconds,
+                             point.tc_seconds, point.dd_seconds])
+        print(render_table(["profile", "movies", "elements", "KG s", "SW s",
+                            "TC s", "DD s"], rows, title="Fig 5 (phases)"))
+    else:  # 6a / 6b
+        if figure == "6a":
+            points = exp.sweep_od_threshold(disc_count=args.scale,
+                                            seed=args.seed)
+        else:
+            points = exp.sweep_desc_threshold(disc_count=args.scale,
+                                              seed=args.seed)
+        rows = [[p.threshold, p.metrics.precision, p.metrics.recall,
+                 p.metrics.f_measure] for p in points]
+        print(render_table(["threshold", "precision", "recall", "f-measure"],
+                           rows, title=f"Fig {figure}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sxnm",
+        description="XML duplicate detection using sorted neighborhoods")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="detect duplicates")
+    _add_common(detect)
+    detect.add_argument("--report", default=None, help="also write report here")
+    detect.add_argument("--gk", default=None,
+                        help="reuse GK tables written by 'sxnm keygen' "
+                             "(must stem from exactly this data file)")
+    detect.set_defaults(handler=_cmd_detect)
+
+    keygen = sub.add_parser(
+        "keygen", help="run only the key-generation phase, store GK tables")
+    _add_common(keygen)
+    keygen.add_argument("-o", "--output", required=True,
+                        help="where to write the GK tables (XML)")
+    keygen.set_defaults(handler=_cmd_keygen)
+
+    dedup = sub.add_parser("dedup", help="write a deduplicated document")
+    _add_common(dedup)
+    dedup.add_argument("-o", "--output", required=True)
+    dedup.set_defaults(handler=_cmd_dedup)
+
+    evaluate = sub.add_parser("evaluate",
+                              help="score detection against oid ground truth")
+    _add_common(evaluate)
+    evaluate.add_argument("--candidate", default=None,
+                          help="evaluate only this candidate")
+    evaluate.add_argument("--oid", default="oid",
+                          help="ground-truth attribute name (default: oid)")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    generate = sub.add_parser("generate", help="generate synthetic corpora")
+    generate.add_argument("corpus", choices=["movies", "cds"])
+    generate.add_argument("-n", "--count", type=int, default=100)
+    generate.add_argument("-o", "--output", default="generated.xml")
+    generate.add_argument("--profile", default="effectiveness",
+                          help="movies: clean/few/many/effectiveness; "
+                               "cds: dataset2/large")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    explain = sub.add_parser(
+        "explain", help="explain why a pair of elements is (not) a duplicate")
+    _add_common(explain)
+    explain.add_argument("--candidate", required=True)
+    explain.add_argument("--pair", required=True,
+                         help="two element ids, comma-separated (eids as "
+                              "printed by 'sxnm detect')")
+    explain.set_defaults(handler=_cmd_explain)
+
+    experiments = sub.add_parser(
+        "experiments", help="reproduce a figure of the paper's evaluation")
+    experiments.add_argument("figure", choices=sorted(_EXPERIMENTS))
+    experiments.add_argument("--scale", type=int, default=200,
+                             help="corpus size (movies or discs)")
+    experiments.add_argument("--seed", type=int, default=42)
+    experiments.set_defaults(handler=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``sxnm`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""SXNM configuration: the parameter set P, validation, and XML IO."""
+
+from .model import (DEFAULT_DESC_THRESHOLD, DEFAULT_DUPLICATE_THRESHOLD,
+                    DEFAULT_OD_THRESHOLD, DEFAULT_WINDOW_SIZE, CandidateSpec,
+                    KeyEntry, OdEntry, PathEntry, SxnmConfig)
+from .validate import ensure_valid, validate_config
+from .xml_io import (config_from_document, config_to_document, dump_config,
+                     load_config, load_config_file, save_config_file)
+
+__all__ = [
+    "DEFAULT_DESC_THRESHOLD",
+    "DEFAULT_DUPLICATE_THRESHOLD",
+    "DEFAULT_OD_THRESHOLD",
+    "DEFAULT_WINDOW_SIZE",
+    "CandidateSpec",
+    "KeyEntry",
+    "OdEntry",
+    "PathEntry",
+    "SxnmConfig",
+    "config_from_document",
+    "config_to_document",
+    "dump_config",
+    "ensure_valid",
+    "load_config",
+    "load_config_file",
+    "save_config_file",
+    "validate_config",
+]

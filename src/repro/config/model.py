@@ -1,0 +1,232 @@
+"""Typed configuration model for SXNM.
+
+The paper's configuration (Sec. 3.2) consists, per candidate schema
+element *s*, of three relations:
+
+* ``PATH_s(id, relPath)`` — the relative paths into *s* used anywhere;
+* ``OD_s(pid, relevance)`` — which paths form the object description and
+  their weights;
+* ``KEY_{s,i}(pid, order, pattern)`` — the parts of the *i*-th key.
+
+:class:`CandidateSpec` holds all three for one candidate plus the
+detection parameters the paper lists in Sec. 3.4 (window size, thresholds,
+whether to use descendants).  :class:`SxnmConfig` is the full parameter
+set *P* plus global defaults.
+
+As an extension over the paper, each OD entry may name the φ similarity
+function to use for its path (default ``"edit"``, the paper's choice),
+and each candidate may set the descendant φ (default ``"jaccard"``, the
+paper's intersection/union ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..keys import KeyDefinition, KeyPart, parse_pattern
+from ..xpath import Path, parse_path
+
+DEFAULT_WINDOW_SIZE = 5
+DEFAULT_OD_THRESHOLD = 0.65
+DEFAULT_DESC_THRESHOLD = 0.3
+DEFAULT_DUPLICATE_THRESHOLD = 0.65
+
+
+@dataclass(frozen=True)
+class PathEntry:
+    """A row of ``PATH_s``: unique ``pid`` and a relative path."""
+
+    pid: int
+    rel_path: str
+
+    def parsed(self) -> Path:
+        return parse_path(self.rel_path)
+
+
+@dataclass(frozen=True)
+class OdEntry:
+    """A row of ``OD_s``: path reference, weight, and φ function name."""
+
+    pid: int
+    relevance: float
+    phi: str = "edit"
+
+
+@dataclass(frozen=True)
+class KeyEntry:
+    """A row of ``KEY_{s,i}``: path reference, position in key, pattern."""
+
+    pid: int
+    order: int
+    pattern: str
+
+
+@dataclass
+class CandidateSpec:
+    """Complete configuration for one candidate schema element.
+
+    Parameters
+    ----------
+    name:
+        Unique candidate name used to associate configuration with the
+        temporary GK/CS tables (paper: ``name = movie``).
+    xpath:
+        Absolute path identifying instances, e.g.
+        ``movie_database/movies/movie``.
+    paths, ods, keys:
+        The PATH/OD/KEY relations.  ``keys`` is a list of keys, each a
+        list of :class:`KeyEntry` (multi-pass uses one pass per key).
+    window_size, od_threshold, desc_threshold, duplicate_threshold:
+        Per-candidate overrides of the global detection settings
+        (``None`` → use the config default).
+    use_descendants:
+        The paper's "information about when not to use descendants".
+    desc_phi:
+        φ_desc function: ``"jaccard"`` (paper), ``"multiset_jaccard"``,
+        or ``"overlap"``.
+    desc_weights:
+        Per-descendant-candidate weights for the agg() combination —
+        the paper's announced extension ("future implementations will
+        have declarations of different weights in the configuration").
+        Unlisted descendants weigh 1.0.
+    """
+
+    name: str
+    xpath: str
+    paths: list[PathEntry] = field(default_factory=list)
+    ods: list[OdEntry] = field(default_factory=list)
+    keys: list[list[KeyEntry]] = field(default_factory=list)
+    key_names: list[str] = field(default_factory=list)
+    window_size: int | None = None
+    od_threshold: float | None = None
+    desc_threshold: float | None = None
+    duplicate_threshold: float | None = None
+    use_descendants: bool = True
+    desc_phi: str = "jaccard"
+    desc_weights: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, name: str, xpath: str,
+              od: list[tuple[str, float]] | list[tuple[str, float, str]] | None = None,
+              keys: list[list[tuple[str, str]]] | None = None,
+              **detection_overrides) -> CandidateSpec:
+        """Ergonomic constructor from literal paths.
+
+        ``od`` is ``[(rel_path, relevance[, phi])...]`` and ``keys`` is
+        ``[[(rel_path, pattern), ...], ...]`` — paths are interned into
+        the PATH relation automatically.
+        """
+        spec = cls(name=name, xpath=xpath, **detection_overrides)
+        for entry in od or []:
+            if len(entry) == 3:
+                rel_path, relevance, phi = entry
+            else:
+                rel_path, relevance = entry  # type: ignore[misc]
+                phi = "edit"
+            spec.add_od(rel_path, relevance, phi=phi)
+        for index, key_parts in enumerate(keys or [], start=1):
+            spec.add_key(key_parts, name=f"Key {index}")
+        return spec
+
+    def _intern_path(self, rel_path: str) -> int:
+        parse_path(rel_path)  # validate eagerly
+        for entry in self.paths:
+            if entry.rel_path == rel_path:
+                return entry.pid
+        pid = max((entry.pid for entry in self.paths), default=0) + 1
+        self.paths.append(PathEntry(pid, rel_path))
+        return pid
+
+    def add_od(self, rel_path: str, relevance: float, phi: str = "edit") -> None:
+        """Add an object-description entry for ``rel_path``."""
+        pid = self._intern_path(rel_path)
+        self.ods.append(OdEntry(pid, relevance, phi=phi))
+
+    def add_key(self, parts: list[tuple[str, str]], name: str | None = None) -> None:
+        """Add a key made of ``[(rel_path, pattern), ...]`` in order."""
+        if not parts:
+            raise ConfigError(f"candidate {self.name!r}: key needs at least one part")
+        entries = []
+        for order, (rel_path, pattern) in enumerate(parts, start=1):
+            parse_pattern(pattern)  # validate eagerly
+            entries.append(KeyEntry(self._intern_path(rel_path), order, pattern))
+        self.keys.append(entries)
+        self.key_names.append(name or f"Key {len(self.keys)}")
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def path_by_pid(self, pid: int) -> PathEntry:
+        for entry in self.paths:
+            if entry.pid == pid:
+                return entry
+        raise ConfigError(f"candidate {self.name!r}: unknown path id {pid}")
+
+    def key_definitions(self) -> list[KeyDefinition]:
+        """Resolve the KEY relations into :class:`KeyDefinition` objects."""
+        definitions = []
+        for index, entries in enumerate(self.keys):
+            ordered = sorted(entries, key=lambda entry: entry.order)
+            parts = tuple(
+                KeyPart(self.path_by_pid(entry.pid).parsed(),
+                        parse_pattern(entry.pattern))
+                for entry in ordered)
+            name = self.key_names[index] if index < len(self.key_names) \
+                else f"Key {index + 1}"
+            definitions.append(KeyDefinition(parts, name=name))
+        return definitions
+
+    def od_items(self) -> list[tuple[Path, float, str]]:
+        """Resolve OD entries into ``(path, relevance, phi_name)`` triples."""
+        return [(self.path_by_pid(od.pid).parsed(), od.relevance, od.phi)
+                for od in self.ods]
+
+    @property
+    def pass_count(self) -> int:
+        """Number of sliding-window passes (one per key)."""
+        return len(self.keys)
+
+
+@dataclass
+class SxnmConfig:
+    """The full parameter set *P*: all candidates plus global defaults."""
+
+    candidates: list[CandidateSpec] = field(default_factory=list)
+    window_size: int = DEFAULT_WINDOW_SIZE
+    od_threshold: float = DEFAULT_OD_THRESHOLD
+    desc_threshold: float = DEFAULT_DESC_THRESHOLD
+    duplicate_threshold: float = DEFAULT_DUPLICATE_THRESHOLD
+
+    def add(self, candidate: CandidateSpec) -> CandidateSpec:
+        """Register ``candidate``; names must be unique."""
+        if any(existing.name == candidate.name for existing in self.candidates):
+            raise ConfigError(f"duplicate candidate name {candidate.name!r}")
+        self.candidates.append(candidate)
+        return candidate
+
+    def candidate(self, name: str) -> CandidateSpec:
+        """Look up a candidate by name."""
+        for spec in self.candidates:
+            if spec.name == name:
+                return spec
+        raise ConfigError(f"unknown candidate {name!r}")
+
+    # Effective (override-or-default) detection parameters ---------------
+    def effective_window(self, spec: CandidateSpec) -> int:
+        return spec.window_size if spec.window_size is not None else self.window_size
+
+    def effective_od_threshold(self, spec: CandidateSpec) -> float:
+        return (spec.od_threshold if spec.od_threshold is not None
+                else self.od_threshold)
+
+    def effective_desc_threshold(self, spec: CandidateSpec) -> float:
+        return (spec.desc_threshold if spec.desc_threshold is not None
+                else self.desc_threshold)
+
+    def effective_duplicate_threshold(self, spec: CandidateSpec) -> float:
+        return (spec.duplicate_threshold if spec.duplicate_threshold is not None
+                else self.duplicate_threshold)

@@ -1,0 +1,122 @@
+"""Configuration validation.
+
+:func:`validate_config` checks the structural invariants the detection
+phase relies on and returns a list of human-readable problems (empty when
+valid); :func:`ensure_valid` raises :class:`~repro.errors.ConfigError`
+instead.  Validation is separate from construction so configurations can
+be assembled incrementally (including from XML) before being checked.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError, PathSyntaxError, PatternSyntaxError
+from ..keys import parse_pattern
+from ..similarity import available_similarities
+from ..xpath import parse_path
+from .model import CandidateSpec, SxnmConfig
+
+_DESC_PHIS = {"jaccard", "multiset_jaccard", "overlap", "dice"}
+
+
+def _validate_candidate(spec: CandidateSpec, problems: list[str]) -> None:
+    prefix = f"candidate {spec.name!r}"
+    if not spec.name:
+        problems.append("candidate with empty name")
+    try:
+        path = parse_path(spec.xpath)
+        if path.is_value_path:
+            problems.append(f"{prefix}: candidate xpath must select elements")
+    except PathSyntaxError as error:
+        problems.append(f"{prefix}: bad xpath: {error}")
+
+    seen_pids: set[int] = set()
+    for entry in spec.paths:
+        if entry.pid in seen_pids:
+            problems.append(f"{prefix}: duplicate path id {entry.pid}")
+        seen_pids.add(entry.pid)
+        try:
+            parse_path(entry.rel_path)
+        except PathSyntaxError as error:
+            problems.append(f"{prefix}: bad relative path {entry.rel_path!r}: {error}")
+
+    if not spec.ods:
+        problems.append(f"{prefix}: object description is empty")
+    total_relevance = 0.0
+    for od in spec.ods:
+        if od.pid not in seen_pids:
+            problems.append(f"{prefix}: OD references unknown path id {od.pid}")
+        if not 0.0 < od.relevance <= 1.0:
+            problems.append(
+                f"{prefix}: OD relevance {od.relevance} outside (0, 1]")
+        if od.phi not in available_similarities():
+            problems.append(f"{prefix}: unknown OD phi function {od.phi!r}")
+        total_relevance += od.relevance
+    if spec.ods and abs(total_relevance - 1.0) > 1e-6:
+        problems.append(
+            f"{prefix}: OD relevancies sum to {total_relevance:g}, expected 1")
+
+    if not spec.keys:
+        problems.append(f"{prefix}: no key defined (at least one pass needed)")
+    for key_index, entries in enumerate(spec.keys, start=1):
+        orders = [entry.order for entry in entries]
+        if len(set(orders)) != len(orders):
+            problems.append(f"{prefix}: key {key_index} has duplicate part orders")
+        for entry in entries:
+            if entry.pid not in seen_pids:
+                problems.append(
+                    f"{prefix}: key {key_index} references unknown path id {entry.pid}")
+            try:
+                parse_pattern(entry.pattern)
+            except PatternSyntaxError as error:
+                problems.append(
+                    f"{prefix}: key {key_index} bad pattern {entry.pattern!r}: {error}")
+
+    if spec.window_size is not None and spec.window_size < 2:
+        problems.append(f"{prefix}: window size must be >= 2")
+    for label, value in [("od_threshold", spec.od_threshold),
+                         ("desc_threshold", spec.desc_threshold),
+                         ("duplicate_threshold", spec.duplicate_threshold)]:
+        if value is not None and not 0.0 <= value <= 1.0:
+            problems.append(f"{prefix}: {label} {value} outside [0, 1]")
+    if spec.desc_phi not in _DESC_PHIS:
+        problems.append(
+            f"{prefix}: unknown descendant phi {spec.desc_phi!r} "
+            f"(expected one of {sorted(_DESC_PHIS)})")
+
+
+def validate_config(config: SxnmConfig) -> list[str]:
+    """Return a list of problems with ``config`` (empty list = valid)."""
+    problems: list[str] = []
+    if not config.candidates:
+        problems.append("configuration defines no candidates")
+    names = [spec.name for spec in config.candidates]
+    if len(set(names)) != len(names):
+        problems.append("candidate names are not unique")
+    if config.window_size < 2:
+        problems.append("global window size must be >= 2")
+    for label, value in [("od_threshold", config.od_threshold),
+                         ("desc_threshold", config.desc_threshold),
+                         ("duplicate_threshold", config.duplicate_threshold)]:
+        if not 0.0 <= value <= 1.0:
+            problems.append(f"global {label} {value} outside [0, 1]")
+    candidate_names = {spec.name for spec in config.candidates}
+    for spec in config.candidates:
+        _validate_candidate(spec, problems)
+        for name, weight in spec.desc_weights.items():
+            if weight < 0:
+                problems.append(
+                    f"candidate {spec.name!r}: negative descendant weight "
+                    f"for {name!r}")
+            if name not in candidate_names:
+                problems.append(
+                    f"candidate {spec.name!r}: descendant weight references "
+                    f"unknown candidate {name!r}")
+    return problems
+
+
+def ensure_valid(config: SxnmConfig) -> SxnmConfig:
+    """Raise :class:`ConfigError` listing all problems; return the config."""
+    problems = validate_config(config)
+    if problems:
+        raise ConfigError("invalid configuration:\n  - " + "\n  - ".join(problems))
+    return config

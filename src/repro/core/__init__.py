@@ -1,0 +1,83 @@
+"""SXNM — the Sorted XML Neighborhood Method (the paper's contribution)."""
+
+from .adaptive import AdaptiveSxnmDetector, adaptive_window_pass, key_similarity
+from .candidates import CandidateHierarchy, CandidateNode
+from .clusters import ClusterSet
+from .dedup import (deduplicate_document, first_representative,
+                    fuse_clusters, most_complete_representative,
+                    richest_text_representative)
+from .dogmatix import DogmatixDetector
+from .explain import (DescendantExplanation, OdTermExplanation,
+                      PairExplanation, explain_pair)
+from .detector import (CandidateOutcome, PhaseTimings, SxnmDetector,
+                       SxnmResult, detect_duplicates)
+from .calibrate import CalibrationResult, calibrate_thresholds
+from .gk import GkRow, GkTable
+from .incremental import IncrementalSxnm
+from .keyquality import (KeyStatistics, key_statistics, pair_separation,
+                         suggest_window_size)
+from .keygen import generate_gk, generate_gk_streaming
+from .storage import (clusters_from_document, clusters_to_document,
+                      gk_from_document, gk_to_document, load_clusters,
+                      load_gk, load_gk_text, save_clusters, save_gk)
+from .simmeasure import (PairVerdict, SimilarityMeasure, descendant_similarity,
+                         od_similarity)
+from .topdown import TopDownDetector
+from .theory import (DescendantsCondition, OdCondition,
+                     XmlEquationalTheory)
+from .window import de_window_pass, multipass, window_pass
+
+__all__ = [
+    "AdaptiveSxnmDetector",
+    "CandidateHierarchy",
+    "CandidateNode",
+    "CalibrationResult",
+    "CandidateOutcome",
+    "ClusterSet",
+    "GkRow",
+    "GkTable",
+    "IncrementalSxnm",
+    "KeyStatistics",
+    "OdTermExplanation",
+    "PairExplanation",
+    "PairVerdict",
+    "PhaseTimings",
+    "SimilarityMeasure",
+    "SxnmDetector",
+    "SxnmResult",
+    "DescendantsCondition",
+    "DescendantExplanation",
+    "DogmatixDetector",
+    "OdCondition",
+    "XmlEquationalTheory",
+    "TopDownDetector",
+    "adaptive_window_pass",
+    "de_window_pass",
+    "deduplicate_document",
+    "first_representative",
+    "most_complete_representative",
+    "richest_text_representative",
+    "descendant_similarity",
+    "explain_pair",
+    "detect_duplicates",
+    "fuse_clusters",
+    "generate_gk",
+    "gk_from_document",
+    "gk_to_document",
+    "load_clusters",
+    "load_gk",
+    "load_gk_text",
+    "generate_gk_streaming",
+    "calibrate_thresholds",
+    "clusters_from_document",
+    "clusters_to_document",
+    "key_similarity",
+    "key_statistics",
+    "multipass",
+    "pair_separation",
+    "save_clusters",
+    "save_gk",
+    "suggest_window_size",
+    "od_similarity",
+    "window_pass",
+]

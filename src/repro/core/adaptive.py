@@ -1,0 +1,114 @@
+"""Adaptive window sizing (paper Sec. 5 outlook, after Lehti & Fankhauser).
+
+Instead of a fixed window, the neighborhood of each record extends while
+consecutive sort keys stay *close*: similar keys suggest the records may
+be duplicates scattered by small errors, dissimilar keys mean the sorted
+order has moved on to a different object.  The key-distance measure is a
+normalized prefix-biased edit similarity; growth stops when it falls
+below ``key_similarity_floor`` or the window reaches ``max_window``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..config import SxnmConfig, ensure_valid
+from ..similarity import levenshtein_similarity
+from ..xmlmodel import XmlDocument, parse
+from .candidates import CandidateHierarchy
+from .clusters import ClusterSet
+from .detector import CandidateOutcome, SxnmResult
+from .gk import GkRow, GkTable
+from .keygen import generate_gk
+from .simmeasure import SimilarityMeasure
+
+
+def key_similarity(left: str, right: str) -> float:
+    """Similarity of two sort keys (edit similarity; empty keys match)."""
+    return levenshtein_similarity(left, right)
+
+
+def adaptive_window_pass(table: GkTable, key_index: int,
+                         compare: Callable[[GkRow, GkRow], object],
+                         pairs: set[tuple[int, int]],
+                         min_window: int = 2, max_window: int = 20,
+                         key_similarity_floor: float = 0.6) -> int:
+    """One adaptive pass; returns the comparison count.
+
+    Every record is compared to at least ``min_window - 1`` predecessors;
+    the neighborhood keeps extending backwards while the predecessor's
+    key is at least ``key_similarity_floor``-similar to the record's key,
+    up to ``max_window - 1`` predecessors.
+    """
+    if not 2 <= min_window <= max_window:
+        raise ValueError("need 2 <= min_window <= max_window")
+    ordered = table.sorted_by_key(key_index)
+    comparisons = 0
+    for index, row in enumerate(ordered):
+        reach = 1
+        while reach < max_window and index - reach >= 0:
+            if reach >= min_window - 1:
+                predecessor = ordered[index - reach]
+                if key_similarity(predecessor.keys[key_index],
+                                  row.keys[key_index]) < key_similarity_floor:
+                    break
+            reach += 1
+        for other_index in range(max(0, index - reach + 1), index):
+            other = ordered[other_index]
+            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+            if pair in pairs:
+                continue
+            comparisons += 1
+            if compare(other, row).is_duplicate:  # type: ignore[attr-defined]
+                pairs.add(pair)
+    return comparisons
+
+
+class AdaptiveSxnmDetector:
+    """SXNM with adaptive windows instead of a fixed size."""
+
+    def __init__(self, config: SxnmConfig, min_window: int = 2,
+                 max_window: int = 20, key_similarity_floor: float = 0.6):
+        self.config = ensure_valid(config)
+        self.hierarchy = CandidateHierarchy(config)
+        self.min_window = min_window
+        self.max_window = max_window
+        self.key_similarity_floor = key_similarity_floor
+
+    def run(self, source: str | XmlDocument) -> SxnmResult:
+        """Bottom-up detection with adaptive neighborhoods."""
+        start = time.perf_counter()
+        document = parse(source) if isinstance(source, str) else source
+        gk = generate_gk(document, self.config, self.hierarchy)
+        result = SxnmResult(gk=gk)
+        result.timings.key_generation = time.perf_counter() - start
+
+        cluster_sets: dict[str, ClusterSet] = {}
+        for node in self.hierarchy.order:
+            spec = node.spec
+            table = gk[spec.name]
+            measure = SimilarityMeasure(spec, self.config, cluster_sets)
+
+            window_start = time.perf_counter()
+            pairs: set[tuple[int, int]] = set()
+            comparisons = 0
+            for key_index in range(table.key_count):
+                comparisons += adaptive_window_pass(
+                    table, key_index, measure.compare, pairs,
+                    min_window=self.min_window, max_window=self.max_window,
+                    key_similarity_floor=self.key_similarity_floor)
+            window_seconds = time.perf_counter() - window_start
+
+            closure_start = time.perf_counter()
+            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids())
+            closure_seconds = time.perf_counter() - closure_start
+
+            cluster_sets[spec.name] = cluster_set
+            result.outcomes[spec.name] = CandidateOutcome(
+                name=spec.name, cluster_set=cluster_set, pairs=pairs,
+                comparisons=comparisons, window_seconds=window_seconds,
+                closure_seconds=closure_seconds)
+            result.timings.window += window_seconds
+            result.timings.closure += closure_seconds
+        return result

@@ -1,0 +1,89 @@
+"""Threshold calibration from a labelled sample.
+
+The paper: "the choice of the thresholds yet remains an open issue.  In
+[5] the authors propose a corresponding learning technique, which we plan
+to adapt" (Sec. 5).  We implement the practical version the paper itself
+used informally ("performing duplicate detection both manually and
+automatically on a small sample can help determine suitable parameter
+values"): given a small labelled document, grid-search the OD and
+descendants thresholds to maximize f-measure, then apply the calibrated
+configuration to the full data set.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..config import SxnmConfig
+from ..eval import evaluate_pairs
+from ..xmlmodel import XmlDocument
+from .detector import SxnmDetector
+
+DEFAULT_OD_GRID = [0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9]
+DEFAULT_DESC_GRID = [0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Best thresholds found on the sample and their sample f-measure."""
+
+    candidate_name: str
+    od_threshold: float
+    desc_threshold: float
+    f_measure: float
+
+    def apply_to(self, config: SxnmConfig) -> SxnmConfig:
+        """Return a copy of ``config`` with the calibrated thresholds set."""
+        calibrated = copy.deepcopy(config)
+        spec = calibrated.candidate(self.candidate_name)
+        spec.od_threshold = self.od_threshold
+        spec.desc_threshold = self.desc_threshold
+        return calibrated
+
+
+def calibrate_thresholds(sample: XmlDocument, config: SxnmConfig,
+                         candidate_name: str,
+                         gold_pairs: set[tuple[int, int]],
+                         od_grid: list[float] | None = None,
+                         desc_grid: list[float] | None = None,
+                         window: int | None = None) -> CalibrationResult:
+    """Grid-search thresholds for ``candidate_name`` on a labelled sample.
+
+    ``gold_pairs`` are the true duplicate eid pairs within ``sample``
+    (e.g. from :func:`repro.eval.gold_pairs`, or a manual labelling).
+    Key generation and OD similarities are shared across the whole grid,
+    so calibration costs little more than one detection run.
+    """
+    if od_grid is not None and not od_grid:
+        raise ValueError("od_grid must not be empty")
+    if desc_grid is not None and not desc_grid:
+        raise ValueError("desc_grid must not be empty")
+    od_grid = od_grid if od_grid is not None else DEFAULT_OD_GRID
+    desc_grid = desc_grid if desc_grid is not None else DEFAULT_DESC_GRID
+    base_config = copy.deepcopy(config)
+    spec = base_config.candidate(candidate_name)
+    uses_descendants = spec.use_descendants
+    desc_values = desc_grid if uses_descendants else [spec.desc_threshold
+                                                      or 0.0]
+
+    gk = None
+    od_cache: dict = {}
+    best: CalibrationResult | None = None
+    for od_threshold in od_grid:
+        for desc_threshold in desc_values:
+            trial_config = copy.deepcopy(base_config)
+            trial_spec = trial_config.candidate(candidate_name)
+            trial_spec.od_threshold = od_threshold
+            trial_spec.desc_threshold = desc_threshold
+            detector = SxnmDetector(trial_config)
+            result = detector.run(sample, window=window, gk=gk,
+                                  od_cache=od_cache)
+            gk = result.gk
+            metrics = evaluate_pairs(result.pairs(candidate_name), gold_pairs)
+            trial = CalibrationResult(candidate_name, od_threshold,
+                                      desc_threshold, metrics.f_measure)
+            if best is None or trial.f_measure > best.f_measure:
+                best = trial
+    assert best is not None  # grids are non-empty
+    return best

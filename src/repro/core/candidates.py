@@ -1,0 +1,110 @@
+"""Candidate hierarchy and bottom-up processing order (paper Sec. 3.4).
+
+Candidates are configured with absolute paths.  Because candidate *B* is
+a descendant of candidate *A* exactly when ``B.xpath`` extends
+``A.xpath``, the candidate specs form a forest — the "extracted subtrees
+consisting of candidates" of Fig. 3(b).  Duplicate detection must process
+a candidate only after all of its descendant candidates, so the order is
+deepest-first (largest distance δ to the extracted root first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CandidateSpec, SxnmConfig
+from ..errors import ConfigError
+from ..xpath import parse_path
+
+
+def _steps_of(xpath: str) -> tuple[str, ...]:
+    """Normalized step names of an absolute candidate path."""
+    path = parse_path(xpath)
+    return tuple(str(step) for step in path.steps)
+
+
+def _is_prefix(shorter: tuple[str, ...], longer: tuple[str, ...]) -> bool:
+    return len(shorter) < len(longer) and longer[:len(shorter)] == shorter
+
+
+@dataclass
+class CandidateNode:
+    """A candidate spec plus its place in the candidate forest."""
+
+    spec: CandidateSpec
+    parent: CandidateNode | None = None
+    children: list[CandidateNode] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def depth(self) -> int:
+        """Distance δ from the extracted-forest root (root = 0)."""
+        node, distance = self, 0
+        while node.parent is not None:
+            node = node.parent
+            distance += 1
+        return distance
+
+    def descendant_names(self) -> list[str]:
+        """Names of *direct* child candidates (the t_1..t_n of Def. 3)."""
+        return [child.name for child in self.children]
+
+
+class CandidateHierarchy:
+    """The candidate forest plus the bottom-up processing order."""
+
+    def __init__(self, config: SxnmConfig):
+        self.config = config
+        self.nodes: dict[str, CandidateNode] = {
+            spec.name: CandidateNode(spec) for spec in config.candidates}
+        self._link(config)
+        self.order = self._bottom_up_order()
+
+    def _link(self, config: SxnmConfig) -> None:
+        steps = {spec.name: _steps_of(spec.xpath) for spec in config.candidates}
+        for name, node in self.nodes.items():
+            # Attach to the *nearest* strict-prefix ancestor candidate.
+            best: str | None = None
+            for other_name, other_steps in steps.items():
+                if other_name == name:
+                    continue
+                if steps[name] == other_steps:
+                    raise ConfigError(
+                        f"candidates {name!r} and {other_name!r} share the "
+                        f"same xpath {node.spec.xpath!r}")
+                if _is_prefix(other_steps, steps[name]):
+                    if best is None or len(steps[other_name]) > len(steps[best]):
+                        best = other_name
+            if best is not None:
+                parent = self.nodes[best]
+                node.parent = parent
+                parent.children.append(node)
+
+    def _bottom_up_order(self) -> list[CandidateNode]:
+        """Deepest candidates first; ties keep configuration order."""
+        ordered = sorted(self.nodes.values(),
+                         key=lambda node: -node.depth)
+        return ordered
+
+    def node(self, name: str) -> CandidateNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigError(f"unknown candidate {name!r}") from None
+
+    def roots(self) -> list[CandidateNode]:
+        """Top-level candidates (no candidate ancestor)."""
+        return [node for node in self.nodes.values() if node.parent is None]
+
+    def relative_path_to(self, ancestor: CandidateNode,
+                         descendant: CandidateNode) -> str:
+        """Relative path from an ancestor candidate to a descendant one."""
+        ancestor_steps = _steps_of(ancestor.spec.xpath)
+        descendant_steps = _steps_of(descendant.spec.xpath)
+        if not _is_prefix(ancestor_steps, descendant_steps):
+            raise ConfigError(
+                f"{descendant.name!r} is not nested under {ancestor.name!r}")
+        return "/".join(descendant_steps[len(ancestor_steps):])

@@ -1,0 +1,136 @@
+"""Building a deduplicated document from cluster sets.
+
+The paper leaves post-processing to the application and sketches the
+typical approach: "selects a *prime representative* for each cluster and
+discards the others".  :func:`deduplicate_document` implements that, and
+:func:`fuse_clusters` implements a simple conflict-resolving fusion
+(keep the longest value per OD path across cluster members) as the "more
+sophisticated" alternative the paper mentions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..config import SxnmConfig
+from ..xmlmodel import XmlDocument, XmlElement
+from ..xpath import first_value
+from .detector import SxnmResult
+
+RepresentativePicker = Callable[[list[XmlElement]], XmlElement]
+
+
+def first_representative(members: list[XmlElement]) -> XmlElement:
+    """Keep the member that appears first in document order (default)."""
+    return min(members, key=lambda element: element.eid or 0)
+
+
+def richest_text_representative(members: list[XmlElement]) -> XmlElement:
+    """Keep the member with the most text content (ties → document order).
+
+    Dirty duplicates tend to *lose* characters (deletions, truncations),
+    so the longest representation is usually the least damaged one.
+    """
+    return max(members,
+               key=lambda element: (len(element.text_content()),
+                                    -(element.eid or 0)))
+
+
+def most_complete_representative(members: list[XmlElement]) -> XmlElement:
+    """Keep the member with the most descendant elements (ties → order).
+
+    Favors representations with optional fields present (year, genre, …).
+    """
+    return max(members,
+               key=lambda element: (sum(1 for _ in element.iter()),
+                                    -(element.eid or 0)))
+
+
+_PICKERS: dict[str, RepresentativePicker] = {
+    "first": first_representative,
+    "richest_text": richest_text_representative,
+    "most_complete": most_complete_representative,
+}
+
+
+def _prime_eids(document: XmlDocument, result: SxnmResult,
+                picker: RepresentativePicker) -> tuple[set[int], set[int]]:
+    """(keep, drop) element ids under a representative-selection strategy."""
+    elements = document.elements_by_eid()
+    keep: set[int] = set()
+    drop: set[int] = set()
+    for outcome in result.outcomes.values():
+        for cluster in outcome.cluster_set:
+            members = [elements[eid] for eid in cluster]
+            chosen = picker(members)
+            keep.add(chosen.eid)  # type: ignore[arg-type]
+            drop.update(eid for eid in cluster if eid != chosen.eid)
+    return keep, drop
+
+
+def deduplicate_document(document: XmlDocument, result: SxnmResult,
+                         representative: str | RepresentativePicker = "first",
+                         ) -> XmlDocument:
+    """Copy ``document`` keeping only prime representatives.
+
+    For every candidate cluster with more than one member, all members
+    except the selected representative are removed.  ``representative``
+    is a strategy name (``"first"``, ``"richest_text"``,
+    ``"most_complete"``) or a custom picker callable.  Removing an
+    ancestor removes its whole subtree, so nested duplicates vanish with
+    their parents.  The input document is not modified.
+    """
+    if callable(representative):
+        picker = representative
+    else:
+        try:
+            picker = _PICKERS[representative]
+        except KeyError:
+            raise ValueError(
+                f"unknown representative strategy {representative!r}; "
+                f"known: {sorted(_PICKERS)}") from None
+    _, drop = _prime_eids(document, result, picker)
+    clone = document.copy()  # copies preserve eids
+
+    def prune(element: XmlElement) -> None:
+        for child in list(element.children):
+            if child.eid in drop:
+                element.remove(child)
+            else:
+                prune(child)
+
+    if clone.root.eid in drop:
+        raise ValueError("the document root cannot be a dropped duplicate")
+    prune(clone.root)
+    return clone
+
+
+def fuse_clusters(document: XmlDocument, result: SxnmResult,
+                  config: SxnmConfig) -> dict[str, list[dict[str, str]]]:
+    """Resolve conflicts per cluster: longest value per OD path wins.
+
+    Returns, per candidate, one fused record (OD path → value) per
+    cluster.  This is deliberately simple data fusion — enough to show
+    the hook where "more sophisticated approaches" plug in.
+    """
+    elements = document.elements_by_eid()
+    fused: dict[str, list[dict[str, str]]] = {}
+    for spec in config.candidates:
+        outcome = result.outcomes.get(spec.name)
+        if outcome is None:
+            continue
+        records: list[dict[str, str]] = []
+        od_paths = [path for path, _, _ in spec.od_items()]
+        for cluster in outcome.cluster_set:
+            record: dict[str, str] = {}
+            for path in od_paths:
+                values = []
+                for eid in cluster:
+                    value = first_value(elements[eid], path)
+                    if value is not None:
+                        values.append(value)
+                if values:
+                    record[str(path)] = max(values, key=len)
+            records.append(record)
+        fused[spec.name] = records
+    return fused

@@ -1,0 +1,235 @@
+"""The SXNM orchestrator: both phases end to end.
+
+:class:`SxnmDetector` wires together the candidate hierarchy, key
+generation, the sliding-window multi-pass, the similarity measure, and
+transitive closure into the bottom-up workflow of Fig. 1.  Phase timings
+(KG, SW, TC — with DD = SW + TC) match the paper's scalability
+experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..config import SxnmConfig, ensure_valid
+from ..errors import DetectionError
+from ..xmlmodel import XmlDocument, parse
+from .candidates import CandidateHierarchy
+from .clusters import ClusterSet
+from .gk import GkTable
+from .keygen import generate_gk, generate_gk_streaming
+from .simmeasure import Decision, PairVerdict, SimilarityMeasure
+from .theory import XmlEquationalTheory
+from .window import multipass
+
+KeySelection = int | list[int] | None
+
+
+@dataclass
+class PhaseTimings:
+    """Seconds spent per phase (paper Fig. 5 nomenclature)."""
+
+    key_generation: float = 0.0
+    window: float = 0.0
+    closure: float = 0.0
+
+    @property
+    def duplicate_detection(self) -> float:
+        """DD = SW + TC."""
+        return self.window + self.closure
+
+    @property
+    def total(self) -> float:
+        return self.key_generation + self.duplicate_detection
+
+
+@dataclass
+class CandidateOutcome:
+    """Per-candidate detection outcome."""
+
+    name: str
+    cluster_set: ClusterSet
+    pairs: set[tuple[int, int]]
+    comparisons: int
+    window_seconds: float
+    closure_seconds: float
+    filtered_comparisons: int = 0
+
+
+@dataclass
+class SxnmResult:
+    """Everything a run produced: GK tables, cluster sets, timings."""
+
+    gk: dict[str, GkTable]
+    outcomes: dict[str, CandidateOutcome] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    def cluster_set(self, candidate_name: str) -> ClusterSet:
+        """The CS table for ``candidate_name``."""
+        try:
+            return self.outcomes[candidate_name].cluster_set
+        except KeyError:
+            raise DetectionError(
+                f"no result for candidate {candidate_name!r}") from None
+
+    def pairs(self, candidate_name: str) -> set[tuple[int, int]]:
+        """Confirmed duplicate eid pairs for ``candidate_name``."""
+        return set(self.outcomes[candidate_name].pairs)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(outcome.comparisons for outcome in self.outcomes.values())
+
+
+def _select_key_indices(table: GkTable, selection: KeySelection) -> list[int]:
+    """Resolve a key selection against the keys a candidate actually has."""
+    available = list(range(table.key_count))
+    if selection is None:
+        return available
+    if isinstance(selection, int):
+        wanted = [selection]
+    else:
+        wanted = list(selection)
+    chosen = [index for index in wanted if 0 <= index < table.key_count]
+    # A candidate with fewer keys than the experiment's selected pass
+    # still needs deduplication: fall back to all of its keys.
+    return chosen or available
+
+
+class SxnmDetector:
+    """Configured SXNM runner.
+
+    Parameters
+    ----------
+    config:
+        A valid :class:`~repro.config.SxnmConfig` (validated eagerly).
+    decision:
+        ``"gates"`` (independent OD/descendants thresholds, default) or
+        ``"combined"`` (single threshold over the averaged similarity).
+    streaming_keygen:
+        Use the single-pass streaming key generator (plain candidate
+        paths only).  Output is identical to the DOM generator.
+    closure_method:
+        Transitive-closure algorithm: ``"union_find"`` (default) or
+        ``"quadratic"`` (the 2006-era repeated-merge algorithm whose cost
+        grows with the number of duplicate pairs — used to reproduce the
+        paper's Fig. 5 TC behaviour).
+    use_filters:
+        Apply the length/bag comparison filters before computing edit
+        distances (Sec. 5 outlook).  Identical results under the
+        "gates" decision, usually fewer expensive comparisons.
+    theories:
+        Optional per-candidate :class:`XmlEquationalTheory` — domain
+        rules replacing the threshold decision for those candidates
+        (Sec. 5 outlook).  Candidates not listed keep the similarity
+        thresholds.
+    duplicate_elimination:
+        Use DE-SNM-style passes (Sec. 5 outlook): equal-key groups are
+        confirmed against one anchor and only representatives enter the
+        window — fewer comparisons on heavily duplicated data.
+    """
+
+    def __init__(self, config: SxnmConfig, decision: Decision = "gates",
+                 streaming_keygen: bool = False,
+                 closure_method: str = "union_find",
+                 use_filters: bool = False,
+                 theories: dict[str, XmlEquationalTheory] | None = None,
+                 duplicate_elimination: bool = False):
+        self.config = ensure_valid(config)
+        self.hierarchy = CandidateHierarchy(config)
+        self.decision: Decision = decision
+        self.streaming_keygen = streaming_keygen
+        self.closure_method = closure_method
+        self.use_filters = use_filters
+        self.theories = dict(theories or {})
+        self.duplicate_elimination = duplicate_elimination
+
+    def run(self, source: str | XmlDocument, window: int | None = None,
+            key_selection: KeySelection = None,
+            gk: dict[str, GkTable] | None = None,
+            od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
+            ) -> SxnmResult:
+        """Detect duplicates in ``source`` (XML text or parsed document).
+
+        Parameters
+        ----------
+        window:
+            Override the configured window sizes for every candidate
+            (the experiments sweep this).
+        key_selection:
+            ``None`` → multi-pass with all keys; an int or list of ints
+            → only those key indices (single-pass experiments).  A
+            candidate lacking a selected key falls back to its own keys.
+        gk:
+            Precomputed GK tables for exactly this ``source`` (as
+            returned in a previous result's ``gk``).  Skips the key
+            generation phase — parameter sweeps over the same document
+            use this to avoid redundant extraction.
+        od_cache:
+            Mutable per-candidate cache of OD similarities, keyed by eid
+            pair.  Safe to share across runs with the same ``gk`` and the
+            same candidate OD definitions (thresholds and windows may
+            differ); sweeps pass one dict to avoid recomputing edit
+            distances.
+        """
+        start = time.perf_counter()
+        if gk is None:
+            if isinstance(source, str) and self.streaming_keygen:
+                gk = generate_gk_streaming(source, self.config, self.hierarchy)
+            else:
+                document = parse(source) if isinstance(source, str) else source
+                gk = generate_gk(document, self.config, self.hierarchy)
+        result = SxnmResult(gk=gk)
+        result.timings.key_generation = time.perf_counter() - start
+
+        cluster_sets: dict[str, ClusterSet] = {}
+        for node in self.hierarchy.order:
+            spec = node.spec
+            table = gk[spec.name]
+            candidate_cache = None
+            if od_cache is not None:
+                candidate_cache = od_cache.setdefault(spec.name, {})
+            measure = SimilarityMeasure(spec, self.config, cluster_sets,
+                                        decision=self.decision,
+                                        od_cache=candidate_cache,
+                                        use_filters=self.use_filters)
+            theory = self.theories.get(spec.name)
+            if theory is None:
+                compare = measure.compare
+            else:
+                def compare(left, right, _spec=spec, _theory=theory,
+                            _sets=cluster_sets):
+                    is_duplicate = _theory.decide(left, right, _spec, _sets)
+                    return PairVerdict(0.0, None, 0.0, is_duplicate)
+            effective_window = (window if window is not None
+                                else self.config.effective_window(spec))
+
+            window_start = time.perf_counter()
+            pairs, comparisons = multipass(
+                table, effective_window, compare,
+                key_indices=_select_key_indices(table, key_selection),
+                duplicate_elimination=self.duplicate_elimination)
+            window_seconds = time.perf_counter() - window_start
+
+            closure_start = time.perf_counter()
+            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids(),
+                                                method=self.closure_method)
+            closure_seconds = time.perf_counter() - closure_start
+
+            cluster_sets[spec.name] = cluster_set
+            result.outcomes[spec.name] = CandidateOutcome(
+                name=spec.name, cluster_set=cluster_set, pairs=pairs,
+                comparisons=comparisons, window_seconds=window_seconds,
+                closure_seconds=closure_seconds,
+                filtered_comparisons=measure.filtered_comparisons)
+            result.timings.window += window_seconds
+            result.timings.closure += closure_seconds
+        return result
+
+
+def detect_duplicates(source: str | XmlDocument, config: SxnmConfig,
+                      window: int | None = None,
+                      decision: Decision = "gates") -> SxnmResult:
+    """One-call convenience: build a detector and run it."""
+    return SxnmDetector(config, decision=decision).run(source, window=window)

@@ -1,0 +1,156 @@
+"""Explain why a pair of elements was (not) classified as duplicates.
+
+Threshold tuning needs visibility: *which* OD term dragged the score
+down, *which* descendant type disagreed.  :func:`explain_pair` replays
+the similarity measure for one eid pair and returns a structured,
+printable breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SxnmConfig
+from ..errors import DetectionError
+from ..similarity import get_similarity
+from .clusters import ClusterSet
+from .detector import SxnmResult
+from .simmeasure import SimilarityMeasure, descendant_similarity
+
+
+@dataclass(frozen=True)
+class OdTermExplanation:
+    """One OD term of Def. 2."""
+
+    rel_path: str
+    relevance: float
+    phi: str
+    left_value: str | None
+    right_value: str | None
+    similarity: float | None  # None when skipped (both values missing)
+
+    @property
+    def contribution(self) -> float:
+        return 0.0 if self.similarity is None \
+            else self.relevance * self.similarity
+
+
+@dataclass(frozen=True)
+class DescendantExplanation:
+    """One descendant type of Def. 3."""
+
+    candidate: str
+    left_clusters: list[int]
+    right_clusters: list[int]
+    similarity: float
+    weight: float
+
+
+@dataclass
+class PairExplanation:
+    """Full breakdown of one comparison."""
+
+    left_eid: int
+    right_eid: int
+    od_terms: list[OdTermExplanation] = field(default_factory=list)
+    od_similarity: float = 0.0
+    od_threshold: float = 0.0
+    descendant_terms: list[DescendantExplanation] = field(default_factory=list)
+    descendant_similarity: float | None = None
+    desc_threshold: float = 0.0
+    is_duplicate: bool = False
+
+    def render(self) -> str:
+        """Human-readable multi-line explanation."""
+        lines = [f"pair ({self.left_eid}, {self.right_eid}) -> "
+                 f"{'DUPLICATE' if self.is_duplicate else 'not a duplicate'}"]
+        lines.append(f"  OD similarity {self.od_similarity:.4f} "
+                     f"(threshold {self.od_threshold})")
+        for term in self.od_terms:
+            if term.similarity is None:
+                detail = "both missing -> term skipped"
+            else:
+                detail = (f"{term.phi}({term.left_value!r}, "
+                          f"{term.right_value!r}) = {term.similarity:.4f}")
+            lines.append(f"    {term.rel_path} (r={term.relevance}): {detail}")
+        if self.descendant_similarity is None:
+            lines.append("  descendants: no evidence")
+        else:
+            lines.append(f"  descendant similarity "
+                         f"{self.descendant_similarity:.4f} "
+                         f"(threshold {self.desc_threshold})")
+            for term in self.descendant_terms:
+                lines.append(
+                    f"    {term.candidate} (w={term.weight}): clusters "
+                    f"{term.left_clusters} vs {term.right_clusters} "
+                    f"-> {term.similarity:.4f}")
+        return "\n".join(lines)
+
+
+def explain_pair(result: SxnmResult, config: SxnmConfig,
+                 candidate_name: str, left_eid: int,
+                 right_eid: int) -> PairExplanation:
+    """Break down the comparison of two instances of ``candidate_name``.
+
+    Uses the GK tables and cluster sets stored in ``result``, so the
+    explanation reflects exactly what the detection run saw.
+    """
+    spec = config.candidate(candidate_name)
+    table = result.gk.get(candidate_name)
+    if table is None:
+        raise DetectionError(f"result has no GK table for {candidate_name!r}")
+    left = table.row(left_eid)
+    right = table.row(right_eid)
+
+    cluster_sets: dict[str, ClusterSet] = {
+        name: outcome.cluster_set for name, outcome in result.outcomes.items()}
+    measure = SimilarityMeasure(spec, config, cluster_sets)
+    verdict = measure.compare(left, right)
+
+    explanation = PairExplanation(
+        left_eid=left_eid, right_eid=right_eid,
+        od_similarity=verdict.od, od_threshold=measure.od_threshold,
+        descendant_similarity=verdict.descendants,
+        desc_threshold=measure.desc_threshold,
+        is_duplicate=verdict.is_duplicate)
+
+    for index, (path, relevance, phi_name) in enumerate(spec.od_items()):
+        left_value = left.ods[index]
+        right_value = right.ods[index]
+        if left_value is None and right_value is None:
+            similarity: float | None = None
+        elif left_value is None or right_value is None:
+            similarity = 0.0
+        else:
+            similarity = get_similarity(phi_name)(left_value, right_value)
+        explanation.od_terms.append(OdTermExplanation(
+            str(path), relevance, phi_name, left_value, right_value,
+            similarity))
+
+    if spec.use_descendants:
+        for name in sorted(set(left.children) | set(right.children)):
+            cluster_set = cluster_sets.get(name)
+            if cluster_set is None:
+                continue
+            left_ids = sorted({cluster_set.cid(eid)
+                               for eid in left.children.get(name, [])})
+            right_ids = sorted({cluster_set.cid(eid)
+                                for eid in right.children.get(name, [])})
+            if not left_ids and not right_ids:
+                continue
+            single = descendant_similarity(
+                _only_type(left, name), _only_type(right, name),
+                cluster_sets, spec.desc_phi)
+            explanation.descendant_terms.append(DescendantExplanation(
+                name, left_ids, right_ids, single if single is not None
+                else 0.0, spec.desc_weights.get(name, 1.0)))
+    return explanation
+
+
+def _only_type(row, name):
+    """A shallow row view exposing only one descendant type."""
+    from .gk import GkRow
+    view = GkRow(row.eid, list(row.keys), list(row.ods))
+    if name in row.children:
+        view.children = {name: list(row.children[name])}
+    return view

@@ -1,0 +1,137 @@
+"""Key-quality diagnostics and window-size suggestion.
+
+The paper closes with two open knobs: "the choice of good keys is of
+course very decisive" and "we plan to examine how sampling techniques can
+help determine an appropriate window size for each data set" (Sec. 5).
+This module provides both:
+
+* :func:`key_statistics` — distribution diagnostics of one generated key
+  over a GK table (distinct ratio, empty ratio, largest tie block,
+  prefix entropy), the quantities that explain why the paper's year- and
+  genre-first keys sort poorly.
+* :func:`pair_separation` — how far apart known duplicate pairs land in
+  the sorted order (the quantity a window must cover).
+* :func:`suggest_window_size` — sampling-based window suggestion: find
+  likely duplicate pairs in a sample with a high-precision similarity
+  check, measure their separations under each key, and return the window
+  covering a target quantile of them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from .gk import GkRow, GkTable
+
+
+@dataclass(frozen=True)
+class KeyStatistics:
+    """Distribution diagnostics of one key over a GK table."""
+
+    key_index: int
+    rows: int
+    distinct: int
+    empty: int
+    largest_block: int
+    prefix_entropy: float
+
+    @property
+    def distinct_ratio(self) -> float:
+        """1.0 = every key unique (ideal sort); low = heavy ties."""
+        return self.distinct / self.rows if self.rows else 1.0
+
+    @property
+    def empty_ratio(self) -> float:
+        """Fraction of rows whose key is empty (missing source data)."""
+        return self.empty / self.rows if self.rows else 0.0
+
+
+def key_statistics(table: GkTable, key_index: int,
+                   prefix_length: int = 3) -> KeyStatistics:
+    """Compute :class:`KeyStatistics` for ``key_index`` of ``table``."""
+    counts: dict[str, int] = {}
+    prefix_counts: dict[str, int] = {}
+    empty = 0
+    for row in table:
+        key = row.keys[key_index]
+        if not key:
+            empty += 1
+        counts[key] = counts.get(key, 0) + 1
+        prefix_counts[key[:prefix_length]] = \
+            prefix_counts.get(key[:prefix_length], 0) + 1
+    rows = len(table)
+    entropy = 0.0
+    for count in prefix_counts.values():
+        probability = count / rows if rows else 0.0
+        if probability > 0:
+            entropy -= probability * math.log2(probability)
+    return KeyStatistics(
+        key_index=key_index, rows=rows, distinct=len(counts), empty=empty,
+        largest_block=max(counts.values(), default=0),
+        prefix_entropy=entropy)
+
+
+def pair_separation(table: GkTable, key_index: int,
+                    pairs: Iterable[tuple[int, int]]) -> list[int]:
+    """Sorted-order distance of each eid pair under ``key_index``.
+
+    A pair with separation *d* needs a window of at least ``d + 1`` to be
+    compared in that pass.
+    """
+    position = {row.eid: index
+                for index, row in enumerate(table.sorted_by_key(key_index))}
+    separations = []
+    for left, right in pairs:
+        if left in position and right in position:
+            separations.append(abs(position[left] - position[right]))
+    return sorted(separations)
+
+
+def suggest_window_size(table: GkTable,
+                        likely_duplicate: Callable[[GkRow, GkRow], bool],
+                        sample_size: int = 200, coverage: float = 0.9,
+                        max_window: int = 50, seed: int = 0) -> int:
+    """Sampling-based window suggestion (the paper's Sec. 5 plan).
+
+    Draws ``sample_size`` rows, finds likely duplicate pairs among them
+    with the caller's high-precision predicate (all pairs within the
+    sample — affordable because the sample is small), measures their
+    separations under *every* key, and returns the smallest window that
+    covers ``coverage`` of the pairs under their best key, clamped to
+    ``[2, max_window]``.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must lie in (0, 1]")
+    if sample_size < 2:
+        raise ValueError("sample_size must be >= 2")
+    rows = list(table)
+    if len(rows) > sample_size:
+        rng = random.Random(seed)
+        rows = rng.sample(rows, sample_size)
+
+    pairs: list[tuple[int, int]] = []
+    for i, left in enumerate(rows):
+        for right in rows[i + 1:]:
+            if likely_duplicate(left, right):
+                pairs.append((left.eid, right.eid))
+    if not pairs:
+        return 2  # nothing to cover: the smallest window suffices
+
+    # Under multi-pass, a pair is found if ANY key places it within the
+    # window: use the per-pair minimum separation across keys.
+    best: dict[tuple[int, int], int] = {}
+    for key_index in range(table.key_count):
+        position = {row.eid: index for index, row in
+                    enumerate(table.sorted_by_key(key_index))}
+        for pair in pairs:
+            separation = abs(position[pair[0]] - position[pair[1]])
+            if pair not in best or separation < best[pair]:
+                best[pair] = separation
+    separations = sorted(best.values())
+    index = min(len(separations) - 1,
+                max(0, math.ceil(coverage * len(separations)) - 1))
+    needed = separations[index] + 1
+    return max(2, min(needed, max_window))

@@ -1,0 +1,211 @@
+"""The SXNM similarity measure (paper Defs. 2 and 3).
+
+Three layers:
+
+* :func:`od_similarity` — weighted sum of per-path φ similarities over
+  the object descriptions (Def. 2).
+* :func:`descendant_similarity` — per descendant type, a set similarity
+  over the *cluster ids* of the two elements' descendant instances
+  (Def. 3); the paper's φ_desc is the intersection/union ratio
+  (Jaccard), and agg() is the average over descendant types.
+* :class:`SimilarityMeasure` — binds a candidate's configuration and the
+  already-computed descendant cluster sets, and classifies pairs.
+
+Missing data: when *both* elements lack an OD value the term is skipped
+and the remaining relevancies are renormalized; when exactly one side is
+missing the term contributes 0.  This mirrors the paper's Data set 3
+observation that comparisons fall back to the "readable" attributes when
+text is missing.
+
+Classification: the paper varies an *OD threshold* and a *descendants
+threshold* independently (experiment set 3), i.e. both gates must pass
+where descendants are configured.  The alternative single-threshold rule
+over the combined similarity (the average of OD and descendant
+similarity, as in Sec. 3.4's "our current implementation calculates the
+average") is available as ``decision="combined"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..config import CandidateSpec, SxnmConfig
+from ..errors import DetectionError
+from ..similarity import (dice_coefficient, get_similarity, jaccard,
+                          multiset_jaccard, overlap_coefficient)
+from ..similarity.filters import bag_filter_bound, length_filter_bound
+from .clusters import ClusterSet
+from .gk import GkRow
+
+_EDIT_LIKE_PHIS = {"edit", "levenshtein", "damerau"}
+
+_DESC_PHI_FUNCTIONS = {
+    "jaccard": jaccard,
+    "multiset_jaccard": multiset_jaccard,
+    "overlap": overlap_coefficient,
+    "dice": dice_coefficient,
+}
+
+Decision = Literal["gates", "combined"]
+
+
+def od_similarity(left: GkRow, right: GkRow, spec: CandidateSpec) -> float:
+    """Def. 2: weighted φ similarity of two object descriptions."""
+    weighted = 0.0
+    total_relevance = 0.0
+    for index, (_, relevance, phi_name) in enumerate(spec.od_items()):
+        left_value = left.ods[index]
+        right_value = right.ods[index]
+        if left_value is None and right_value is None:
+            continue  # both missing: term skipped, weights renormalized
+        total_relevance += relevance
+        if left_value is None or right_value is None:
+            continue  # one side missing: contributes 0
+        phi = get_similarity(phi_name)
+        weighted += relevance * phi(left_value, right_value)
+    if total_relevance == 0.0:
+        return 0.0
+    return weighted / total_relevance
+
+
+def od_similarity_upper_bound(left: GkRow, right: GkRow,
+                              spec: CandidateSpec) -> float:
+    """A cheap upper bound of :func:`od_similarity`.
+
+    Edit-distance terms are bounded by the length and bag filters (see
+    :mod:`repro.similarity.filters`); other φ functions are bounded by
+    1.0.  If this bound already falls below the OD threshold, the full
+    (quadratic) edit distances never need to run — the paper's outlook
+    asks exactly how such filters interact with the windowing filter.
+    """
+    weighted = 0.0
+    total_relevance = 0.0
+    for index, (_, relevance, phi_name) in enumerate(spec.od_items()):
+        left_value = left.ods[index]
+        right_value = right.ods[index]
+        if left_value is None and right_value is None:
+            continue
+        total_relevance += relevance
+        if left_value is None or right_value is None:
+            continue
+        if phi_name in _EDIT_LIKE_PHIS:
+            bound = min(length_filter_bound(left_value, right_value),
+                        bag_filter_bound(left_value, right_value))
+        else:
+            bound = 1.0
+        weighted += relevance * bound
+    if total_relevance == 0.0:
+        return 0.0
+    return weighted / total_relevance
+
+
+def descendant_similarity(left: GkRow, right: GkRow,
+                          cluster_sets: dict[str, ClusterSet],
+                          desc_phi: str = "jaccard",
+                          weights: dict[str, float] | None = None,
+                          ) -> float | None:
+    """Def. 3: agg() over per-descendant-type cluster-id similarities.
+
+    Returns ``None`` when neither element has any descendant instances of
+    any processed type (no descendant evidence either way).  Descendant
+    types are the union of types present on either side; a type entirely
+    absent from both sides is skipped.
+
+    ``weights`` realizes the paper's announced agg() extension: each
+    descendant type contributes with its weight (default 1.0 — the plain
+    average agg() of the paper's current implementation).
+    """
+    try:
+        phi_desc = _DESC_PHI_FUNCTIONS[desc_phi]
+    except KeyError:
+        raise DetectionError(f"unknown descendant phi {desc_phi!r}") from None
+    weights = weights or {}
+
+    type_names = sorted(set(left.children) | set(right.children))
+    weighted_sum = 0.0
+    weight_total = 0.0
+    for name in type_names:
+        if name not in cluster_sets:
+            raise DetectionError(
+                f"descendant candidate {name!r} has no cluster set yet; "
+                f"bottom-up order violated")
+        cluster_set = cluster_sets[name]
+        left_ids = [cluster_set.cid(eid) for eid in left.children.get(name, [])]
+        right_ids = [cluster_set.cid(eid) for eid in right.children.get(name, [])]
+        if not left_ids and not right_ids:
+            continue
+        weight = weights.get(name, 1.0)
+        if weight < 0:
+            raise DetectionError(f"negative descendant weight for {name!r}")
+        weighted_sum += weight * phi_desc(left_ids, right_ids)
+        weight_total += weight
+    if weight_total == 0.0:
+        return None
+    return weighted_sum / weight_total  # agg() = (weighted) average
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """Outcome of comparing two candidate instances."""
+
+    od: float
+    descendants: float | None
+    combined: float
+    is_duplicate: bool
+
+
+class SimilarityMeasure:
+    """Configured similarity + classification for one candidate."""
+
+    def __init__(self, spec: CandidateSpec, config: SxnmConfig,
+                 cluster_sets: dict[str, ClusterSet],
+                 decision: Decision = "gates",
+                 od_cache: dict[tuple[int, int], float] | None = None,
+                 use_filters: bool = False):
+        if decision not in ("gates", "combined"):
+            raise DetectionError(f"unknown decision rule {decision!r}")
+        self.spec = spec
+        self.od_threshold = config.effective_od_threshold(spec)
+        self.desc_threshold = config.effective_desc_threshold(spec)
+        self.duplicate_threshold = config.effective_duplicate_threshold(spec)
+        self.cluster_sets = cluster_sets
+        self.decision = decision
+        # OD similarity depends only on the extracted OD values, never on
+        # window sizes or thresholds — parameter sweeps share this cache.
+        self.od_cache = od_cache
+        # Length/bag filtering (paper Sec. 5 outlook).  Only sound for the
+        # "gates" decision, where a refuted OD threshold settles the pair.
+        self.use_filters = use_filters and decision == "gates"
+        self.filtered_comparisons = 0
+
+    def compare(self, left: GkRow, right: GkRow) -> PairVerdict:
+        """Compute all similarity layers and classify the pair."""
+        if self.use_filters:
+            bound = od_similarity_upper_bound(left, right, self.spec)
+            if bound < self.od_threshold:
+                self.filtered_comparisons += 1
+                return PairVerdict(bound, None, bound, False)
+        if self.od_cache is None:
+            od = od_similarity(left, right, self.spec)
+        else:
+            cache_key = (min(left.eid, right.eid), max(left.eid, right.eid))
+            od = self.od_cache.get(cache_key)
+            if od is None:
+                od = od_similarity(left, right, self.spec)
+                self.od_cache[cache_key] = od
+        descendants: float | None = None
+        if self.spec.use_descendants:
+            descendants = descendant_similarity(
+                left, right, self.cluster_sets, self.spec.desc_phi,
+                weights=self.spec.desc_weights)
+        combined = od if descendants is None else (od + descendants) / 2.0
+
+        if self.decision == "combined":
+            is_duplicate = combined >= self.duplicate_threshold
+        elif descendants is None:
+            is_duplicate = od >= self.od_threshold
+        else:
+            is_duplicate = (od >= self.od_threshold
+                            and descendants >= self.desc_threshold)
+        return PairVerdict(od, descendants, combined, is_duplicate)

@@ -1,0 +1,48 @@
+"""Synthetic data generation: clean templates, dirtying, and corpora."""
+
+from .dirty import DirtySpec, make_dirty
+from .errors import (delete_char, insert_char, maybe_pollute, pollute,
+                     replace_char, swap_chars)
+from .freedb import (FreedbProfile, generate_clean_discs, generate_dataset2,
+                     generate_dataset3)
+from .movies import (FEW_DUPLICATES, MANY_DUPLICATES, generate_clean_movies,
+                     generate_dirty_movies, movie_template)
+from .template_io import (generate_from_template, load_template,
+                          load_template_file)
+from .toxgene import (OID_ATTRIBUTE, ChildSpec, CleanGenerator,
+                      ElementTemplate, TextGenerator, choice, constant,
+                      hex_id, int_range, sometimes, words)
+
+__all__ = [
+    "FEW_DUPLICATES",
+    "MANY_DUPLICATES",
+    "OID_ATTRIBUTE",
+    "ChildSpec",
+    "CleanGenerator",
+    "DirtySpec",
+    "ElementTemplate",
+    "FreedbProfile",
+    "TextGenerator",
+    "choice",
+    "constant",
+    "delete_char",
+    "generate_clean_discs",
+    "generate_clean_movies",
+    "generate_dataset2",
+    "generate_dataset3",
+    "generate_dirty_movies",
+    "generate_from_template",
+    "hex_id",
+    "insert_char",
+    "load_template",
+    "load_template_file",
+    "int_range",
+    "make_dirty",
+    "maybe_pollute",
+    "movie_template",
+    "pollute",
+    "replace_char",
+    "sometimes",
+    "swap_chars",
+    "words",
+]

@@ -1,0 +1,181 @@
+"""The Dirty XML Data Generator equivalent.
+
+The paper's second tool "uses the clean XML data and some parameters,
+e.g., the duplication probability, the number of duplicates, and the
+errors to introduce into the duplicates, as its input and generates
+dirty XML data".  :func:`make_dirty` implements exactly that parameter
+surface: per element tag, a :class:`DirtySpec` gives the duplication
+probability, the duplicate-count range, and the error model applied to
+the duplicates' text nodes.
+
+Duplicates are deep copies inserted among their original's siblings at a
+random position; they keep the original's object id (``oid``), which is
+how the evaluation harness knows the ground truth.  The detector never
+reads ``oid``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import DataGenerationError
+from ..xmlmodel import XmlDocument, XmlElement
+from .errors import maybe_pollute, pollute
+
+
+@dataclass(frozen=True)
+class DirtySpec:
+    """Dirtying parameters for one element tag.
+
+    ``duplication_probability`` — chance each instance is duplicated;
+    ``min_duplicates``/``max_duplicates`` — how many copies when it is;
+    ``text_error_probability`` — chance each text node in a copy is
+    polluted; ``max_errors`` — at most this many typo operations per
+    polluted text node; ``severe_error_probability`` — chance a polluted
+    text node is *scrambled* (its first characters replaced), producing
+    the "sorted far apart" keys the paper injects into 5% of titles.
+
+    ``tag_error_probabilities`` overrides the error probability for
+    specific child tags; ``severe_tags`` restricts scrambling to the
+    listed tags (``None`` = any tag).
+
+    ``corrupt_fields``, when non-empty, switches the listed tags to
+    *field-concentrated* corruption: for each duplicate a random subset
+    of ``corrupt_count`` fields is chosen and polluted with certainty,
+    while the unchosen listed fields stay clean.  Realistic dirty records
+    differ in a few fields, which is exactly what lets the multi-pass
+    method beat any single key: each key survives unless one of *its*
+    fields was hit.  Tags outside ``corrupt_fields`` keep the
+    probabilistic model.
+    """
+
+    tag: str
+    duplication_probability: float
+    min_duplicates: int = 1
+    max_duplicates: int = 1
+    text_error_probability: float = 0.8
+    max_errors: int = 2
+    severe_error_probability: float = 0.0
+    tag_error_probabilities: tuple[tuple[str, float], ...] = ()
+    severe_tags: tuple[str, ...] | None = None
+    corrupt_fields: tuple[str, ...] = ()
+    corrupt_count: tuple[int, int] = (1, 2)
+
+    def error_probability_for(self, tag: str) -> float:
+        """Per-tag error probability, falling back to the default."""
+        for name, probability in self.tag_error_probabilities:
+            if name == tag:
+                return probability
+        return self.text_error_probability
+
+    def severe_allowed_for(self, tag: str) -> bool:
+        """Whether severe scrambling may hit text nodes of ``tag``."""
+        return self.severe_tags is None or tag in self.severe_tags
+
+    def __post_init__(self):
+        if not 0.0 <= self.duplication_probability <= 1.0:
+            raise DataGenerationError("duplication probability outside [0, 1]")
+        if not 1 <= self.min_duplicates <= self.max_duplicates:
+            raise DataGenerationError(
+                "need 1 <= min_duplicates <= max_duplicates")
+        if not 0.0 <= self.text_error_probability <= 1.0:
+            raise DataGenerationError("text error probability outside [0, 1]")
+        if not 0.0 <= self.severe_error_probability <= 1.0:
+            raise DataGenerationError("severe error probability outside [0, 1]")
+        if self.max_errors < 1:
+            raise DataGenerationError("max_errors must be >= 1")
+        for tag, probability in self.tag_error_probabilities:
+            if not 0.0 <= probability <= 1.0:
+                raise DataGenerationError(
+                    f"error probability for tag {tag!r} outside [0, 1]")
+        low, high = self.corrupt_count
+        if self.corrupt_fields and not 1 <= low <= high <= len(self.corrupt_fields):
+            raise DataGenerationError(
+                "need 1 <= corrupt_count range <= len(corrupt_fields)")
+
+
+def _scramble(text: str, rng: random.Random) -> str:
+    """Replace the leading characters so the sort key lands far away."""
+    if not text:
+        return text
+    prefix_length = min(len(text), rng.randint(2, 4))
+    prefix = "".join(rng.choice("zyxwvu") for _ in range(prefix_length))
+    return prefix + text[prefix_length:]
+
+
+def _pollute_subtree(element: XmlElement, spec: DirtySpec,
+                     rng: random.Random) -> None:
+    chosen_fields: set[str] = set()
+    if spec.corrupt_fields:
+        low, high = spec.corrupt_count
+        count = rng.randint(low, high)
+        chosen_fields = set(rng.sample(spec.corrupt_fields, count))
+    for node in element.iter():
+        if node.text and node.text.strip():
+            _pollute_text_node(node, spec, rng, chosen_fields)
+        error_probability = spec.error_probability_for(node.tag)
+        for name in list(node.attributes):
+            if name == "oid":
+                continue
+            node.attributes[name] = maybe_pollute(
+                node.attributes[name], rng, error_probability / 2,
+                spec.max_errors)
+
+
+def _pollute_text_node(node: XmlElement, spec: DirtySpec,
+                       rng: random.Random, chosen_fields: set[str]) -> None:
+    if node.tag in spec.corrupt_fields:
+        if node.tag not in chosen_fields:
+            return  # field-concentrated mode: unchosen fields stay clean
+        if spec.severe_error_probability and spec.severe_allowed_for(node.tag) \
+                and rng.random() < spec.severe_error_probability:
+            node.text = _scramble(node.text, rng)
+        else:
+            node.text = pollute(node.text, rng,
+                                rng.randint(1, spec.max_errors))
+        return
+    severe = (spec.severe_error_probability
+              and spec.severe_allowed_for(node.tag)
+              and rng.random() < spec.severe_error_probability)
+    if severe:
+        node.text = _scramble(node.text, rng)
+    else:
+        node.text = maybe_pollute(node.text, rng,
+                                  spec.error_probability_for(node.tag),
+                                  spec.max_errors)
+
+
+def make_dirty(document: XmlDocument, specs: list[DirtySpec],
+               seed: int = 0) -> XmlDocument:
+    """Produce a dirty copy of ``document`` according to ``specs``.
+
+    The input document is left unmodified.  Instances are collected from
+    the clean tree first, so a duplicate is never itself duplicated.
+    Returns the dirty document with freshly assigned eids.
+    """
+    by_tag = {spec.tag: spec for spec in specs}
+    if len(by_tag) != len(specs):
+        raise DataGenerationError("one DirtySpec per tag, duplicates given")
+    rng = random.Random(seed)
+    dirty = document.copy()
+
+    # Snapshot in document order so ancestors are processed before their
+    # descendants (a copy of an ancestor reflects the clean subtree).
+    snapshot = [node for node in dirty.root.iter() if node.tag in by_tag]
+    for node in snapshot:
+        spec = by_tag[node.tag]
+        if rng.random() >= spec.duplication_probability:
+            continue
+        parent = node.parent
+        if parent is None:
+            raise DataGenerationError("cannot duplicate the document root")
+        copies = rng.randint(spec.min_duplicates, spec.max_duplicates)
+        for _ in range(copies):
+            duplicate = node.copy()
+            _pollute_subtree(duplicate, spec, rng)
+            position = rng.randint(0, len(parent.children))
+            parent.insert(position, duplicate)
+
+    dirty.assign_eids()
+    return dirty

@@ -1,0 +1,71 @@
+"""Typographical error injection.
+
+The Dirty XML Data Generator pollutes duplicate text "by deleting,
+inserting, or swapping characters" (paper, experiment set 2 methodology).
+These operators reproduce that error model; :func:`pollute` applies a
+configurable number of random operations to a string.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_ALPHABET = string.ascii_lowercase
+
+
+def delete_char(text: str, rng: random.Random) -> str:
+    """Remove one random character (no-op on empty strings)."""
+    if not text:
+        return text
+    index = rng.randrange(len(text))
+    return text[:index] + text[index + 1:]
+
+
+def insert_char(text: str, rng: random.Random) -> str:
+    """Insert one random lowercase letter at a random position."""
+    index = rng.randint(0, len(text))
+    return text[:index] + rng.choice(_ALPHABET) + text[index:]
+
+
+def swap_chars(text: str, rng: random.Random) -> str:
+    """Transpose two adjacent characters (no-op on short strings)."""
+    if len(text) < 2:
+        return text
+    index = rng.randrange(len(text) - 1)
+    return (text[:index] + text[index + 1] + text[index]
+            + text[index + 2:])
+
+
+def replace_char(text: str, rng: random.Random) -> str:
+    """Substitute one random character with a random letter."""
+    if not text:
+        return text
+    index = rng.randrange(len(text))
+    return text[:index] + rng.choice(_ALPHABET) + text[index + 1:]
+
+
+_OPERATORS = [delete_char, insert_char, swap_chars, replace_char]
+
+
+def pollute(text: str, rng: random.Random, errors: int = 1) -> str:
+    """Apply ``errors`` random typo operations to ``text``."""
+    if errors < 0:
+        raise ValueError("error count must be >= 0")
+    polluted = text
+    for _ in range(errors):
+        operator = rng.choice(_OPERATORS)
+        polluted = operator(polluted, rng)
+    return polluted
+
+
+def maybe_pollute(text: str, rng: random.Random, probability: float,
+                  max_errors: int = 2) -> str:
+    """With ``probability``, apply 1..``max_errors`` typo operations."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    if max_errors < 1:
+        raise ValueError("max_errors must be >= 1")
+    if rng.random() >= probability:
+        return text
+    return pollute(text, rng, rng.randint(1, max_errors))

@@ -1,0 +1,166 @@
+"""Data set 1 — artificial movie data (paper Sec. 4.1).
+
+Clean movies match the paper's description: each ``<movie>`` has ``year``
+and ``length`` attributes and nests several ``<title>``, ``<person>``,
+and ``<review>`` children; a ``<person>`` has one ``<lastname>`` and
+several ``<firstname>`` elements.  :func:`generate_clean_movies` builds
+the clean database; :func:`generate_dirty_movies` applies the Dirty XML
+generator with the paper's "few duplicates" / "many duplicates" presets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmlmodel import XmlDocument, XmlElement
+from . import vocab
+from .dirty import DirtySpec, make_dirty
+from .toxgene import (ChildSpec, CleanGenerator, ElementTemplate, TextGenerator,
+                      choice, int_range, sometimes, words)
+
+
+def _movie_title() -> TextGenerator:
+    def generate(rng: random.Random) -> str:
+        title = (f"{rng.choice(vocab.TITLE_ADJECTIVES)} "
+                 f"{rng.choice(vocab.TITLE_NOUNS)} "
+                 f"{rng.choice(vocab.TITLE_SUFFIXES)}")
+        if rng.random() < 0.4:
+            title += f" {rng.randint(2, 9)}"
+        return title
+    return generate
+
+
+def movie_template() -> ElementTemplate:
+    """The ToXGene template of the data set 1 schema."""
+    firstname = ElementTemplate("firstname", text=choice(vocab.FIRST_NAMES))
+    lastname = ElementTemplate("lastname", text=choice(vocab.LAST_NAMES))
+    person = ElementTemplate(
+        "person",
+        children=(ChildSpec(lastname, 1, 1), ChildSpec(firstname, 1, 3)),
+        identified=True)
+    title = ElementTemplate("title", text=_movie_title(), identified=True)
+    review = ElementTemplate("review", text=choice(vocab.REVIEW_SNIPPETS))
+    return ElementTemplate(
+        "movie",
+        # Years are sometimes missing — the paper explains its Key 2's poor
+        # sort order by years that are "missing or contain severe errors".
+        attributes={"year": sometimes(int_range(1950, 2005), 0.8),
+                    "length": sometimes(int_range(70, 220), 0.9)},
+        children=(ChildSpec(title, 1, 3), ChildSpec(person, 1, 5),
+                  ChildSpec(review, 0, 3)),
+        identified=True)
+
+
+class _PersonPool:
+    """A pool of real-world persons shared across movies.
+
+    The paper's central M:N argument is that "an actor can play in
+    several different movies": duplicate detection on persons must find
+    the same real-world person under different movies.  The pool makes
+    person identity cross-movie — every occurrence of pool person *k*
+    carries the same ``oid`` — which is exactly the ground truth the
+    top-down-vs-bottom-up comparison needs.
+    """
+
+    def __init__(self, rng: random.Random, size: int):
+        self.rng = rng
+        self.persons: list[tuple[str, str, list[str]]] = []
+        seen_names: set[tuple[str, str]] = set()
+        while len(self.persons) < size:
+            lastname = rng.choice(vocab.LAST_NAMES)
+            firstnames = [rng.choice(vocab.FIRST_NAMES)
+                          for _ in range(rng.randint(1, 2))]
+            name_key = (lastname, firstnames[0])
+            if name_key in seen_names and len(seen_names) < (
+                    len(vocab.LAST_NAMES) * len(vocab.FIRST_NAMES)) * 0.8:
+                continue  # keep names unique while the space allows
+            seen_names.add(name_key)
+            oid = f"person-{len(self.persons)}"
+            self.persons.append((oid, lastname, firstnames))
+
+    def sample(self, count: int) -> list[tuple[str, str, list[str]]]:
+        count = min(count, len(self.persons))
+        return self.rng.sample(self.persons, count)
+
+
+def generate_clean_movies(movie_count: int, seed: int = 0,
+                          person_pool_size: int | None = None) -> XmlDocument:
+    """Clean movie database with ``movie_count`` movies.
+
+    Persons are drawn from a shared pool (default size ≈ 0.8 × movies)
+    so the same real-world person recurs across movies — the M:N
+    parent-child relationship the paper's bottom-up traversal exists for.
+    Titles and reviews are generated per movie as before.
+    """
+    rng = random.Random(seed)
+    pool = _PersonPool(rng, person_pool_size
+                       if person_pool_size is not None
+                       else max(10, int(movie_count * 0.8)))
+    title_text = _movie_title()
+
+    root = XmlElement("movie_database")
+    movies = root.make_child("movies")
+    for index in range(movie_count):
+        movie = movies.make_child("movie")
+        movie.set("oid", f"movie-{index}")
+        if rng.random() < 0.8:
+            movie.set("year", str(rng.randint(1950, 2005)))
+        if rng.random() < 0.9:
+            movie.set("length", str(rng.randint(70, 220)))
+        for title_index in range(rng.randint(1, 3)):
+            title = movie.make_child("title", text=title_text(rng))
+            title.set("oid", f"title-{index}-{title_index}")
+        for oid, lastname, firstnames in pool.sample(rng.randint(1, 5)):
+            person = movie.make_child("person")
+            person.set("oid", oid)
+            person.make_child("lastname", text=lastname)
+            for firstname in firstnames:
+                person.make_child("firstname", text=firstname)
+        for _ in range(rng.randint(0, 3)):
+            movie.make_child("review", text=rng.choice(vocab.REVIEW_SNIPPETS))
+    document = XmlDocument(root)
+    document.assign_eids()
+    return document
+
+
+FEW_DUPLICATES = [
+    # Paper: "20% dupProb for <movie>, <title>, and <person> elements each
+    # producing exactly one duplicate."
+    DirtySpec("movie", 0.2, 1, 1, text_error_probability=0.6,
+              severe_error_probability=0.05),
+    DirtySpec("title", 0.2, 1, 1, text_error_probability=0.8,
+              severe_error_probability=0.05),
+    DirtySpec("person", 0.2, 1, 1, text_error_probability=0.6),
+]
+
+MANY_DUPLICATES = [
+    # Paper: "100% dupProb for <movie> and <person>, each generating up to
+    # two duplicates, and 20% dupProb for <title> elements each generating
+    # exactly one duplicate object."
+    DirtySpec("movie", 1.0, 1, 2, text_error_probability=0.6,
+              severe_error_probability=0.05),
+    DirtySpec("person", 1.0, 1, 2, text_error_probability=0.6),
+    DirtySpec("title", 0.2, 1, 1, text_error_probability=0.8,
+              severe_error_probability=0.05),
+]
+
+
+def generate_dirty_movies(movie_count: int, seed: int = 0,
+                          profile: str = "few") -> XmlDocument:
+    """Clean database plus duplicates per the paper's dirtying profiles.
+
+    ``profile`` is ``"few"`` or ``"many"`` (experiment set 2), or
+    ``"effectiveness"`` for the experiment-set-1 style data where every
+    movie receives exactly one duplicate so recall is well defined.
+    """
+    clean = generate_clean_movies(movie_count, seed)
+    if profile == "few":
+        specs = FEW_DUPLICATES
+    elif profile == "many":
+        specs = MANY_DUPLICATES
+    elif profile == "effectiveness":
+        specs = [DirtySpec("movie", 1.0, 1, 1, text_error_probability=0.9,
+                           max_errors=2, severe_error_probability=0.05)]
+    else:
+        raise ValueError(f"unknown dirtying profile {profile!r}")
+    return make_dirty(clean, specs, seed=seed + 1)

@@ -1,0 +1,198 @@
+"""ToXGene-style XML template documents.
+
+ToXGene's defining feature is that generator templates are themselves
+XML, "similar to an XML schema".  This module parses such documents into
+:class:`~repro.datagen.toxgene.ElementTemplate` trees::
+
+    <template root="movie_database" wrapper="movies" count="100">
+      <element tag="movie" identified="true">
+        <attribute name="year" type="int" min="1950" max="2005"
+                   presence="0.8"/>
+        <attribute name="length" type="int" min="70" max="220"/>
+        <child min="1" max="3">
+          <element tag="title" identified="true">
+            <text type="words" pools="adjectives nouns"/>
+          </element>
+        </child>
+        <child min="0" max="2">
+          <element tag="review">
+            <text type="choice" values="great|poor|classic"/>
+          </element>
+        </child>
+      </element>
+    </template>
+
+Value generator types: ``choice`` (pipe-separated ``values`` or a named
+``pool``), ``int`` (``min``/``max``), ``words`` (space-separated named
+pools), ``hex`` (``digits``), ``constant`` (``value``).  Named pools
+refer to :mod:`repro.datagen.vocab` lists (e.g. ``adjectives``, ``nouns``,
+``first_names``, ``last_names``, ``genres``, ``track_words``).
+"""
+
+from __future__ import annotations
+
+from ..errors import DataGenerationError
+from ..xmlmodel import XmlDocument, XmlElement, parse, parse_file
+from . import vocab
+from .toxgene import (ChildSpec, CleanGenerator, ElementTemplate,
+                      TextGenerator, choice, constant, hex_id, int_range,
+                      sometimes, words)
+
+_POOLS: dict[str, list[str]] = {
+    "adjectives": vocab.TITLE_ADJECTIVES,
+    "nouns": vocab.TITLE_NOUNS,
+    "suffixes": vocab.TITLE_SUFFIXES,
+    "first_names": vocab.FIRST_NAMES,
+    "last_names": vocab.LAST_NAMES,
+    "genres": vocab.MOVIE_GENRES,
+    "cd_genres": vocab.CD_GENRES,
+    "artist_first": vocab.ARTIST_FIRST,
+    "artist_second": vocab.ARTIST_SECOND,
+    "track_words": vocab.TRACK_WORDS,
+    "reviews": vocab.REVIEW_SNIPPETS,
+}
+
+
+def _pool(name: str) -> list[str]:
+    try:
+        return _POOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(_POOLS))
+        raise DataGenerationError(
+            f"unknown vocabulary pool {name!r}; known pools: {known}") from None
+
+
+def _int_attr(node: XmlElement, name: str, default: int | None = None) -> int:
+    value = node.get(name)
+    if value is None:
+        if default is None:
+            raise DataGenerationError(
+                f"<{node.tag}> requires attribute {name!r}")
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise DataGenerationError(
+            f"<{node.tag}> attribute {name!r} is not an integer: {value!r}"
+        ) from None
+
+
+def _float_attr(node: XmlElement, name: str, default: float) -> float:
+    value = node.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise DataGenerationError(
+            f"<{node.tag}> attribute {name!r} is not a number: {value!r}"
+        ) from None
+
+
+def _value_generator(node: XmlElement) -> TextGenerator:
+    kind = node.get("type", "choice")
+    if kind == "constant":
+        value = node.get("value")
+        if value is None:
+            raise DataGenerationError("constant generator requires 'value'")
+        return constant(value)
+    if kind == "int":
+        return int_range(_int_attr(node, "min"), _int_attr(node, "max"))
+    if kind == "hex":
+        return hex_id(_int_attr(node, "digits", 8))
+    if kind == "choice":
+        raw_values = node.get("values")
+        if raw_values is not None:
+            values = [value for value in raw_values.split("|") if value]
+            return choice(values)
+        pool_name = node.get("pool")
+        if pool_name is None:
+            raise DataGenerationError(
+                "choice generator requires 'values' or 'pool'")
+        return choice(_pool(pool_name))
+    if kind == "words":
+        pools_attribute = node.get("pools")
+        if not pools_attribute:
+            raise DataGenerationError("words generator requires 'pools'")
+        pools = [_pool(name) for name in pools_attribute.split()]
+        return words(pools)
+    raise DataGenerationError(f"unknown value generator type {kind!r}")
+
+
+def _parse_element(node: XmlElement) -> ElementTemplate:
+    tag = node.get("tag")
+    if tag is None:
+        raise DataGenerationError("<element> requires a 'tag' attribute")
+    identified = node.get("identified", "false").lower() in ("true", "1", "yes")
+
+    attributes: dict[str, TextGenerator] = {}
+    text: TextGenerator | None = None
+    children: list[ChildSpec] = []
+    for child in node.children:
+        if child.tag == "attribute":
+            name = child.get("name")
+            if name is None:
+                raise DataGenerationError("<attribute> requires 'name'")
+            generator = _value_generator(child)
+            presence = _float_attr(child, "presence", 1.0)
+            if presence < 1.0:
+                generator = sometimes(generator, presence)
+            attributes[name] = generator
+        elif child.tag == "text":
+            text = _value_generator(child)
+        elif child.tag == "child":
+            inner = child.find("element")
+            if inner is None:
+                raise DataGenerationError("<child> requires an <element>")
+            children.append(ChildSpec(
+                _parse_element(inner),
+                min_count=_int_attr(child, "min", 1),
+                max_count=_int_attr(child, "max", 1)))
+        else:
+            raise DataGenerationError(
+                f"unexpected <{child.tag}> inside <element>")
+    return ElementTemplate(tag, attributes=attributes, text=text,
+                           children=tuple(children), identified=identified)
+
+
+def load_template(source: str) -> tuple[ElementTemplate, dict[str, str | int]]:
+    """Parse a template document; returns (item template, settings).
+
+    Settings carry the generation envelope: ``root`` tag, optional
+    ``wrapper`` tag, and default ``count``.
+    """
+    document = parse(source)
+    return _template_from_document(document)
+
+
+def load_template_file(path: str) -> tuple[ElementTemplate, dict[str, str | int]]:
+    """Parse a template document from ``path``."""
+    return _template_from_document(parse_file(path))
+
+
+def _template_from_document(document: XmlDocument):
+    root = document.root
+    if root.tag != "template":
+        raise DataGenerationError(f"expected <template>, found <{root.tag}>")
+    element_node = root.find("element")
+    if element_node is None:
+        raise DataGenerationError("<template> requires an <element> child")
+    settings: dict[str, str | int] = {
+        "root": root.get("root", "database"),
+        "count": _int_attr(root, "count", 10),
+    }
+    wrapper = root.get("wrapper")
+    if wrapper is not None:
+        settings["wrapper"] = wrapper
+    return _parse_element(element_node), settings
+
+
+def generate_from_template(source: str, count: int | None = None,
+                           seed: int = 0) -> XmlDocument:
+    """Parse a template document and generate a clean corpus from it."""
+    template, settings = load_template(source)
+    generator = CleanGenerator(seed)
+    return generator.document(
+        str(settings["root"]), template,
+        count if count is not None else int(settings["count"]),
+        wrapper_tag=settings.get("wrapper"))  # type: ignore[arg-type]

@@ -1,0 +1,104 @@
+"""Vocabularies for synthetic data generation.
+
+Word pools for movie titles, person names, CD artists/titles/tracks, and
+genres, plus small pools of non-Latin strings used to simulate the
+FreeDB entries "whose text is provided in a format that failed to enter
+the database" (paper, discussion of Data set 3).
+"""
+
+from __future__ import annotations
+
+TITLE_ADJECTIVES = [
+    "Dark", "Silent", "Golden", "Broken", "Hidden", "Lost", "Final", "Eternal",
+    "Crimson", "Savage", "Gentle", "Burning", "Frozen", "Electric", "Midnight",
+    "Scarlet", "Hollow", "Wild", "Sacred", "Shattered", "Velvet", "Iron",
+    "Crystal", "Phantom", "Rising", "Falling", "Distant", "Ancient", "Neon",
+    "Quiet",
+]
+
+TITLE_NOUNS = [
+    "Mask", "Matrix", "Zorro", "Empire", "Storm", "River", "Mountain", "City",
+    "Shadow", "Dream", "Garden", "Ocean", "Harbor", "Kingdom", "Voyage",
+    "Mirror", "Tower", "Forest", "Desert", "Island", "Bridge", "Castle",
+    "Horizon", "Legend", "Prophecy", "Echo", "Labyrinth", "Fortress", "Comet",
+    "Lantern",
+]
+
+TITLE_SUFFIXES = [
+    "Returns", "Reloaded", "Forever", "Begins", "Rising", "Unleashed",
+    "of Destiny", "of the North", "in Winter", "at Dawn", "Chronicles",
+    "Redemption", "Awakening",
+]
+
+FIRST_NAMES = [
+    "Keanu", "Carrie-Anne", "Laurence", "Hugo", "Don", "Sandra", "Dennis",
+    "John", "Mary", "James", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+    "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
+]
+
+LAST_NAMES = [
+    "Reeves", "Moss", "Fishburne", "Weaving", "Davis", "Bullock", "Hopper",
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson",
+    "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee",
+    "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark", "Ramirez",
+]
+
+MOVIE_GENRES = [
+    "Action", "Drama", "Comedy", "Thriller", "Horror", "Romance", "Sci-Fi",
+    "Western", "Documentary", "Animation", "Fantasy", "Mystery",
+]
+
+CD_GENRES = [
+    "Rock", "Pop", "Jazz", "Classical", "Blues", "Folk", "Electronic",
+    "Country", "Reggae", "Soul", "Metal", "Hip-Hop", "Ambient", "Punk",
+]
+
+ARTIST_FIRST = [
+    "Blue", "Red", "Electric", "Velvet", "Iron", "Sonic", "Crystal", "Neon",
+    "Atomic", "Cosmic", "Silver", "Golden", "Midnight", "Lunar", "Solar",
+    "Savage", "Gentle", "Wild", "Northern", "Southern",
+]
+
+ARTIST_SECOND = [
+    "Butterflies", "Monkeys", "Rangers", "Travellers", "Pilots", "Dreamers",
+    "Wolves", "Sparrows", "Giants", "Shadows", "Harbors", "Engines",
+    "Orchids", "Panthers", "Drifters", "Voyagers", "Tigers", "Phantoms",
+    "Mirrors", "Hunters",
+]
+
+TRACK_WORDS = [
+    "Love", "Night", "Day", "Heart", "Fire", "Rain", "Sun", "Moon", "Road",
+    "Home", "Time", "Light", "Dance", "Dream", "River", "Sky", "Stone",
+    "Wind", "Star", "Sea", "Song", "Soul", "Ghost", "Train", "Glass",
+    "Wire", "Gold", "Snow", "Storm", "Echo",
+]
+
+# Simulated transliteration failures (paper: Japanese or Russian CDs whose
+# readable attributes are only year and genre).
+UNREADABLE_TITLES = [
+    "???? ????", "######", "???????", "....", "??? ?? ???", "______",
+    "?????!", "### ###", "?? ????? ??", "????????", "?? ??", "####?",
+    "???_???", "..??..", "?????? ??", "# ## ###", "___ ___", "??!??",
+    "????? ?????", "## ?? ##", "?.?.?.", "-???-", "??####", "…????",
+]
+
+VARIOUS_ARTISTS_LABELS = [
+    "Various", "Various Artists", "VA", "V.A.", "Varios Artistas",
+]
+
+SERIES_MARKERS = ["(CD1)", "(CD2)", "(CD3)", "(Disc 1)", "(Disc 2)",
+                  "Vol. 1", "Vol. 2"]
+
+REVIEW_SNIPPETS = [
+    "A stunning achievement in modern cinema.",
+    "Falls flat despite a promising premise.",
+    "The ensemble cast delivers a memorable performance.",
+    "Visually striking but narratively hollow.",
+    "An instant classic that rewards repeat viewing.",
+    "Overlong and self-indulgent, yet oddly compelling.",
+    "A tour de force from start to finish.",
+    "Forgettable popcorn fare with moments of brilliance.",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class at their boundary.  The
+subclasses mirror the library's subsystems: XML parsing, path parsing and
+evaluation, key-pattern parsing, and configuration validation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when an XML document is not well formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class PathSyntaxError(ReproError):
+    """Raised when an XPath-subset expression cannot be parsed."""
+
+
+class PathEvaluationError(ReproError):
+    """Raised when a syntactically valid path cannot be evaluated."""
+
+
+class PatternSyntaxError(ReproError):
+    """Raised when a key pattern (e.g. ``K1-K5`` or ``D3,D4``) is malformed."""
+
+
+class ConfigError(ReproError):
+    """Raised when an SXNM configuration is inconsistent or incomplete."""
+
+
+class DetectionError(ReproError):
+    """Raised when the duplicate-detection pipeline is used incorrectly,
+
+    e.g. asking for descendant similarity before the descendant candidate
+    has been processed.
+    """
+
+
+class DataGenerationError(ReproError):
+    """Raised when a data-generation template or parameter set is invalid."""

@@ -1,0 +1,34 @@
+"""Evaluation harness: gold standards, metrics, timing, and reports."""
+
+from .cluster_quality import (ClusterQuality, closest_cluster_f1,
+                              cluster_quality, completeness, purity)
+from .gold import gold_clusters, gold_pairs
+from .metrics import (PrecisionRecall, evaluate_clusters, evaluate_pairs,
+                      exact_cluster_accuracy, pairs_from_clusters)
+from .plots import render_ascii_chart
+from .significance import (BootstrapReport, ConfidenceInterval,
+                           bootstrap_metrics)
+from .report import render_series, render_table
+from .timing import PhaseTimer
+
+__all__ = [
+    "BootstrapReport",
+    "ClusterQuality",
+    "ConfidenceInterval",
+    "PhaseTimer",
+    "PrecisionRecall",
+    "bootstrap_metrics",
+    "closest_cluster_f1",
+    "cluster_quality",
+    "completeness",
+    "evaluate_clusters",
+    "evaluate_pairs",
+    "exact_cluster_accuracy",
+    "gold_clusters",
+    "gold_pairs",
+    "pairs_from_clusters",
+    "purity",
+    "render_ascii_chart",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,87 @@
+"""Cluster-level quality measures beyond pairwise precision/recall.
+
+Pairwise metrics (the paper's) weight large clusters quadratically; the
+measures here complement them:
+
+* :func:`purity` — fraction of elements whose cluster is dominated by a
+  single gold cluster (how clean the found clusters are);
+* :func:`completeness` — purity with the roles swapped (how unfragmented
+  the gold clusters are);
+* :func:`closest_cluster_f1` — average best-match F1 between found and
+  gold clusters, the standard "closest cluster" evaluation;
+* :func:`cluster_quality` — all of the above in one report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+def _as_sets(clusters: Iterable[Iterable[int]]) -> list[frozenset[int]]:
+    materialized = [frozenset(cluster) for cluster in clusters]
+    return [cluster for cluster in materialized if cluster]
+
+
+def purity(found: Iterable[Iterable[int]],
+           gold: Iterable[Iterable[int]]) -> float:
+    """Weighted fraction of each found cluster inside its best gold cluster."""
+    found_sets = _as_sets(found)
+    gold_sets = _as_sets(gold)
+    total = sum(len(cluster) for cluster in found_sets)
+    if total == 0:
+        return 1.0
+    score = 0
+    for cluster in found_sets:
+        score += max((len(cluster & gold_cluster)
+                      for gold_cluster in gold_sets), default=0)
+    return score / total
+
+
+def completeness(found: Iterable[Iterable[int]],
+                 gold: Iterable[Iterable[int]]) -> float:
+    """Purity with roles swapped: are gold clusters kept together?"""
+    return purity(gold, found)
+
+
+def closest_cluster_f1(found: Iterable[Iterable[int]],
+                       gold: Iterable[Iterable[int]]) -> float:
+    """Average over gold clusters of the best F1 against any found cluster."""
+    found_sets = _as_sets(found)
+    gold_sets = _as_sets(gold)
+    if not gold_sets:
+        return 1.0
+    if not found_sets:
+        return 0.0
+    total = 0.0
+    for gold_cluster in gold_sets:
+        best = 0.0
+        for cluster in found_sets:
+            overlap = len(gold_cluster & cluster)
+            if overlap == 0:
+                continue
+            precision = overlap / len(cluster)
+            recall = overlap / len(gold_cluster)
+            best = max(best, 2 * precision * recall / (precision + recall))
+        total += best
+    return total / len(gold_sets)
+
+
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Bundle of cluster-level quality measures."""
+
+    purity: float
+    completeness: float
+    closest_f1: float
+
+
+def cluster_quality(found: Iterable[Iterable[int]],
+                    gold: Iterable[Iterable[int]]) -> ClusterQuality:
+    """Compute all cluster-level measures at once."""
+    found_list = [list(cluster) for cluster in found]
+    gold_list = [list(cluster) for cluster in gold]
+    return ClusterQuality(
+        purity=purity(found_list, gold_list),
+        completeness=completeness(found_list, gold_list),
+        closest_f1=closest_cluster_f1(found_list, gold_list))

@@ -1,0 +1,46 @@
+"""Ground truth from generator-assigned object ids.
+
+The paper: "We assign an unique ID to the data objects for
+identification. … To observe the recall, precision, and f-measure values
+we use the unique IDs of the clean data objects.  Of course these IDs
+are not made available to SXNM."  Generators stamp each object with an
+``oid`` attribute that duplicates inherit; :func:`gold_clusters` groups
+candidate-instance eids by oid to form the true clusters.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import XmlDocument
+from ..xpath import resolve_absolute
+
+
+def gold_clusters(document: XmlDocument, candidate_xpath: str,
+                  oid_attribute: str = "oid") -> list[list[int]]:
+    """True duplicate clusters (lists of eids) for one candidate path.
+
+    Instances lacking the oid attribute each form their own singleton
+    cluster (they are real-world objects nothing else duplicates).
+    """
+    document.elements_by_eid()
+    by_oid: dict[str, list[int]] = {}
+    singletons: list[list[int]] = []
+    for element in resolve_absolute(document.root, candidate_xpath):
+        oid = element.get(oid_attribute)
+        if oid is None:
+            singletons.append([element.eid])
+        else:
+            by_oid.setdefault(oid, []).append(element.eid)
+    clusters = [sorted(eids) for eids in by_oid.values()]
+    clusters.extend(singletons)
+    return clusters
+
+
+def gold_pairs(document: XmlDocument, candidate_xpath: str,
+               oid_attribute: str = "oid") -> set[tuple[int, int]]:
+    """All true duplicate eid pairs for one candidate path."""
+    pairs: set[tuple[int, int]] = set()
+    for cluster in gold_clusters(document, candidate_xpath, oid_attribute):
+        for i, left in enumerate(cluster):
+            for right in cluster[i + 1:]:
+                pairs.add((left, right))
+    return pairs

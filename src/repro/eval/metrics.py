@@ -1,0 +1,91 @@
+"""Effectiveness metrics: pairwise precision / recall / f-measure.
+
+The paper evaluates with recall, precision, and f-measure over detected
+duplicates.  We use the standard *pairwise* formulation: a detected pair
+is a true positive iff the gold standard places both elements in the
+same cluster.  Cluster-level diagnostics (exact cluster matches) are
+provided as a stricter secondary view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Pairwise evaluation result."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); defined as 1.0 when nothing was reported."""
+        reported = self.true_positives + self.false_positives
+        if reported == 0:
+            return 1.0
+        return self.true_positives / reported
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); defined as 1.0 when there is nothing to find."""
+        relevant = self.true_positives + self.false_negatives
+        if relevant == 0:
+            return 1.0
+        return self.true_positives / relevant
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of precision and recall (F1)."""
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+
+def _normalize(pairs: Iterable[tuple[int, int]]) -> set[tuple[int, int]]:
+    return {(min(a, b), max(a, b)) for a, b in pairs if a != b}
+
+
+def pairs_from_clusters(clusters: Iterable[Iterable[int]]) -> set[tuple[int, int]]:
+    """All unordered intra-cluster pairs of a clustering."""
+    pairs: set[tuple[int, int]] = set()
+    for cluster in clusters:
+        members = sorted(set(cluster))
+        for i, left in enumerate(members):
+            for right in members[i + 1:]:
+                pairs.add((left, right))
+    return pairs
+
+
+def evaluate_pairs(found: Iterable[tuple[int, int]],
+                   gold: Iterable[tuple[int, int]]) -> PrecisionRecall:
+    """Pairwise precision/recall of ``found`` against ``gold`` pairs."""
+    found_set = _normalize(found)
+    gold_set = _normalize(gold)
+    true_positives = len(found_set & gold_set)
+    return PrecisionRecall(
+        true_positives=true_positives,
+        false_positives=len(found_set) - true_positives,
+        false_negatives=len(gold_set) - true_positives)
+
+
+def evaluate_clusters(found_clusters: Iterable[Iterable[int]],
+                      gold_clusters: Iterable[Iterable[int]]) -> PrecisionRecall:
+    """Pairwise evaluation of two clusterings (closure pairs compared)."""
+    return evaluate_pairs(pairs_from_clusters(found_clusters),
+                          pairs_from_clusters(gold_clusters))
+
+
+def exact_cluster_accuracy(found_clusters: Iterable[Iterable[int]],
+                           gold_clusters: Iterable[Iterable[int]]) -> float:
+    """Fraction of gold clusters reproduced exactly (strict view)."""
+    gold_list = [frozenset(cluster) for cluster in gold_clusters]
+    if not gold_list:
+        return 1.0
+    found_set = {frozenset(cluster) for cluster in found_clusters}
+    hits = sum(1 for cluster in gold_list if cluster in found_set)
+    return hits / len(gold_list)

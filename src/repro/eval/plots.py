@@ -1,0 +1,85 @@
+"""ASCII line charts for experiment series.
+
+The benchmark harness reproduces the paper's *figures*; a plain table is
+faithful but hard to eyeball.  :func:`render_ascii_chart` draws the same
+series as a terminal chart — one symbol per series, y-axis labels, and a
+legend — so the shape of Fig. 4/5/6 is visible directly in the benchmark
+output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_SYMBOLS = "ox+*#@%&"
+
+
+def render_ascii_chart(x_values: Sequence[float],
+                       series: dict[str, Sequence[float]],
+                       width: int = 60, height: int = 16,
+                       title: str | None = None,
+                       y_label: str = "", x_label: str = "") -> str:
+    """Render ``series`` over ``x_values`` as an ASCII chart.
+
+    Each series gets one plot symbol; overlapping points show the symbol
+    of the later series.  The y-range spans the data (padded), the
+    x-positions are proportional to the numeric x values.
+    """
+    if not x_values:
+        raise ValueError("x_values must not be empty")
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x_values")
+
+    all_values = [v for values in series.values() for v in values]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    x_min = float(min(x_values))
+    x_max = float(max(x_values))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def x_position(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def y_position(y: float) -> int:
+        fraction = (y - y_min) / (y_max - y_min)
+        return height - 1 - round(fraction * (height - 1))
+
+    for series_index, (name, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[series_index % len(_SYMBOLS)]
+        for x, y in zip(x_values, values):
+            grid[y_position(y)][x_position(float(x))] = symbol
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        y_value = y_min + fraction * (y_max - y_min)
+        lines.append(f"{y_value:8.3f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    spacer = " " * max(1, width - len(left) - len(right))
+    lines.append(" " * 10 + left + spacer + right)
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "   ".join(f"{_SYMBOLS[i % len(_SYMBOLS)]} = {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

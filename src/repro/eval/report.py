@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment series.
+
+The benchmark harness prints, for every reproduced figure, the same
+series the paper plots.  :func:`render_table` produces an aligned text
+table; :func:`render_series` the common "x column + one column per line"
+layout of the paper's graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Align ``rows`` under ``headers``; floats are shown with 4 decimals."""
+    rendered_rows = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header count")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, x_values: Sequence[object],
+                  series: dict[str, Sequence[float]],
+                  title: str | None = None) -> str:
+    """Render one row per x value with a column per named series."""
+    headers = [x_label, *series]
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for name in series:
+            values = series[name]
+            if len(values) != len(x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values, "
+                    f"expected {len(x_values)}")
+            row.append(values[index])
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,49 @@
+"""Phase timing utilities for the scalability experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates named phase durations.
+
+    Use as a context manager factory::
+
+        timer = PhaseTimer()
+        with timer.phase("KG"):
+            ...
+        timer.seconds("KG")
+    """
+
+    _totals: dict[str, float] = field(default_factory=dict)
+
+    class _Phase:
+        def __init__(self, timer: PhaseTimer, name: str):
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            elapsed = time.perf_counter() - self._start
+            totals = self._timer._totals
+            totals[self._name] = totals.get(self._name, 0.0) + elapsed
+            return False
+
+    def phase(self, name: str) -> PhaseTimer._Phase:
+        """Context manager accumulating into phase ``name``."""
+        return PhaseTimer._Phase(self, name)
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def phases(self) -> dict[str, float]:
+        """All recorded totals (a copy)."""
+        return dict(self._totals)

@@ -1,0 +1,46 @@
+"""Experiment drivers reproducing the paper's evaluation (Figs. 4-6)."""
+
+from .configs import (DISC_XPATH, MOVIE_XPATH, dataset1_config,
+                      dataset2_config, dataset3_config, scalability_config)
+from .exp1_effectiveness import (Experiment1Result, run_dataset1, run_dataset2,
+                                 run_dataset3)
+from .exp2_scalability import (ScalabilityPoint, overhead_vs_clean,
+                               run_scalability)
+from .fp_analysis import (FalsePositiveBreakdown,
+                          classify_false_positives)
+from .exp3_thresholds import (ThresholdPoint, best_f_measure,
+                              sweep_desc_threshold, sweep_od_threshold)
+from .key_contribution import (ContributionReport, KeyContribution,
+                               key_contributions)
+from .report_all import SCALES, generate_full_report
+from .runner import SweepPoint, effectiveness_sweep, series_values
+
+__all__ = [
+    "DISC_XPATH",
+    "MOVIE_XPATH",
+    "ContributionReport",
+    "Experiment1Result",
+    "FalsePositiveBreakdown",
+    "SCALES",
+    "ScalabilityPoint",
+    "KeyContribution",
+    "SweepPoint",
+    "ThresholdPoint",
+    "best_f_measure",
+    "classify_false_positives",
+    "dataset1_config",
+    "dataset2_config",
+    "dataset3_config",
+    "effectiveness_sweep",
+    "key_contributions",
+    "generate_full_report",
+    "overhead_vs_clean",
+    "run_dataset1",
+    "run_dataset2",
+    "run_dataset3",
+    "run_scalability",
+    "scalability_config",
+    "series_values",
+    "sweep_desc_threshold",
+    "sweep_od_threshold",
+]

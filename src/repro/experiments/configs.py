@@ -1,0 +1,111 @@
+"""Table 3 — the key/OD configurations of the paper's three data sets.
+
+The OCR of Table 3 in the available paper text garbles the pairing of
+key parts; the pairings below are reconstructed from the table rows plus
+the discussion in Sec. 4.2, which pins down the semantics of each key:
+
+* Data set 1 — Key 1 is "the first five consonants of a movie's title"
+  (+ year digits); Key 2's "first part … consists of the year of the
+  movie"; Key 3 behaves like Key 2 "not as pronounced" (length-first).
+* Data set 2 — Key 1 is artist-first (+ year), Key 2 "consists of the
+  first characters of the CD's ID" (+ title characters), Key 3 is built
+  from genre and year, "not very distinctive attributes".
+* Data set 3 — Key 1 is title+artist consonants, Key 2 "is the same as
+  Key 2 used on Data set 2".
+"""
+
+from __future__ import annotations
+
+from ..config import CandidateSpec, SxnmConfig
+
+MOVIE_XPATH = "movie_database/movies/movie"
+DISC_XPATH = "freedb/disc"
+
+
+def dataset1_config(window: int = 5, od_threshold: float = 0.7) -> SxnmConfig:
+    """Data set 1: the ``movie`` candidate only (OD: title 0.8, length 0.2)."""
+    config = SxnmConfig(window_size=window, od_threshold=od_threshold)
+    config.add(CandidateSpec.build(
+        "movie", MOVIE_XPATH,
+        od=[("title/text()", 0.8), ("@length", 0.2, "numeric")],
+        keys=[
+            [("title/text()", "K1-K5"), ("@year", "D3,D4")],      # Key 1
+            [("@year", "D3,D4"), ("title/text()", "K1,K2")],      # Key 2
+            [("@length", "D1,D2"), ("title/text()", "K1-K4")],    # Key 3
+        ]))
+    return config
+
+
+def dataset2_config(window: int = 5, od_threshold: float = 0.65,
+                    desc_threshold: float = 0.3,
+                    use_descendants: bool = True) -> SxnmConfig:
+    """Data set 2: ``disc`` + ``disc/tracks/title`` candidates.
+
+    Disc OD: did 0.4, artist 0.3, dtitle 0.3 (paper Sec. 4.1).
+    """
+    config = SxnmConfig(window_size=window, od_threshold=od_threshold,
+                        desc_threshold=desc_threshold)
+    config.add(CandidateSpec.build(
+        "title", f"{DISC_XPATH}/tracks/title",
+        od=[("text()", 1.0)],
+        keys=[[("text()", "C1-C6")]]))
+    config.add(CandidateSpec.build(
+        "disc", DISC_XPATH,
+        od=[("did/text()", 0.4), ("artist[1]/text()", 0.3),
+            ("dtitle[1]/text()", 0.3)],
+        keys=[
+            [("artist[1]/text()", "K1-K4"), ("year/text()", "D3,D4")],   # Key 1
+            [("did/text()", "C1-C4"), ("dtitle[1]/text()", "C1-C4")],    # Key 2
+            [("genre/text()", "C1,C2"), ("year/text()", "D3,D4"),        # Key 3
+             ("artist[1]/text()", "K1,K2"), ("did/text()", "C1,C2")],
+        ],
+        use_descendants=use_descendants))
+    return config
+
+
+def dataset3_config(window: int = 5, od_threshold: float = 0.65,
+                    desc_threshold: float = 0.3) -> SxnmConfig:
+    """Data set 3: ``disc`` plus dtitle/artist/track-title candidates."""
+    config = SxnmConfig(window_size=window, od_threshold=od_threshold,
+                        desc_threshold=desc_threshold)
+    config.add(CandidateSpec.build(
+        "dtitle", f"{DISC_XPATH}/dtitle",
+        od=[("text()", 1.0)], keys=[[("text()", "C1-C6")]]))
+    config.add(CandidateSpec.build(
+        "artist", f"{DISC_XPATH}/artist",
+        od=[("text()", 1.0)], keys=[[("text()", "C1-C6")]]))
+    config.add(CandidateSpec.build(
+        "title", f"{DISC_XPATH}/tracks/title",
+        od=[("text()", 1.0)], keys=[[("text()", "C1-C6")]]))
+    config.add(CandidateSpec.build(
+        "disc", DISC_XPATH,
+        od=[("did/text()", 0.4), ("artist[1]/text()", 0.3),
+            ("dtitle[1]/text()", 0.3)],
+        keys=[
+            [("dtitle[1]/text()", "K1-K6"), ("artist[1]/text()", "K1-K4")],  # Key 1
+            [("did/text()", "C1-C4"), ("dtitle[1]/text()", "C1-C4")],        # Key 2
+        ]))
+    return config
+
+
+def scalability_config(window: int = 3) -> SxnmConfig:
+    """Experiment set 2 configuration: movie/title/person candidates.
+
+    The scalability runs duplicate <movie>, <title>, and <person>
+    elements, so all three are candidates; window size 3 as in the paper.
+    """
+    config = SxnmConfig(window_size=window, od_threshold=0.62,
+                        desc_threshold=0.3)
+    config.add(CandidateSpec.build(
+        "title", f"{MOVIE_XPATH}/title",
+        od=[("text()", 1.0)], keys=[[("text()", "K1-K5")]]))
+    config.add(CandidateSpec.build(
+        "person", f"{MOVIE_XPATH}/person",
+        od=[("lastname/text()", 0.6), ("firstname[1]/text()", 0.4)],
+        keys=[[("lastname/text()", "K1-K4"),
+               ("firstname[1]/text()", "K1,K2")]]))
+    config.add(CandidateSpec.build(
+        "movie", MOVIE_XPATH,
+        od=[("title[1]/text()", 0.8), ("@length", 0.2, "numeric")],
+        keys=[[("title[1]/text()", "K1-K5"), ("@year", "D3,D4")]]))
+    return config

@@ -1,0 +1,65 @@
+"""Experiment set 1 — single- vs multi-pass effectiveness (Fig. 4).
+
+* Fig. 4(a)/(b): recall and precision over window sizes on data set 1
+  (artificial movies, keys of Tab. 3(a), SP per key + MP).
+* Fig. 4(c): f-measure over window sizes on data set 2 (500 + 500 CDs,
+  disc candidate, keys of Tab. 3(b)).
+* Fig. 4(d): precision and detected duplicates over window sizes on data
+  set 3 (10,000 discs, keys of Tab. 3(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datagen import generate_dataset2, generate_dataset3, generate_dirty_movies
+from ..xmlmodel import XmlDocument
+from .configs import (DISC_XPATH, MOVIE_XPATH, dataset1_config,
+                      dataset2_config, dataset3_config)
+from .runner import SweepPoint, effectiveness_sweep
+
+DEFAULT_WINDOWS_DS1 = [2, 4, 6, 8, 10, 14, 20]
+DEFAULT_WINDOWS_DS2 = [2, 4, 6, 8, 10, 12]
+DEFAULT_WINDOWS_DS3 = [2, 3, 5, 8, 10]
+
+
+@dataclass
+class Experiment1Result:
+    """Sweep output plus the document it ran on."""
+
+    sweep: dict[str, list[SweepPoint]]
+    document: XmlDocument
+    windows: list[int]
+
+
+def run_dataset1(movie_count: int = 500, seed: int = 42,
+                 windows: list[int] | None = None) -> Experiment1Result:
+    """Figs. 4(a)+(b): movies with exactly one dirty duplicate each."""
+    windows = windows or DEFAULT_WINDOWS_DS1
+    document = generate_dirty_movies(movie_count, seed=seed,
+                                     profile="effectiveness")
+    sweep = effectiveness_sweep(document, dataset1_config(), "movie",
+                                MOVIE_XPATH, windows)
+    return Experiment1Result(sweep, document, windows)
+
+
+def run_dataset2(disc_count: int = 500, seed: int = 42,
+                 windows: list[int] | None = None) -> Experiment1Result:
+    """Fig. 4(c): 500 clean CDs + 500 artificial duplicates."""
+    windows = windows or DEFAULT_WINDOWS_DS2
+    document = generate_dataset2(disc_count, seed=seed)
+    sweep = effectiveness_sweep(document, dataset2_config(), "disc",
+                                DISC_XPATH, windows)
+    return Experiment1Result(sweep, document, windows)
+
+
+def run_dataset3(disc_count: int = 10_000, seed: int = 42,
+                 windows: list[int] | None = None,
+                 duplicate_fraction: float = 0.02) -> Experiment1Result:
+    """Fig. 4(d): 10,000 CDs; precision and duplicate counts per key."""
+    windows = windows or DEFAULT_WINDOWS_DS3
+    document = generate_dataset3(disc_count, seed=seed,
+                                 duplicate_fraction=duplicate_fraction)
+    sweep = effectiveness_sweep(document, dataset3_config(), "disc",
+                                DISC_XPATH, windows)
+    return Experiment1Result(sweep, document, windows)

@@ -1,0 +1,87 @@
+"""Experiment set 3 — threshold impact (Fig. 6).
+
+* Fig. 6(a): on data set 2, detect duplicates in ``<disc>`` using only
+  the object description; sweep the OD threshold 0.5–1.0.
+* Fig. 6(b): fix the OD threshold (0.65, the 6(a) optimum) and take the
+  ``<title>`` descendants into account; sweep the descendants threshold
+  0.1–0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import SxnmDetector
+from ..datagen import generate_dataset2
+from ..eval import PrecisionRecall, evaluate_pairs, gold_pairs
+from ..xmlmodel import XmlDocument
+from .configs import DISC_XPATH, dataset2_config
+
+DEFAULT_OD_THRESHOLDS = [0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85,
+                         0.90, 0.95, 1.00]
+DEFAULT_DESC_THRESHOLDS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Metrics at one threshold setting."""
+
+    threshold: float
+    metrics: PrecisionRecall
+    duplicate_pairs: int
+
+
+def sweep_od_threshold(disc_count: int = 500, seed: int = 42,
+                       thresholds: list[float] | None = None,
+                       window: int = 5,
+                       document: XmlDocument | None = None,
+                       ) -> list[ThresholdPoint]:
+    """Fig. 6(a): OD-only detection over a range of OD thresholds."""
+    thresholds = thresholds or DEFAULT_OD_THRESHOLDS
+    document = document or generate_dataset2(disc_count, seed=seed)
+    gold = gold_pairs(document, DISC_XPATH)
+    points: list[ThresholdPoint] = []
+    gk = None
+    od_cache: dict = {}
+    for threshold in thresholds:
+        config = dataset2_config(window=window, od_threshold=threshold,
+                                 use_descendants=False)
+        detector = SxnmDetector(config)
+        result = detector.run(document, gk=gk, od_cache=od_cache)
+        gk = result.gk
+        found = result.pairs("disc")
+        points.append(ThresholdPoint(threshold, evaluate_pairs(found, gold),
+                                     len(found)))
+    return points
+
+
+def sweep_desc_threshold(disc_count: int = 500, seed: int = 42,
+                         thresholds: list[float] | None = None,
+                         od_threshold: float = 0.65, window: int = 5,
+                         document: XmlDocument | None = None,
+                         ) -> list[ThresholdPoint]:
+    """Fig. 6(b): descendants enabled, sweeping the descendants threshold."""
+    thresholds = thresholds or DEFAULT_DESC_THRESHOLDS
+    document = document or generate_dataset2(disc_count, seed=seed)
+    gold = gold_pairs(document, DISC_XPATH)
+    points: list[ThresholdPoint] = []
+    gk = None
+    od_cache: dict = {}
+    for threshold in thresholds:
+        config = dataset2_config(window=window, od_threshold=od_threshold,
+                                 desc_threshold=threshold,
+                                 use_descendants=True)
+        detector = SxnmDetector(config)
+        result = detector.run(document, gk=gk, od_cache=od_cache)
+        gk = result.gk
+        found = result.pairs("disc")
+        points.append(ThresholdPoint(threshold, evaluate_pairs(found, gold),
+                                     len(found)))
+    return points
+
+
+def best_f_measure(points: list[ThresholdPoint]) -> ThresholdPoint:
+    """The sweep point with the highest f-measure."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda point: point.metrics.f_measure)

@@ -1,0 +1,144 @@
+"""Regenerate every reproduced figure in one call.
+
+:func:`generate_full_report` runs experiment sets 1–3 at a configurable
+scale and writes one text file per figure (table + ASCII chart) plus a
+``SUMMARY.txt`` index.  Runnable as a module::
+
+    python -m repro.experiments.report_all --out report --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from ..eval import render_ascii_chart, render_series, render_table
+from .exp1_effectiveness import run_dataset1, run_dataset2, run_dataset3
+from .exp2_scalability import overhead_vs_clean, run_scalability
+from .exp3_thresholds import sweep_desc_threshold, sweep_od_threshold
+from .runner import series_values
+
+SCALES = {
+    "smoke": {"movies": 80, "cds": 80, "catalog": 500,
+              "sizes": [25, 50, 100]},
+    "small": {"movies": 250, "cds": 300, "catalog": 2_000,
+              "sizes": [50, 100, 200]},
+    "paper": {"movies": 500, "cds": 500, "catalog": 10_000,
+              "sizes": [100, 200, 400, 800]},
+}
+
+
+def _figure_text(title: str, x_label: str, x_values, series) -> str:
+    table = render_series(x_label, x_values, series, title=title)
+    chart = render_ascii_chart(x_values, series, title=title,
+                               x_label=x_label)
+    return table + "\n\n" + chart + "\n"
+
+
+def generate_full_report(output_dir: str, scale: str = "small",
+                         seed: int = 42) -> list[str]:
+    """Run all experiments; returns the list of files written."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    sizes = SCALES[scale]
+    out = pathlib.Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+    summary: list[str] = [f"SXNM reproduction report (scale={scale}, "
+                          f"seed={seed})", ""]
+
+    def emit(name: str, text: str, note: str) -> None:
+        path = out / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        written.append(str(path))
+        summary.append(f"{name}.txt — {note}")
+
+    started = time.perf_counter()
+
+    ds1 = run_dataset1(movie_count=sizes["movies"], seed=seed)
+    emit("fig4a", _figure_text("Fig 4(a): recall, data set 1", "window",
+                               ds1.windows, series_values(ds1.sweep, "recall")),
+         "recall vs window size, artificial movies")
+    emit("fig4b", _figure_text("Fig 4(b): precision, data set 1", "window",
+                               ds1.windows,
+                               series_values(ds1.sweep, "precision")),
+         "precision vs window size, artificial movies")
+
+    ds2 = run_dataset2(disc_count=sizes["cds"], seed=seed)
+    emit("fig4c", _figure_text("Fig 4(c): f-measure, data set 2", "window",
+                               ds2.windows,
+                               series_values(ds2.sweep, "f_measure")),
+         "f-measure vs window size, CDs")
+
+    ds3 = run_dataset3(disc_count=sizes["catalog"], seed=seed)
+    emit("fig4d", _figure_text("Fig 4(d): precision, data set 3", "window",
+                               ds3.windows,
+                               series_values(ds3.sweep, "precision"))
+         + "\n" + _figure_text("Fig 4(d): duplicates found", "window",
+                               ds3.windows,
+                               series_values(ds3.sweep, "duplicate_pairs")),
+         "precision and duplicate counts, large catalog")
+
+    scalability_rows = []
+    by_profile = {}
+    for profile in ("clean", "few", "many"):
+        points = run_scalability(profile, sizes=sizes["sizes"], seed=seed)
+        by_profile[profile] = points
+        for point in points:
+            scalability_rows.append(
+                [profile, point.movie_count, point.element_count,
+                 point.kg_seconds, point.sw_seconds, point.tc_seconds,
+                 point.dd_seconds])
+    overhead_rows = [
+        [p.movie_count, f"{fo:.1%}", f"{mo:.1%}"]
+        for p, fo, mo in zip(
+            by_profile["clean"],
+            overhead_vs_clean(by_profile["few"], by_profile["clean"]),
+            overhead_vs_clean(by_profile["many"], by_profile["clean"]))]
+    emit("fig5",
+         render_table(["profile", "movies", "elements", "KG s", "SW s",
+                       "TC s", "DD s"], scalability_rows,
+                      title="Fig 5(a-c): phase times") + "\n\n"
+         + render_table(["movies", "few overhead", "many overhead"],
+                        overhead_rows,
+                        title="Fig 5(d): KG+SW overhead vs clean") + "\n",
+         "scalability of the phases")
+
+    od_points = sweep_od_threshold(disc_count=sizes["cds"], seed=seed)
+    desc_points = sweep_desc_threshold(disc_count=sizes["cds"], seed=seed)
+    for name, points, label in [("fig6a", od_points, "OD threshold"),
+                                ("fig6b", desc_points,
+                                 "descendants threshold")]:
+        thresholds = [p.threshold for p in points]
+        series = {"precision": [p.metrics.precision for p in points],
+                  "recall": [p.metrics.recall for p in points],
+                  "f-measure": [p.metrics.f_measure for p in points]}
+        emit(name, _figure_text(f"Fig {name[-2:]}: {label} sweep", label,
+                                thresholds, series),
+             f"{label} impact, data set 2")
+
+    elapsed = time.perf_counter() - started
+    summary.append("")
+    summary.append(f"generated in {elapsed:.1f}s")
+    (out / "SUMMARY.txt").write_text("\n".join(summary) + "\n",
+                                     encoding="utf-8")
+    written.append(str(out / "SUMMARY.txt"))
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate all reproduced figures")
+    parser.add_argument("--out", default="report")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    for path in generate_full_report(args.out, scale=args.scale,
+                                     seed=args.seed):
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Shared sweep machinery for the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SxnmConfig
+from ..core import SxnmDetector
+from ..eval import PrecisionRecall, evaluate_pairs, gold_pairs
+from ..xmlmodel import XmlDocument
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (series, window) measurement of an effectiveness sweep."""
+
+    series: str
+    window: int
+    metrics: PrecisionRecall
+    duplicate_pairs: int
+    comparisons: int
+
+
+def effectiveness_sweep(document: XmlDocument, config: SxnmConfig,
+                        candidate_name: str, candidate_xpath: str,
+                        windows: list[int],
+                        key_names: list[str] | None = None,
+                        include_multipass: bool = True,
+                        ) -> dict[str, list[SweepPoint]]:
+    """Run single-pass (per key) and multi-pass sweeps over window sizes.
+
+    Returns a mapping of series name (``"Key 1"``, …, ``"MP"``) to the
+    per-window sweep points, each carrying pairwise precision/recall
+    against the oid gold standard of ``candidate_xpath``.
+    """
+    detector = SxnmDetector(config)
+    gold = gold_pairs(document, candidate_xpath)
+    spec = config.candidate(candidate_name)
+    names = key_names or spec.key_names or [
+        f"Key {i + 1}" for i in range(spec.pass_count)]
+
+    # Key generation is window-independent: compute GK once, reuse — and
+    # share the OD-similarity cache across every run of the sweep.
+    base = detector.run(document, window=windows[0] if windows else 2)
+    gk = base.gk
+    od_cache: dict[str, dict[tuple[int, int], float]] = {}
+
+    series: dict[str, list[SweepPoint]] = {}
+    selections: list[tuple[str, int | None]] = [
+        (name, index) for index, name in enumerate(names)]
+    if include_multipass:
+        selections.append(("MP", None))
+
+    for series_name, selection in selections:
+        points: list[SweepPoint] = []
+        for window in windows:
+            result = detector.run(document, window=window,
+                                  key_selection=selection, gk=gk,
+                                  od_cache=od_cache)
+            found = result.pairs(candidate_name)
+            points.append(SweepPoint(
+                series=series_name, window=window,
+                metrics=evaluate_pairs(found, gold),
+                duplicate_pairs=len(found),
+                comparisons=result.outcomes[candidate_name].comparisons))
+        series[series_name] = points
+    return series
+
+
+def series_values(sweep: dict[str, list[SweepPoint]],
+                  metric: str) -> dict[str, list[float]]:
+    """Extract ``metric`` (precision/recall/f_measure/duplicate_pairs)
+    per series, in window order — the shape :func:`repro.eval.render_series`
+    wants."""
+    extracted: dict[str, list[float]] = {}
+    for name, points in sweep.items():
+        values: list[float] = []
+        for point in points:
+            if metric == "duplicate_pairs":
+                values.append(float(point.duplicate_pairs))
+            elif metric == "comparisons":
+                values.append(float(point.comparisons))
+            else:
+                values.append(getattr(point.metrics, metric))
+        extracted[name] = values
+    return extracted

@@ -1,0 +1,13 @@
+"""Key generation: the pattern mini-language and key definitions."""
+
+from .definition import KeyDefinition, KeyPart, generate_keys
+from .pattern import Pattern, PatternItem, parse_pattern
+
+__all__ = [
+    "KeyDefinition",
+    "KeyPart",
+    "Pattern",
+    "PatternItem",
+    "generate_keys",
+    "parse_pattern",
+]

@@ -1,0 +1,120 @@
+"""The key-pattern mini-language.
+
+Table 1 and Table 3 of the paper define key parts with patterns such as
+``K1,K2`` (first and second consonant), ``K1-K5`` (first five consonants),
+``C1-C4`` (first four characters), and ``D3,D4`` (third and fourth digit).
+The letters select a *character class* of the source text and the numbers
+select 1-based positions within that class:
+
+===========  ============================================================
+``K``        consonants (alphabetic, not a vowel)
+``C``        characters (any non-whitespace character)
+``D``        digits
+``V``        vowels (extension)
+``A``        alphabetic characters (extension)
+``W``        word initials (extension; first character of each word)
+``S``        Soundex code positions (extension; position into the code)
+===========  ============================================================
+
+A pattern is a comma-separated list of items, each either ``<class><pos>``
+or a range ``<class><lo>-<class><hi>`` / ``<class><lo>-<hi>`` over a single
+class.  Positions that do not exist in the source text are skipped — the
+paper's experiments rely on short/missing values simply yielding shorter
+keys that sort early.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import PatternSyntaxError
+from ..similarity import soundex
+
+_VOWELS = set("aeiouAEIOU")
+
+_ITEM_RE = re.compile(
+    r"^(?P<cls>[A-Z])(?P<lo>\d+)(?:-(?:(?P<cls2>[A-Z])?(?P<hi>\d+)))?$")
+
+_KNOWN_CLASSES = set("KCDVAWS")
+
+
+def _class_characters(char_class: str, text: str) -> str:
+    """Extract the ordered characters of ``char_class`` from ``text``."""
+    if char_class == "K":
+        return "".join(c for c in text if c.isalpha() and c not in _VOWELS)
+    if char_class == "C":
+        return "".join(c for c in text if not c.isspace())
+    if char_class == "D":
+        return "".join(c for c in text if c.isdigit())
+    if char_class == "V":
+        return "".join(c for c in text if c in _VOWELS)
+    if char_class == "A":
+        return "".join(c for c in text if c.isalpha())
+    if char_class == "W":
+        return "".join(word[0] for word in text.split() if word)
+    if char_class == "S":
+        return soundex(text)
+    raise PatternSyntaxError(f"unknown character class {char_class!r}")
+
+
+@dataclass(frozen=True)
+class PatternItem:
+    """One selection: positions ``lo``..``hi`` (1-based, inclusive) of a class."""
+
+    char_class: str
+    lo: int
+    hi: int
+
+    def extract(self, text: str) -> str:
+        """Characters this item selects from ``text`` (missing → shorter)."""
+        pool = _class_characters(self.char_class, text)
+        return pool[self.lo - 1:self.hi]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A parsed key pattern: an ordered tuple of :class:`PatternItem`."""
+
+    items: tuple[PatternItem, ...]
+    source: str
+
+    def extract(self, text: str) -> str:
+        """Apply every item to ``text`` and concatenate the selections."""
+        return "".join(item.extract(text) for item in self.items)
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def parse_pattern(source: str) -> Pattern:
+    """Parse a pattern string like ``"K1-K5"`` or ``"D3,D4"``.
+
+    Raises :class:`~repro.errors.PatternSyntaxError` on malformed input.
+    """
+    if not isinstance(source, str) or not source.strip():
+        raise PatternSyntaxError("pattern must be a non-empty string")
+    items: list[PatternItem] = []
+    for raw_item in source.split(","):
+        token = raw_item.strip()
+        if not token:
+            raise PatternSyntaxError(f"empty item in pattern {source!r}")
+        match = _ITEM_RE.match(token)
+        if not match:
+            raise PatternSyntaxError(f"malformed pattern item {token!r} in {source!r}")
+        char_class = match.group("cls")
+        if char_class not in _KNOWN_CLASSES:
+            raise PatternSyntaxError(
+                f"unknown character class {char_class!r} in {source!r}")
+        second_class = match.group("cls2")
+        if second_class is not None and second_class != char_class:
+            raise PatternSyntaxError(
+                f"range classes differ ({char_class} vs {second_class}) in {source!r}")
+        lo = int(match.group("lo"))
+        hi_text = match.group("hi")
+        hi = int(hi_text) if hi_text is not None else lo
+        if lo < 1 or hi < lo:
+            raise PatternSyntaxError(
+                f"positions must satisfy 1 <= lo <= hi in {token!r}")
+        items.append(PatternItem(char_class, lo, hi))
+    return Pattern(tuple(items), source=source.strip())

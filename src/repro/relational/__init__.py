@@ -1,0 +1,33 @@
+"""The classical relational SNM family and baselines."""
+
+from .baselines import all_pairs, standard_blocking
+from .desnm import duplicate_elimination_snm
+from .fellegi_sunter import (FellegiSunterMatcher, FieldModel,
+                             estimate_mu_probabilities)
+from .incremental import IncrementalSnm
+from .matchers import (Condition, FieldRule, Matcher, RuleMatcher,
+                       WeightedFieldMatcher)
+from .record import Record, Relation
+from .snm import (RelationalKey, RelationalKeyPart, SnmResult,
+                  sorted_neighborhood)
+
+__all__ = [
+    "Condition",
+    "FellegiSunterMatcher",
+    "FieldModel",
+    "FieldRule",
+    "IncrementalSnm",
+    "Matcher",
+    "Record",
+    "Relation",
+    "RelationalKey",
+    "RelationalKeyPart",
+    "RuleMatcher",
+    "SnmResult",
+    "WeightedFieldMatcher",
+    "all_pairs",
+    "duplicate_elimination_snm",
+    "estimate_mu_probabilities",
+    "sorted_neighborhood",
+    "standard_blocking",
+]

@@ -1,0 +1,70 @@
+"""Baseline duplicate-detection strategies for comparison with SNM.
+
+* :func:`all_pairs` — exhaustive O(n²) comparison; the quality ceiling a
+  windowed method converges to (the paper: "the precision for large
+  window sizes converges to the precision the similarity obtains when
+  comparing all pairs").
+* :func:`standard_blocking` — partition records by exact key value and
+  compare only within blocks; the classic cheaper-but-brittler
+  alternative to sorted neighborhoods.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..clustering import transitive_closure
+from .matchers import Matcher
+from .record import Relation
+from .snm import RelationalKey, SnmResult
+
+
+def all_pairs(relation: Relation, matcher: Matcher,
+              closure: bool = True) -> SnmResult:
+    """Compare every pair of records (O(n²) comparisons)."""
+    result = SnmResult()
+    records = relation.records()
+    start = time.perf_counter()
+    for i, left in enumerate(records):
+        for right in records[i + 1:]:
+            result.comparisons += 1
+            if matcher(left, right):
+                result.pairs.add((left.rid, right.rid))
+    result.window_seconds = time.perf_counter() - start
+
+    if closure:
+        start = time.perf_counter()
+        result.clusters = transitive_closure(result.pairs,
+                                             [r.rid for r in records])
+        result.closure_seconds = time.perf_counter() - start
+    return result
+
+
+def standard_blocking(relation: Relation, keys: list[RelationalKey],
+                      matcher: Matcher) -> SnmResult:
+    """Compare all pairs within each exact-key block, per key definition."""
+    if not keys:
+        raise ValueError("at least one key is required")
+    result = SnmResult()
+    all_rids = [record.rid for record in relation]
+
+    for key in keys:
+        start = time.perf_counter()
+        blocks: dict[str, list[int]] = {}
+        for rid in all_rids:
+            blocks.setdefault(key.generate(relation[rid]), []).append(rid)
+        result.key_generation_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        for block in blocks.values():
+            for i, left in enumerate(block):
+                for right in block[i + 1:]:
+                    result.comparisons += 1
+                    if matcher(relation[left], relation[right]):
+                        result.pairs.add((min(left, right), max(left, right)))
+        result.window_seconds += time.perf_counter() - start
+
+    start = time.perf_counter()
+    result.clusters = transitive_closure(result.pairs, all_rids)
+    result.closure_seconds = time.perf_counter() - start
+    return result

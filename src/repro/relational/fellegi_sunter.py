@@ -1,0 +1,132 @@
+"""Fellegi-Sunter probabilistic record linkage.
+
+The paper grounds duplicate detection in the Fellegi-Sunter model
+(ref. [10]): each field comparison contributes a log-likelihood weight
+``log(m/u)`` when it agrees and ``log((1-m)/(1-u))`` when it disagrees,
+where *m* is the probability of agreement among true matches and *u*
+among non-matches.  The summed weight is compared against an upper and a
+lower threshold, giving a *match* / *possible* / *non-match* decision.
+
+:class:`FellegiSunterMatcher` implements the model over
+:class:`~repro.relational.Record` pairs (agreement = φ similarity above a
+per-field level), and :func:`estimate_mu_probabilities` fits m/u from a
+labelled sample — the calibration step Fellegi-Sunter derive and SNM
+papers typically hand-tune.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..similarity import get_similarity
+from .record import Record
+
+_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class FieldModel:
+    """Per-field parameters of the Fellegi-Sunter model.
+
+    ``agree_at`` is the φ-similarity level at or above which the field
+    counts as agreeing; ``m`` and ``u`` are the conditional agreement
+    probabilities given match / non-match.
+    """
+
+    field: str
+    m: float
+    u: float
+    phi: str = "edit"
+    agree_at: float = 0.9
+
+    def __post_init__(self):
+        for name, value in (("m", self.m), ("u", self.u)):
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} probability must lie in (0, 1)")
+        if self.m <= self.u:
+            raise ValueError("m must exceed u for an informative field")
+
+    @property
+    def agreement_weight(self) -> float:
+        return math.log(self.m / self.u)
+
+    @property
+    def disagreement_weight(self) -> float:
+        return math.log((1.0 - self.m) / (1.0 - self.u))
+
+    def agrees(self, left: Record, right: Record) -> bool:
+        return get_similarity(self.phi)(
+            left.get(self.field), right.get(self.field)) >= self.agree_at
+
+
+class FellegiSunterMatcher:
+    """Weight-summing matcher with match / possible / non-match bands."""
+
+    def __init__(self, fields: list[FieldModel], upper: float,
+                 lower: float | None = None):
+        if not fields:
+            raise ValueError("at least one field model is required")
+        if lower is None:
+            lower = upper
+        if lower > upper:
+            raise ValueError("lower threshold must not exceed upper")
+        self.fields = list(fields)
+        self.upper = upper
+        self.lower = lower
+
+    def weight(self, left: Record, right: Record) -> float:
+        """Summed log-likelihood weight of the pair."""
+        total = 0.0
+        for model in self.fields:
+            if model.agrees(left, right):
+                total += model.agreement_weight
+            else:
+                total += model.disagreement_weight
+        return total
+
+    def classify(self, left: Record, right: Record) -> str:
+        """``"match"``, ``"possible"``, or ``"non-match"``."""
+        weight = self.weight(left, right)
+        if weight >= self.upper:
+            return "match"
+        if weight >= self.lower:
+            return "possible"
+        return "non-match"
+
+    def __call__(self, left: Record, right: Record) -> bool:
+        """Matcher protocol: True iff the pair is a definite match."""
+        return self.weight(left, right) >= self.upper
+
+
+def estimate_mu_probabilities(
+        matches: Iterable[tuple[Record, Record]],
+        non_matches: Iterable[tuple[Record, Record]],
+        field: str, phi: str = "edit", agree_at: float = 0.9) -> FieldModel:
+    """Fit a :class:`FieldModel` from labelled pairs.
+
+    ``m`` is the observed agreement rate among ``matches`` and ``u``
+    among ``non_matches``, clamped away from 0/1 so the log weights stay
+    finite.  Raises ``ValueError`` when either sample is empty or the
+    field is uninformative (m ≤ u).
+    """
+    similarity = get_similarity(phi)
+
+    def agreement_rate(pairs: Iterable[tuple[Record, Record]]) -> float:
+        total = 0
+        agreed = 0
+        for left, right in pairs:
+            total += 1
+            if similarity(left.get(field), right.get(field)) >= agree_at:
+                agreed += 1
+        if total == 0:
+            raise ValueError("cannot estimate probabilities from no pairs")
+        return min(max(agreed / total, _EPSILON), 1.0 - _EPSILON)
+
+    m = agreement_rate(matches)
+    u = agreement_rate(non_matches)
+    if m <= u:
+        raise ValueError(
+            f"field {field!r} is uninformative: m={m:.4f} <= u={u:.4f}")
+    return FieldModel(field, m, u, phi=phi, agree_at=agree_at)

@@ -1,0 +1,98 @@
+"""Equational theory / similarity matchers for relational records.
+
+The relational SNM decides duplicates with "an equational theory combined
+with a similarity measure" (paper Sec. 2.2).  A *matcher* here is any
+callable ``(Record, Record) -> bool``.  Two standard implementations:
+
+* :class:`WeightedFieldMatcher` — weighted average of per-field φ
+  similarities against a threshold (the same shape as SXNM's OD
+  similarity, Def. 2).
+* :class:`RuleMatcher` — a conjunction/disjunction of per-field
+  conditions, the classic equational-theory style ("name similar AND
+  address similar").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..similarity import get_similarity
+from .record import Record
+
+Matcher = Callable[[Record, Record], bool]
+
+
+@dataclass(frozen=True)
+class FieldRule:
+    """One weighted field comparison: field name, weight, φ name."""
+
+    field: str
+    weight: float
+    phi: str = "edit"
+
+
+class WeightedFieldMatcher:
+    """Weighted-average similarity over fields, thresholded.
+
+    ``rules`` weights should sum to 1 for the score to stay in [0, 1];
+    the matcher normalizes by the weight sum so any positive weights work.
+    """
+
+    def __init__(self, rules: list[FieldRule], threshold: float):
+        if not rules:
+            raise ValueError("at least one field rule is required")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        self._rules = [(rule.field, rule.weight, get_similarity(rule.phi))
+                       for rule in rules]
+        total = sum(rule.weight for rule in rules)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._total_weight = total
+        self.threshold = threshold
+
+    def similarity(self, left: Record, right: Record) -> float:
+        """Weighted-average field similarity in [0, 1]."""
+        score = 0.0
+        for field_name, weight, phi in self._rules:
+            score += weight * phi(left.get(field_name), right.get(field_name))
+        return score / self._total_weight
+
+    def __call__(self, left: Record, right: Record) -> bool:
+        return self.similarity(left, right) >= self.threshold
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An atomic equational-theory condition on one field."""
+
+    field: str
+    phi: str
+    at_least: float
+
+    def holds(self, left: Record, right: Record) -> bool:
+        return get_similarity(self.phi)(
+            left.get(self.field), right.get(self.field)) >= self.at_least
+
+
+class RuleMatcher:
+    """Equational theory: ALL of ``require`` and ANY of ``alternatives``.
+
+    ``require`` conditions must all hold; if ``alternatives`` is nonempty,
+    at least one of them must hold as well.
+    """
+
+    def __init__(self, require: list[Condition] | None = None,
+                 alternatives: list[Condition] | None = None):
+        self.require = list(require or [])
+        self.alternatives = list(alternatives or [])
+        if not self.require and not self.alternatives:
+            raise ValueError("a rule matcher needs at least one condition")
+
+    def __call__(self, left: Record, right: Record) -> bool:
+        if not all(condition.holds(left, right) for condition in self.require):
+            return False
+        if self.alternatives:
+            return any(condition.holds(left, right) for condition in self.alternatives)
+        return True

@@ -1,0 +1,25 @@
+"""Schema inference, matching, and data integration (SXNM preprocessing).
+
+The paper assumes "that the XML data has a common schema", satisfiable
+"by applying schema matching and data integration into a common target
+schema prior to SXNM" — this package is that prior step.
+"""
+
+from .dtd import schema_to_dtd
+from .infer import SchemaNode, infer_schema
+from .match import DEFAULT_SYNONYMS, SchemaMapping, SchemaMatcher
+from .transform import apply_mapping, merge_documents
+from .validate import SchemaViolation, validate_against_schema
+
+__all__ = [
+    "DEFAULT_SYNONYMS",
+    "SchemaMapping",
+    "SchemaMatcher",
+    "SchemaNode",
+    "SchemaViolation",
+    "apply_mapping",
+    "infer_schema",
+    "merge_documents",
+    "schema_to_dtd",
+    "validate_against_schema",
+]

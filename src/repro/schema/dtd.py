@@ -1,0 +1,64 @@
+"""DTD export of inferred schemas.
+
+Renders a :class:`~repro.schema.infer.SchemaNode` tree as a Document
+Type Definition — cardinality ranges map to DTD occurrence operators
+(``?``, ``*``, ``+``), observed text becomes ``#PCDATA``, and attributes
+become ``CDATA`` declarations (``#REQUIRED`` when always present).  Used
+to document the synthetic corpora and to sanity-check that generated
+data matches the paper's schema descriptions.
+"""
+
+from __future__ import annotations
+
+from .infer import SchemaNode
+
+
+def _occurrence(node: SchemaNode, tag: str) -> str:
+    minimum = node.min_occurs.get(tag, 0)
+    maximum = node.max_occurs.get(tag, 0)
+    if minimum >= 1 and maximum <= 1:
+        return ""
+    if minimum == 0 and maximum <= 1:
+        return "?"
+    if minimum >= 1:
+        return "+"
+    return "*"
+
+
+def _content_model(node: SchemaNode) -> str:
+    child_tags = list(node.children)
+    has_text = node.text_ratio() > 0
+    if not child_tags and not has_text:
+        return "EMPTY"
+    if not child_tags:
+        return "(#PCDATA)"
+    if has_text:
+        # Mixed content: DTD only allows the unordered star form.
+        return "(#PCDATA | " + " | ".join(child_tags) + ")*"
+    parts = [tag + _occurrence(node, tag) for tag in child_tags]
+    return "(" + ", ".join(parts) + ")"
+
+
+def _render(node: SchemaNode, lines: list[str], seen: set[str]) -> None:
+    if node.tag in seen:
+        return
+    seen.add(node.tag)
+    lines.append(f"<!ELEMENT {node.tag} {_content_model(node)}>")
+    for name in sorted(node.attributes):
+        required = "#REQUIRED" if node.attribute_ratio(name) >= 1.0 \
+            else "#IMPLIED"
+        lines.append(f"<!ATTLIST {node.tag} {name} CDATA {required}>")
+    for child in node.children.values():
+        _render(child, lines, seen)
+
+
+def schema_to_dtd(schema: SchemaNode) -> str:
+    """Render ``schema`` as DTD text.
+
+    Tags are declared once even if they occur at several paths; the first
+    (shallowest) occurrence wins, which matches how DTDs model elements
+    globally.
+    """
+    lines: list[str] = []
+    _render(schema, lines, set())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,115 @@
+"""Schema inference from XML instances.
+
+SXNM "assumes that the XML data has a common schema" (paper Sec. 3);
+when sources disagree, "schema matching and data integration into a
+common target schema" must run first.  This package provides that
+preprocessing step.  Inference summarizes a document (or several) into a
+:class:`SchemaNode` tree recording, per element type at a path: child
+tags with observed cardinality ranges, attribute names with their
+presence counts, and whether text content occurs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..xmlmodel import XmlDocument, XmlElement
+
+
+@dataclass
+class SchemaNode:
+    """Inferred description of one element type at one path."""
+
+    tag: str
+    occurrences: int = 0
+    has_text: int = 0
+    attributes: Counter = field(default_factory=Counter)
+    children: dict[str, SchemaNode] = field(default_factory=dict)
+    min_occurs: dict[str, int] = field(default_factory=dict)
+    max_occurs: dict[str, int] = field(default_factory=dict)
+
+    def child(self, tag: str) -> SchemaNode:
+        """The child schema node for ``tag`` (created on demand)."""
+        if tag not in self.children:
+            self.children[tag] = SchemaNode(tag)
+        return self.children[tag]
+
+    def text_ratio(self) -> float:
+        """Fraction of instances carrying significant own text."""
+        if self.occurrences == 0:
+            return 0.0
+        return self.has_text / self.occurrences
+
+    def attribute_ratio(self, name: str) -> float:
+        """Fraction of instances carrying attribute ``name``."""
+        if self.occurrences == 0:
+            return 0.0
+        return self.attributes.get(name, 0) / self.occurrences
+
+    def is_optional_child(self, tag: str) -> bool:
+        """True if ``tag`` is sometimes absent under this element."""
+        return self.min_occurs.get(tag, 0) == 0
+
+    def paths(self, prefix: str = "") -> list[str]:
+        """All slash-separated tag paths of the subtree (this node first)."""
+        here = f"{prefix}/{self.tag}" if prefix else self.tag
+        collected = [here]
+        for child in self.children.values():
+            collected.extend(child.paths(here))
+        return collected
+
+    def node_at(self, path: str) -> SchemaNode:
+        """The schema node for a path like ``catalog/disc/title``."""
+        steps = path.split("/")
+        if not steps or steps[0] != self.tag:
+            raise KeyError(f"path {path!r} does not start at {self.tag!r}")
+        node = self
+        for step in steps[1:]:
+            try:
+                node = node.children[step]
+            except KeyError:
+                raise KeyError(f"unknown schema path {path!r}") from None
+        return node
+
+
+def _observe(element: XmlElement, node: SchemaNode) -> None:
+    node.occurrences += 1
+    if element.text and element.text.strip():
+        node.has_text += 1
+    for name in element.attributes:
+        node.attributes[name] += 1
+
+    counts: Counter = Counter(child.tag for child in element.children)
+    seen_tags = set(counts)
+    for tag, count in counts.items():
+        child_node = node.child(tag)
+        node.max_occurs[tag] = max(node.max_occurs.get(tag, 0), count)
+        if tag in node.min_occurs:
+            node.min_occurs[tag] = min(node.min_occurs[tag], count)
+        else:
+            # First sighting: if earlier instances lacked it, minimum is 0.
+            node.min_occurs[tag] = 0 if node.occurrences > 1 else count
+    for tag in node.min_occurs:
+        if tag not in seen_tags:
+            node.min_occurs[tag] = 0
+    for child in element.children:
+        _observe(child, node.child(child.tag))
+
+
+def infer_schema(*documents: XmlDocument) -> SchemaNode:
+    """Infer a schema tree from one or more documents.
+
+    All documents must share the root tag; instance statistics are merged.
+    """
+    if not documents:
+        raise ValueError("at least one document is required")
+    root_tag = documents[0].root.tag
+    schema = SchemaNode(root_tag)
+    for document in documents:
+        if document.root.tag != root_tag:
+            raise ValueError(
+                f"documents disagree on the root tag: "
+                f"{document.root.tag!r} vs {root_tag!r}")
+        _observe(document.root, schema)
+    return schema

@@ -1,0 +1,146 @@
+"""Schema matching: align two inferred schema trees.
+
+Produces a :class:`SchemaMapping` from *source* tag paths to *target*
+tag paths.  Node similarity combines name similarity (edit distance over
+normalized tags, plus a synonym table the caller can extend) with
+structural similarity (the matched fraction of children, computed bottom
+up), so ``<performer>`` under ``<cd>`` can align with ``<artist>`` under
+``<disc>`` when their subtrees agree.
+
+Matching is greedy per level: children of matched parents are paired
+best-first above ``min_similarity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..similarity import levenshtein_similarity
+from .infer import SchemaNode
+
+DEFAULT_SYNONYMS: dict[frozenset[str], float] = {
+    frozenset({"artist", "performer"}): 1.0,
+    frozenset({"title", "name"}): 0.9,
+    frozenset({"disc", "cd"}): 1.0,
+    frozenset({"disc", "album"}): 0.9,
+    frozenset({"track", "song"}): 1.0,
+    frozenset({"year", "released"}): 0.9,
+    frozenset({"movie", "film"}): 1.0,
+    frozenset({"person", "actor"}): 0.9,
+}
+
+
+def _normalize(tag: str) -> str:
+    return tag.lower().replace("-", "").replace("_", "")
+
+
+@dataclass
+class SchemaMapping:
+    """Source-path → target-path alignment plus per-pair scores."""
+
+    pairs: dict[str, str] = field(default_factory=dict)
+    scores: dict[str, float] = field(default_factory=dict)
+
+    def target_for(self, source_path: str) -> str | None:
+        return self.pairs.get(source_path)
+
+    def tag_renames(self) -> dict[str, dict[str, str]]:
+        """Per source path: the rename of its final tag (if any)."""
+        renames: dict[str, dict[str, str]] = {}
+        for source, target in self.pairs.items():
+            source_tag = source.rsplit("/", 1)[-1]
+            target_tag = target.rsplit("/", 1)[-1]
+            renames[source] = {source_tag: target_tag}
+        return renames
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class SchemaMatcher:
+    """Greedy, structure-aware matcher between two schema trees."""
+
+    def __init__(self, min_similarity: float = 0.5,
+                 name_weight: float = 0.6,
+                 synonyms: dict[frozenset[str], float] | None = None):
+        if not 0.0 <= min_similarity <= 1.0:
+            raise ValueError("min_similarity must lie in [0, 1]")
+        if not 0.0 <= name_weight <= 1.0:
+            raise ValueError("name_weight must lie in [0, 1]")
+        self.min_similarity = min_similarity
+        self.name_weight = name_weight
+        self.synonyms = dict(DEFAULT_SYNONYMS)
+        if synonyms:
+            self.synonyms.update(synonyms)
+
+    # ------------------------------------------------------------------
+    def name_similarity(self, left: str, right: str) -> float:
+        """Synonym-aware tag-name similarity."""
+        normalized = frozenset({_normalize(left), _normalize(right)})
+        if len(normalized) == 1:
+            return 1.0
+        if normalized in self.synonyms:
+            return self.synonyms[normalized]
+        return levenshtein_similarity(_normalize(left), _normalize(right))
+
+    def node_similarity(self, left: SchemaNode, right: SchemaNode) -> float:
+        """Name + recursive structural similarity in [0, 1]."""
+        name = self.name_similarity(left.tag, right.tag)
+        structure = self._structure_similarity(left, right)
+        return self.name_weight * name + (1.0 - self.name_weight) * structure
+
+    def _structure_similarity(self, left: SchemaNode,
+                              right: SchemaNode) -> float:
+        if not left.children and not right.children:
+            # Two leaves: agree on text-ness.
+            return 1.0 if (left.text_ratio() > 0) == (right.text_ratio() > 0) \
+                else 0.5
+        if not left.children or not right.children:
+            return 0.0
+        matched = self._pair_children(left, right)
+        total = max(len(left.children), len(right.children))
+        if total == 0:
+            return 1.0
+        return sum(score for _, _, score in matched) / total
+
+    def _pair_children(self, left: SchemaNode, right: SchemaNode,
+                       ) -> list[tuple[str, str, float]]:
+        candidates: list[tuple[float, str, str]] = []
+        for left_tag, left_child in left.children.items():
+            for right_tag, right_child in right.children.items():
+                score = self.node_similarity(left_child, right_child)
+                if score >= self.min_similarity:
+                    candidates.append((score, left_tag, right_tag))
+        candidates.sort(reverse=True)
+        used_left: set[str] = set()
+        used_right: set[str] = set()
+        chosen: list[tuple[str, str, float]] = []
+        for score, left_tag, right_tag in candidates:
+            if left_tag in used_left or right_tag in used_right:
+                continue
+            used_left.add(left_tag)
+            used_right.add(right_tag)
+            chosen.append((left_tag, right_tag, score))
+        return chosen
+
+    # ------------------------------------------------------------------
+    def match(self, source: SchemaNode, target: SchemaNode) -> SchemaMapping:
+        """Align ``source`` onto ``target`` top-down from the roots."""
+        mapping = SchemaMapping()
+        root_score = self.node_similarity(source, target)
+        mapping.pairs[source.tag] = target.tag
+        mapping.scores[source.tag] = root_score
+        self._match_level(source, target, source.tag, target.tag, mapping)
+        return mapping
+
+    def _match_level(self, source: SchemaNode, target: SchemaNode,
+                     source_path: str, target_path: str,
+                     mapping: SchemaMapping) -> None:
+        for left_tag, right_tag, score in self._pair_children(source, target):
+            child_source_path = f"{source_path}/{left_tag}"
+            child_target_path = f"{target_path}/{right_tag}"
+            mapping.pairs[child_source_path] = child_target_path
+            mapping.scores[child_source_path] = score
+            self._match_level(source.children[left_tag],
+                              target.children[right_tag],
+                              child_source_path, child_target_path, mapping)

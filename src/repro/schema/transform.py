@@ -1,0 +1,73 @@
+"""Data integration: transform documents into a matched target schema.
+
+:func:`apply_mapping` rewrites a source document along a
+:class:`~repro.schema.match.SchemaMapping`: every element whose source
+path is mapped is renamed to the target tag; unmapped elements are either
+kept verbatim or dropped.  :func:`merge_documents` concatenates several
+already-aligned documents under one root — after which the combined data
+satisfies SXNM's common-schema assumption and can be deduplicated.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import XmlDocument, XmlElement
+from .match import SchemaMapping
+
+
+def apply_mapping(document: XmlDocument, mapping: SchemaMapping,
+                  drop_unmapped: bool = False) -> XmlDocument:
+    """Rename elements along ``mapping``; returns a new document.
+
+    ``drop_unmapped`` removes subtrees whose path has no target (useful
+    when the target schema is a strict subset); by default they are kept
+    with their original tags.
+    """
+    root_target = mapping.target_for(document.root.tag)
+    if root_target is None:
+        raise ValueError(
+            f"mapping does not cover the root element {document.root.tag!r}")
+
+    def convert(element: XmlElement, source_path: str) -> XmlElement | None:
+        target_path = mapping.target_for(source_path)
+        if target_path is None and drop_unmapped:
+            return None
+        tag = target_path.rsplit("/", 1)[-1] if target_path else element.tag
+        clone = XmlElement(tag, attributes=dict(element.attributes),
+                           text=element.text)
+        clone.tail = element.tail
+        for child in element.children:
+            converted = convert(child, f"{source_path}/{child.tag}")
+            if converted is not None:
+                clone.append(converted)
+        return clone
+
+    new_root = convert(document.root, document.root.tag)
+    assert new_root is not None  # root is always mapped (checked above)
+    result = XmlDocument(new_root)
+    result.assign_eids()
+    return result
+
+
+def merge_documents(target_root_tag: str,
+                    *documents: XmlDocument) -> XmlDocument:
+    """Concatenate the children of several documents under a new root.
+
+    All inputs must already conform to the target schema (same root tag).
+    Provenance is recorded in a ``source`` attribute on each top-level
+    child (the 0-based document index).
+    """
+    if not documents:
+        raise ValueError("at least one document is required")
+    root = XmlElement(target_root_tag)
+    for index, document in enumerate(documents):
+        if document.root.tag != target_root_tag:
+            raise ValueError(
+                f"document {index} root {document.root.tag!r} does not match "
+                f"target {target_root_tag!r}")
+        for child in document.root.children:
+            clone = child.copy()
+            clone.set("source", str(index))
+            root.append(clone)
+    merged = XmlDocument(root)
+    merged.assign_eids()
+    return merged

@@ -1,0 +1,90 @@
+"""Validate documents against an inferred schema.
+
+After matching and transforming heterogeneous sources, the merged data
+must actually satisfy SXNM's common-schema assumption.
+:func:`validate_against_schema` checks a document against a
+:class:`~repro.schema.infer.SchemaNode` (typically inferred from the
+target source) and reports violations: unknown element tags, child
+counts outside the observed cardinality ranges, unknown attributes, and
+unexpected text content.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..xmlmodel import XmlDocument, XmlElement
+from .infer import SchemaNode
+
+
+@dataclass(frozen=True)
+class SchemaViolation:
+    """One conformance problem at one element."""
+
+    path: str
+    kind: str      # unknown-element | cardinality | unknown-attribute | text
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.kind}: {self.detail}"
+
+
+def _check(element: XmlElement, node: SchemaNode, path: str,
+           violations: list[SchemaViolation], strict_text: bool) -> None:
+    for name in element.attributes:
+        if name not in node.attributes:
+            violations.append(SchemaViolation(
+                path, "unknown-attribute", f"attribute {name!r} never "
+                f"observed on <{node.tag}>"))
+    if strict_text and element.text and element.text.strip() \
+            and node.text_ratio() == 0.0:
+        violations.append(SchemaViolation(
+            path, "text", f"<{node.tag}> carries text but the schema "
+            f"observed none"))
+
+    counts = Counter(child.tag for child in element.children)
+    for tag, count in counts.items():
+        if tag not in node.children:
+            violations.append(SchemaViolation(
+                f"{path}/{tag}", "unknown-element",
+                f"<{tag}> never observed under <{node.tag}>"))
+            continue
+        maximum = node.max_occurs.get(tag, 0)
+        if count > maximum:
+            violations.append(SchemaViolation(
+                f"{path}/{tag}", "cardinality",
+                f"{count} occurrences exceed the observed maximum {maximum}"))
+    for tag, minimum in node.min_occurs.items():
+        # Presence semantics (the DTD occurrence classes): a child that
+        # was always present is required; exact minimum counts observed
+        # on a small sample would over-fit.
+        if minimum > 0 and counts.get(tag, 0) == 0:
+            violations.append(SchemaViolation(
+                f"{path}/{tag}", "cardinality",
+                f"required child <{tag}> is missing (observed minimum "
+                f"{minimum})"))
+
+    for child in element.children:
+        child_node = node.children.get(child.tag)
+        if child_node is not None:
+            _check(child, child_node, f"{path}/{child.tag}", violations,
+                   strict_text)
+
+
+def validate_against_schema(document: XmlDocument, schema: SchemaNode,
+                            strict_text: bool = False,
+                            ) -> list[SchemaViolation]:
+    """Return all conformance violations (empty list = conforming).
+
+    ``strict_text`` also flags text content on element types that never
+    carried text in the schema sample (off by default: whitespace-only
+    layout text is common).
+    """
+    if document.root.tag != schema.tag:
+        return [SchemaViolation(document.root.tag, "unknown-element",
+                                f"root <{document.root.tag}> does not match "
+                                f"schema root <{schema.tag}>")]
+    violations: list[SchemaViolation] = []
+    _check(document.root, schema, schema.tag, violations, strict_text)
+    return violations

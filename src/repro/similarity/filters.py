@@ -1,0 +1,121 @@
+"""Comparison filters — cheap upper bounds that avoid edit distances.
+
+The paper's outlook (Sec. 5) recalls that "filters are quite effective to
+avoid comparisons, especially with the edit distance operations" (their
+ref. [17]) and asks how such filters interact with the windowing filter.
+This module provides the classic ones:
+
+* :func:`length_filter_bound` — an upper bound on normalized edit
+  similarity from the length difference alone.
+* :func:`bag_filter_bound` — a tighter bound from character multisets
+  (bag distance is a lower bound of edit distance).
+* :func:`bounded_levenshtein` — banded DP with early exit once the
+  distance provably exceeds a cap.
+* :func:`filtered_edit_similarity` — the composition: apply the bounds,
+  then the banded DP, returning 0.0 as soon as the similarity provably
+  falls below a floor.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def length_filter_bound(left: str, right: str) -> float:
+    """Upper bound of ``levenshtein_similarity`` from lengths only.
+
+    Edit distance is at least ``|len(a) - len(b)|``, so similarity is at
+    most ``1 - |Δlen| / max_len``.
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - abs(len(left) - len(right)) / longest
+
+
+def bag_distance(left: str, right: str) -> int:
+    """Bag distance: a cheap lower bound of the edit distance.
+
+    ``max(|bag(a) - bag(b)|, |bag(b) - bag(a)|)`` where the difference is
+    multiset difference.
+    """
+    left_bag = Counter(left)
+    right_bag = Counter(right)
+    left_only = sum((left_bag - right_bag).values())
+    right_only = sum((right_bag - left_bag).values())
+    return max(left_only, right_only)
+
+
+def bag_filter_bound(left: str, right: str) -> float:
+    """Upper bound of normalized edit similarity from bag distance."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - bag_distance(left, right) / longest
+
+
+def bounded_levenshtein(left: str, right: str, max_distance: int) -> int:
+    """Levenshtein distance, or ``max_distance + 1`` once it exceeds it.
+
+    Uses the standard band of width ``2 * max_distance + 1`` around the
+    diagonal and exits as soon as every band cell exceeds the cap.
+    """
+    if max_distance < 0:
+        raise ValueError("max_distance must be >= 0")
+    if left == right:
+        return 0
+    len_left, len_right = len(left), len(right)
+    if abs(len_left - len_right) > max_distance:
+        return max_distance + 1
+    if len_left == 0:
+        return len_right
+    if len_right == 0:
+        return len_left
+
+    overflow = max_distance + 1
+    previous = list(range(len_right + 1))
+    for row, char in enumerate(left, start=1):
+        low = max(1, row - max_distance)
+        high = min(len_right, row + max_distance)
+        current = [overflow] * (len_right + 1)
+        if low == 1:
+            current[0] = row
+        best = current[0]
+        for col in range(low, high + 1):
+            cost = 0 if char == right[col - 1] else 1
+            value = min(previous[col] + 1,
+                        current[col - 1] + 1,
+                        previous[col - 1] + cost)
+            current[col] = value
+            if value < best:
+                best = value
+        if best > max_distance:
+            return overflow
+        previous = current
+    distance = previous[len_right]
+    return distance if distance <= max_distance else overflow
+
+
+def filtered_edit_similarity(left: str, right: str, floor: float) -> float:
+    """Normalized edit similarity, short-circuited below ``floor``.
+
+    Returns the exact ``levenshtein_similarity`` when it is at least
+    ``floor`` and ``0.0`` otherwise, without ever running the full DP
+    when the length or bag filters already refute the floor.
+    """
+    if not 0.0 <= floor <= 1.0:
+        raise ValueError("floor must lie in [0, 1]")
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    if length_filter_bound(left, right) < floor:
+        return 0.0
+    if bag_filter_bound(left, right) < floor:
+        return 0.0
+    # Epsilon guards the float boundary: 10 * (1 - 0.9) is 0.999...,
+    # which must still allow distance 1 (similarity exactly 0.9).
+    max_distance = int(longest * (1.0 - floor) + 1e-9)
+    distance = bounded_levenshtein(left, right, max_distance)
+    if distance > max_distance:
+        return 0.0
+    return 1.0 - distance / longest

@@ -1,0 +1,67 @@
+"""Jaro and Jaro-Winkler string similarity.
+
+Classical record-linkage measures (Winkler [1], Jaro [11] in the paper's
+references).  Jaro-Winkler boosts the score of strings sharing a common
+prefix, which suits person and artist names.
+"""
+
+from __future__ import annotations
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity in ``[0, 1]``; 1.0 for equal strings."""
+    if left == right:
+        return 1.0
+    len_left, len_right = len(left), len(right)
+    if len_left == 0 or len_right == 0:
+        return 0.0
+    window = max(len_left, len_right) // 2 - 1
+    window = max(window, 0)
+
+    left_flags = [False] * len_left
+    right_flags = [False] * len_right
+    matches = 0
+    for i, char in enumerate(left):
+        low = max(0, i - window)
+        high = min(len_right, i + window + 1)
+        for j in range(low, high):
+            if not right_flags[j] and right[j] == char:
+                left_flags[i] = True
+                right_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(len_left):
+        if left_flags[i]:
+            while not right_flags[j]:
+                j += 1
+            if left[i] != right[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    return (matches / len_left
+            + matches / len_right
+            + (matches - transpositions) / matches) / 3.0
+
+
+def jaro_winkler_similarity(left: str, right: str, prefix_weight: float = 0.1,
+                            max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro plus a common-prefix bonus.
+
+    ``prefix_weight`` must be at most ``1 / max_prefix`` so the result
+    stays in ``[0, 1]``.
+    """
+    if not 0.0 <= prefix_weight * max_prefix <= 1.0:
+        raise ValueError("prefix_weight * max_prefix must lie in [0, 1]")
+    jaro = jaro_similarity(left, right)
+    prefix = 0
+    for l_char, r_char in zip(left, right):
+        if l_char != r_char or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)

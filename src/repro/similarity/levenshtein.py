@@ -1,0 +1,81 @@
+"""Edit-distance measures.
+
+The paper's example φ function for object descriptions is the edit
+distance ("which computes the minimum number of operations needed to
+convert one string into another").  We provide plain Levenshtein, the
+Damerau variant (adjacent transpositions count as one operation — the
+Dirty XML Data Generator's *swap* error is exactly such a transposition),
+and normalized similarities in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Minimum number of insertions, deletions, and substitutions."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner dimension for less memory.
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for row, left_char in enumerate(left, start=1):
+        current = [row]
+        for col, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(min(previous[col] + 1,          # deletion
+                               current[col - 1] + 1,       # insertion
+                               previous[col - 1] + cost))  # substitution
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(left: str, right: str) -> int:
+    """Levenshtein with adjacent transpositions as a single operation."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    rows = len(left) + 1
+    cols = len(right) + 1
+    matrix = [[0] * cols for _ in range(rows)]
+    for row in range(rows):
+        matrix[row][0] = row
+    for col in range(cols):
+        matrix[0][col] = col
+    for row in range(1, rows):
+        for col in range(1, cols):
+            cost = 0 if left[row - 1] == right[col - 1] else 1
+            best = min(matrix[row - 1][col] + 1,
+                       matrix[row][col - 1] + 1,
+                       matrix[row - 1][col - 1] + cost)
+            if (row > 1 and col > 1 and left[row - 1] == right[col - 2]
+                    and left[row - 2] == right[col - 1]):
+                best = min(best, matrix[row - 2][col - 2] + 1)
+            matrix[row][col] = best
+    return matrix[-1][-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """``1 - distance / max(len)`` — 1.0 for equal strings, 0.0 disjoint.
+
+    Both strings empty counts as identical (similarity 1.0).
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def damerau_similarity(left: str, right: str) -> float:
+    """Normalized Damerau-Levenshtein similarity in ``[0, 1]``."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return 1.0 - damerau_levenshtein_distance(left, right) / longest

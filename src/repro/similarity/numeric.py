@@ -1,0 +1,57 @@
+"""Numeric similarity functions.
+
+The paper notes that "using domain-knowledge, more accurate φ functions
+can be used, e.g., a numeric distance function for numerical values" —
+years and running lengths in the movie data are the natural users.
+"""
+
+from __future__ import annotations
+
+
+def parse_number(value: str) -> float | None:
+    """Parse ``value`` as a float, tolerating surrounding noise.
+
+    Returns ``None`` when no number can be extracted.  Dirty data often
+    carries stray characters around digits ("1999?", " 136 min"), so a
+    best-effort digit-run extraction backs up the strict parse.
+    """
+    text = value.strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    digits: list[str] = []
+    seen_digit = False
+    for char in text:
+        if char.isdigit():
+            digits.append(char)
+            seen_digit = True
+        elif char in ".-+" and not seen_digit and not digits:
+            digits.append(char)
+        elif seen_digit:
+            break
+    try:
+        return float("".join(digits))
+    except ValueError:
+        return None
+
+
+def numeric_similarity(left: str, right: str, scale: float = 10.0) -> float:
+    """Similarity of two numeric strings: ``max(0, 1 - |a-b| / scale)``.
+
+    ``scale`` is the difference at which similarity reaches zero (default
+    10 — a decade for years).  Non-parsable operands fall back to exact
+    string comparison (1.0 iff equal after stripping).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    a = parse_number(left)
+    b = parse_number(right)
+    if a is None or b is None:
+        return 1.0 if left.strip() == right.strip() else 0.0
+    return max(0.0, 1.0 - abs(a - b) / scale)
+
+
+def year_similarity(left: str, right: str) -> float:
+    """Numeric similarity tuned for 4-digit years (scale 5)."""
+    return numeric_similarity(left, right, scale=5.0)

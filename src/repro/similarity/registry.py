@@ -1,0 +1,77 @@
+"""Named registry of φ (string-similarity) functions.
+
+Configurations refer to similarity functions by name (the paper's OD
+relation pairs each path with a φ function chosen by the expert).  The
+registry maps those names to callables ``(str, str) -> float in [0, 1]``
+and allows applications to register their own domain measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .jaro import jaro_similarity, jaro_winkler_similarity
+from .levenshtein import damerau_similarity, levenshtein_similarity
+from .numeric import numeric_similarity, year_similarity
+from .tokens import lcs_similarity, ngram_similarity, token_jaccard
+
+SimilarityFunction = Callable[[str, str], float]
+
+
+def exact_similarity(left: str, right: str) -> float:
+    """1.0 iff the two strings are equal, else 0.0."""
+    return 1.0 if left == right else 0.0
+
+
+def exact_casefold_similarity(left: str, right: str) -> float:
+    """Case-insensitive exact match."""
+    return 1.0 if left.casefold() == right.casefold() else 0.0
+
+
+_BUILTINS: dict[str, SimilarityFunction] = {
+    "levenshtein": levenshtein_similarity,
+    "edit": levenshtein_similarity,           # the paper's default
+    "damerau": damerau_similarity,
+    "jaro": jaro_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "numeric": numeric_similarity,
+    "year": year_similarity,
+    "token_jaccard": token_jaccard,
+    "ngram": ngram_similarity,
+    "lcs": lcs_similarity,
+    "exact": exact_similarity,
+    "exact_casefold": exact_casefold_similarity,
+}
+
+_registry: dict[str, SimilarityFunction] = dict(_BUILTINS)
+
+
+def register_similarity(name: str, function: SimilarityFunction,
+                        overwrite: bool = False) -> None:
+    """Register ``function`` under ``name``.
+
+    Raises ``ValueError`` if the name is taken and ``overwrite`` is false.
+    """
+    if name in _registry and not overwrite:
+        raise ValueError(f"similarity function {name!r} is already registered")
+    _registry[name] = function
+
+
+def get_similarity(name: str) -> SimilarityFunction:
+    """Look up a registered similarity function by name."""
+    try:
+        return _registry[name]
+    except KeyError:
+        known = ", ".join(sorted(_registry))
+        raise KeyError(f"unknown similarity function {name!r}; known: {known}") from None
+
+
+def available_similarities() -> list[str]:
+    """Sorted names of all registered similarity functions."""
+    return sorted(_registry)
+
+
+def reset_registry() -> None:
+    """Restore the registry to the built-in set (used by tests)."""
+    _registry.clear()
+    _registry.update(_BUILTINS)

@@ -1,0 +1,45 @@
+"""Soundex phonetic encoding.
+
+Not used by the paper's similarity measure directly, but a classic key
+ingredient for sorted-neighborhood passes over name-like fields: sorting
+on a phonetic code places spelling variants next to each other.  Offered
+as an extension key-pattern source (see :mod:`repro.keys`).
+"""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+
+def soundex(text: str, length: int = 4) -> str:
+    """American Soundex code of ``text`` (empty input gives ``""``).
+
+    The first letter is kept, subsequent consonants map to digit classes,
+    adjacent same-class codes collapse, and ``h``/``w`` are transparent
+    between consonants of the same class.
+    """
+    if length < 1:
+        raise ValueError("soundex length must be >= 1")
+    letters = [c for c in text.lower() if c.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for char in letters[1:]:
+        if char in "hw":
+            continue
+        digit = _SOUNDEX_CODES.get(char, "")
+        if digit and digit != previous:
+            code.append(digit)
+            if len(code) == length:
+                break
+        previous = digit
+    return "".join(code).ljust(length, "0")

@@ -1,0 +1,125 @@
+"""Set- and sequence-based similarity measures.
+
+:func:`jaccard` over cluster-id lists is the paper's descendant
+similarity ("the ratio between the cardinalities of the intersection and
+the union … this is our current implementation", Sec. 3.4).  Token- and
+n-gram-based string measures round out the φ-function toolbox.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+
+def jaccard(left: Iterable[object], right: Iterable[object]) -> float:
+    """|A ∩ B| / |A ∪ B| on the *sets* of the two iterables.
+
+    Two empty collections are defined as identical (1.0), matching the
+    intuition that two elements that both have no descendants do not
+    disagree about them.
+    """
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    union = left_set | right_set
+    return len(left_set & right_set) / len(union)
+
+
+def multiset_jaccard(left: Iterable[object], right: Iterable[object]) -> float:
+    """Jaccard on multisets: duplicated members count with multiplicity."""
+    left_counts, right_counts = Counter(left), Counter(right)
+    if not left_counts and not right_counts:
+        return 1.0
+    intersection = sum((left_counts & right_counts).values())
+    union = sum((left_counts | right_counts).values())
+    return intersection / union
+
+
+def overlap_coefficient(left: Iterable[object], right: Iterable[object]) -> float:
+    """|A ∩ B| / min(|A|, |B|) — forgiving of size imbalance.
+
+    An alternative φ_desc: a movie with 3 actors that are all contained
+    in another movie's 10 actors scores 1.0 instead of 0.3.
+    """
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / min(len(left_set), len(right_set))
+
+
+def dice_coefficient(left: Iterable[object], right: Iterable[object]) -> float:
+    """2|A ∩ B| / (|A| + |B|)."""
+    left_set, right_set = set(left), set(right)
+    if not left_set and not right_set:
+        return 1.0
+    return 2 * len(left_set & right_set) / (len(left_set) + len(right_set))
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric word tokens of ``text``."""
+    tokens: list[str] = []
+    current: list[str] = []
+    for char in text.lower():
+        if char.isalnum():
+            current.append(char)
+        elif current:
+            tokens.append("".join(current))
+            current = []
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def token_jaccard(left: str, right: str) -> float:
+    """Jaccard similarity over word tokens of two strings."""
+    return jaccard(tokenize(left), tokenize(right))
+
+
+def ngrams(text: str, size: int = 2) -> list[str]:
+    """Character n-grams of ``text`` padded with ``#`` sentinels."""
+    if size < 1:
+        raise ValueError("n-gram size must be >= 1")
+    if not text:
+        return []
+    padded = "#" * (size - 1) + text + "#" * (size - 1)
+    return [padded[i:i + size] for i in range(len(padded) - size + 1)]
+
+
+def ngram_similarity(left: str, right: str, size: int = 2) -> float:
+    """Dice coefficient over character n-gram multisets."""
+    left_grams = Counter(ngrams(left, size))
+    right_grams = Counter(ngrams(right, size))
+    if not left_grams and not right_grams:
+        return 1.0
+    total = sum(left_grams.values()) + sum(right_grams.values())
+    if total == 0:
+        return 1.0
+    shared = sum((left_grams & right_grams).values())
+    return 2 * shared / total
+
+
+def longest_common_subsequence(left: Sequence, right: Sequence) -> int:
+    """Length of the longest common subsequence of two sequences."""
+    if not left or not right:
+        return 0
+    previous = [0] * (len(right) + 1)
+    for item in left:
+        current = [0]
+        for col, other in enumerate(right, start=1):
+            if item == other:
+                current.append(previous[col - 1] + 1)
+            else:
+                current.append(max(previous[col], current[-1]))
+        previous = current
+    return previous[-1]
+
+
+def lcs_similarity(left: str, right: str) -> float:
+    """LCS length normalized by the longer string's length."""
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    return longest_common_subsequence(left, right) / longest

@@ -1,0 +1,33 @@
+"""From-scratch XML substrate: tree model, parser, and serializer.
+
+Public surface:
+
+* :class:`XmlElement`, :class:`XmlDocument` — the tree model.
+* :func:`parse`, :func:`parse_file` — DOM-style parsing.
+* :func:`iter_events`, :class:`XmlEvent` — streaming (SAX-style) parsing,
+  used by the single-pass SXNM key generator.
+* :func:`serialize`, :func:`write_file` — serialization.
+* :func:`element`, :func:`document` — programmatic builders.
+"""
+
+from .builder import document, element, text_child
+from .node import XmlDocument, XmlElement
+from .parser import XmlEvent, iter_events, iter_events_file, parse, parse_file
+from .writer import escape_attribute, escape_text, serialize, write_file
+
+__all__ = [
+    "XmlDocument",
+    "XmlElement",
+    "XmlEvent",
+    "document",
+    "element",
+    "escape_attribute",
+    "escape_text",
+    "iter_events",
+    "iter_events_file",
+    "parse",
+    "parse_file",
+    "serialize",
+    "text_child",
+    "write_file",
+]

@@ -1,0 +1,49 @@
+"""Programmatic construction helpers for XML trees.
+
+:func:`element` is a nested-call builder used heavily by tests and the
+data generators::
+
+    tree = element(
+        "movie", {"year": "1999"},
+        element("title", text="Matrix"),
+        element("people",
+                element("person", text="Keanu Reeves"),
+                element("person", text="Carrie-Anne Moss")),
+    )
+"""
+
+from __future__ import annotations
+
+from .node import XmlDocument, XmlElement
+
+
+def element(tag: str, *parts: dict[str, str] | XmlElement,
+            text: str | None = None) -> XmlElement:
+    """Build an :class:`XmlElement` with children appended in order.
+
+    ``parts`` may start with an attribute dict; every other positional
+    argument must be a child :class:`XmlElement`.
+    """
+    attributes: dict[str, str] | None = None
+    children = parts
+    if parts and isinstance(parts[0], dict):
+        attributes = parts[0]
+        children = parts[1:]
+    node = XmlElement(tag, attributes=attributes, text=text)
+    for child in children:
+        if not isinstance(child, XmlElement):
+            raise TypeError(f"child must be XmlElement, got {type(child).__name__}")
+        node.append(child)
+    return node
+
+
+def document(root: XmlElement) -> XmlDocument:
+    """Wrap ``root`` into a document and assign element ids."""
+    doc = XmlDocument(root)
+    doc.assign_eids()
+    return doc
+
+
+def text_child(parent: XmlElement, tag: str, text: str) -> XmlElement:
+    """Append a ``<tag>text</tag>`` child to ``parent``; return it."""
+    return parent.make_child(tag, text=text)

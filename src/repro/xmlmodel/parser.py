@@ -1,0 +1,335 @@
+"""A from-scratch XML parser.
+
+Two entry points are provided:
+
+* :func:`parse` / :func:`parse_file` build an :class:`~repro.xmlmodel.node.XmlDocument`
+  tree (DOM style).
+* :func:`iter_events` yields SAX-style events (``start``, ``end``, ``text``)
+  without building a tree.  The SXNM key-generation phase is specified as a
+  *single pass* over the data source; the streaming API is what makes that
+  single pass literal.
+
+The grammar covered is the subset needed for data-centric XML: elements,
+attributes (single- or double-quoted), character data, comments, CDATA
+sections, processing instructions, an optional XML declaration and DOCTYPE
+(both skipped), and the five predefined entities plus decimal/hexadecimal
+character references.  Namespace prefixes are kept verbatim as part of tag
+names.  Errors raise :class:`~repro.errors.XmlParseError` with line/column
+information.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import NamedTuple
+
+from ..errors import XmlParseError
+from .node import XmlDocument, XmlElement
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class XmlEvent(NamedTuple):
+    """One streaming parse event.
+
+    ``kind`` is ``"start"`` (value = ``(tag, attributes)``), ``"text"``
+    (value = character data), or ``"end"`` (value = tag).
+    """
+
+    kind: str
+    value: object
+
+
+class _Scanner:
+    """Character scanner with line/column tracking."""
+
+    def __init__(self, data: str):
+        self.data = data
+        self.pos = 0
+        self.length = len(data)
+
+    def location(self) -> tuple[int, int]:
+        """1-based (line, column) of the current position."""
+        line = self.data.count("\n", 0, self.pos) + 1
+        last_newline = self.data.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.data[index] if index < self.length else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def match(self, literal: str) -> bool:
+        """Consume ``literal`` if it appears at the current position."""
+        if self.data.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.match(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.data[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_until(self, terminator: str) -> str:
+        """Read up to (not including) ``terminator``; consume the terminator."""
+        index = self.data.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.data[self.pos:index]
+        self.pos = index + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.data[self.pos]):
+            raise self.error("expected an XML name")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.data[self.pos]):
+            self.pos += 1
+        return self.data[start:self.pos]
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while True:
+        amp = raw.find("&", index)
+        if amp < 0:
+            parts.append(raw[index:])
+            break
+        parts.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[amp + 1:semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                parts.append(chr(int(entity[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{entity};") from None
+        elif entity.startswith("#"):
+            try:
+                parts.append(chr(int(entity[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{entity};") from None
+        elif entity in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        index = semi + 1
+    return "".join(parts)
+
+
+def _read_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        char = scanner.peek()
+        if char in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        value = scanner.read_until(quote)
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = _decode_entities(value, scanner)
+
+
+def _skip_prolog_and_misc(scanner: _Scanner) -> None:
+    """Skip the XML declaration, DOCTYPE, comments, and PIs before the root."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.match("<?"):
+            scanner.read_until("?>")
+        elif scanner.match("<!--"):
+            scanner.read_until("-->")
+        elif scanner.match("<!DOCTYPE"):
+            # Consume until the matching '>' (internal subsets use brackets).
+            depth = 1
+            while depth:
+                if scanner.at_end():
+                    raise scanner.error("unterminated DOCTYPE")
+                char = scanner.peek()
+                if char == "<":
+                    depth += 1
+                elif char == ">":
+                    depth -= 1
+                scanner.advance()
+        else:
+            return
+
+
+def iter_events(data: str) -> Iterator[XmlEvent]:
+    """Yield ``start``/``text``/``end`` events for ``data``.
+
+    Text events carry entity-decoded character data, with CDATA content
+    passed through verbatim.  Whitespace-only text between elements is
+    still reported; consumers decide whether it is significant.
+    """
+    scanner = _Scanner(data)
+    _skip_prolog_and_misc(scanner)
+    if scanner.at_end():
+        raise scanner.error("document has no root element")
+
+    open_tags: list[str] = []
+    started = False
+    while True:
+        if scanner.at_end():
+            if open_tags:
+                raise scanner.error(f"unexpected end of input inside <{open_tags[-1]}>")
+            if not started:
+                raise scanner.error("document has no root element")
+            return
+
+        if scanner.peek() != "<":
+            raw = ""
+            index = scanner.data.find("<", scanner.pos)
+            if index < 0:
+                raw = scanner.data[scanner.pos:]
+                scanner.pos = scanner.length
+            else:
+                raw = scanner.data[scanner.pos:index]
+                scanner.pos = index
+            if open_tags:
+                yield XmlEvent("text", _decode_entities(raw, scanner))
+            elif raw.strip():
+                raise scanner.error("character data outside the root element")
+            continue
+
+        if scanner.match("<!--"):
+            scanner.read_until("-->")
+            continue
+        if scanner.match("<![CDATA["):
+            if not open_tags:
+                raise scanner.error("CDATA outside the root element")
+            yield XmlEvent("text", scanner.read_until("]]>"))
+            continue
+        if scanner.match("<?"):
+            scanner.read_until("?>")
+            continue
+        if scanner.match("</"):
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            if not open_tags:
+                raise scanner.error(f"closing tag </{name}> with no open element")
+            expected = open_tags.pop()
+            if name != expected:
+                raise scanner.error(f"mismatched closing tag </{name}>, expected </{expected}>")
+            yield XmlEvent("end", name)
+            if not open_tags:
+                # After the root closes, only misc content may follow.
+                _skip_prolog_and_misc(scanner)
+                scanner.skip_whitespace()
+                if not scanner.at_end():
+                    raise scanner.error("content after the root element")
+                return
+            continue
+
+        # Start tag.
+        scanner.expect("<")
+        if not started and open_tags:
+            raise scanner.error("internal parser state error")  # pragma: no cover
+        name = scanner.read_name()
+        attributes = _read_attributes(scanner)
+        scanner.skip_whitespace()
+        if scanner.match("/>"):
+            yield XmlEvent("start", (name, attributes))
+            yield XmlEvent("end", name)
+            started = True
+            if not open_tags:
+                _skip_prolog_and_misc(scanner)
+                scanner.skip_whitespace()
+                if not scanner.at_end():
+                    raise scanner.error("content after the root element")
+                return
+            continue
+        scanner.expect(">")
+        open_tags.append(name)
+        started = True
+        yield XmlEvent("start", (name, attributes))
+
+
+def parse(data: str) -> XmlDocument:
+    """Parse ``data`` into an :class:`XmlDocument` and assign element ids."""
+    root: XmlElement | None = None
+    stack: list[XmlElement] = []
+    last_closed: XmlElement | None = None
+
+    for event in iter_events(data):
+        if event.kind == "start":
+            tag, attributes = event.value  # type: ignore[misc]
+            element = XmlElement(tag, attributes=attributes)
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            stack.append(element)
+            last_closed = None
+        elif event.kind == "text":
+            text = str(event.value)
+            current = stack[-1]
+            if last_closed is not None and last_closed.parent is current:
+                last_closed.tail = (last_closed.tail or "") + text
+            else:
+                current.text = (current.text or "") + text
+        else:  # end
+            last_closed = stack.pop()
+
+    assert root is not None  # iter_events guarantees a root or raises
+    document = XmlDocument(root)
+    document.assign_eids()
+    return document
+
+
+def parse_file(path: str) -> XmlDocument:
+    """Read ``path`` (UTF-8) and parse it into an :class:`XmlDocument`."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read())
+
+
+def iter_events_file(path: str) -> Iterator[XmlEvent]:
+    """Stream events for the document stored at ``path`` (UTF-8)."""
+    with open(path, encoding="utf-8") as handle:
+        data = handle.read()
+    return iter_events(data)

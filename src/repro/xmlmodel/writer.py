@@ -1,0 +1,87 @@
+"""XML serialization.
+
+Round-trips trees produced by :mod:`repro.xmlmodel.parser`: text and
+attribute values are entity-escaped, attribute order is preserved, and an
+optional pretty-printing mode indents purely structural content (elements
+whose own ``text`` is empty/whitespace) without corrupting mixed content.
+"""
+
+from __future__ import annotations
+
+from .node import XmlDocument, XmlElement
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for use between tags."""
+    for char, replacement in _TEXT_ESCAPES.items():
+        value = value.replace(char, replacement)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for use inside double quotes."""
+    for char, replacement in _ATTR_ESCAPES.items():
+        value = value.replace(char, replacement)
+    return value
+
+
+def _write_element(element: XmlElement, parts: list[str], indent: str | None,
+                   depth: int) -> None:
+    pad = "" if indent is None else "\n" + indent * depth
+    if depth > 0 or indent is not None:
+        parts.append(pad if depth > 0 else "")
+    parts.append(f"<{element.tag}")
+    for name, value in element.attributes.items():
+        parts.append(f' {name}="{escape_attribute(value)}"')
+    has_text = bool(element.text and element.text.strip()) if indent is not None \
+        else element.text is not None
+    if not element.children and not has_text:
+        parts.append("/>")
+    else:
+        parts.append(">")
+        mixed = indent is None or has_text
+        if element.text and (indent is None or element.text.strip()):
+            parts.append(escape_text(element.text))
+        for child in element.children:
+            _write_element(child, parts, None if mixed else indent, depth + 1)
+            if child.tail and (indent is None or child.tail.strip()):
+                parts.append(escape_text(child.tail))
+        if element.children and not mixed and indent is not None:
+            parts.append("\n" + indent * depth)
+        parts.append(f"</{element.tag}>")
+
+
+def serialize(node: XmlDocument | XmlElement, pretty: bool = False,
+              indent: str = "  ", declaration: bool = False) -> str:
+    """Serialize a document or element subtree to a string.
+
+    Parameters
+    ----------
+    node:
+        Document or element to serialize.
+    pretty:
+        When true, structural content is indented with ``indent``.
+        Mixed content (elements with significant own text) is emitted
+        inline so no character data is invented or lost semantically.
+    declaration:
+        When true, prefix the output with an XML declaration.
+    """
+    element = node.root if isinstance(node, XmlDocument) else node
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if not pretty:
+            parts.append("\n")
+    _write_element(element, parts, indent if pretty else None, 0)
+    text = "".join(parts)
+    return text.lstrip("\n") if pretty and not declaration else text
+
+
+def write_file(node: XmlDocument | XmlElement, path: str, pretty: bool = True) -> None:
+    """Serialize ``node`` to ``path`` (UTF-8) with an XML declaration."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(node, pretty=pretty, declaration=True))
+        handle.write("\n")

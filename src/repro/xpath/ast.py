@@ -1,0 +1,100 @@
+"""AST for the XPath subset used by SXNM configurations.
+
+The paper references data with *relative paths* such as ``title/text()``,
+``@year``, and ``people/person[1]/text()``, and identifies candidates with
+*absolute paths* such as ``movie_database/movies/movie``.  The AST below
+covers exactly that subset plus two pragmatic extensions: the wildcard
+step ``*`` and the descendant axis ``//``.
+
+A path is a sequence of steps.  Only the last step may be a value step
+(``text()`` or ``@attr``); all earlier steps navigate elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChildStep:
+    """Navigate to child elements.
+
+    ``name`` is an element tag or ``"*"`` for any tag.  ``position`` is a
+    1-based positional predicate (``person[2]``) or ``None`` for all
+    matches.  ``attribute`` / ``attribute_value`` encode the predicates
+    ``[@lang]`` (attribute present) and ``[@lang='en']`` (attribute
+    equals).  ``descendant`` marks steps written after ``//``: the search
+    spans all descendants instead of direct children.
+
+    When both an attribute predicate and a position are given the
+    attribute filter applies first, then the position indexes the
+    filtered list — standard XPath semantics for ``t[@a='x'][2]``.
+    """
+
+    name: str
+    position: int | None = None
+    descendant: bool = False
+    attribute: str | None = None
+    attribute_value: str | None = None
+
+    def __str__(self) -> str:
+        text = ("//" if self.descendant else "") + self.name
+        if self.attribute is not None:
+            if self.attribute_value is None:
+                text += f"[@{self.attribute}]"
+            else:
+                text += f"[@{self.attribute}='{self.attribute_value}']"
+        if self.position is not None:
+            text += f"[{self.position}]"
+        return text
+
+
+@dataclass(frozen=True)
+class TextStep:
+    """Terminal ``text()`` step selecting an element's character data."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class AttributeStep:
+    """Terminal ``@name`` step selecting an attribute value."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Step = ChildStep | TextStep | AttributeStep
+
+
+@dataclass(frozen=True)
+class Path:
+    """A parsed path: a tuple of steps, optionally rooted (``absolute``)."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    @property
+    def is_value_path(self) -> bool:
+        """True if the path ends in ``text()`` or ``@attr``."""
+        return bool(self.steps) and isinstance(self.steps[-1], (TextStep, AttributeStep))
+
+    @property
+    def element_steps(self) -> tuple[ChildStep, ...]:
+        """The navigation (non-terminal-value) steps."""
+        if self.is_value_path:
+            return tuple(step for step in self.steps[:-1])  # type: ignore[misc]
+        return tuple(step for step in self.steps)  # type: ignore[misc]
+
+    def __str__(self) -> str:
+        rendered: list[str] = []
+        for index, step in enumerate(self.steps):
+            text = str(step)
+            if index > 0 and not text.startswith("//"):
+                rendered.append("/")
+            rendered.append(text)
+        prefix = "/" if self.absolute else ""
+        return prefix + "".join(rendered)

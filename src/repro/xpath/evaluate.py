@@ -1,0 +1,151 @@
+"""Evaluation of parsed paths against :mod:`repro.xmlmodel` trees.
+
+Three views of a result are offered:
+
+* :func:`select_elements` — the element nodes a path's navigation steps
+  reach (value steps must be absent).
+* :func:`select_values` — string values: with a ``text()`` tail the
+  elements' own text, with an ``@attr`` tail the attribute values, and with
+  a plain element path the concatenated text content of each hit (a
+  convenience the configuration layer relies on).
+* :func:`first_value` — the first string value or ``None``; missing data
+  is a first-class situation for key generation.
+
+Absolute paths (``/a/b`` or, as the paper writes them, ``a/b`` starting at
+the document root tag) are evaluated with :func:`select_elements` against
+the document root via :func:`resolve_absolute`.
+"""
+
+from __future__ import annotations
+
+from ..errors import PathEvaluationError
+from ..xmlmodel import XmlDocument, XmlElement
+from .ast import AttributeStep, ChildStep, Path, TextStep
+from .parser import parse_path
+
+
+def _coerce(path: Path | str) -> Path:
+    return path if isinstance(path, Path) else parse_path(path)
+
+
+def _step_candidates(node: XmlElement, step: ChildStep) -> list[XmlElement]:
+    if step.descendant:
+        pool = [child for top in node.children for child in top.iter()]
+    else:
+        pool = node.children
+    if step.name == "*":
+        matches = list(pool)
+    else:
+        matches = [child for child in pool if child.tag == step.name]
+    if step.attribute is not None:
+        if step.attribute_value is None:
+            matches = [child for child in matches
+                       if step.attribute in child.attributes]
+        else:
+            matches = [child for child in matches
+                       if child.get(step.attribute) == step.attribute_value]
+    if step.position is not None:
+        if len(matches) >= step.position:
+            return [matches[step.position - 1]]
+        return []
+    return matches
+
+
+def _navigate(context: XmlElement, steps: tuple[ChildStep, ...]) -> list[XmlElement]:
+    frontier = [context]
+    for step in steps:
+        next_frontier: list[XmlElement] = []
+        for node in frontier:
+            next_frontier.extend(_step_candidates(node, step))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return frontier
+
+
+def select_elements(context: XmlElement | XmlDocument, path: Path | str) -> list[XmlElement]:
+    """Return the elements reached by ``path`` from ``context``.
+
+    ``path`` must not end in ``text()`` or ``@attr``.  Absolute paths are
+    matched starting at the root *tag*: ``movie_database/movies/movie``
+    selects ``movie`` elements when the root is ``movie_database``.
+    """
+    parsed = _coerce(path)
+    if parsed.is_value_path:
+        raise PathEvaluationError(
+            f"select_elements cannot evaluate value path {parsed}")
+    steps = parsed.element_steps
+    node = context.root if isinstance(context, XmlDocument) else context
+    if parsed.absolute or isinstance(context, XmlDocument):
+        return resolve_absolute(node, parsed)
+    return _navigate(node, steps)
+
+
+def resolve_absolute(root: XmlElement, path: Path | str) -> list[XmlElement]:
+    """Evaluate an absolute element path whose first step names the root.
+
+    The paper writes candidate paths with the root tag as the first step
+    (``movie_database/movies/movie``); a leading slash is also accepted.
+    The first step must match the root element (or be a ``//`` step, which
+    searches the whole tree).
+    """
+    parsed = _coerce(path)
+    if parsed.is_value_path:
+        raise PathEvaluationError(f"candidate path must select elements: {parsed}")
+    steps = parsed.element_steps
+    if not steps:
+        raise PathEvaluationError("empty path")
+    first, rest = steps[0], steps[1:]
+    if first.descendant:
+        virtual = XmlElement("#virtual-root")
+        virtual.children = [root]  # no parent rewiring; read-only navigation
+        starts = _step_candidates(virtual, first)
+    else:
+        if first.name not in ("*", root.tag):
+            return []
+        if first.position not in (None, 1):
+            return []
+        starts = [root]
+    results: list[XmlElement] = []
+    for start in starts:
+        results.extend(_navigate(start, tuple(rest)))
+    return results
+
+
+def select_values(context: XmlElement, path: Path | str) -> list[str]:
+    """Return string values selected by ``path`` relative to ``context``.
+
+    * ``.../text()`` → the own text of each matched element (elements with
+      no text contribute nothing, matching XPath's empty node-set).
+    * ``.../@attr`` → present attribute values.
+    * plain element path → concatenated text content of each hit.
+    * ``@attr`` alone → the context element's attribute.
+    """
+    parsed = _coerce(path)
+    steps = parsed.element_steps
+    last = parsed.steps[-1]
+    hits = _navigate(context, steps)
+    if isinstance(last, TextStep):
+        values = []
+        for hit in hits:
+            if hit.text is not None:
+                values.append(hit.text)
+        return values
+    if isinstance(last, AttributeStep):
+        if steps:
+            owners = hits
+        else:
+            owners = [context]
+        values = []
+        for owner in owners:
+            value = owner.get(last.name)
+            if value is not None:
+                values.append(value)
+        return values
+    return [hit.text_content() for hit in hits]
+
+
+def first_value(context: XmlElement, path: Path | str) -> str | None:
+    """First string value of ``path`` at ``context``, or ``None`` if empty."""
+    values = select_values(context, path)
+    return values[0] if values else None

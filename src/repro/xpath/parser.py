@@ -1,0 +1,140 @@
+"""Parser for the XPath subset (see :mod:`repro.xpath.ast`).
+
+Accepted forms::
+
+    title/text()              relative value path
+    @year                     attribute of the context element
+    people/person[1]/text()   positional predicate
+    movie_database/movies/movie   multi-step element path
+    /catalog/disc             explicitly rooted path
+    disc//title               descendant axis (extension)
+    */text()                  wildcard step (extension)
+
+Parsed paths are cached — configurations evaluate the same handful of
+paths against thousands of elements.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import PathSyntaxError
+from .ast import AttributeStep, ChildStep, Path, Step, TextStep
+
+
+def _parse_predicate(predicate: str, step: dict, token: str) -> None:
+    predicate = predicate.strip()
+    if predicate.isdigit():
+        if int(predicate) < 1:
+            raise PathSyntaxError(
+                f"positions are 1-based, got [{predicate}] in {token!r}")
+        if step["position"] is not None:
+            raise PathSyntaxError(f"duplicate position predicate in {token!r}")
+        step["position"] = int(predicate)
+        return
+    if not predicate.startswith("@"):
+        raise PathSyntaxError(
+            f"unsupported predicate [{predicate}] in step {token!r}")
+    if step["attribute"] is not None:
+        raise PathSyntaxError(f"duplicate attribute predicate in {token!r}")
+    body = predicate[1:]
+    if "=" in body:
+        name, _, raw_value = body.partition("=")
+        name = name.strip()
+        raw_value = raw_value.strip()
+        if len(raw_value) < 2 or raw_value[0] not in "'\"" \
+                or raw_value[-1] != raw_value[0]:
+            raise PathSyntaxError(
+                f"attribute value must be quoted in [{predicate}]")
+        step["attribute_value"] = raw_value[1:-1]
+    else:
+        name = body.strip()
+    if not name or not _valid_name(name):
+        raise PathSyntaxError(f"invalid attribute name in [{predicate}]")
+    step["attribute"] = name
+
+
+def _parse_child_step(token: str, descendant: bool) -> ChildStep:
+    step: dict = {"position": None, "attribute": None, "attribute_value": None}
+    name_part = token
+    while name_part.endswith("]"):
+        bracket = name_part.rfind("[")
+        if bracket <= 0:
+            raise PathSyntaxError(f"malformed predicate in step {token!r}")
+        _parse_predicate(name_part[bracket + 1:-1], step, token)
+        name_part = name_part[:bracket]
+    if not name_part:
+        raise PathSyntaxError("empty step name")
+    if name_part != "*" and not _valid_name(name_part):
+        raise PathSyntaxError(f"invalid element name {name_part!r}")
+    return ChildStep(name_part, position=step["position"],
+                     descendant=descendant, attribute=step["attribute"],
+                     attribute_value=step["attribute_value"])
+
+
+def _valid_name(token: str) -> bool:
+    if not (token[0].isalpha() or token[0] in "_:"):
+        return False
+    return all(char.isalnum() or char in "_:.-" for char in token[1:])
+
+
+@lru_cache(maxsize=4096)
+def parse_path(expression: str) -> Path:
+    """Parse ``expression`` into a :class:`Path`.
+
+    Raises :class:`~repro.errors.PathSyntaxError` on malformed input.
+    """
+    if not isinstance(expression, str) or not expression.strip():
+        raise PathSyntaxError("path expression must be a non-empty string")
+    text = expression.strip()
+
+    absolute = False
+    if text.startswith("//"):
+        # A leading descendant axis is relative to the context node.
+        pass
+    elif text.startswith("/"):
+        absolute = True
+        text = text[1:]
+        if not text:
+            raise PathSyntaxError("path '/' selects nothing")
+
+    steps: list[Step] = []
+    index = 0
+    descendant_next = False
+    length = len(text)
+    while index < length:
+        if text.startswith("//", index):
+            descendant_next = True
+            index += 2
+            continue
+        if text.startswith("/", index):
+            index += 1
+            continue
+        end = index
+        while end < length and text[end] != "/":
+            end += 1
+        token = text[index:end]
+        index = end
+        if steps and isinstance(steps[-1], (TextStep, AttributeStep)):
+            raise PathSyntaxError(
+                f"{steps[-1]} must be the final step of a path: {expression!r}")
+        if token == "text()":
+            if descendant_next:
+                raise PathSyntaxError("text() cannot follow the descendant axis")
+            steps.append(TextStep())
+        elif token.startswith("@"):
+            if descendant_next:
+                raise PathSyntaxError("attributes cannot follow the descendant axis")
+            name = token[1:]
+            if not name or not _valid_name(name):
+                raise PathSyntaxError(f"invalid attribute name {token!r}")
+            steps.append(AttributeStep(name))
+        else:
+            steps.append(_parse_child_step(token, descendant_next))
+        descendant_next = False
+
+    if descendant_next:
+        raise PathSyntaxError(f"path ends with a dangling '//': {expression!r}")
+    if not steps:
+        raise PathSyntaxError(f"path has no steps: {expression!r}")
+    return Path(tuple(steps), absolute=absolute)

@@ -1,0 +1,96 @@
+"""Unit tests for the configuration model."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.errors import ConfigError
+from repro.xmlmodel import element
+
+
+def movie_spec() -> CandidateSpec:
+    return CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[
+            [("title/text()", "K1,K2"), ("@year", "D3,D4")],
+            [("@ID", "D1"), ("title/text()", "C1,C2")],
+        ])
+
+
+class TestCandidateSpec:
+    def test_build_interns_paths(self):
+        spec = movie_spec()
+        rel_paths = [p.rel_path for p in spec.paths]
+        assert rel_paths == ["title/text()", "@year", "@ID"]
+        # title/text() is shared between OD and keys: interned once.
+        assert len({p.pid for p in spec.paths}) == 3
+
+    def test_key_definitions_resolve(self):
+        spec = movie_spec()
+        movie = element("movie", {"year": "1999", "ID": "m5"},
+                        element("title", text="Matrix"))
+        defs = spec.key_definitions()
+        assert [d.generate(movie) for d in defs] == ["MT99", "5MA"]
+        assert [d.name for d in defs] == ["Key 1", "Key 2"]
+
+    def test_key_definitions_respect_order_attribute(self):
+        spec = CandidateSpec(name="x", xpath="db/x")
+        spec.add_od("text()", 1.0)
+        # Insert parts out of order and rely on the order column.
+        from repro.config import KeyEntry
+        pid = spec._intern_path("text()")
+        spec.keys.append([KeyEntry(pid, 2, "D1,D2"), KeyEntry(pid, 1, "K1,K2")])
+        spec.key_names.append("Key 1")
+        item = element("x", text="ab12")
+        assert spec.key_definitions()[0].generate(item) == "B12"  # K then D; 'ab12' has consonant 'b' only
+
+    def test_od_items(self):
+        spec = movie_spec()
+        items = spec.od_items()
+        assert [(str(path), relevance, phi) for path, relevance, phi in items] == [
+            ("title/text()", 0.8, "edit"), ("@year", 0.2, "year")]
+
+    def test_add_key_requires_parts(self):
+        spec = CandidateSpec(name="x", xpath="db/x")
+        with pytest.raises(ConfigError):
+            spec.add_key([])
+
+    def test_unknown_pid(self):
+        spec = movie_spec()
+        with pytest.raises(ConfigError):
+            spec.path_by_pid(99)
+
+    def test_pass_count(self):
+        assert movie_spec().pass_count == 2
+
+
+class TestSxnmConfig:
+    def test_add_and_lookup(self):
+        config = SxnmConfig()
+        config.add(movie_spec())
+        assert config.candidate("movie").name == "movie"
+
+    def test_duplicate_name_rejected(self):
+        config = SxnmConfig()
+        config.add(movie_spec())
+        with pytest.raises(ConfigError):
+            config.add(movie_spec())
+
+    def test_unknown_candidate(self):
+        with pytest.raises(ConfigError):
+            SxnmConfig().candidate("ghost")
+
+    def test_effective_parameters_defaults(self):
+        config = SxnmConfig(window_size=7, od_threshold=0.6)
+        spec = movie_spec()
+        assert config.effective_window(spec) == 7
+        assert config.effective_od_threshold(spec) == 0.6
+
+    def test_effective_parameters_overrides(self):
+        config = SxnmConfig()
+        spec = movie_spec()
+        spec.window_size = 3
+        spec.desc_threshold = 0.1
+        assert config.effective_window(spec) == 3
+        assert config.effective_desc_threshold(spec) == 0.1
+        assert config.effective_duplicate_threshold(spec) == config.duplicate_threshold

@@ -1,0 +1,124 @@
+"""Unit tests for configuration validation."""
+
+import pytest
+
+from repro.config import (CandidateSpec, KeyEntry, OdEntry, PathEntry,
+                          SxnmConfig, ensure_valid, validate_config)
+from repro.errors import ConfigError
+
+
+def valid_config() -> SxnmConfig:
+    config = SxnmConfig()
+    config.add(CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2)],
+        keys=[[("title/text()", "K1-K5")]]))
+    return config
+
+
+class TestValidateConfig:
+    def test_valid_passes(self):
+        assert validate_config(valid_config()) == []
+        ensure_valid(valid_config())
+
+    def test_no_candidates(self):
+        problems = validate_config(SxnmConfig())
+        assert any("no candidates" in p for p in problems)
+
+    def test_relevance_sum_checked(self):
+        config = SxnmConfig()
+        config.add(CandidateSpec.build(
+            "m", "db/m", od=[("text()", 0.5)], keys=[[("text()", "C1")]]))
+        problems = validate_config(config)
+        assert any("sum to" in p for p in problems)
+
+    def test_relevance_range(self):
+        config = SxnmConfig()
+        spec = CandidateSpec(name="m", xpath="db/m")
+        spec.paths.append(PathEntry(1, "text()"))
+        spec.ods.append(OdEntry(1, -0.5))
+        spec.ods.append(OdEntry(1, 1.5))
+        spec.keys.append([KeyEntry(1, 1, "C1")])
+        config.candidates.append(spec)
+        problems = validate_config(config)
+        assert any("outside (0, 1]" in p for p in problems)
+
+    def test_missing_key(self):
+        config = SxnmConfig()
+        config.add(CandidateSpec.build("m", "db/m", od=[("text()", 1.0)]))
+        problems = validate_config(config)
+        assert any("no key" in p for p in problems)
+
+    def test_empty_od(self):
+        config = SxnmConfig()
+        config.add(CandidateSpec.build("m", "db/m", keys=[[("text()", "C1")]]))
+        problems = validate_config(config)
+        assert any("object description is empty" in p for p in problems)
+
+    def test_unknown_pid_reference(self):
+        config = SxnmConfig()
+        spec = CandidateSpec(name="m", xpath="db/m")
+        spec.paths.append(PathEntry(1, "text()"))
+        spec.ods.append(OdEntry(7, 1.0))
+        spec.keys.append([KeyEntry(8, 1, "C1")])
+        config.candidates.append(spec)
+        problems = validate_config(config)
+        assert any("OD references unknown path id 7" in p for p in problems)
+        assert any("unknown path id 8" in p for p in problems)
+
+    def test_duplicate_path_ids(self):
+        config = SxnmConfig()
+        spec = CandidateSpec(name="m", xpath="db/m")
+        spec.paths.extend([PathEntry(1, "text()"), PathEntry(1, "@x")])
+        spec.ods.append(OdEntry(1, 1.0))
+        spec.keys.append([KeyEntry(1, 1, "C1")])
+        config.candidates.append(spec)
+        assert any("duplicate path id" in p for p in validate_config(config))
+
+    def test_duplicate_key_orders(self):
+        config = SxnmConfig()
+        spec = CandidateSpec(name="m", xpath="db/m")
+        spec.paths.append(PathEntry(1, "text()"))
+        spec.ods.append(OdEntry(1, 1.0))
+        spec.keys.append([KeyEntry(1, 1, "C1"), KeyEntry(1, 1, "D1")])
+        config.candidates.append(spec)
+        assert any("duplicate part orders" in p for p in validate_config(config))
+
+    def test_bad_pattern_reported(self):
+        config = SxnmConfig()
+        spec = CandidateSpec(name="m", xpath="db/m")
+        spec.paths.append(PathEntry(1, "text()"))
+        spec.ods.append(OdEntry(1, 1.0))
+        spec.keys.append([KeyEntry(1, 1, "Z9")])
+        config.candidates.append(spec)
+        assert any("bad pattern" in p for p in validate_config(config))
+
+    def test_unknown_phi(self):
+        config = valid_config()
+        spec = config.candidate("movie")
+        spec.ods[0] = OdEntry(spec.ods[0].pid, 0.8, phi="nope")
+        assert any("unknown OD phi" in p for p in validate_config(config))
+
+    def test_unknown_desc_phi(self):
+        config = valid_config()
+        config.candidate("movie").desc_phi = "cosine"
+        assert any("unknown descendant phi" in p for p in validate_config(config))
+
+    def test_window_too_small(self):
+        config = valid_config()
+        config.candidate("movie").window_size = 1
+        assert any("window size must be >= 2" in p for p in validate_config(config))
+
+    def test_global_threshold_range(self):
+        config = valid_config()
+        config.od_threshold = 1.5
+        assert any("global od_threshold" in p for p in validate_config(config))
+
+    def test_ensure_valid_raises_with_all_problems(self):
+        config = SxnmConfig()
+        config.add(CandidateSpec.build("m", "db/m", od=[("text()", 0.5)]))
+        with pytest.raises(ConfigError) as info:
+            ensure_valid(config)
+        message = str(info.value)
+        assert "sum to" in message
+        assert "no key" in message

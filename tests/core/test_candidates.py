@@ -1,0 +1,90 @@
+"""Unit tests for the candidate hierarchy and bottom-up order."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import CandidateHierarchy
+from repro.errors import ConfigError
+
+
+def spec(name, xpath):
+    return CandidateSpec.build(name, xpath, od=[("text()", 1.0)],
+                               keys=[[("text()", "C1-C4")]])
+
+
+def figure3_config() -> SxnmConfig:
+    """The candidate structure of the paper's Fig. 3: movie nests
+    screenplay/actor/title; screenplay nests person."""
+    config = SxnmConfig()
+    config.add(spec("movie", "db/movies/movie"))
+    config.add(spec("screenplay", "db/movies/movie/screenplay"))
+    config.add(spec("actor", "db/movies/movie/actors/actor"))
+    config.add(spec("title", "db/movies/movie/title"))
+    config.add(spec("person", "db/movies/movie/screenplay/persons/person"))
+    return config
+
+
+class TestHierarchy:
+    def test_parents_are_nearest_prefix(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        assert hierarchy.node("screenplay").parent.name == "movie"
+        assert hierarchy.node("person").parent.name == "screenplay"
+        assert hierarchy.node("actor").parent.name == "movie"
+        assert hierarchy.node("movie").parent is None
+
+    def test_children_lists(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        assert sorted(hierarchy.node("movie").descendant_names()) == [
+            "actor", "screenplay", "title"]
+        assert hierarchy.node("screenplay").descendant_names() == ["person"]
+        assert hierarchy.node("person").descendant_names() == []
+
+    def test_depths(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        assert hierarchy.node("movie").depth == 0
+        assert hierarchy.node("actor").depth == 1
+        assert hierarchy.node("person").depth == 2
+
+    def test_bottom_up_order_deepest_first(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        order = [node.name for node in hierarchy.order]
+        assert order.index("person") < order.index("screenplay")
+        assert order.index("screenplay") < order.index("movie")
+        assert order.index("actor") < order.index("movie")
+        assert order.index("title") < order.index("movie")
+
+    def test_roots(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        assert [node.name for node in hierarchy.roots()] == ["movie"]
+
+    def test_independent_forests(self):
+        config = SxnmConfig()
+        config.add(spec("disc", "catalog/disc"))
+        config.add(spec("label", "catalog/labels/label"))
+        hierarchy = CandidateHierarchy(config)
+        assert len(hierarchy.roots()) == 2
+
+    def test_relative_path(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        movie = hierarchy.node("movie")
+        person = hierarchy.node("person")
+        assert hierarchy.relative_path_to(movie, person) == \
+            "screenplay/persons/person"
+
+    def test_relative_path_rejects_non_descendants(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        with pytest.raises(ConfigError):
+            hierarchy.relative_path_to(hierarchy.node("actor"),
+                                       hierarchy.node("person"))
+
+    def test_same_xpath_rejected(self):
+        config = SxnmConfig()
+        config.add(spec("a", "db/x"))
+        config.add(spec("b", "db/x"))
+        with pytest.raises(ConfigError, match="same xpath"):
+            CandidateHierarchy(config)
+
+    def test_unknown_candidate(self):
+        hierarchy = CandidateHierarchy(figure3_config())
+        with pytest.raises(ConfigError):
+            hierarchy.node("ghost")

@@ -1,0 +1,50 @@
+"""Unit tests for cluster sets (Def. 1)."""
+
+import pytest
+
+from repro.core import ClusterSet
+
+
+class TestClusterSet:
+    def test_from_pairs_closure(self):
+        cs = ClusterSet.from_pairs("person", [(1, 2), (2, 3)], [1, 2, 3, 4])
+        assert len(cs) == 2
+        assert cs.cluster_of(1) == [1, 2, 3]
+        assert cs.cluster_of(4) == [4]
+
+    def test_cid_unique_per_cluster(self):
+        cs = ClusterSet.from_pairs("person", [(1, 2)], [1, 2, 3])
+        assert cs.cid(1) == cs.cid(2)
+        assert cs.cid(1) != cs.cid(3)
+
+    def test_every_instance_in_exactly_one_cluster(self):
+        cs = ClusterSet.from_pairs("x", [(0, 1), (2, 3)], range(5))
+        assert sorted(cs.members()) == [0, 1, 2, 3, 4]
+        flattened = sorted(eid for cluster in cs for eid in cluster)
+        assert flattened == [0, 1, 2, 3, 4]
+
+    def test_unknown_eid(self):
+        cs = ClusterSet.from_pairs("x", [], [1])
+        with pytest.raises(KeyError, match="not a known instance"):
+            cs.cid(9)
+
+    def test_overlapping_clusters_rejected(self):
+        with pytest.raises(ValueError, match="two clusters"):
+            ClusterSet("x", [[1, 2], [2, 3]])
+
+    def test_duplicate_clusters_filter(self):
+        cs = ClusterSet.from_pairs("x", [(0, 1)], range(4))
+        assert cs.duplicate_clusters() == [[0, 1]]
+
+    def test_duplicate_pair_count(self):
+        cs = ClusterSet("x", [[0, 1, 2], [3], [4, 5]])
+        assert cs.duplicate_pair_count() == 3 + 0 + 1
+
+    def test_as_pairs(self):
+        cs = ClusterSet("x", [[0, 1, 2], [3]])
+        assert cs.as_pairs() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_cluster_ids_stable_by_smallest_eid(self):
+        cs = ClusterSet("x", [[5, 6], [0, 1]])
+        assert cs.cid(0) == 0
+        assert cs.cid(5) == 1

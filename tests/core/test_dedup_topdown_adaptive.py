@@ -1,0 +1,160 @@
+"""Unit tests for dedup output, the top-down baseline, and adaptive windows."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import (AdaptiveSxnmDetector, SxnmDetector, TopDownDetector,
+                        deduplicate_document, fuse_clusters)
+from repro.xmlmodel import parse, serialize
+
+MOVIES_XML = """
+<movie_database>
+  <movies>
+    <movie year="1999">
+      <title>The Matrix</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Don Davis</person>
+      </people>
+    </movie>
+    <movie year="1999">
+      <title>The Matrlx</title>
+      <people>
+        <person>Keanu Reves</person>
+        <person>Don Davis</person>
+      </people>
+    </movie>
+    <movie year="1994">
+      <title>Speed</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Dennis Hopper</person>
+      </people>
+    </movie>
+  </movies>
+</movie_database>
+"""
+
+
+def movie_config() -> SxnmConfig:
+    config = SxnmConfig(window_size=5, od_threshold=0.55, desc_threshold=0.3)
+    config.add(CandidateSpec.build(
+        "person", "movie_database/movies/movie/people/person",
+        od=[("text()", 1.0)], keys=[[("text()", "K1-K4")]]))
+    config.add(CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[[("title/text()", "K1-K5")]]))
+    return config
+
+
+class TestDeduplicateDocument:
+    def test_drops_duplicate_movies(self):
+        document = parse(MOVIES_XML)
+        result = SxnmDetector(movie_config()).run(document)
+        deduped = deduplicate_document(document, result)
+        movies = deduped.root.find("movies").find_all("movie")
+        assert len(movies) == 2
+        titles = [m.find("title").text for m in movies]
+        assert titles == ["The Matrix", "Speed"]
+
+    def test_original_untouched(self):
+        document = parse(MOVIES_XML)
+        result = SxnmDetector(movie_config()).run(document)
+        deduplicate_document(document, result)
+        assert len(document.root.find("movies").find_all("movie")) == 3
+
+    def test_nested_duplicates_removed_within_kept_parents(self):
+        document = parse(MOVIES_XML)
+        result = SxnmDetector(movie_config()).run(document)
+        deduped = deduplicate_document(document, result)
+        text = serialize(deduped)
+        # The dropped movie's subtree (with its typo person) is gone.
+        assert "Matrlx" not in text
+        assert "Keanu Reves" not in text
+
+    def test_output_reparses(self):
+        document = parse(MOVIES_XML)
+        result = SxnmDetector(movie_config()).run(document)
+        deduped = deduplicate_document(document, result)
+        again = parse(serialize(deduped))
+        assert again.root.tag == "movie_database"
+
+
+class TestFuseClusters:
+    def test_longest_value_wins(self):
+        document = parse(MOVIES_XML)
+        config = movie_config()
+        result = SxnmDetector(config).run(document)
+        fused = fuse_clusters(document, result, config)
+        movie_records = fused["movie"]
+        assert len(movie_records) == 2
+        matrix = movie_records[0]
+        assert matrix["title/text()"] in ("The Matrix", "The Matrlx")
+        assert matrix["@year"] == "1999"
+
+    def test_person_records(self):
+        document = parse(MOVIES_XML)
+        config = movie_config()
+        result = SxnmDetector(config).run(document)
+        fused = fuse_clusters(document, result, config)
+        names = {record["text()"] for record in fused["person"]}
+        assert "Keanu Reeves" in names  # longest spelling kept
+
+
+class TestTopDownBaseline:
+    def test_misses_mn_person_duplicates(self):
+        """The paper's DELPHI criticism: a person in two non-duplicate
+        movies is never compared top-down, but bottom-up finds it."""
+        xml = MOVIES_XML
+        config = movie_config()
+        bottom_up = SxnmDetector(config).run(xml)
+        top_down = TopDownDetector(config).run(xml)
+        bu_pairs = bottom_up.pairs("person")
+        td_pairs = top_down.pairs("person")
+        assert td_pairs < bu_pairs  # strictly fewer duplicates found
+        # Specifically Keanu in Matrix vs Keanu in Speed is missed.
+        persons_bu = bottom_up.cluster_set("person")
+        keanu_cluster = [c for c in persons_bu if len(c) == 3]
+        assert keanu_cluster, "bottom-up should cluster all three Keanus"
+
+    def test_fewer_or_equal_comparisons(self):
+        config = movie_config()
+        xml = MOVIES_XML
+        top_down = TopDownDetector(config).run(xml)
+        bottom_up = SxnmDetector(config).run(xml)
+        td = top_down.outcomes["person"].comparisons
+        bu = bottom_up.outcomes["person"].comparisons
+        assert td <= bu
+
+    def test_movie_clusters_still_found_on_od(self):
+        result = TopDownDetector(movie_config()).run(MOVIES_XML)
+        assert result.cluster_set("movie").duplicate_clusters()
+
+
+class TestAdaptiveWindows:
+    def test_finds_same_duplicates_as_generous_fixed_window(self):
+        config = movie_config()
+        adaptive = AdaptiveSxnmDetector(config, min_window=2, max_window=10,
+                                        key_similarity_floor=0.4)
+        fixed = SxnmDetector(config)
+        adaptive_result = adaptive.run(MOVIES_XML)
+        fixed_result = fixed.run(MOVIES_XML, window=10)
+        assert adaptive_result.pairs("person") <= fixed_result.pairs("person")
+        assert adaptive_result.cluster_set("movie").duplicate_clusters()
+
+    def test_uses_fewer_comparisons_than_max_window(self):
+        config = movie_config()
+        adaptive = AdaptiveSxnmDetector(config, min_window=2, max_window=10,
+                                        key_similarity_floor=0.8)
+        fixed = SxnmDetector(config)
+        assert (adaptive.run(MOVIES_XML).total_comparisons
+                <= fixed.run(MOVIES_XML, window=10).total_comparisons)
+
+    def test_parameter_validation(self):
+        from repro.core import GkTable
+        from repro.core.adaptive import adaptive_window_pass
+        table = GkTable("x", key_count=1, od_count=0)
+        with pytest.raises(ValueError):
+            adaptive_window_pass(table, 0, lambda a, b: None, set(),
+                                 min_window=5, max_window=3)

@@ -1,0 +1,55 @@
+"""Unit tests for the DogmatiX-style filtered all-pairs baseline."""
+
+import pytest
+
+from repro.core import DogmatixDetector, SxnmDetector
+from repro.datagen import generate_dirty_movies
+from repro.eval import evaluate_pairs, gold_pairs
+from repro.experiments import MOVIE_XPATH, dataset1_config
+
+
+@pytest.fixture(scope="module")
+def document():
+    return generate_dirty_movies(60, seed=17, profile="effectiveness")
+
+
+class TestDogmatixDetector:
+    def test_finds_at_least_what_sxnm_finds(self, document):
+        config = dataset1_config()
+        dogmatix = DogmatixDetector(config).run(document)
+        sxnm = SxnmDetector(config).run(document, window=10)
+        assert dogmatix.pairs("movie") >= sxnm.pairs("movie")
+
+    def test_quadratic_comparison_profile(self, document):
+        config = dataset1_config()
+        dogmatix = DogmatixDetector(config, use_filters=False).run(document)
+        n = len(dogmatix.gk["movie"])
+        assert dogmatix.outcomes["movie"].comparisons == n * (n - 1) // 2
+
+    def test_filters_prune_without_changing_result(self, document):
+        config = dataset1_config()
+        unfiltered = DogmatixDetector(config, use_filters=False).run(document)
+        filtered = DogmatixDetector(config, use_filters=True).run(document)
+        assert filtered.pairs("movie") == unfiltered.pairs("movie")
+        assert (filtered.outcomes["movie"].comparisons
+                < unfiltered.outcomes["movie"].comparisons)
+        assert filtered.outcomes["movie"].filtered_comparisons > 0
+
+    def test_sxnm_needs_fraction_of_comparisons(self, document):
+        config = dataset1_config()
+        dogmatix = DogmatixDetector(config, use_filters=False).run(document)
+        sxnm = SxnmDetector(config).run(document, window=5)
+        assert (sxnm.outcomes["movie"].comparisons
+                < 0.3 * dogmatix.outcomes["movie"].comparisons)
+
+    def test_recall_ceiling(self, document):
+        """DogmatiX is the recall ceiling SXNM approaches with window size."""
+        config = dataset1_config()
+        gold = gold_pairs(document, MOVIE_XPATH)
+        ceiling = evaluate_pairs(
+            DogmatixDetector(config).run(document).pairs("movie"), gold).recall
+        windowed = evaluate_pairs(
+            SxnmDetector(config).run(document, window=20).pairs("movie"),
+            gold).recall
+        assert windowed <= ceiling + 1e-9
+        assert windowed >= 0.75 * ceiling

@@ -1,0 +1,87 @@
+"""Unit tests for pair explanations."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import SxnmDetector, explain_pair
+from repro.errors import ConfigError, DetectionError
+from repro.xmlmodel import parse
+
+XML = """
+<movie_database><movies>
+  <movie year="1999">
+    <title>The Matrix</title>
+    <people><person>Keanu Reeves</person><person>Don Davis</person></people>
+  </movie>
+  <movie>
+    <title>The Matrlx</title>
+    <people><person>Keanu Reves</person><person>Don Davis</person></people>
+  </movie>
+  <movie year="1994">
+    <title>Speed</title>
+    <people><person>Keanu Reeves</person></people>
+  </movie>
+</movies></movie_database>
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = SxnmConfig(window_size=5, od_threshold=0.55, desc_threshold=0.3)
+    config.add(CandidateSpec.build(
+        "person", "movie_database/movies/movie/people/person",
+        od=[("text()", 1.0)], keys=[[("text()", "K1-K4")]]))
+    config.add(CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[[("title/text()", "K1-K5")]]))
+    document = parse(XML)
+    result = SxnmDetector(config).run(document)
+    movie_eids = [row.eid for row in result.gk["movie"]]
+    return config, result, movie_eids
+
+
+class TestExplainPair:
+    def test_duplicate_pair_explained(self, setup):
+        config, result, eids = setup
+        explanation = explain_pair(result, config, "movie", eids[0], eids[1])
+        assert explanation.is_duplicate
+        assert len(explanation.od_terms) == 2
+        title_term = explanation.od_terms[0]
+        assert title_term.rel_path == "title/text()"
+        assert title_term.similarity == pytest.approx(0.9)
+        assert explanation.descendant_similarity is not None
+        assert explanation.descendant_terms[0].candidate == "person"
+
+    def test_missing_value_reported(self, setup):
+        config, result, eids = setup
+        explanation = explain_pair(result, config, "movie", eids[0], eids[1])
+        year_term = explanation.od_terms[1]
+        assert year_term.right_value is None
+        assert year_term.similarity == 0.0
+        assert year_term.contribution == 0.0
+
+    def test_non_duplicate_pair(self, setup):
+        config, result, eids = setup
+        explanation = explain_pair(result, config, "movie", eids[0], eids[2])
+        assert not explanation.is_duplicate
+        assert explanation.od_similarity < explanation.od_threshold
+
+    def test_render_readable(self, setup):
+        config, result, eids = setup
+        text = explain_pair(result, config, "movie", eids[0], eids[1]).render()
+        assert "DUPLICATE" in text
+        assert "title/text()" in text
+        assert "person" in text
+        text2 = explain_pair(result, config, "movie", eids[0], eids[2]).render()
+        assert "not a duplicate" in text2
+
+    def test_unknown_candidate(self, setup):
+        config, result, eids = setup
+        with pytest.raises(ConfigError):
+            explain_pair(result, config, "ghost", eids[0], eids[1])
+
+    def test_unknown_eid(self, setup):
+        config, result, eids = setup
+        with pytest.raises(KeyError):
+            explain_pair(result, config, "movie", 99999, eids[1])

@@ -1,0 +1,195 @@
+"""Unit tests for the Sec.-5 outlook extensions: filters, equational
+theory, and DE-SXNM windowing."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import (ClusterSet, DescendantsCondition, GkRow, GkTable,
+                        OdCondition, SimilarityMeasure, SxnmDetector,
+                        XmlEquationalTheory, de_window_pass)
+from repro.datagen import generate_dirty_movies
+from repro.errors import DetectionError
+from repro.experiments import dataset1_config
+
+MOVIES_XML = """
+<movie_database>
+  <movies>
+    <movie year="1999">
+      <title>The Matrix</title>
+      <people><person>Keanu Reeves</person><person>Don Davis</person></people>
+    </movie>
+    <movie year="1999">
+      <title>The Matrlx</title>
+      <people><person>Keanu Reves</person><person>Don Davis</person></people>
+    </movie>
+    <movie year="1994">
+      <title>Speed</title>
+      <people><person>Keanu Reeves</person><person>Dennis Hopper</person></people>
+    </movie>
+  </movies>
+</movie_database>
+"""
+
+
+def movie_config(**kwargs) -> SxnmConfig:
+    config = SxnmConfig(window_size=5, od_threshold=0.55, desc_threshold=0.3,
+                        **kwargs)
+    config.add(CandidateSpec.build(
+        "person", "movie_database/movies/movie/people/person",
+        od=[("text()", 1.0)], keys=[[("text()", "K1-K4")]]))
+    config.add(CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[[("title/text()", "K1-K5")]]))
+    return config
+
+
+class TestFilteredDetection:
+    def test_same_pairs_with_and_without_filters(self):
+        document = generate_dirty_movies(60, seed=3, profile="effectiveness")
+        config = dataset1_config()
+        plain = SxnmDetector(config).run(document, window=8)
+        filtered = SxnmDetector(config, use_filters=True).run(document,
+                                                              window=8)
+        assert plain.pairs("movie") == filtered.pairs("movie")
+
+    def test_filters_skip_comparisons(self):
+        document = generate_dirty_movies(60, seed=3, profile="effectiveness")
+        filtered = SxnmDetector(dataset1_config(),
+                                use_filters=True).run(document, window=8)
+        assert filtered.outcomes["movie"].filtered_comparisons > 0
+
+    def test_filters_disabled_for_combined_decision(self):
+        config = movie_config()
+        spec = config.candidate("movie")
+        measure = SimilarityMeasure(spec, config, {}, decision="combined",
+                                    use_filters=True)
+        assert measure.use_filters is False
+
+
+class TestEquationalTheory:
+    def test_od_condition_classifies(self):
+        config = movie_config()
+        theory = XmlEquationalTheory(require=[
+            OdCondition("title/text()", "edit", 0.8)])
+        detector = SxnmDetector(config, theories={"movie": theory})
+        result = detector.run(MOVIES_XML)
+        assert len(result.cluster_set("movie").duplicate_clusters()) == 1
+
+    def test_alternatives(self):
+        config = movie_config()
+        theory = XmlEquationalTheory(
+            require=[OdCondition("@year", "exact", 1.0)],
+            alternatives=[OdCondition("title/text()", "edit", 0.8),
+                          DescendantsCondition("person", 0.5)])
+        detector = SxnmDetector(config, theories={"movie": theory})
+        result = detector.run(MOVIES_XML)
+        assert result.cluster_set("movie").duplicate_clusters()
+
+    def test_descendants_condition_requires_processed_candidate(self):
+        left = GkRow(0, ["K"], ["a"], )
+        right = GkRow(1, ["K"], ["a"])
+        left.children = {"person": [10]}
+        right.children = {"person": [11]}
+        condition = DescendantsCondition("person", 0.5)
+        with pytest.raises(DetectionError, match="bottom-up"):
+            condition.holds(left, right, {})
+
+    def test_descendants_condition_empty_matches(self):
+        left = GkRow(0, ["K"], ["a"])
+        right = GkRow(1, ["K"], ["a"])
+        assert DescendantsCondition("person", 0.5).holds(left, right, {})
+        assert not DescendantsCondition("person", 0.5,
+                                        empty_matches=False).holds(
+            left, right, {})
+
+    def test_descendants_condition_overlap(self):
+        cluster_sets = {"person": ClusterSet.from_pairs(
+            "person", [(10, 11)], [10, 11, 12])}
+        left = GkRow(0, ["K"], ["a"])
+        right = GkRow(1, ["K"], ["a"])
+        left.children = {"person": [10]}
+        right.children = {"person": [11]}
+        assert DescendantsCondition("person", 0.9).holds(left, right,
+                                                         cluster_sets)
+        right.children = {"person": [12]}
+        assert not DescendantsCondition("person", 0.5).holds(left, right,
+                                                             cluster_sets)
+
+    def test_unknown_od_path(self):
+        config = movie_config()
+        spec = config.candidate("movie")
+        condition = OdCondition("director/text()", "edit", 0.5)
+        with pytest.raises(DetectionError, match="no OD path"):
+            condition.holds(GkRow(0, ["K"], ["a", "b"]),
+                            GkRow(1, ["K"], ["a", "b"]), spec)
+
+    def test_missing_value_semantics(self):
+        config = movie_config()
+        spec = config.candidate("movie")
+        left = GkRow(0, ["K"], ["Matrix", None])
+        right = GkRow(1, ["K"], ["Matrix", "1999"])
+        strict = OdCondition("@year", "exact", 1.0)
+        lenient = OdCondition("@year", "exact", 1.0, missing_matches=True)
+        assert not strict.holds(left, right, spec)
+        assert lenient.holds(left, right, spec)
+
+    def test_empty_theory_rejected(self):
+        with pytest.raises(DetectionError):
+            XmlEquationalTheory()
+
+
+class TestDeWindow:
+    def make_table(self):
+        table = GkTable("movie", key_count=1, od_count=1)
+        # Three rows share key "AAA" (exact duplicates), two distinct.
+        for eid, key, od in [(0, "AAA", "Same Movie"),
+                             (1, "AAA", "Same Movie"),
+                             (2, "AAA", "Same Movie"),
+                             (3, "BBB", "Other"),
+                             (4, "CCC", "Third")]:
+            table.add(GkRow(eid, [key], [od]))
+        return table
+
+    @staticmethod
+    def exact_compare(left, right):
+        from repro.core import PairVerdict
+        same = left.ods[0] == right.ods[0]
+        return PairVerdict(1.0 if same else 0.0, None, 1.0 if same else 0.0,
+                           same)
+
+    def test_equal_key_groups_confirmed(self):
+        table = self.make_table()
+        pairs: set = set()
+        de_window_pass(table, 0, 2, self.exact_compare, pairs)
+        assert (0, 1) in pairs and (0, 2) in pairs
+
+    def test_fewer_comparisons_than_plain_window(self):
+        from repro.core import window_pass
+        table = self.make_table()
+        de_pairs: set = set()
+        de_comparisons = de_window_pass(table, 0, 4, self.exact_compare,
+                                        de_pairs)
+        plain_pairs: set = set()
+        plain_comparisons = window_pass(table, 0, 4, self.exact_compare,
+                                        plain_pairs)
+        assert de_comparisons < plain_comparisons
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            de_window_pass(self.make_table(), 0, 1, self.exact_compare, set())
+
+    def test_detector_flag_equivalent_clusters(self):
+        document = generate_dirty_movies(50, seed=6, profile="many")
+        config = dataset1_config()
+        plain = SxnmDetector(config).run(document, window=6)
+        de = SxnmDetector(config, duplicate_elimination=True).run(document,
+                                                                  window=6)
+        # DE-SXNM confirms equal-key duplicates against a single anchor;
+        # transitive closure makes the final clusters comparable.
+        plain_dups = {tuple(c)
+                      for c in plain.cluster_set("movie").duplicate_clusters()}
+        de_dups = {tuple(c)
+                   for c in de.cluster_set("movie").duplicate_clusters()}
+        overlap = len(plain_dups & de_dups)
+        assert overlap >= 0.7 * len(plain_dups)

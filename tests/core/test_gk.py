@@ -1,0 +1,72 @@
+"""Unit tests for GK tables."""
+
+import pytest
+
+from repro.core import GkRow, GkTable
+
+
+def make_row(eid, key="K", od="v"):
+    return GkRow(eid, [key], [od])
+
+
+class TestGkRow:
+    def test_add_child(self):
+        row = make_row(0)
+        row.add_child("actor", 5)
+        row.add_child("actor", 9)
+        row.add_child("title", 2)
+        assert row.children == {"actor": [5, 9], "title": [2]}
+
+
+class TestGkTable:
+    def test_add_and_lookup(self):
+        table = GkTable("movie", key_count=1, od_count=1)
+        table.add(make_row(3))
+        assert table.row(3).eid == 3
+        assert len(table) == 1
+
+    def test_eids_document_order(self):
+        table = GkTable("movie", key_count=1, od_count=1)
+        for eid in [4, 9, 11]:
+            table.add(make_row(eid))
+        assert table.eids() == [4, 9, 11]
+
+    def test_duplicate_eid_rejected(self):
+        table = GkTable("movie", key_count=1, od_count=1)
+        table.add(make_row(1))
+        with pytest.raises(ValueError, match="duplicate eid"):
+            table.add(make_row(1))
+
+    def test_key_count_enforced(self):
+        table = GkTable("movie", key_count=2, od_count=1)
+        with pytest.raises(ValueError, match="expected 2 keys"):
+            table.add(make_row(0))
+
+    def test_od_count_enforced(self):
+        table = GkTable("movie", key_count=1, od_count=2)
+        with pytest.raises(ValueError, match="expected 2 ODs"):
+            table.add(make_row(0))
+
+    def test_sorted_by_key(self):
+        table = GkTable("movie", key_count=2, od_count=0)
+        table.add(GkRow(0, ["B", "2"], []))
+        table.add(GkRow(1, ["A", "3"], []))
+        table.add(GkRow(2, ["C", "1"], []))
+        assert [r.eid for r in table.sorted_by_key(0)] == [1, 0, 2]
+        assert [r.eid for r in table.sorted_by_key(1)] == [2, 0, 1]
+
+    def test_sorted_by_key_ties_break_on_eid(self):
+        table = GkTable("movie", key_count=1, od_count=0)
+        table.add(GkRow(7, ["X"], []))
+        table.add(GkRow(2, ["X"], []))
+        assert [r.eid for r in table.sorted_by_key(0)] == [2, 7]
+
+    def test_sorted_by_key_out_of_range(self):
+        table = GkTable("movie", key_count=1, od_count=0)
+        with pytest.raises(IndexError):
+            table.sorted_by_key(1)
+
+    def test_missing_eid(self):
+        table = GkTable("movie", key_count=1, od_count=1)
+        with pytest.raises(KeyError):
+            table.row(42)

@@ -1,0 +1,108 @@
+"""Unit tests for the incremental SXNM variant."""
+
+import pytest
+
+from repro.core import IncrementalSxnm, SxnmDetector
+from repro.datagen import generate_dataset2
+from repro.experiments import dataset2_config
+from repro.xmlmodel import XmlDocument, XmlElement, serialize
+
+BATCH_1 = """
+<freedb>
+  <disc><did>aaaa1111</did><artist>Blue Monkeys</artist>
+        <dtitle>Golden Harbor</dtitle>
+        <tracks><title>Love Song</title><title>Night Train</title></tracks></disc>
+  <disc><did>bbbb2222</did><artist>Iron Wolves</artist>
+        <dtitle>Dark River</dtitle>
+        <tracks><title>Rain</title></tracks></disc>
+</freedb>
+"""
+
+# Batch 2 contains a dirty duplicate of the Blue Monkeys disc.
+BATCH_2 = """
+<freedb>
+  <disc><did>aaaa1111</did><artist>Blue Monkees</artist>
+        <dtitle>Golden Harbour</dtitle>
+        <tracks><title>Love Song</title><title>Night Train</title></tracks></disc>
+  <disc><did>cccc3333</did><artist>Neon Sparrows</artist>
+        <dtitle>Electric Voyage</dtitle>
+        <tracks><title>Comet</title></tracks></disc>
+</freedb>
+"""
+
+
+@pytest.fixture()
+def incremental():
+    return IncrementalSxnm(dataset2_config(window=5))
+
+
+class TestIncrementalSxnm:
+    def test_first_batch_no_duplicates(self, incremental):
+        counts = incremental.add_batch(BATCH_1)
+        assert counts["disc"] == 0
+        assert incremental.instance_count("disc") == 2
+
+    def test_cross_batch_duplicate_found(self, incremental):
+        incremental.add_batch(BATCH_1)
+        counts = incremental.add_batch(BATCH_2)
+        assert counts["disc"] == 1
+        clusters = incremental.cluster_set("disc")
+        assert len(clusters.duplicate_clusters()) == 1
+
+    def test_track_duplicates_found_across_batches(self, incremental):
+        incremental.add_batch(BATCH_1)
+        incremental.add_batch(BATCH_2)
+        titles = incremental.cluster_set("title")
+        duplicate_sizes = sorted(len(c) for c in titles.duplicate_clusters())
+        assert duplicate_sizes == [2, 2]  # Love Song and Night Train
+
+    def test_eids_never_collide(self, incremental):
+        incremental.add_batch(BATCH_1)
+        incremental.add_batch(BATCH_1)
+        eids = [row.eid for row in incremental._states["disc"].table]
+        assert len(set(eids)) == len(eids) == 4
+
+    def test_old_neighborhoods_not_recompared(self, incremental):
+        incremental.add_batch(BATCH_1)
+        after_first = incremental.comparisons("disc")
+        incremental.add_batch(BATCH_2)
+        after_second = incremental.comparisons("disc")
+        incremental.add_batch(
+            "<freedb><disc><did>dddd4444</did><artist>Solo Act</artist>"
+            "<dtitle>Lone Star</dtitle><tracks><title>One</title></tracks>"
+            "</disc></freedb>")
+        added = incremental.comparisons("disc") - after_second
+        # A single new disc touches at most (window-1) neighborhoods per key.
+        assert added <= 3 * (5 - 1)
+        assert after_second > after_first
+
+    def test_matches_batch_detector_on_generated_corpus(self):
+        document = generate_dataset2(disc_count=40, seed=21)
+        # Split the discs into two halves as separate batches.
+        root = document.root
+        half = len(root.children) // 2
+        first = XmlDocument(XmlElement("freedb"))
+        second = XmlDocument(XmlElement("freedb"))
+        for index, disc in enumerate(root.children):
+            target = first if index < half else second
+            target.root.append(disc.copy())
+        first.assign_eids()
+        second.assign_eids()
+
+        incremental = IncrementalSxnm(dataset2_config(window=5))
+        incremental.add_batch(serialize(first))
+        incremental.add_batch(serialize(second))
+
+        batch_detector = SxnmDetector(dataset2_config(window=5))
+        merged = XmlDocument(XmlElement("freedb"))
+        for disc in first.root.children + second.root.children:
+            merged.root.append(disc.copy())
+        merged.assign_eids()
+        full = batch_detector.run(merged)
+
+        # Compare duplicate-pair counts: incremental must find at least
+        # 90% of what the batch run finds (live descendant clusters can
+        # differ slightly at batch boundaries).
+        incremental_pairs = len(incremental.pairs("disc"))
+        batch_pairs = len(full.pairs("disc"))
+        assert incremental_pairs >= 0.9 * batch_pairs

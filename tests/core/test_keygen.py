@@ -1,0 +1,139 @@
+"""Unit tests for the key-generation phase (DOM and streaming)."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import CandidateHierarchy, generate_gk, generate_gk_streaming
+from repro.xmlmodel import parse
+
+MOVIE_XML = """
+<movie_database>
+  <movies>
+    <movie year="1999" ID="5m2">
+      <title>Matrix</title>
+      <people>
+        <person>Keanu Reeves</person>
+        <person>Carrie-Anne Moss</person>
+      </people>
+    </movie>
+    <movie year="1999" ID="7x1">
+      <title>Matrix - The Movie</title>
+      <people>
+        <person>Keanu Reeves</person>
+      </people>
+    </movie>
+    <movie ID="9q4">
+      <title>Speed</title>
+      <people>
+        <person>Keanu Reeves</person>
+      </people>
+    </movie>
+  </movies>
+</movie_database>
+"""
+
+
+def movie_config() -> SxnmConfig:
+    config = SxnmConfig()
+    config.add(CandidateSpec.build(
+        "movie", "movie_database/movies/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[
+            [("title/text()", "K1,K2"), ("@year", "D3,D4")],
+            [("@ID", "D1"), ("title/text()", "C1,C2")],
+        ]))
+    config.add(CandidateSpec.build(
+        "person", "movie_database/movies/movie/people/person",
+        od=[("text()", 1.0)],
+        keys=[[("text()", "K1-K4")]]))
+    return config
+
+
+class TestGenerateGkDom:
+    def test_tables_per_candidate(self):
+        gk = generate_gk(parse(MOVIE_XML), movie_config())
+        assert set(gk) == {"movie", "person"}
+        assert len(gk["movie"]) == 3
+        assert len(gk["person"]) == 4
+
+    def test_keys_match_paper_semantics(self):
+        gk = generate_gk(parse(MOVIE_XML), movie_config())
+        first = next(iter(gk["movie"]))
+        assert first.keys == ["MT99", "5MA"]
+
+    def test_missing_year_shortens_key(self):
+        gk = generate_gk(parse(MOVIE_XML), movie_config())
+        speed = list(gk["movie"])[-1]
+        assert speed.keys[0] == "SP"   # no year digits
+        assert speed.ods[1] is None    # @year OD missing
+
+    def test_od_values_extracted(self):
+        gk = generate_gk(parse(MOVIE_XML), movie_config())
+        first = next(iter(gk["movie"]))
+        assert first.ods == ["Matrix", "1999"]
+
+    def test_children_recorded(self):
+        gk = generate_gk(parse(MOVIE_XML), movie_config())
+        movies = list(gk["movie"])
+        assert len(movies[0].children["person"]) == 2
+        assert len(movies[1].children["person"]) == 1
+        person_eids = {row.eid for row in gk["person"]}
+        for movie in movies:
+            assert set(movie.children["person"]) <= person_eids
+
+    def test_eids_are_document_positions(self):
+        document = parse(MOVIE_XML)
+        gk = generate_gk(document, movie_config())
+        elements = document.elements_by_eid()
+        for row in gk["movie"]:
+            assert elements[row.eid].tag == "movie"
+        for row in gk["person"]:
+            assert elements[row.eid].tag == "person"
+
+
+class TestGenerateGkStreaming:
+    def test_equivalent_to_dom(self):
+        config = movie_config()
+        dom = generate_gk(parse(MOVIE_XML), config)
+        stream = generate_gk_streaming(MOVIE_XML, config)
+        assert set(dom) == set(stream)
+        for name in dom:
+            dom_rows = list(dom[name])
+            stream_rows = list(stream[name])
+            assert len(dom_rows) == len(stream_rows)
+            for d, s in zip(dom_rows, stream_rows):
+                assert d.eid == s.eid
+                assert d.keys == s.keys
+                assert d.ods == s.ods
+                assert d.children == s.children
+
+    def test_accepts_event_iterable(self):
+        from repro.xmlmodel import iter_events
+        config = movie_config()
+        gk = generate_gk_streaming(iter_events(MOVIE_XML), config)
+        assert len(gk["movie"]) == 3
+
+    def test_rejects_fancy_paths(self):
+        config = SxnmConfig()
+        config.add(CandidateSpec.build(
+            "movie", "movie_database//movie", od=[("text()", 1.0)],
+            keys=[[("text()", "C1")]]))
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="plain candidate paths"):
+            generate_gk_streaming(MOVIE_XML, config)
+
+    def test_nested_candidates_register_with_nearest(self):
+        xml = ("<db><a><t>outer</t><b><t>mid</t><c><t>inner</t></c></b></a>"
+               "</db>")
+        config = SxnmConfig()
+        config.add(CandidateSpec.build("a", "db/a", od=[("t/text()", 1.0)],
+                                       keys=[[("t/text()", "C1-C3")]]))
+        config.add(CandidateSpec.build("b", "db/a/b", od=[("t/text()", 1.0)],
+                                       keys=[[("t/text()", "C1-C3")]]))
+        config.add(CandidateSpec.build("c", "db/a/b/c", od=[("t/text()", 1.0)],
+                                       keys=[[("t/text()", "C1-C3")]]))
+        gk = generate_gk_streaming(xml, config)
+        a_row = next(iter(gk["a"]))
+        b_row = next(iter(gk["b"]))
+        assert list(a_row.children) == ["b"]       # c registers with b, not a
+        assert list(b_row.children) == ["c"]

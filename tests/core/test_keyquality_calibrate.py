@@ -1,0 +1,158 @@
+"""Unit tests for key diagnostics, window suggestion, and calibration."""
+
+import pytest
+
+from repro.core import (GkRow, GkTable, SxnmDetector, calibrate_thresholds,
+                        key_statistics, pair_separation, suggest_window_size)
+from repro.datagen import generate_dataset2, generate_dirty_movies
+from repro.eval import evaluate_pairs, gold_pairs
+from repro.experiments import (DISC_XPATH, MOVIE_XPATH, dataset1_config,
+                               dataset2_config)
+from repro.similarity import levenshtein_similarity
+
+
+def make_table(keys_per_row):
+    key_count = len(keys_per_row[0])
+    table = GkTable("x", key_count=key_count, od_count=0)
+    for eid, keys in enumerate(keys_per_row):
+        table.add(GkRow(eid, list(keys), []))
+    return table
+
+
+class TestKeyStatistics:
+    def test_distinct_and_empty(self):
+        table = make_table([["A"], ["A"], ["B"], [""]])
+        stats = key_statistics(table, 0)
+        assert stats.rows == 4
+        assert stats.distinct == 3
+        assert stats.empty == 1
+        assert stats.largest_block == 2
+        assert stats.distinct_ratio == pytest.approx(0.75)
+        assert stats.empty_ratio == pytest.approx(0.25)
+
+    def test_entropy_orders_key_quality(self):
+        # A discriminating key has higher prefix entropy than a degenerate one.
+        good = make_table([[f"K{i:03d}"] for i in range(32)])
+        bad = make_table([["AAA"]] * 32)
+        assert key_statistics(good, 0).prefix_entropy > \
+            key_statistics(bad, 0).prefix_entropy
+
+    def test_empty_table(self):
+        table = GkTable("x", key_count=1, od_count=0)
+        stats = key_statistics(table, 0)
+        assert stats.distinct_ratio == 1.0
+        assert stats.empty_ratio == 0.0
+
+    def test_real_keys_ranked_as_paper_expects(self):
+        """Title-consonant keys should look better than year-first keys."""
+        document = generate_dirty_movies(100, seed=8, profile="effectiveness")
+        detector = SxnmDetector(dataset1_config())
+        result = detector.run(document, window=2)
+        table = result.gk["movie"]
+        title_first = key_statistics(table, 0)
+        year_first = key_statistics(table, 1)
+        assert title_first.distinct_ratio > year_first.distinct_ratio
+
+
+class TestPairSeparation:
+    def test_adjacent_pairs(self):
+        table = make_table([["A"], ["A"], ["Z"]])
+        separations = pair_separation(table, 0, [(0, 1)])
+        assert separations == [1]
+
+    def test_far_pairs(self):
+        table = make_table([["A"], ["M"], ["Z"]])
+        assert pair_separation(table, 0, [(0, 2)]) == [2]
+
+    def test_unknown_eids_skipped(self):
+        table = make_table([["A"], ["B"]])
+        assert pair_separation(table, 0, [(0, 99)]) == []
+
+
+class TestSuggestWindowSize:
+    @staticmethod
+    def od_similar(left, right):
+        return levenshtein_similarity(left.ods[0] or "",
+                                      right.ods[0] or "") >= 0.85
+
+    def make_movie_table(self):
+        document = generate_dirty_movies(80, seed=8, profile="effectiveness")
+        result = SxnmDetector(dataset1_config()).run(document, window=2)
+        table = result.gk["movie"]
+        # Widen od_count access: ods[0] is the title.
+        return document, table
+
+    def test_suggestion_in_range(self):
+        _, table = self.make_movie_table()
+        window = suggest_window_size(table, self.od_similar, sample_size=80,
+                                     seed=1)
+        assert 2 <= window <= 50
+
+    def test_suggested_window_achieves_coverage(self):
+        document, table = self.make_movie_table()
+        window = suggest_window_size(table, self.od_similar, sample_size=160,
+                                     coverage=0.85, seed=1)
+        detector = SxnmDetector(dataset1_config())
+        result = detector.run(document, window=window)
+        gold = gold_pairs(document, MOVIE_XPATH)
+        metrics = evaluate_pairs(result.pairs("movie"), gold)
+        assert metrics.recall >= 0.6
+
+    def test_no_duplicates_gives_minimum(self):
+        table = make_table([[f"K{i}"] for i in range(20)])
+        for row in table:
+            row.ods.append(f"unique-{row.eid}")  # type: ignore[attr-defined]
+        window = suggest_window_size(
+            make_table([[f"K{i}"] for i in range(20)]),
+            lambda a, b: False, sample_size=20)
+        assert window == 2
+
+    def test_validation(self):
+        table = make_table([["A"], ["B"]])
+        with pytest.raises(ValueError):
+            suggest_window_size(table, lambda a, b: False, coverage=0.0)
+        with pytest.raises(ValueError):
+            suggest_window_size(table, lambda a, b: False, sample_size=1)
+
+
+class TestCalibration:
+    def test_calibration_improves_or_matches_default(self):
+        sample = generate_dataset2(disc_count=60, seed=12)
+        full = generate_dataset2(disc_count=150, seed=13)
+        config = dataset2_config(window=6)
+        sample_gold = gold_pairs(sample, DISC_XPATH)
+        calibration = calibrate_thresholds(sample, config, "disc", sample_gold)
+        assert 0.0 <= calibration.f_measure <= 1.0
+
+        calibrated_config = calibration.apply_to(config)
+        full_gold = gold_pairs(full, DISC_XPATH)
+        default_run = SxnmDetector(config).run(full)
+        calibrated_run = SxnmDetector(calibrated_config).run(full)
+        default_f = evaluate_pairs(default_run.pairs("disc"), full_gold).f_measure
+        calibrated_f = evaluate_pairs(calibrated_run.pairs("disc"),
+                                      full_gold).f_measure
+        assert calibrated_f >= default_f - 0.05  # never meaningfully worse
+
+    def test_apply_to_does_not_mutate_original(self):
+        config = dataset2_config()
+        sample = generate_dataset2(disc_count=40, seed=12)
+        calibration = calibrate_thresholds(
+            sample, config, "disc", gold_pairs(sample, DISC_XPATH),
+            od_grid=[0.6, 0.7], desc_grid=[0.2])
+        before = config.candidate("disc").od_threshold
+        calibration.apply_to(config)
+        assert config.candidate("disc").od_threshold == before
+
+    def test_empty_grid_rejected(self):
+        config = dataset2_config()
+        sample = generate_dataset2(disc_count=20, seed=12)
+        with pytest.raises(ValueError):
+            calibrate_thresholds(sample, config, "disc", set(), od_grid=[])
+
+    def test_od_only_candidate_ignores_desc_grid(self):
+        config = dataset2_config(use_descendants=False)
+        sample = generate_dataset2(disc_count=30, seed=12)
+        calibration = calibrate_thresholds(
+            sample, config, "disc", gold_pairs(sample, DISC_XPATH),
+            od_grid=[0.6, 0.8], desc_grid=[0.1, 0.9])
+        assert calibration.od_threshold in (0.6, 0.8)

@@ -1,0 +1,190 @@
+"""Unit tests for the SXNM similarity measure (Defs. 2 and 3)."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import (ClusterSet, GkRow, SimilarityMeasure,
+                        descendant_similarity, od_similarity)
+from repro.errors import DetectionError
+
+
+def movie_spec(**overrides) -> CandidateSpec:
+    return CandidateSpec.build(
+        "movie", "db/movie",
+        od=[("title/text()", 0.8), ("@year", 0.2, "year")],
+        keys=[[("title/text()", "K1-K5")]], **overrides)
+
+
+def row(eid, title, year, children=None):
+    gk_row = GkRow(eid, ["X"], [title, year])
+    gk_row.children = children or {}
+    return gk_row
+
+
+class TestOdSimilarity:
+    def test_identical(self):
+        spec = movie_spec()
+        assert od_similarity(row(0, "Matrix", "1999"),
+                             row(1, "Matrix", "1999"), spec) == 1.0
+
+    def test_weighted_mix(self):
+        spec = movie_spec()
+        # Title identical (0.8 * 1.0), year off by five (0.2 * 0.0).
+        value = od_similarity(row(0, "Matrix", "1999"),
+                              row(1, "Matrix", "2004"), spec)
+        assert value == pytest.approx(0.8)
+
+    def test_both_missing_renormalizes(self):
+        spec = movie_spec()
+        value = od_similarity(row(0, "Matrix", None),
+                              row(1, "Matrix", None), spec)
+        assert value == 1.0  # year term skipped entirely
+
+    def test_one_missing_counts_as_zero(self):
+        spec = movie_spec()
+        value = od_similarity(row(0, "Matrix", "1999"),
+                              row(1, "Matrix", None), spec)
+        assert value == pytest.approx(0.8)
+
+    def test_all_missing_is_zero(self):
+        spec = movie_spec()
+        assert od_similarity(row(0, None, None), row(1, None, None), spec) == 0.0
+
+    def test_result_in_unit_interval(self):
+        spec = movie_spec()
+        value = od_similarity(row(0, "Matrix", "1999"),
+                              row(1, "Speed", "1950"), spec)
+        assert 0.0 <= value <= 1.0
+
+
+class TestDescendantSimilarity:
+    def make_cluster_sets(self):
+        # Paper Tab. 2(b): person clusters 1 {e1p1,e1p3,e2p2}, 4 {e1p2,e2p1},
+        # 8 {e2p3}; here eids 10..15.
+        return {"person": ClusterSet.from_pairs(
+            "person", [(10, 12), (12, 14), (11, 13)], [10, 11, 12, 13, 14, 15])}
+
+    def test_paper_example_shape(self):
+        cluster_sets = self.make_cluster_sets()
+        # e1 has persons 10,11,12; e2 has 13,14,15.
+        left = row(0, "Matrix", "1999", {"person": [10, 11, 12]})
+        right = row(1, "Matrix", "1999", {"person": [13, 14, 15]})
+        # Cluster ids: left -> {cid(10), cid(11), cid(12)} = {A, B, A},
+        # right -> {cid(13), cid(14), cid(15)} = {B, A, C}.
+        # Intersection {A, B}, union {A, B, C} -> 2/3.
+        value = descendant_similarity(left, right, cluster_sets)
+        assert value == pytest.approx(2 / 3)
+
+    def test_no_children_on_either_side(self):
+        left = row(0, "a", "b")
+        right = row(1, "a", "b")
+        assert descendant_similarity(left, right, {}) is None
+
+    def test_one_side_empty_is_zero(self):
+        cluster_sets = self.make_cluster_sets()
+        left = row(0, "a", "b", {"person": [10]})
+        right = row(1, "a", "b")
+        assert descendant_similarity(left, right, cluster_sets) == 0.0
+
+    def test_average_over_types(self):
+        cluster_sets = {
+            "person": ClusterSet.from_pairs("person", [], [10, 11]),
+            "title": ClusterSet.from_pairs("title", [(20, 21)], [20, 21]),
+        }
+        left = row(0, "a", "b", {"person": [10], "title": [20]})
+        right = row(1, "a", "b", {"person": [11], "title": [21]})
+        # person: disjoint singleton clusters -> 0; title: same cluster -> 1.
+        value = descendant_similarity(left, right, cluster_sets)
+        assert value == pytest.approx(0.5)
+
+    def test_missing_cluster_set_raises(self):
+        left = row(0, "a", "b", {"person": [10]})
+        right = row(1, "a", "b", {"person": [11]})
+        with pytest.raises(DetectionError, match="bottom-up order"):
+            descendant_similarity(left, right, {})
+
+    def test_overlap_phi(self):
+        cluster_sets = self.make_cluster_sets()
+        left = row(0, "a", "b", {"person": [10, 11]})    # clusters {A, B}
+        right = row(1, "a", "b", {"person": [14]})       # cluster {A}
+        jacc = descendant_similarity(left, right, cluster_sets, "jaccard")
+        over = descendant_similarity(left, right, cluster_sets, "overlap")
+        assert jacc == pytest.approx(0.5)
+        assert over == 1.0
+
+    def test_unknown_phi(self):
+        with pytest.raises(DetectionError, match="unknown descendant phi"):
+            descendant_similarity(row(0, "a", "b", {"x": [1]}),
+                                  row(1, "a", "b", {"x": [1]}),
+                                  {"x": ClusterSet.from_pairs("x", [], [1])},
+                                  "cosine")
+
+
+class TestSimilarityMeasure:
+    def test_gates_od_only_for_leaves(self):
+        config = SxnmConfig(od_threshold=0.8)
+        spec = movie_spec()
+        config.add(spec)
+        measure = SimilarityMeasure(spec, config, cluster_sets={})
+        verdict = measure.compare(row(0, "Matrix", "1999"),
+                                  row(1, "Matrix", "1999"))
+        assert verdict.is_duplicate
+        assert verdict.descendants is None
+        assert verdict.combined == verdict.od
+
+    def test_gates_require_both_thresholds(self):
+        config = SxnmConfig(od_threshold=0.7, desc_threshold=0.5)
+        spec = movie_spec()
+        config.add(spec)
+        cluster_sets = {"person": ClusterSet.from_pairs("person", [], [10, 11])}
+        measure = SimilarityMeasure(spec, config, cluster_sets)
+        # OD identical but children disjoint -> descendant gate fails.
+        verdict = measure.compare(row(0, "Matrix", "1999", {"person": [10]}),
+                                  row(1, "Matrix", "1999", {"person": [11]}))
+        assert verdict.od == 1.0
+        assert verdict.descendants == 0.0
+        assert not verdict.is_duplicate
+
+    def test_gates_pass_with_child_overlap(self):
+        config = SxnmConfig(od_threshold=0.7, desc_threshold=0.3)
+        spec = movie_spec()
+        config.add(spec)
+        cluster_sets = {"person": ClusterSet.from_pairs(
+            "person", [(10, 11)], [10, 11, 12])}
+        measure = SimilarityMeasure(spec, config, cluster_sets)
+        verdict = measure.compare(
+            row(0, "Matrix", "1999", {"person": [10, 12]}),
+            row(1, "Matrix", "1999", {"person": [11]}))
+        assert verdict.descendants == pytest.approx(0.5)
+        assert verdict.is_duplicate
+
+    def test_use_descendants_false_ignores_children(self):
+        config = SxnmConfig(od_threshold=0.7, desc_threshold=0.99)
+        spec = movie_spec(use_descendants=False)
+        config.add(spec)
+        measure = SimilarityMeasure(spec, config, cluster_sets={})
+        verdict = measure.compare(row(0, "Matrix", "1999", {"person": [10]}),
+                                  row(1, "Matrix", "1999", {"person": [11]}))
+        assert verdict.descendants is None
+        assert verdict.is_duplicate
+
+    def test_combined_decision_averages(self):
+        config = SxnmConfig(duplicate_threshold=0.74)
+        spec = movie_spec()
+        config.add(spec)
+        cluster_sets = {"person": ClusterSet.from_pairs(
+            "person", [(10, 11)], [10, 11])}
+        measure = SimilarityMeasure(spec, config, cluster_sets,
+                                    decision="combined")
+        verdict = measure.compare(row(0, "Matrix", "1999", {"person": [10]}),
+                                  row(1, "Matrix", "1999", {"person": [11]}))
+        # OD 1.0, descendants 1.0 (same cluster) -> combined 1.0.
+        assert verdict.combined == 1.0
+        assert verdict.is_duplicate
+
+    def test_unknown_decision(self):
+        config = SxnmConfig()
+        spec = movie_spec()
+        config.add(spec)
+        with pytest.raises(DetectionError):
+            SimilarityMeasure(spec, config, {}, decision="vote")

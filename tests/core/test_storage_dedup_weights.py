@@ -1,0 +1,197 @@
+"""Unit tests for GK/CS persistence, representative strategies, and
+weighted descendant aggregation."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import (ClusterSet, GkRow, SxnmDetector,
+                        clusters_from_document, clusters_to_document,
+                        deduplicate_document, descendant_similarity,
+                        gk_from_document, gk_to_document, load_gk, save_gk)
+from repro.datagen import generate_dirty_movies
+from repro.errors import DetectionError
+from repro.experiments import dataset1_config
+from repro.xmlmodel import parse
+
+
+class TestGkStorage:
+    def make_result(self):
+        document = generate_dirty_movies(20, seed=4, profile="effectiveness")
+        detector = SxnmDetector(dataset1_config())
+        return document, detector, detector.run(document, window=5)
+
+    def test_round_trip_preserves_rows(self):
+        _, _, result = self.make_result()
+        restored = gk_from_document(gk_to_document(result.gk))
+        assert set(restored) == set(result.gk)
+        for name, table in result.gk.items():
+            restored_rows = list(restored[name])
+            original_rows = list(table)
+            assert len(restored_rows) == len(original_rows)
+            for mine, theirs in zip(original_rows, restored_rows):
+                assert mine.eid == theirs.eid
+                assert mine.keys == theirs.keys
+                assert mine.ods == theirs.ods
+                assert mine.children == theirs.children
+
+    def test_missing_od_survives(self):
+        from repro.core import GkTable
+        table = GkTable("movie", key_count=1, od_count=2)
+        table.add(GkRow(0, ["K"], ["value", None]))
+        restored = gk_from_document(gk_to_document({"movie": table}))
+        assert list(restored["movie"])[0].ods == ["value", None]
+
+    def test_detection_from_stored_gk_matches(self):
+        document, detector, result = self.make_result()
+        restored = gk_from_document(gk_to_document(result.gk))
+        replay = detector.run(document, window=5, gk=restored)
+        assert replay.pairs("movie") == result.pairs("movie")
+
+    def test_file_round_trip(self, tmp_path):
+        _, _, result = self.make_result()
+        path = str(tmp_path / "gk.xml")
+        save_gk(result.gk, path)
+        restored = load_gk(path)
+        assert set(restored) == set(result.gk)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(DetectionError, match="gk-tables"):
+            gk_from_document(parse("<nope/>"))
+
+    def test_bad_eid_rejected(self):
+        with pytest.raises(DetectionError):
+            gk_from_document(parse(
+                '<gk-tables><gk candidate="m" keys="0" ods="0">'
+                '<row eid="xyz"/></gk></gk-tables>'))
+
+
+class TestClusterStorage:
+    def test_round_trip(self):
+        document = generate_dirty_movies(15, seed=4, profile="effectiveness")
+        result = SxnmDetector(dataset1_config()).run(document, window=6)
+        restored = clusters_from_document(clusters_to_document(result))
+        original = result.cluster_set("movie")
+        assert [list(c) for c in restored["movie"]] == \
+            [list(c) for c in original]
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(DetectionError, match="cluster-sets"):
+            clusters_from_document(parse("<nope/>"))
+
+
+class TestRepresentativeStrategies:
+    XML = """
+    <movie_database><movies>
+      <movie year="1999"><title>The Matrix</title>
+        <people><person>Keanu Reeves</person></people></movie>
+      <movie year="1999" length="136"><title>The Matrlx</title>
+        <people><person>Keanu Reeves</person><person>Don Davis</person></people></movie>
+    </movies></movie_database>
+    """
+
+    def config(self):
+        config = SxnmConfig(window_size=5, od_threshold=0.55)
+        config.add(CandidateSpec.build(
+            "movie", "movie_database/movies/movie",
+            od=[("title/text()", 1.0)],
+            keys=[[("title/text()", "K1-K5")]]))
+        return config
+
+    def run(self):
+        document = parse(self.XML)
+        result = SxnmDetector(self.config()).run(document)
+        assert result.cluster_set("movie").duplicate_clusters()
+        return document, result
+
+    def test_first_keeps_document_order(self):
+        document, result = self.run()
+        deduped = deduplicate_document(document, result, "first")
+        kept = deduped.root.find("movies").find_all("movie")[0]
+        assert kept.find("title").text == "The Matrix"
+
+    def test_most_complete_keeps_richer_subtree(self):
+        document, result = self.run()
+        deduped = deduplicate_document(document, result, "most_complete")
+        kept = deduped.root.find("movies").find_all("movie")[0]
+        assert kept.find("title").text == "The Matrlx"  # has 2 persons
+
+    def test_richest_text(self):
+        document, result = self.run()
+        deduped = deduplicate_document(document, result, "richest_text")
+        kept = deduped.root.find("movies").find_all("movie")[0]
+        assert len(kept.find("people").find_all("person")) == 2
+
+    def test_custom_picker(self):
+        document, result = self.run()
+        picker = lambda members: max(members, key=lambda e: e.eid)  # noqa: E731
+        deduped = deduplicate_document(document, result, picker)
+        kept = deduped.root.find("movies").find_all("movie")[0]
+        assert kept.find("title").text == "The Matrlx"
+
+    def test_unknown_strategy(self):
+        document, result = self.run()
+        with pytest.raises(ValueError, match="unknown representative"):
+            deduplicate_document(document, result, "best")
+
+
+class TestWeightedDescendants:
+    def cluster_sets(self):
+        return {
+            "person": ClusterSet.from_pairs("person", [(10, 11)], [10, 11]),
+            "title": ClusterSet.from_pairs("title", [], [20, 21]),
+        }
+
+    def rows(self):
+        left = GkRow(0, ["K"], [])
+        right = GkRow(1, ["K"], [])
+        left.children = {"person": [10], "title": [20]}
+        right.children = {"person": [11], "title": [21]}
+        return left, right
+
+    def test_unweighted_is_average(self):
+        left, right = self.rows()
+        # person similarity 1.0 (same cluster), title 0.0 (different).
+        value = descendant_similarity(left, right, self.cluster_sets())
+        assert value == pytest.approx(0.5)
+
+    def test_weights_shift_aggregate(self):
+        left, right = self.rows()
+        value = descendant_similarity(left, right, self.cluster_sets(),
+                                      weights={"person": 3.0, "title": 1.0})
+        assert value == pytest.approx(0.75)
+
+    def test_zero_weight_ignores_type(self):
+        left, right = self.rows()
+        value = descendant_similarity(left, right, self.cluster_sets(),
+                                      weights={"title": 0.0})
+        assert value == pytest.approx(1.0)
+
+    def test_negative_weight_rejected(self):
+        left, right = self.rows()
+        with pytest.raises(DetectionError, match="negative"):
+            descendant_similarity(left, right, self.cluster_sets(),
+                                  weights={"person": -1.0})
+
+    def test_config_xml_round_trip(self):
+        from repro.config import dump_config, load_config
+        config = SxnmConfig()
+        config.add(CandidateSpec.build(
+            "person", "db/m/person", od=[("text()", 1.0)],
+            keys=[[("text()", "K1")]]))
+        spec = CandidateSpec.build(
+            "m", "db/m", od=[("text()", 1.0)], keys=[[("text()", "K1")]])
+        spec.desc_weights = {"person": 2.5}
+        config.add(spec)
+        reloaded = load_config(dump_config(config))
+        assert reloaded.candidate("m").desc_weights == {"person": 2.5}
+
+    def test_validation_catches_unknown_reference(self):
+        from repro.config import validate_config
+        config = SxnmConfig()
+        spec = CandidateSpec.build(
+            "m", "db/m", od=[("text()", 1.0)], keys=[[("text()", "K1")]])
+        spec.desc_weights = {"ghost": 1.0, "m": -2.0}
+        config.add(spec)
+        problems = validate_config(config)
+        assert any("unknown candidate 'ghost'" in p for p in problems)
+        assert any("negative descendant weight" in p for p in problems)

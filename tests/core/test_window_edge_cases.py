@@ -1,0 +1,142 @@
+"""Edge-case tests for the window engine and detector options."""
+
+import pytest
+
+from repro.config import CandidateSpec, SxnmConfig
+from repro.core import (GkRow, GkTable, PairVerdict, SxnmDetector, multipass,
+                        window_pass)
+from repro.xmlmodel import parse
+
+
+def table_with(keys_per_row):
+    table = GkTable("x", key_count=len(keys_per_row[0]), od_count=0)
+    for eid, keys in enumerate(keys_per_row):
+        table.add(GkRow(eid, list(keys), []))
+    return table
+
+
+def always_duplicate(left, right):
+    return PairVerdict(1.0, None, 1.0, True)
+
+
+def never_duplicate(left, right):
+    return PairVerdict(0.0, None, 0.0, False)
+
+
+class TestWindowPass:
+    def test_empty_table(self):
+        pairs: set = set()
+        assert window_pass(table_with([["A"]][:0] or [["A"]]), 0, 2,
+                           never_duplicate, pairs) in (0, 0)
+
+    def test_zero_rows(self):
+        table = GkTable("x", key_count=1, od_count=0)
+        pairs: set = set()
+        assert window_pass(table, 0, 3, always_duplicate, pairs) == 0
+        assert pairs == set()
+
+    def test_single_row_no_comparisons(self):
+        pairs: set = set()
+        assert window_pass(table_with([["A"]]), 0, 5, always_duplicate,
+                           pairs) == 0
+
+    def test_window_larger_than_table_degenerates_to_all_pairs(self):
+        table = table_with([["A"], ["B"], ["C"], ["D"]])
+        pairs: set = set()
+        comparisons = window_pass(table, 0, 100, always_duplicate, pairs)
+        assert comparisons == 6
+        assert len(pairs) == 6
+
+    def test_comparison_count_formula(self):
+        n, w = 10, 4
+        table = table_with([[f"K{i:02d}"] for i in range(n)])
+        pairs: set = set()
+        comparisons = window_pass(table, 0, w, never_duplicate, pairs)
+        assert comparisons == (w - 1) * n - (w - 1) * w // 2
+
+    def test_skip_known_avoids_recomparison(self):
+        table = table_with([["A", "X"], ["A", "X"], ["B", "Y"]])
+        pairs: set = set()
+        first = window_pass(table, 0, 3, always_duplicate, pairs)
+        # Second pass: all pairs already known -> zero comparisons.
+        second = window_pass(table, 1, 3, always_duplicate, pairs)
+        assert first == 3
+        assert second == 0
+
+    def test_skip_known_disabled(self):
+        table = table_with([["A", "X"], ["A", "X"]])
+        pairs: set = set()
+        window_pass(table, 0, 2, always_duplicate, pairs)
+        comparisons = window_pass(table, 1, 2, always_duplicate, pairs,
+                                  skip_known=False)
+        assert comparisons == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            window_pass(table_with([["A"]]), 0, 1, always_duplicate, set())
+
+
+class TestMultipass:
+    def test_unions_across_keys(self):
+        # Key 0 separates rows 0/2; key 1 brings them adjacent.
+        table = table_with([["A", "M"], ["M", "Z"], ["Z", "M"]])
+        pairs, comparisons = multipass(table, 2, always_duplicate)
+        assert (0, 2) in pairs
+        assert comparisons >= 2
+
+    def test_key_indices_subset(self):
+        table = table_with([["A", "Z"], ["B", "A"]])
+        pairs, _ = multipass(table, 2, always_duplicate, key_indices=[1])
+        assert pairs == {(0, 1)}
+
+    def test_empty_key_indices_runs_nothing(self):
+        table = table_with([["A"], ["B"]])
+        pairs, comparisons = multipass(table, 2, always_duplicate,
+                                       key_indices=[])
+        assert pairs == set()
+        assert comparisons == 0
+
+
+class TestDetectorOptions:
+    XML = """
+    <db><movies>
+      <movie><title>Alpha Beta</title></movie>
+      <movie><title>Alpha Betta</title></movie>
+      <movie><title>Gamma Delta</title></movie>
+    </movies></db>
+    """
+
+    def config(self):
+        config = SxnmConfig(window_size=5, od_threshold=0.8,
+                            duplicate_threshold=0.8)
+        config.add(CandidateSpec.build(
+            "movie", "db/movies/movie",
+            od=[("title/text()", 1.0)],
+            keys=[[("title/text()", "K1-K4")],
+                  [("title/text()", "W1,W2")]]))
+        return config
+
+    def test_combined_decision_end_to_end(self):
+        result = SxnmDetector(self.config(),
+                              decision="combined").run(self.XML)
+        assert len(result.cluster_set("movie").duplicate_clusters()) == 1
+
+    def test_key_selection_list(self):
+        detector = SxnmDetector(self.config())
+        both = detector.run(self.XML, key_selection=[0, 1])
+        multi = detector.run(self.XML)
+        assert both.pairs("movie") == multi.pairs("movie")
+
+    def test_out_of_range_selection_falls_back(self):
+        detector = SxnmDetector(self.config())
+        result = detector.run(self.XML, key_selection=[7])
+        # Falls back to all keys rather than skipping the candidate.
+        assert len(result.cluster_set("movie").members()) == 3
+
+    def test_gk_reuse_with_parsed_document(self):
+        detector = SxnmDetector(self.config())
+        document = parse(self.XML)
+        first = detector.run(document)
+        second = detector.run(document, gk=first.gk)
+        assert second.pairs("movie") == first.pairs("movie")
+        assert second.timings.key_generation < first.timings.key_generation + 1

@@ -1,0 +1,155 @@
+"""Unit tests for typo operators and the dirty XML generator."""
+
+import random
+
+import pytest
+
+from repro.datagen import (DirtySpec, delete_char, insert_char, make_dirty,
+                           maybe_pollute, pollute, replace_char, swap_chars)
+from repro.errors import DataGenerationError
+from repro.xmlmodel import parse
+
+
+class TestTypoOperators:
+    def test_delete_shortens(self):
+        rng = random.Random(1)
+        assert len(delete_char("abcdef", rng)) == 5
+
+    def test_delete_empty_noop(self):
+        assert delete_char("", random.Random(1)) == ""
+
+    def test_insert_lengthens(self):
+        rng = random.Random(1)
+        assert len(insert_char("abc", rng)) == 4
+
+    def test_swap_preserves_multiset(self):
+        rng = random.Random(3)
+        result = swap_chars("abcdef", rng)
+        assert sorted(result) == sorted("abcdef")
+        assert len(result) == 6
+
+    def test_swap_short_noop(self):
+        assert swap_chars("a", random.Random(1)) == "a"
+
+    def test_replace_same_length(self):
+        rng = random.Random(1)
+        assert len(replace_char("abc", rng)) == 3
+
+    def test_pollute_applies_n_operations(self):
+        rng = random.Random(7)
+        original = "Mask of Zorro"
+        polluted = pollute(original, rng, errors=3)
+        assert polluted != original
+
+    def test_pollute_zero_errors_identity(self):
+        assert pollute("abc", random.Random(1), errors=0) == "abc"
+
+    def test_pollute_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pollute("abc", random.Random(1), errors=-1)
+
+    def test_maybe_pollute_probability_zero(self):
+        assert maybe_pollute("abc", random.Random(1), 0.0) == "abc"
+
+    def test_maybe_pollute_probability_one(self):
+        rng = random.Random(5)
+        results = {maybe_pollute("Mask of Zorro", rng, 1.0) for _ in range(10)}
+        assert all(r != "" for r in results)
+        assert any(r != "Mask of Zorro" for r in results)
+
+    def test_maybe_pollute_validation(self):
+        with pytest.raises(ValueError):
+            maybe_pollute("x", random.Random(1), 1.5)
+        with pytest.raises(ValueError):
+            maybe_pollute("x", random.Random(1), 0.5, max_errors=0)
+
+
+CLEAN_XML = """
+<db>
+  <movie oid="movie-0"><title oid="title-0">The Matrix</title></movie>
+  <movie oid="movie-1"><title oid="title-1">Speed</title></movie>
+  <movie oid="movie-2"><title oid="title-2">Dark City</title></movie>
+</db>
+"""
+
+
+class TestMakeDirty:
+    def test_duplicates_inherit_oid(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec("movie", 1.0)], seed=1)
+        movies = dirty.root.find_all("movie")
+        assert len(movies) == 6
+        oids = [m.get("oid") for m in movies]
+        assert sorted(oids) == sorted(["movie-0", "movie-1", "movie-2"] * 2)
+
+    def test_input_untouched(self):
+        clean = parse(CLEAN_XML)
+        make_dirty(clean, [DirtySpec("movie", 1.0)], seed=1)
+        assert len(clean.root.find_all("movie")) == 3
+
+    def test_zero_probability_changes_nothing(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec("movie", 0.0)], seed=1)
+        assert dirty.root.structurally_equal(clean.root)
+
+    def test_deterministic_per_seed(self):
+        clean = parse(CLEAN_XML)
+        a = make_dirty(clean, [DirtySpec("movie", 0.5)], seed=9)
+        b = make_dirty(clean, [DirtySpec("movie", 0.5)], seed=9)
+        assert a.root.structurally_equal(b.root)
+
+    def test_different_seeds_differ(self):
+        clean = parse(CLEAN_XML)
+        variants = [make_dirty(clean, [DirtySpec("movie", 0.5)], seed=s)
+                    for s in range(8)]
+        counts = {len(v.root.find_all("movie")) for v in variants}
+        assert len(counts) > 1
+
+    def test_max_duplicates_range(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec("movie", 1.0, 2, 2)], seed=1)
+        assert len(dirty.root.find_all("movie")) == 9
+
+    def test_duplicates_not_reduplicated(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec("movie", 1.0, 1, 1)], seed=1)
+        # Exactly one duplicate each: 3 originals + 3 copies, never more.
+        assert len(dirty.root.find_all("movie")) == 6
+
+    def test_text_pollution_happens(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec(
+            "movie", 1.0, text_error_probability=1.0, max_errors=2)], seed=3)
+        titles_by_oid: dict[str, set[str]] = {}
+        for movie in dirty.root.find_all("movie"):
+            title = movie.find("title")
+            titles_by_oid.setdefault(title.get("oid"), set()).add(title.text)
+        # At least one duplicate title differs from its original.
+        assert any(len(texts) > 1 for texts in titles_by_oid.values())
+
+    def test_eids_reassigned(self):
+        clean = parse(CLEAN_XML)
+        dirty = make_dirty(clean, [DirtySpec("movie", 1.0)], seed=1)
+        eids = [node.eid for node in dirty.iter()]
+        assert eids == list(range(len(eids)))
+
+    def test_duplicate_spec_tags_rejected(self):
+        clean = parse(CLEAN_XML)
+        with pytest.raises(DataGenerationError):
+            make_dirty(clean, [DirtySpec("movie", 0.1),
+                               DirtySpec("movie", 0.2)], seed=1)
+
+    def test_root_duplication_rejected(self):
+        clean = parse("<movie><t>x</t></movie>")
+        with pytest.raises(DataGenerationError):
+            make_dirty(clean, [DirtySpec("movie", 1.0)], seed=1)
+
+    def test_spec_validation(self):
+        with pytest.raises(DataGenerationError):
+            DirtySpec("m", 1.5)
+        with pytest.raises(DataGenerationError):
+            DirtySpec("m", 0.5, 2, 1)
+        with pytest.raises(DataGenerationError):
+            DirtySpec("m", 0.5, text_error_probability=-0.1)
+        with pytest.raises(DataGenerationError):
+            DirtySpec("m", 0.5, max_errors=0)

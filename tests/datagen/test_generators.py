@@ -1,0 +1,194 @@
+"""Unit tests for the clean/corpus generators (ToXGene, movies, FreeDB)."""
+
+import random
+
+import pytest
+
+from repro.datagen import (ChildSpec, CleanGenerator, ElementTemplate,
+                           FreedbProfile, choice, constant,
+                           generate_clean_discs, generate_clean_movies,
+                           generate_dataset2, generate_dataset3,
+                           generate_dirty_movies, hex_id, int_range,
+                           movie_template, words)
+from repro.errors import DataGenerationError
+
+
+class TestToxgeneCombinators:
+    def test_constant(self):
+        assert constant("x")(random.Random(0)) == "x"
+
+    def test_choice_from_pool(self):
+        value = choice(["a", "b"])(random.Random(0))
+        assert value in ("a", "b")
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(DataGenerationError):
+            choice([])
+
+    def test_int_range(self):
+        value = int(int_range(5, 9)(random.Random(0)))
+        assert 5 <= value <= 9
+
+    def test_int_range_validation(self):
+        with pytest.raises(DataGenerationError):
+            int_range(9, 5)
+
+    def test_words(self):
+        value = words([["a"], ["b"]])(random.Random(0))
+        assert value == "a b"
+
+    def test_hex_id(self):
+        value = hex_id(8)(random.Random(0))
+        assert len(value) == 8
+        int(value, 16)  # parses as hex
+
+    def test_hex_id_validation(self):
+        with pytest.raises(DataGenerationError):
+            hex_id(0)
+
+
+class TestCleanGenerator:
+    def test_oids_unique_per_tag(self):
+        template = ElementTemplate("item", identified=True)
+        generator = CleanGenerator(seed=0)
+        doc = generator.document("db", template, 5)
+        oids = [child.get("oid") for child in doc.root.children]
+        assert len(set(oids)) == 5
+
+    def test_cardinality_respected(self):
+        child = ElementTemplate("c", text=constant("x"))
+        template = ElementTemplate("p", children=(ChildSpec(child, 2, 4),))
+        generator = CleanGenerator(seed=1)
+        for _ in range(20):
+            built = generator.instantiate(template)
+            assert 2 <= len(built.children) <= 4
+
+    def test_cardinality_validation(self):
+        child = ElementTemplate("c")
+        with pytest.raises(DataGenerationError):
+            ChildSpec(child, 3, 1)
+        with pytest.raises(DataGenerationError):
+            ChildSpec(child, -1, 1)
+
+    def test_deterministic(self):
+        from repro.xmlmodel import serialize
+        a = CleanGenerator(seed=7).document("db", movie_template(), 10,
+                                            wrapper_tag="movies")
+        b = CleanGenerator(seed=7).document("db", movie_template(), 10,
+                                            wrapper_tag="movies")
+        assert serialize(a) == serialize(b)
+
+    def test_negative_count(self):
+        with pytest.raises(DataGenerationError):
+            CleanGenerator().document("db", ElementTemplate("x"), -1)
+
+
+class TestMovieDataset:
+    def test_schema_shape(self):
+        doc = generate_clean_movies(20, seed=0)
+        assert doc.root.tag == "movie_database"
+        movies = doc.root.find("movies").find_all("movie")
+        assert len(movies) == 20
+        # year/length are optional (the paper's Key 2 discussion depends on
+        # missing years) but must be present in most movies.
+        assert sum(1 for m in movies if m.get("year") is not None) >= 10
+        assert sum(1 for m in movies if m.get("length") is not None) >= 10
+        for movie in movies:
+            assert movie.find_all("title")
+            persons = movie.find_all("person")
+            assert persons
+            for person in persons:
+                assert person.find("lastname") is not None
+                assert person.find_all("firstname")
+
+    def test_dirty_profiles_grow_document(self):
+        clean = generate_clean_movies(30, seed=1)
+        few = generate_dirty_movies(30, seed=1, profile="few")
+        many = generate_dirty_movies(30, seed=1, profile="many")
+        n_clean = len(clean.root.find("movies").find_all("movie"))
+        n_few = len(few.root.find("movies").find_all("movie"))
+        n_many = len(many.root.find("movies").find_all("movie"))
+        assert n_clean == 30
+        assert n_clean <= n_few < n_many
+        # Paper: many-duplicates data is roughly 2-3x the movies (1-2 dups each).
+        assert n_many >= 2 * n_clean
+
+    def test_effectiveness_profile_one_dup_each(self):
+        doc = generate_dirty_movies(25, seed=2, profile="effectiveness")
+        movies = doc.root.find("movies").find_all("movie")
+        assert len(movies) == 50
+        oids = {}
+        for movie in movies:
+            oids[movie.get("oid")] = oids.get(movie.get("oid"), 0) + 1
+        assert all(count == 2 for count in oids.values())
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            generate_dirty_movies(5, profile="tons")
+
+
+class TestFreedbDataset:
+    def test_disc_schema(self):
+        doc = generate_clean_discs(50, seed=0)
+        discs = doc.root.find_all("disc")
+        assert len(discs) == 50
+        for disc in discs:
+            assert disc.find("artist") is not None
+            assert disc.find("dtitle") is not None
+            tracks = disc.find("tracks")
+            assert tracks is not None and tracks.find_all("title")
+
+    def test_population_features_present(self):
+        doc = generate_clean_discs(400, seed=3)
+        titles = [d.find("dtitle").text for d in doc.root.find_all("disc")]
+        artists = [d.find("artist").text for d in doc.root.find_all("disc")]
+        assert any("CD1" in t or "Vol. 1" in t or "Disc 1" in t for t in titles)
+        assert any(a.startswith("V") and "." in a or a == "Various Artists"
+                   for a in artists)
+        assert any("?" in t or "#" in t or "_" in t for t in titles)
+
+    def test_series_discs_are_distinct_objects(self):
+        doc = generate_clean_discs(400, seed=3)
+        oids = [d.get("oid") for d in doc.root.find_all("disc")]
+        assert len(set(oids)) == len(oids)  # clean data: all distinct
+
+    def test_unreadable_has_no_did(self):
+        doc = generate_clean_discs(500, seed=5)
+        unreadable = [d for d in doc.root.find_all("disc")
+                      if d.find("dtitle").text.count("?") >= 2
+                      or "#" in d.find("dtitle").text
+                      or "_" in d.find("dtitle").text]
+        assert unreadable
+        assert all(d.find("did") is None for d in unreadable)
+
+    def test_dataset2_one_duplicate_each(self):
+        doc = generate_dataset2(disc_count=40, seed=0)
+        discs = doc.root.find_all("disc")
+        assert len(discs) == 80
+        counts: dict[str, int] = {}
+        for disc in discs:
+            counts[disc.get("oid")] = counts.get(disc.get("oid"), 0) + 1
+        assert all(count == 2 for count in counts.values())
+
+    def test_dataset3_small_duplicate_rate(self):
+        doc = generate_dataset3(disc_count=300, seed=1, duplicate_fraction=0.1)
+        discs = doc.root.find_all("disc")
+        duplicated = sum(1 for count in _oid_counts(discs).values() if count > 1)
+        assert 300 <= len(discs) <= 345
+        assert duplicated > 0
+
+    def test_profile_validation(self):
+        with pytest.raises(DataGenerationError):
+            FreedbProfile(series_fraction=0.5, various_artists_fraction=0.4,
+                          unreadable_fraction=0.2)
+        with pytest.raises(DataGenerationError):
+            generate_clean_discs(-1)
+        with pytest.raises(DataGenerationError):
+            generate_dataset3(10, duplicate_fraction=2.0)
+
+
+def _oid_counts(discs):
+    counts: dict[str, int] = {}
+    for disc in discs:
+        counts[disc.get("oid")] = counts.get(disc.get("oid"), 0) + 1
+    return counts

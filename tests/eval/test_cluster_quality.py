@@ -1,0 +1,70 @@
+"""Unit tests for cluster-level quality measures."""
+
+import pytest
+
+from repro.eval import (closest_cluster_f1, cluster_quality, completeness,
+                        purity)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([[1, 2], [3]], [[1, 2], [3]]) == 1.0
+
+    def test_merged_clusters_hurt_purity(self):
+        # One found cluster mixes two gold clusters.
+        assert purity([[1, 2, 3, 4]], [[1, 2], [3, 4]]) == 0.5
+
+    def test_split_clusters_keep_purity(self):
+        # Splitting a gold cluster leaves each found cluster pure.
+        assert purity([[1], [2]], [[1, 2]]) == 1.0
+
+    def test_empty_found(self):
+        assert purity([], [[1, 2]]) == 1.0
+
+    def test_weighted_by_cluster_size(self):
+        value = purity([[1, 2, 3, 9], [4, 5]], [[1, 2, 3], [4, 5], [9]])
+        assert value == pytest.approx(5 / 6)
+
+
+class TestCompleteness:
+    def test_split_hurts_completeness(self):
+        assert completeness([[1], [2]], [[1, 2]]) == 0.5
+
+    def test_merge_keeps_completeness(self):
+        assert completeness([[1, 2, 3, 4]], [[1, 2], [3, 4]]) == 1.0
+
+
+class TestClosestClusterF1:
+    def test_perfect(self):
+        assert closest_cluster_f1([[1, 2], [3]], [[1, 2], [3]]) == 1.0
+
+    def test_no_found_clusters(self):
+        assert closest_cluster_f1([], [[1, 2]]) == 0.0
+
+    def test_no_gold_clusters(self):
+        assert closest_cluster_f1([[1, 2]], []) == 1.0
+
+    def test_partial_overlap(self):
+        # found {1,2,3} vs gold {1,2}: P=2/3, R=1 -> F1=0.8.
+        assert closest_cluster_f1([[1, 2, 3]], [[1, 2]]) == pytest.approx(0.8)
+
+    def test_picks_best_match(self):
+        value = closest_cluster_f1([[1, 2], [3, 4, 5]], [[3, 4, 5]])
+        assert value == 1.0
+
+
+class TestBundle:
+    def test_cluster_quality_bundle(self):
+        quality = cluster_quality([[1, 2], [3], [4]], [[1, 2], [3, 4]])
+        assert quality.purity == 1.0
+        assert quality.completeness == pytest.approx(0.75)
+        assert 0.0 <= quality.closest_f1 <= 1.0
+
+    def test_tradeoff_visible(self):
+        """Merging everything maximizes completeness but ruins purity;
+        splitting everything does the opposite."""
+        gold = [[1, 2], [3, 4]]
+        merged = cluster_quality([[1, 2, 3, 4]], gold)
+        split = cluster_quality([[1], [2], [3], [4]], gold)
+        assert merged.completeness > split.completeness
+        assert split.purity > merged.purity

@@ -1,0 +1,143 @@
+"""Unit tests for gold standards, metrics, timing, and reports."""
+
+import pytest
+
+from repro.eval import (PhaseTimer, PrecisionRecall, evaluate_clusters,
+                        evaluate_pairs, exact_cluster_accuracy, gold_clusters,
+                        gold_pairs, pairs_from_clusters, render_series,
+                        render_table)
+from repro.xmlmodel import parse
+
+GOLD_XML = """
+<db>
+  <movie oid="m0"><t>A</t></movie>
+  <movie oid="m0"><t>A'</t></movie>
+  <movie oid="m1"><t>B</t></movie>
+  <movie><t>C</t></movie>
+</db>
+"""
+
+
+class TestGold:
+    def test_clusters_group_by_oid(self):
+        doc = parse(GOLD_XML)
+        clusters = gold_clusters(doc, "db/movie")
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 1, 2]
+
+    def test_missing_oid_is_singleton(self):
+        doc = parse(GOLD_XML)
+        clusters = gold_clusters(doc, "db/movie")
+        assert sum(len(c) for c in clusters) == 4
+
+    def test_gold_pairs(self):
+        doc = parse(GOLD_XML)
+        pairs = gold_pairs(doc, "db/movie")
+        assert len(pairs) == 1
+
+    def test_wrong_path_empty(self):
+        doc = parse(GOLD_XML)
+        assert gold_clusters(doc, "db/disc") == []
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        pr = evaluate_pairs({(1, 2)}, {(1, 2)})
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.f_measure == 1.0
+
+    def test_false_positive(self):
+        pr = evaluate_pairs({(1, 2), (3, 4)}, {(1, 2)})
+        assert pr.precision == 0.5
+        assert pr.recall == 1.0
+        assert pr.f_measure == pytest.approx(2 / 3)
+
+    def test_false_negative(self):
+        pr = evaluate_pairs({(1, 2)}, {(1, 2), (5, 6)})
+        assert pr.precision == 1.0
+        assert pr.recall == 0.5
+
+    def test_unordered_pairs_normalized(self):
+        pr = evaluate_pairs({(2, 1)}, {(1, 2)})
+        assert pr.true_positives == 1
+
+    def test_self_pairs_ignored(self):
+        pr = evaluate_pairs({(1, 1), (1, 2)}, {(1, 2)})
+        assert pr.false_positives == 0
+
+    def test_empty_found(self):
+        pr = evaluate_pairs(set(), {(1, 2)})
+        assert pr.precision == 1.0  # nothing reported, nothing wrong
+        assert pr.recall == 0.0
+        assert pr.f_measure == 0.0
+
+    def test_empty_gold(self):
+        pr = evaluate_pairs({(1, 2)}, set())
+        assert pr.recall == 1.0
+        assert pr.precision == 0.0
+
+    def test_both_empty(self):
+        pr = evaluate_pairs(set(), set())
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+
+    def test_counts_consistent(self):
+        pr = PrecisionRecall(3, 1, 2)
+        assert pr.precision == 0.75
+        assert pr.recall == 0.6
+
+
+class TestClusterMetrics:
+    def test_pairs_from_clusters(self):
+        assert pairs_from_clusters([[1, 2, 3]]) == {(1, 2), (1, 3), (2, 3)}
+        assert pairs_from_clusters([[1], [2]]) == set()
+
+    def test_evaluate_clusters(self):
+        pr = evaluate_clusters([[1, 2], [3]], [[1, 2, 3]])
+        assert pr.true_positives == 1
+        assert pr.false_negatives == 2
+
+    def test_exact_cluster_accuracy(self):
+        assert exact_cluster_accuracy([[1, 2], [3]], [[1, 2], [3]]) == 1.0
+        assert exact_cluster_accuracy([[1, 2, 3]], [[1, 2], [3]]) == 0.0
+        assert exact_cluster_accuracy([], []) == 1.0
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("KG"):
+            pass
+        with timer.phase("KG"):
+            pass
+        assert timer.seconds("KG") >= 0
+        assert "KG" in timer.phases()
+
+    def test_unknown_phase_zero(self):
+        assert PhaseTimer().seconds("SW") == 0.0
+
+
+class TestReports:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "long-header"], [[1, 0.5], [22, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-header" in lines[0]
+        assert "0.5000" in text
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        text = render_series("window", [2, 4],
+                             {"recall": [0.5, 0.75], "precision": [0.9, 0.85]},
+                             title="Fig 4(a)")
+        assert "Fig 4(a)" in text
+        assert "window" in text
+        assert "0.7500" in text
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"y": [0.1]})

@@ -1,0 +1,54 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.eval import render_ascii_chart
+
+
+class TestRenderAsciiChart:
+    def test_basic_shape(self):
+        chart = render_ascii_chart([1, 2, 3], {"a": [0.1, 0.5, 0.9]},
+                                   width=20, height=6)
+        lines = chart.splitlines()
+        data_lines = [line for line in lines if "|" in line]
+        assert len(data_lines) == 6
+        assert "o = a" in lines[-1]
+
+    def test_title_and_labels(self):
+        chart = render_ascii_chart([0, 1], {"s": [0, 1]}, title="T",
+                                   x_label="x", y_label="y")
+        assert chart.splitlines()[0] == "T"
+        assert "x" in chart
+        assert "y" in chart.splitlines()[1]
+
+    def test_multiple_series_symbols(self):
+        chart = render_ascii_chart([0, 1], {"a": [0, 0], "b": [1, 1]})
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_extremes_plotted(self):
+        chart = render_ascii_chart([0, 10], {"s": [0.0, 1.0]},
+                                   width=30, height=8)
+        data_lines = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in data_lines[0]       # maximum at the top row
+        assert "o" in data_lines[-1]      # minimum at the bottom row
+
+    def test_constant_series(self):
+        chart = render_ascii_chart([1, 2], {"flat": [0.5, 0.5]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            render_ascii_chart([1], {})
+        with pytest.raises(ValueError):
+            render_ascii_chart([1, 2], {"a": [1]})
+        with pytest.raises(ValueError):
+            render_ascii_chart([1], {"a": [1]}, width=5)
+
+    def test_y_axis_labels_monotone(self):
+        chart = render_ascii_chart([1, 2], {"a": [0.0, 1.0]}, height=5)
+        labels = [float(line.split("|")[0]) for line in chart.splitlines()
+                  if "|" in line]
+        assert labels == sorted(labels, reverse=True)

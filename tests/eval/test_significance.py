@@ -1,0 +1,49 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import pytest
+
+from repro.eval import bootstrap_metrics, pairs_from_clusters
+
+
+GOLD = [[1, 2], [3, 4], [5], [6, 7, 8], [9, 10], [11], [12, 13]]
+
+
+class TestBootstrapMetrics:
+    def test_perfect_detection_tight_interval(self):
+        found = pairs_from_clusters(GOLD)
+        report = bootstrap_metrics(found, GOLD, resamples=100, seed=1)
+        assert report.precision.point == 1.0
+        assert report.recall.point == 1.0
+        assert report.f_measure.low == 1.0
+        assert report.f_measure.high == 1.0
+
+    def test_point_inside_interval(self):
+        found = {(1, 2), (3, 4), (6, 7)}  # misses some, no FPs
+        report = bootstrap_metrics(found, GOLD, resamples=200, seed=2)
+        assert report.recall.point in report.recall
+        assert report.precision.point in report.precision
+
+    def test_interval_ordering(self):
+        found = {(1, 2), (5, 6)}  # one FP
+        report = bootstrap_metrics(found, GOLD, resamples=100, seed=3)
+        for interval in (report.precision, report.recall, report.f_measure):
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_deterministic_per_seed(self):
+        found = {(1, 2), (3, 4)}
+        a = bootstrap_metrics(found, GOLD, resamples=50, seed=7)
+        b = bootstrap_metrics(found, GOLD, resamples=50, seed=7)
+        assert a == b
+
+    def test_str_rendering(self):
+        report = bootstrap_metrics({(1, 2)}, GOLD, resamples=50, seed=1)
+        text = str(report.recall)
+        assert "[" in text and "]" in text and "95%" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_metrics(set(), GOLD, resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(set(), GOLD, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_metrics(set(), [])

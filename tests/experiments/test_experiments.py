@@ -1,0 +1,136 @@
+"""Unit tests for the experiment drivers (small scales)."""
+
+import pytest
+
+from repro.experiments import (best_f_measure, classify_false_positives,
+                               dataset1_config, dataset2_config,
+                               dataset3_config, effectiveness_sweep,
+                               overhead_vs_clean, run_dataset1,
+                               run_scalability, scalability_config,
+                               series_values, sweep_desc_threshold,
+                               sweep_od_threshold)
+from repro.experiments.exp2_scalability import ScalabilityPoint
+
+
+class TestConfigs:
+    def test_dataset1_three_keys(self):
+        config = dataset1_config()
+        assert config.candidate("movie").pass_count == 3
+
+    def test_dataset2_candidates(self):
+        config = dataset2_config()
+        assert {spec.name for spec in config.candidates} == {"disc", "title"}
+        assert config.candidate("disc").pass_count == 3
+
+    def test_dataset3_candidates(self):
+        config = dataset3_config()
+        assert {spec.name for spec in config.candidates} == {
+            "disc", "dtitle", "artist", "title"}
+        assert config.candidate("disc").pass_count == 2
+
+    def test_all_configs_valid(self):
+        from repro.config import validate_config
+        for config in (dataset1_config(), dataset2_config(),
+                       dataset3_config(), scalability_config()):
+            assert validate_config(config) == []
+
+
+class TestEffectivenessSweep:
+    def test_series_structure(self):
+        result = run_dataset1(movie_count=30, seed=1, windows=[2, 4])
+        assert set(result.sweep) == {"Key 1", "Key 2", "Key 3", "MP"}
+        for points in result.sweep.values():
+            assert [p.window for p in points] == [2, 4]
+
+    def test_series_values_extraction(self):
+        result = run_dataset1(movie_count=30, seed=1, windows=[2, 4])
+        recall = series_values(result.sweep, "recall")
+        pairs = series_values(result.sweep, "duplicate_pairs")
+        comparisons = series_values(result.sweep, "comparisons")
+        assert len(recall["MP"]) == 2
+        assert all(v >= 0 for v in pairs["MP"])
+        assert comparisons["MP"][1] >= comparisons["MP"][0]
+
+    def test_multipass_optional(self):
+        from repro.datagen import generate_dirty_movies
+        from repro.experiments import MOVIE_XPATH
+        document = generate_dirty_movies(20, seed=1, profile="effectiveness")
+        sweep = effectiveness_sweep(document, dataset1_config(), "movie",
+                                    MOVIE_XPATH, [2], include_multipass=False)
+        assert "MP" not in sweep
+
+
+class TestScalability:
+    def test_points_shape(self):
+        points = run_scalability("clean", sizes=[20, 40], seed=1)
+        assert [p.movie_count for p in points] == [20, 40]
+        for point in points:
+            assert point.kg_seconds > 0
+            assert point.dd_seconds == pytest.approx(
+                point.sw_seconds + point.tc_seconds)
+            assert point.total_seconds > 0
+
+    def test_dirty_profiles_bigger(self):
+        clean = run_scalability("clean", sizes=[30], seed=1)
+        many = run_scalability("many", sizes=[30], seed=1)
+        assert many[0].element_count > clean[0].element_count
+
+    def test_overhead_alignment_checked(self):
+        a = [ScalabilityPoint("clean", 10, 100, 0.1, 0.2, 0.0)]
+        b = [ScalabilityPoint("few", 20, 150, 0.1, 0.2, 0.0)]
+        with pytest.raises(ValueError):
+            overhead_vs_clean(b, a)
+        with pytest.raises(ValueError):
+            overhead_vs_clean(b, [])
+
+    def test_overhead_value(self):
+        clean = [ScalabilityPoint("clean", 10, 100, 0.1, 0.1, 0.0)]
+        dirty = [ScalabilityPoint("few", 10, 120, 0.2, 0.2, 0.0)]
+        assert overhead_vs_clean(dirty, clean) == [pytest.approx(1.0)]
+
+
+class TestThresholdSweeps:
+    def test_od_sweep_monotone_recall(self):
+        points = sweep_od_threshold(disc_count=40, seed=3,
+                                    thresholds=[0.5, 0.7, 0.9])
+        recalls = [p.metrics.recall for p in points]
+        assert recalls[0] >= recalls[-1]
+
+    def test_desc_sweep_monotone_recall(self):
+        points = sweep_desc_threshold(disc_count=40, seed=3,
+                                      thresholds=[0.1, 0.5, 0.9])
+        recalls = [p.metrics.recall for p in points]
+        assert recalls[0] >= recalls[-1]
+
+    def test_best_f_measure(self):
+        points = sweep_od_threshold(disc_count=40, seed=3,
+                                    thresholds=[0.5, 0.65, 0.95])
+        best = best_f_measure(points)
+        assert best.metrics.f_measure == max(
+            p.metrics.f_measure for p in points)
+
+    def test_best_f_measure_empty(self):
+        with pytest.raises(ValueError):
+            best_f_measure([])
+
+
+class TestFpAnalysis:
+    def test_classification_counts(self):
+        from repro.core import SxnmDetector
+        from repro.datagen import generate_dataset3
+        from repro.eval import gold_pairs
+        from repro.experiments import DISC_XPATH
+        document = generate_dataset3(disc_count=300, seed=4,
+                                     duplicate_fraction=0.05)
+        result = SxnmDetector(dataset3_config()).run(document, window=4)
+        gold = gold_pairs(document, DISC_XPATH)
+        breakdown = classify_false_positives(document, result.pairs("disc"),
+                                             gold)
+        fractions = breakdown.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9 or breakdown.total == 0
+
+    def test_empty_breakdown(self):
+        from repro.experiments import FalsePositiveBreakdown
+        empty = FalsePositiveBreakdown(0, 0, 0)
+        assert empty.total == 0
+        assert set(empty.fractions().values()) == {0.0}

@@ -1,0 +1,41 @@
+"""Unit tests for the per-key contribution analysis."""
+
+import pytest
+
+from repro.datagen import generate_dirty_movies
+from repro.experiments import dataset1_config, key_contributions
+
+
+@pytest.fixture(scope="module")
+def report():
+    document = generate_dirty_movies(80, seed=23, profile="effectiveness")
+    return key_contributions(document, dataset1_config(), "movie", window=6)
+
+
+class TestKeyContributions:
+    def test_all_keys_reported(self, report):
+        names = [c.key_name for c in report.contributions]
+        assert names == ["Key 1", "Key 2", "Key 3"]
+
+    def test_union_bounds(self, report):
+        for contribution in report.contributions:
+            assert contribution.found <= report.union_size
+            assert contribution.exclusive <= contribution.found
+            assert 0.0 <= contribution.share_of_union <= 1.0
+
+    def test_intersection_bounded_by_minimum(self, report):
+        smallest = min(c.found for c in report.contributions)
+        assert report.found_by_all <= smallest
+
+    def test_union_is_multipass_equivalent(self, report):
+        """Union of single passes == multi-pass with skip-known windows."""
+        from repro.core import SxnmDetector
+        from repro.datagen import generate_dirty_movies
+        document = generate_dirty_movies(80, seed=23, profile="effectiveness")
+        multi = SxnmDetector(dataset1_config()).run(document, window=6)
+        assert report.union_size == len(multi.pairs("movie"))
+
+    def test_exclusive_pairs_justify_multipass(self, report):
+        """At least one key must contribute exclusive pairs, otherwise the
+        multi-pass method would be pointless on this data."""
+        assert any(c.exclusive > 0 for c in report.contributions)

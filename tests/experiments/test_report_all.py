@@ -1,0 +1,42 @@
+"""Unit tests for the one-call full-report generator."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import SCALES, generate_full_report
+
+
+class TestGenerateFullReport:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report")
+        written = generate_full_report(str(out), scale="smoke", seed=7)
+        return out, written
+
+    def test_all_figures_written(self, report):
+        out, written = report
+        names = {pathlib.Path(p).name for p in written}
+        assert names == {"fig4a.txt", "fig4b.txt", "fig4c.txt", "fig4d.txt",
+                         "fig5.txt", "fig6a.txt", "fig6b.txt", "SUMMARY.txt"}
+
+    def test_figures_contain_table_and_chart(self, report):
+        out, _ = report
+        text = (out / "fig4a.txt").read_text()
+        assert "window" in text
+        assert "|" in text          # chart rows
+        assert "MP" in text
+
+    def test_summary_indexes_everything(self, report):
+        out, _ = report
+        summary = (out / "SUMMARY.txt").read_text()
+        for name in ("fig4a", "fig5", "fig6b"):
+            assert name in summary
+        assert "generated in" in summary
+
+    def test_unknown_scale_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_full_report(str(tmp_path), scale="galactic")
+
+    def test_scales_registry(self):
+        assert {"smoke", "small", "paper"} <= set(SCALES)

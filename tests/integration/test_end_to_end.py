@@ -1,0 +1,99 @@
+"""Integration tests: full pipelines across modules."""
+
+import pytest
+
+from repro import (SxnmDetector, deduplicate_document, dump_config,
+                   evaluate_pairs, gold_pairs, load_config, parse, serialize)
+from repro.datagen import generate_dataset2, generate_dirty_movies
+from repro.experiments import (DISC_XPATH, MOVIE_XPATH, dataset1_config,
+                               dataset2_config, scalability_config)
+
+
+class TestGeneratedMoviePipeline:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return generate_dirty_movies(60, seed=5, profile="effectiveness")
+
+    def test_detection_quality(self, document):
+        result = SxnmDetector(dataset1_config()).run(document, window=8)
+        gold = gold_pairs(document, MOVIE_XPATH)
+        metrics = evaluate_pairs(result.pairs("movie"), gold)
+        assert metrics.recall > 0.7
+        assert metrics.precision > 0.8
+
+    def test_dedup_removes_most_duplicates(self, document):
+        detector = SxnmDetector(dataset1_config())
+        result = detector.run(document, window=20)
+        deduped = deduplicate_document(document, result)
+        movies_before = len(result.cluster_set("movie").members())
+        movies_after = len(deduped.root.find("movies").find_all("movie"))
+        clusters = len(result.cluster_set("movie"))
+        assert movies_after == clusters < movies_before
+
+    def test_dedup_output_reparses_and_has_fewer_duplicates(self, document):
+        detector = SxnmDetector(dataset1_config())
+        result = detector.run(document, window=20)
+        deduped = parse(serialize(deduplicate_document(document, result)))
+        # Run detection again over the deduplicated output.
+        second = detector.run(deduped, window=20)
+        first_pairs = len(result.pairs("movie"))
+        second_pairs = len(second.pairs("movie"))
+        assert second_pairs < first_pairs * 0.3
+
+    def test_config_xml_round_trip_preserves_behaviour(self, document):
+        config = dataset1_config()
+        reloaded = load_config(dump_config(config))
+        direct = SxnmDetector(config).run(document, window=6)
+        via_xml = SxnmDetector(reloaded).run(document, window=6)
+        assert direct.pairs("movie") == via_xml.pairs("movie")
+
+
+class TestGeneratedCdPipeline:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return generate_dataset2(disc_count=80, seed=5)
+
+    def test_descendants_improve_precision(self, document):
+        gold = gold_pairs(document, DISC_XPATH)
+        with_desc = SxnmDetector(dataset2_config(window=6)).run(document)
+        without = SxnmDetector(
+            dataset2_config(window=6, use_descendants=False)).run(document)
+        desc_metrics = evaluate_pairs(with_desc.pairs("disc"), gold)
+        od_metrics = evaluate_pairs(without.pairs("disc"), gold)
+        assert desc_metrics.precision >= od_metrics.precision
+
+    def test_bottom_up_order_runs_titles_before_discs(self, document):
+        detector = SxnmDetector(dataset2_config())
+        order = [node.name for node in detector.hierarchy.order]
+        assert order.index("title") < order.index("disc")
+
+    def test_multipass_dominates_every_single_pass(self, document):
+        gold = gold_pairs(document, DISC_XPATH)
+        detector = SxnmDetector(dataset2_config(window=6))
+        base = detector.run(document)
+        multi = evaluate_pairs(base.pairs("disc"), gold)
+        for key_index in range(3):
+            single = detector.run(document, key_selection=key_index,
+                                  gk=base.gk)
+            single_metrics = evaluate_pairs(single.pairs("disc"), gold)
+            assert multi.recall >= single_metrics.recall
+
+    def test_streaming_and_dom_keygen_agree_on_corpus(self, document):
+        config = dataset2_config()
+        dom = SxnmDetector(config).run(document, window=4)
+        streaming = SxnmDetector(config, streaming_keygen=True).run(
+            serialize(document), window=4)
+        assert dom.pairs("disc") == streaming.pairs("disc")
+        assert dom.pairs("title") == streaming.pairs("title")
+
+
+class TestClosureEquivalence:
+    def test_quadratic_and_union_find_same_clusters(self):
+        document = generate_dirty_movies(40, seed=9, profile="many")
+        config = scalability_config()
+        fast = SxnmDetector(config).run(document)
+        slow = SxnmDetector(config, closure_method="quadratic").run(document)
+        for name in ("movie", "title", "person"):
+            fast_clusters = {tuple(c) for c in fast.cluster_set(name)}
+            slow_clusters = {tuple(c) for c in slow.cluster_set(name)}
+            assert fast_clusters == slow_clusters

@@ -1,0 +1,61 @@
+"""Unit tests for key definitions over XML elements."""
+
+import pytest
+
+from repro.keys import KeyDefinition, generate_keys
+from repro.xmlmodel import element
+
+
+@pytest.fixture()
+def movie():
+    return element(
+        "movie", {"year": "1999", "ID": "m5", "length": "136"},
+        element("title", text="Matrix"),
+    )
+
+
+class TestKeyDefinition:
+    def test_paper_key_one(self, movie):
+        # KEY_movie,1: K1,K2 of title/text() then D3,D4 of @year -> MT99.
+        key = KeyDefinition.create([("title/text()", "K1,K2"),
+                                    ("@year", "D3,D4")], name="Key 1")
+        assert key.generate(movie) == "MT99"
+
+    def test_paper_key_two(self, movie):
+        # KEY_movie,2: D1 of @ID then C1,C2 of title/text() -> 5MA.
+        key = KeyDefinition.create([("@ID", "D1"),
+                                    ("title/text()", "C1,C2")], name="Key 2")
+        assert key.generate(movie) == "5MA"
+
+    def test_missing_path_shortens_key(self, movie):
+        key = KeyDefinition.create([("director/text()", "K1-K4"),
+                                    ("@year", "D3,D4")])
+        assert key.generate(movie) == "99"
+
+    def test_missing_attribute(self, movie):
+        key = KeyDefinition.create([("@genre", "C1,C2")])
+        assert key.generate(movie) == ""
+
+    def test_uppercased(self, movie):
+        key = KeyDefinition.create([("title/text()", "C1-C6")])
+        assert key.generate(movie) == "MATRIX"
+
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            KeyDefinition.create([])
+
+    def test_name_kept(self):
+        key = KeyDefinition.create([("text()", "C1")], name="Key 9")
+        assert key.name == "Key 9"
+
+    def test_generate_keys_multi(self, movie):
+        keys = generate_keys(movie, [
+            KeyDefinition.create([("title/text()", "K1,K2"), ("@year", "D3,D4")]),
+            KeyDefinition.create([("@ID", "D1"), ("title/text()", "C1,C2")]),
+        ])
+        assert keys == ["MT99", "5MA"]
+
+    def test_text_only_candidate(self):
+        title = element("title", text="Christmas Songs")
+        key = KeyDefinition.create([("text()", "C1-C6")])
+        assert key.generate(title) == "CHRIST"

@@ -1,0 +1,69 @@
+"""Unit tests for the key-pattern mini-language."""
+
+import pytest
+
+from repro.errors import PatternSyntaxError
+from repro.keys import parse_pattern
+
+
+class TestParsePattern:
+    def test_single_position(self):
+        assert parse_pattern("D1").extract("1998") == "1"
+
+    def test_comma_list(self):
+        assert parse_pattern("D3,D4").extract("1998") == "98"
+
+    def test_range_with_class_repeated(self):
+        assert parse_pattern("K1-K5").extract("Mask of Zorro") == "MskfZ"
+
+    def test_range_without_second_class(self):
+        assert parse_pattern("K1-5").extract("Mask of Zorro") == "MskfZ"
+
+    def test_paper_example_mask_of_zorro(self):
+        # Key = first four consonants of title + third and fourth digit of year.
+        title_part = parse_pattern("K1-K4").extract("Mask of Zorro")
+        year_part = parse_pattern("D3,D4").extract("1998")
+        assert (title_part + year_part).upper() == "MSKF98"
+
+    def test_paper_example_matrix(self):
+        assert parse_pattern("K1,K2").extract("Matrix").upper() == "MT"
+
+    def test_characters_class_skips_whitespace(self):
+        assert parse_pattern("C1-C4").extract("a b c d") == "abcd"
+
+    def test_vowel_class(self):
+        assert parse_pattern("V1,V2").extract("Matrix") == "ai"
+
+    def test_alpha_class(self):
+        assert parse_pattern("A1-A3").extract("x1y2z3") == "xyz"
+
+    def test_soundex_class(self):
+        assert parse_pattern("S1-S4").extract("Robert") == "R163"
+
+    def test_positions_beyond_text_are_skipped(self):
+        assert parse_pattern("K1-K5").extract("Up") == "p"
+        assert parse_pattern("D3,D4").extract("12") == ""
+
+    def test_empty_text(self):
+        assert parse_pattern("K1-K5").extract("") == ""
+
+    def test_mixed_classes(self):
+        pattern = parse_pattern("K1,K2,D1,D2")
+        assert pattern.extract("Blade Runner 2049") == "Bl20"
+
+    def test_str_is_source(self):
+        assert str(parse_pattern(" K1-K5 ")) == "K1-K5"
+
+    @pytest.mark.parametrize("bad", [
+        "", "  ", "K", "1K", "K0", "K2-K1", "K1-D3", "X1", "K1,,K2",
+        "K1-", "-K1", "k1", "K1.5",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern(bad)
+
+    def test_word_initials_class(self):
+        assert parse_pattern("W1-W3").extract("Mask of Zorro") == "MoZ"
+        assert parse_pattern("W1,W2").extract("The Matrix") == "TM"
+        assert parse_pattern("W1-W5").extract("single") == "s"
+        assert parse_pattern("W1").extract("") == ""

@@ -1,0 +1,122 @@
+"""Unit tests for the Fellegi-Sunter probabilistic matcher."""
+
+import math
+
+import pytest
+
+from repro.relational import Relation
+from repro.relational.fellegi_sunter import (FellegiSunterMatcher, FieldModel,
+                                             estimate_mu_probabilities)
+
+
+@pytest.fixture()
+def records():
+    relation = Relation(["name", "year"])
+    a = relation.insert({"name": "John Smith", "year": "1998"})
+    b = relation.insert({"name": "Jon Smith", "year": "1998"})
+    c = relation.insert({"name": "Alice Jones", "year": "1950"})
+    return a, b, c
+
+
+def models():
+    return [FieldModel("name", m=0.95, u=0.05, phi="jaro_winkler",
+                       agree_at=0.9),
+            FieldModel("year", m=0.9, u=0.1, phi="exact", agree_at=1.0)]
+
+
+class TestFieldModel:
+    def test_weights_signs(self):
+        model = FieldModel("f", m=0.9, u=0.1)
+        assert model.agreement_weight > 0
+        assert model.disagreement_weight < 0
+
+    def test_weight_values(self):
+        model = FieldModel("f", m=0.9, u=0.1)
+        assert model.agreement_weight == pytest.approx(math.log(9.0))
+        assert model.disagreement_weight == pytest.approx(math.log(1 / 9))
+
+    @pytest.mark.parametrize("m,u", [(0.0, 0.1), (1.0, 0.1), (0.5, 0.5),
+                                     (0.1, 0.9)])
+    def test_validation(self, m, u):
+        with pytest.raises(ValueError):
+            FieldModel("f", m=m, u=u)
+
+
+class TestMatcher:
+    def test_similar_pair_matches(self, records):
+        a, b, _ = records
+        matcher = FellegiSunterMatcher(models(), upper=2.0)
+        assert matcher(a, b)
+        assert matcher.classify(a, b) == "match"
+
+    def test_dissimilar_pair_rejected(self, records):
+        a, _, c = records
+        matcher = FellegiSunterMatcher(models(), upper=2.0)
+        assert not matcher(a, c)
+        assert matcher.classify(a, c) == "non-match"
+
+    def test_possible_band(self, records):
+        a, b, _ = records
+        weight = FellegiSunterMatcher(models(), upper=0.0).weight(a, b)
+        matcher = FellegiSunterMatcher(models(), upper=weight + 1.0,
+                                       lower=weight - 1.0)
+        assert matcher.classify(a, b) == "possible"
+
+    def test_weight_is_sum_of_field_weights(self, records):
+        a, b, _ = records
+        field_models = models()
+        matcher = FellegiSunterMatcher(field_models, upper=0.0)
+        expected = (field_models[0].agreement_weight
+                    + field_models[1].agreement_weight)
+        assert matcher.weight(a, b) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FellegiSunterMatcher([], upper=1.0)
+        with pytest.raises(ValueError):
+            FellegiSunterMatcher(models(), upper=1.0, lower=2.0)
+
+    def test_usable_with_snm(self, records):
+        from repro.relational import RelationalKey, sorted_neighborhood
+        relation = Relation(["name", "year"])
+        relation.extend([
+            {"name": "John Smith", "year": "1998"},
+            {"name": "Jon Smith", "year": "1998"},
+            {"name": "Alice Jones", "year": "1950"},
+        ])
+        key = RelationalKey.create([("name", "K1-K4")])
+        matcher = FellegiSunterMatcher(models(), upper=2.0)
+        result = sorted_neighborhood(relation, [key], matcher, window=3)
+        assert (0, 1) in result.pairs
+
+
+class TestEstimation:
+    def make_pairs(self):
+        relation = Relation(["name"])
+        base = [relation.insert({"name": name}) for name in
+                ["John Smith", "Mary Jones", "Bob Brown", "Eve White"]]
+        typo = [relation.insert({"name": name}) for name in
+                ["John Smith", "Mary Jnoes", "Bob Browne", "Eva White"]]
+        matches = list(zip(base, typo))
+        non_matches = [(base[i], base[j])
+                       for i in range(len(base)) for j in range(i + 1, len(base))]
+        return matches, non_matches
+
+    def test_estimates_reasonable(self):
+        matches, non_matches = self.make_pairs()
+        model = estimate_mu_probabilities(matches, non_matches, "name",
+                                          phi="jaro_winkler", agree_at=0.85)
+        assert model.m > 0.7
+        assert model.u < 0.3
+
+    def test_empty_sample_rejected(self):
+        matches, non_matches = self.make_pairs()
+        with pytest.raises(ValueError):
+            estimate_mu_probabilities([], non_matches, "name")
+
+    def test_uninformative_field_rejected(self):
+        relation = Relation(["constant"])
+        a = relation.insert({"constant": "x"})
+        b = relation.insert({"constant": "x"})
+        with pytest.raises(ValueError, match="uninformative"):
+            estimate_mu_probabilities([(a, b)], [(a, b)], "constant")

@@ -1,0 +1,91 @@
+"""Unit tests for equational-theory matchers."""
+
+import pytest
+
+from repro.relational import (Condition, FieldRule, Relation, RuleMatcher,
+                              WeightedFieldMatcher)
+
+
+@pytest.fixture()
+def records():
+    relation = Relation(["name", "address", "year"])
+    a = relation.insert({"name": "John Smith", "address": "12 Main St",
+                         "year": "1998"})
+    b = relation.insert({"name": "Jon Smith", "address": "12 Main Street",
+                         "year": "1998"})
+    c = relation.insert({"name": "Alice Jones", "address": "99 Elm Rd",
+                         "year": "1950"})
+    return a, b, c
+
+
+class TestWeightedFieldMatcher:
+    def test_similar_records_match(self, records):
+        a, b, _ = records
+        matcher = WeightedFieldMatcher(
+            [FieldRule("name", 0.5), FieldRule("address", 0.5)], threshold=0.7)
+        assert matcher(a, b)
+
+    def test_dissimilar_records_do_not_match(self, records):
+        a, _, c = records
+        matcher = WeightedFieldMatcher(
+            [FieldRule("name", 0.5), FieldRule("address", 0.5)], threshold=0.7)
+        assert not matcher(a, c)
+
+    def test_similarity_in_unit_interval(self, records):
+        a, b, c = records
+        matcher = WeightedFieldMatcher([FieldRule("name", 1.0)], threshold=0.5)
+        for left, right in [(a, b), (a, c), (b, c)]:
+            assert 0.0 <= matcher.similarity(left, right) <= 1.0
+
+    def test_weights_normalized(self, records):
+        a, b, _ = records
+        heavy = WeightedFieldMatcher([FieldRule("name", 2.0)], threshold=0.5)
+        light = WeightedFieldMatcher([FieldRule("name", 0.2)], threshold=0.5)
+        assert heavy.similarity(a, b) == pytest.approx(light.similarity(a, b))
+
+    def test_missing_field_treated_as_empty(self):
+        relation = Relation(["name", "city"])
+        a = relation.insert({"name": "X", "city": "Berlin"})
+        b = relation.insert({"name": "X"})
+        matcher = WeightedFieldMatcher(
+            [FieldRule("name", 0.5), FieldRule("city", 0.5)], threshold=0.9)
+        assert not matcher(a, b)
+        assert matcher.similarity(a, b) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedFieldMatcher([], threshold=0.5)
+        with pytest.raises(ValueError):
+            WeightedFieldMatcher([FieldRule("a", 1.0)], threshold=1.5)
+        with pytest.raises(ValueError):
+            WeightedFieldMatcher([FieldRule("a", 0.0)], threshold=0.5)
+
+
+class TestRuleMatcher:
+    def test_conjunction(self, records):
+        a, b, c = records
+        rule = RuleMatcher(require=[
+            Condition("name", "jaro_winkler", 0.85),
+            Condition("year", "exact", 1.0),
+        ])
+        assert rule(a, b)
+        assert not rule(a, c)
+
+    def test_alternatives(self, records):
+        a, b, _ = records
+        rule = RuleMatcher(
+            require=[Condition("year", "exact", 1.0)],
+            alternatives=[Condition("name", "exact", 1.0),
+                          Condition("address", "edit", 0.7)])
+        assert rule(a, b)  # names differ but addresses are close
+
+    def test_alternatives_must_fire(self, records):
+        a, _, c = records
+        rule = RuleMatcher(
+            require=[],
+            alternatives=[Condition("name", "exact", 1.0)])
+        assert not rule(a, c)
+
+    def test_needs_conditions(self):
+        with pytest.raises(ValueError):
+            RuleMatcher()

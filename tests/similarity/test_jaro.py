@@ -1,0 +1,47 @@
+"""Unit tests for Jaro and Jaro-Winkler."""
+
+import pytest
+
+from repro.similarity import jaro_similarity, jaro_winkler_similarity
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("MARTHA", "MARTHA") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("DIXON", "DICKSONX") == pytest.approx(0.766667, abs=1e-5)
+
+    def test_no_match(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_operands(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("", "") == 1.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("crate", "trace") == jaro_similarity("trace", "crate")
+
+
+class TestJaroWinkler:
+    def test_classic_martha_marhta(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") == pytest.approx(
+            0.961111, abs=1e-5)
+
+    def test_prefix_boost(self):
+        base = jaro_similarity("prefixed", "prefixxx")
+        boosted = jaro_winkler_similarity("prefixed", "prefixxx")
+        assert boosted > base
+
+    def test_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler_similarity("abcd", "xbcd") == jaro_similarity("abcd", "xbcd")
+
+    def test_bounded_by_one(self):
+        assert jaro_winkler_similarity("aaaa", "aaaa") == 1.0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5, max_prefix=4)

@@ -1,0 +1,65 @@
+"""Unit tests for edit-distance measures."""
+
+import pytest
+
+from repro.similarity import (damerau_levenshtein_distance, damerau_similarity,
+                              levenshtein_distance, levenshtein_similarity)
+
+
+class TestLevenshteinDistance:
+    @pytest.mark.parametrize("left,right,expected", [
+        ("", "", 0),
+        ("a", "", 1),
+        ("", "abc", 3),
+        ("abc", "abc", 0),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("Matrix", "Matirx", 2),   # plain Levenshtein: swap costs 2
+        ("book", "back", 2),
+        ("abc", "def", 3),
+    ])
+    def test_known_values(self, left, right, expected):
+        assert levenshtein_distance(left, right) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcd", "xy") == levenshtein_distance("xy", "abcd")
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "matrix", "metrics", "met"
+        assert (levenshtein_distance(a, c)
+                <= levenshtein_distance(a, b) + levenshtein_distance(b, c))
+
+
+class TestDamerau:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein_distance("Matrix", "Matirx") == 1
+        assert levenshtein_distance("Matrix", "Matirx") == 2
+
+    @pytest.mark.parametrize("left,right,expected", [
+        ("", "", 0),
+        ("ab", "ba", 1),
+        ("abc", "cab", 2),
+        ("ca", "abc", 3),   # classic OSA example
+        ("same", "same", 0),
+    ])
+    def test_known_values(self, left, right, expected):
+        assert damerau_levenshtein_distance(left, right) == expected
+
+
+class TestNormalizedSimilarity:
+    def test_identical(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert damerau_similarity("abc", "abc") == 1.0
+
+    def test_both_empty(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_range(self):
+        value = levenshtein_similarity("Mask of Zorro", "Mask of Zoro")
+        assert 0.9 < value < 1.0
+
+    def test_one_empty(self):
+        assert levenshtein_similarity("abc", "") == 0.0

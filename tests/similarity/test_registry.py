@@ -1,0 +1,48 @@
+"""Unit tests for the φ-function registry."""
+
+import pytest
+
+from repro.similarity import (available_similarities, exact_similarity,
+                              get_similarity, register_similarity,
+                              reset_registry)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    yield
+    reset_registry()
+
+
+class TestRegistry:
+    def test_builtin_lookup(self):
+        assert get_similarity("edit")("abc", "abc") == 1.0
+
+    def test_edit_is_levenshtein(self):
+        assert get_similarity("edit") is get_similarity("levenshtein")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown similarity"):
+            get_similarity("nope")
+
+    def test_register_custom(self):
+        register_similarity("mine", lambda a, b: 0.5)
+        assert get_similarity("mine")("x", "y") == 0.5
+
+    def test_register_collision(self):
+        with pytest.raises(ValueError):
+            register_similarity("edit", exact_similarity)
+
+    def test_register_overwrite(self):
+        register_similarity("edit", exact_similarity, overwrite=True)
+        assert get_similarity("edit") is exact_similarity
+
+    def test_available_contains_builtins(self):
+        names = available_similarities()
+        for expected in ["edit", "jaro", "jaro_winkler", "numeric", "exact"]:
+            assert expected in names
+
+    def test_reset(self):
+        register_similarity("temp", lambda a, b: 1.0)
+        reset_registry()
+        with pytest.raises(KeyError):
+            get_similarity("temp")

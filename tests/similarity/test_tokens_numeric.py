@@ -1,0 +1,142 @@
+"""Unit tests for set/token measures, numeric similarity, and soundex."""
+
+import pytest
+
+from repro.similarity import (dice_coefficient, jaccard, lcs_similarity,
+                              longest_common_subsequence, multiset_jaccard,
+                              ngram_similarity, ngrams, numeric_similarity,
+                              overlap_coefficient, parse_number, soundex,
+                              token_jaccard, tokenize, year_similarity)
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard([1, 2], [3, 4]) == 0.0
+
+    def test_identical(self):
+        assert jaccard([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        # Paper example shape: movies sharing 2 of 3 actors.
+        assert jaccard([1, 4, 8], [1, 4, 9]) == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard([1], []) == 0.0
+
+    def test_duplicates_collapse(self):
+        assert jaccard([1, 1, 2], [1, 2, 2]) == 1.0
+
+
+class TestMultisetJaccard:
+    def test_multiplicity_matters(self):
+        assert multiset_jaccard([1, 1, 2], [1, 2]) == pytest.approx(2 / 3)
+
+    def test_identical(self):
+        assert multiset_jaccard([1, 1], [1, 1]) == 1.0
+
+
+class TestOverlapAndDice:
+    def test_overlap_subset_is_one(self):
+        assert overlap_coefficient([1, 2, 3], [1, 2, 3, 4, 5]) == 1.0
+
+    def test_overlap_one_empty(self):
+        assert overlap_coefficient([], [1]) == 0.0
+
+    def test_dice(self):
+        assert dice_coefficient([1, 2], [2, 3]) == pytest.approx(2 * 1 / 4)
+
+
+class TestTokenize:
+    def test_words_lowercased(self):
+        assert tokenize("The Matrix Reloaded!") == ["the", "matrix", "reloaded"]
+
+    def test_empty(self):
+        assert tokenize("  ,, ") == []
+
+    def test_token_jaccard(self):
+        assert token_jaccard("The Matrix", "Matrix, The") == 1.0
+
+
+class TestNgrams:
+    def test_bigram_padding(self):
+        assert ngrams("ab") == ["#a", "ab", "b#"]
+
+    def test_empty_text(self):
+        assert ngrams("") == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_similarity_identical(self):
+        assert ngram_similarity("matrix", "matrix") == 1.0
+
+    def test_similarity_typo_high(self):
+        assert ngram_similarity("matrix", "martix") > 0.5
+
+
+class TestLcs:
+    def test_known(self):
+        assert longest_common_subsequence("ABCBDAB", "BDCABA") == 4
+
+    def test_empty(self):
+        assert longest_common_subsequence("", "abc") == 0
+
+    def test_similarity(self):
+        assert lcs_similarity("abc", "abc") == 1.0
+        assert lcs_similarity("", "") == 1.0
+
+
+class TestNumeric:
+    def test_parse_plain(self):
+        assert parse_number("1999") == 1999.0
+
+    def test_parse_with_noise(self):
+        assert parse_number(" 136 min") == 136.0
+
+    def test_parse_failure(self):
+        assert parse_number("no digits") is None
+
+    def test_equal_years(self):
+        assert numeric_similarity("1999", "1999") == 1.0
+
+    def test_close_years(self):
+        assert year_similarity("1999", "2000") == pytest.approx(0.8)
+
+    def test_far_years_zero(self):
+        assert year_similarity("1950", "2000") == 0.0
+
+    def test_unparsable_falls_back_to_exact(self):
+        assert numeric_similarity("n/a", "n/a") == 1.0
+        assert numeric_similarity("n/a", "???") == 0.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            numeric_similarity("1", "2", scale=0)
+
+
+class TestSoundex:
+    @pytest.mark.parametrize("name,code", [
+        ("Robert", "R163"),
+        ("Rupert", "R163"),
+        ("Ashcraft", "A261"),
+        ("Ashcroft", "A261"),
+        ("Tymczak", "T522"),
+        ("Pfister", "P236"),
+        ("Honeyman", "H555"),
+    ])
+    def test_classic_codes(self, name, code):
+        assert soundex(name) == code
+
+    def test_empty(self):
+        assert soundex("123") == ""
+
+    def test_padding(self):
+        assert soundex("a") == "A000"
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            soundex("abc", 0)

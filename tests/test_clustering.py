@@ -1,0 +1,70 @@
+"""Unit tests for union-find and transitive closure."""
+
+from repro.clustering import UnionFind, transitive_closure
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        forest = UnionFind([1, 2, 3])
+        assert len(forest) == 3
+        assert forest.find(1) == 1
+        assert not forest.connected(1, 2)
+
+    def test_union_connects(self):
+        forest = UnionFind()
+        forest.union("a", "b")
+        forest.union("b", "c")
+        assert forest.connected("a", "c")
+        assert not forest.connected("a", "d")
+
+    def test_add_idempotent(self):
+        forest = UnionFind()
+        forest.add(1)
+        forest.add(1)
+        assert len(forest) == 1
+
+    def test_contains(self):
+        forest = UnionFind([5])
+        assert 5 in forest
+        assert 6 not in forest
+
+    def test_union_same_set_stable(self):
+        forest = UnionFind()
+        root = forest.union(1, 2)
+        assert forest.union(1, 2) == root
+
+    def test_groups_partition(self):
+        forest = UnionFind(range(6))
+        forest.union(0, 1)
+        forest.union(2, 3)
+        forest.union(3, 4)
+        groups = sorted(sorted(g) for g in forest.groups())
+        assert groups == [[0, 1], [2, 3, 4], [5]]
+
+    def test_path_compression_correctness(self):
+        forest = UnionFind()
+        for i in range(100):
+            forest.union(i, i + 1)
+        assert forest.connected(0, 100)
+        assert len(forest.groups()) == 1
+
+
+class TestTransitiveClosure:
+    def test_chains_merge(self):
+        clusters = transitive_closure([(1, 2), (2, 3), (4, 5)], range(1, 7))
+        as_sets = sorted(tuple(sorted(c)) for c in clusters)
+        assert as_sets == [(1, 2, 3), (4, 5), (6,)]
+
+    def test_universe_optional(self):
+        clusters = transitive_closure([(1, 2)])
+        assert sorted(clusters[0]) == [1, 2]
+
+    def test_every_universe_element_appears(self):
+        clusters = transitive_closure([], range(4))
+        assert sorted(len(c) for c in clusters) == [1, 1, 1, 1]
+
+    def test_partition_property(self):
+        pairs = [(0, 1), (1, 2), (5, 6), (8, 9), (9, 0)]
+        clusters = transitive_closure(pairs, range(10))
+        flattened = sorted(x for cluster in clusters for x in cluster)
+        assert flattened == list(range(10))  # exactly once each

@@ -1,0 +1,77 @@
+"""Guards keeping documentation and code in sync."""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestCliDocumentation:
+    def subcommands(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        actions = [a for a in parser._subparsers._group_actions][0]
+        return set(actions.choices)
+
+    def test_readme_mentions_only_real_subcommands(self):
+        readme = (REPO / "README.md").read_text()
+        mentioned = set(re.findall(r"sxnm (\w+)", readme))
+        assert mentioned <= self.subcommands()
+
+    def test_module_docstring_lists_real_subcommands(self):
+        import repro.cli
+        documented = set(re.findall(r"sxnm (\w+)", repro.cli.__doc__))
+        assert documented <= self.subcommands()
+
+    def test_all_subcommands_documented_somewhere(self):
+        readme = (REPO / "README.md").read_text()
+        import repro.cli
+        text = readme + repro.cli.__doc__
+        for command in self.subcommands():
+            assert f"sxnm {command}" in text, f"{command} undocumented"
+
+
+class TestDesignDocumentation:
+    def test_design_mentions_every_subpackage(self):
+        design = (REPO / "DESIGN.md").read_text()
+        src = REPO / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir()
+                              and (p / "__init__.py").exists()):
+            assert package in design, f"DESIGN.md does not mention {package}"
+
+    def test_experiments_mentions_every_figure_bench(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for bench in sorted((REPO / "benchmarks").glob("test_fig*.py")):
+            stem_key = bench.stem.replace("test_", "").split("_")[0]
+            assert stem_key.replace("fig", "Fig") in experiments \
+                or bench.name in experiments, f"{bench.name} unmentioned"
+
+    def test_every_ablation_bench_in_experiments(self):
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for bench in sorted((REPO / "benchmarks").glob("test_ablation*.py")):
+            assert bench.name in experiments, f"{bench.name} unmentioned"
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import importlib
+        for module_name in ["repro.core", "repro.config", "repro.datagen",
+                            "repro.eval", "repro.experiments", "repro.keys",
+                            "repro.relational", "repro.schema",
+                            "repro.similarity", "repro.xmlmodel",
+                            "repro.xpath"]:
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_consistent_with_pyproject(self):
+        import repro
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject

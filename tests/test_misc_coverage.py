@@ -1,0 +1,144 @@
+"""Edge-case coverage for smaller corners of the library."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import IncrementalSxnm, key_similarity
+from repro.eval import PhaseTimer
+from repro.experiments import dataset2_config
+from repro.xmlmodel import XmlElement, parse, serialize
+
+
+class TestWriterCorners:
+    def test_declaration_with_pretty(self):
+        doc = parse("<a><b>x</b></a>")
+        out = serialize(doc, pretty=True, declaration=True)
+        assert out.startswith("<?xml")
+        assert "\n" in out
+        reparsed = parse(out)
+        assert reparsed.root.find("b").text == "x"
+
+    def test_empty_text_element_not_self_closed(self):
+        element = XmlElement("a", text="")
+        assert serialize(element) == "<a></a>"
+
+    def test_none_text_self_closed(self):
+        assert serialize(XmlElement("a")) == "<a/>"
+
+    def test_attribute_quote_escaping_round_trip(self):
+        element = XmlElement("a", attributes={"q": 'He said "hi" & left <'})
+        again = parse(serialize(element))
+        assert again.root.get("q") == 'He said "hi" & left <'
+
+    def test_deeply_mixed_content(self):
+        data = "<p>one <b>two</b> three <i>four</i> five</p>"
+        assert parse(serialize(parse(data))).root.structurally_equal(
+            parse(data).root)
+
+
+class TestPhaseTimerCorners:
+    def test_exception_still_recorded(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("KG"):
+                raise RuntimeError("boom")
+        assert timer.seconds("KG") >= 0
+        assert "KG" in timer.phases()
+
+    def test_phases_returns_copy(self):
+        timer = PhaseTimer()
+        with timer.phase("SW"):
+            pass
+        snapshot = timer.phases()
+        snapshot["SW"] = 99.0
+        assert timer.seconds("SW") != 99.0
+
+
+class TestAdaptiveKeySimilarity:
+    def test_identical_keys(self):
+        assert key_similarity("MT99", "MT99") == 1.0
+
+    def test_empty_keys_match(self):
+        assert key_similarity("", "") == 1.0
+
+    def test_disjoint_keys(self):
+        assert key_similarity("AAAA", "ZZZZ") == 0.0
+
+
+class TestIncrementalOptions:
+    def test_window_override(self):
+        narrow = IncrementalSxnm(dataset2_config(), window=2)
+        wide = IncrementalSxnm(dataset2_config(), window=8)
+        batch = ("<freedb>"
+                 + "".join(f"<disc><did>{i:08x}</did><artist>A{i}</artist>"
+                           f"<dtitle>T{i}</dtitle><tracks><title>x</title>"
+                           f"</tracks></disc>" for i in range(12))
+                 + "</freedb>")
+        narrow.add_batch(batch)
+        wide.add_batch(batch)
+        assert narrow.comparisons("disc") < wide.comparisons("disc")
+
+    def test_snapshot_is_partition(self):
+        incremental = IncrementalSxnm(dataset2_config(window=4))
+        incremental.add_batch(
+            "<freedb><disc><did>aaaa0000</did><artist>X</artist>"
+            "<dtitle>Y</dtitle><tracks><title>t</title></tracks></disc>"
+            "</freedb>")
+        snapshot = incremental.cluster_set("disc")
+        assert len(snapshot.members()) == incremental.instance_count("disc")
+
+
+class TestCliCorners:
+    def test_generate_cds_large_profile(self, tmp_path):
+        out = tmp_path / "large.xml"
+        assert main(["generate", "cds", "-n", "30", "-o", str(out),
+                     "--profile", "large", "--seed", "3"]) == 0
+        document = parse(out.read_text())
+        # The large profile injects only a small duplicate fraction.
+        assert 30 <= len(document.root.find_all("disc")) <= 34
+
+    def test_keygen_then_detect(self, tmp_path, capsys):
+        from repro.config import dump_config
+        from repro.datagen import generate_dirty_movies
+        from repro.experiments import dataset1_config
+        from repro.xmlmodel import write_file
+        config_path = tmp_path / "c.xml"
+        data_path = tmp_path / "d.xml"
+        gk_path = tmp_path / "gk.xml"
+        config_path.write_text(dump_config(dataset1_config()))
+        write_file(generate_dirty_movies(15, seed=1,
+                                         profile="effectiveness"),
+                   str(data_path))
+        assert main(["keygen", "-c", str(config_path), str(data_path),
+                     "-o", str(gk_path)]) == 0
+        capsys.readouterr()
+        assert main(["detect", "-c", str(config_path), str(data_path),
+                     "--gk", str(gk_path)]) == 0
+        output = capsys.readouterr().out
+        assert "KG 0.000s" in output  # keygen phase skipped entirely
+
+
+class TestConfigXmlCorners:
+    def test_global_duplicate_threshold(self):
+        from repro.config import load_config
+        config = load_config(
+            '<sxnm-config duplicateThreshold="0.8">'
+            '<candidate name="m" xpath="db/m">'
+            '<paths><path id="1" relPath="text()"/></paths>'
+            '<objectDescription><od pid="1" relevance="1.0"/></objectDescription>'
+            '<key><part pid="1" order="1" pattern="C1"/></key>'
+            "</candidate></sxnm-config>")
+        assert config.duplicate_threshold == 0.8
+        assert config.candidate("m").key_names == ["Key 1"]  # default name
+
+    def test_candidate_without_detection_element(self):
+        from repro.config import load_config
+        config = load_config(
+            "<sxnm-config><candidate name='m' xpath='db/m'>"
+            "<paths><path id='1' relPath='text()'/></paths>"
+            "<objectDescription><od pid='1' relevance='1.0'/></objectDescription>"
+            "<key><part pid='1' order='1' pattern='C1'/></key>"
+            "</candidate></sxnm-config>")
+        spec = config.candidate("m")
+        assert spec.window_size is None
+        assert spec.use_descendants is True

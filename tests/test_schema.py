@@ -1,0 +1,201 @@
+"""Unit tests for schema inference, matching, and transformation."""
+
+import pytest
+
+from repro.schema import (SchemaMatcher, SchemaNode, apply_mapping,
+                          infer_schema, merge_documents)
+from repro.xmlmodel import parse
+
+CATALOG_A = """
+<catalog>
+  <disc year="1999">
+    <artist>Blue Monkeys</artist>
+    <title>Golden Harbor</title>
+    <tracks><song>Love Song</song><song>Night Train</song></tracks>
+  </disc>
+  <disc>
+    <artist>Iron Wolves</artist>
+    <title>Dark River</title>
+    <tracks><song>Rain</song></tracks>
+  </disc>
+</catalog>
+"""
+
+CATALOG_B = """
+<catalog>
+  <cd released="1999">
+    <performer>Blue Monkeys</performer>
+    <name>Golden Harbor</name>
+    <songs><song>Love Song</song><song>Night Train</song></songs>
+  </cd>
+</catalog>
+"""
+
+
+class TestInferSchema:
+    def test_tree_shape(self):
+        schema = infer_schema(parse(CATALOG_A))
+        assert schema.tag == "catalog"
+        disc = schema.node_at("catalog/disc")
+        assert set(disc.children) == {"artist", "title", "tracks"}
+        assert disc.occurrences == 2
+
+    def test_cardinalities(self):
+        schema = infer_schema(parse(CATALOG_A))
+        tracks = schema.node_at("catalog/disc/tracks")
+        assert tracks.min_occurs["song"] == 1
+        assert tracks.max_occurs["song"] == 2
+
+    def test_optional_detection(self):
+        schema = infer_schema(parse("<db><m><t>x</t></m><m/></db>"))
+        assert schema.node_at("db/m").is_optional_child("t")
+
+    def test_attribute_ratio(self):
+        schema = infer_schema(parse(CATALOG_A))
+        disc = schema.node_at("catalog/disc")
+        assert disc.attribute_ratio("year") == 0.5
+        assert disc.attribute_ratio("ghost") == 0.0
+
+    def test_text_ratio(self):
+        schema = infer_schema(parse(CATALOG_A))
+        assert schema.node_at("catalog/disc/artist").text_ratio() == 1.0
+        assert schema.node_at("catalog/disc").text_ratio() == 0.0
+
+    def test_merging_multiple_documents(self):
+        schema = infer_schema(parse(CATALOG_A), parse(CATALOG_A))
+        assert schema.node_at("catalog/disc").occurrences == 4
+
+    def test_root_mismatch(self):
+        with pytest.raises(ValueError):
+            infer_schema(parse("<a/>"), parse("<b/>"))
+
+    def test_no_documents(self):
+        with pytest.raises(ValueError):
+            infer_schema()
+
+    def test_paths_and_node_at(self):
+        schema = infer_schema(parse(CATALOG_A))
+        paths = schema.paths()
+        assert "catalog/disc/tracks/song" in paths
+        with pytest.raises(KeyError):
+            schema.node_at("catalog/ghost")
+        with pytest.raises(KeyError):
+            schema.node_at("other/disc")
+
+
+class TestSchemaMatcher:
+    def test_synonym_names(self):
+        matcher = SchemaMatcher()
+        assert matcher.name_similarity("artist", "performer") == 1.0
+        assert matcher.name_similarity("Disc", "cd") == 1.0
+        assert matcher.name_similarity("title", "title") == 1.0
+
+    def test_match_heterogeneous_catalogs(self):
+        matcher = SchemaMatcher()
+        source = infer_schema(parse(CATALOG_B))
+        target = infer_schema(parse(CATALOG_A))
+        mapping = matcher.match(source, target)
+        assert mapping.target_for("catalog/cd") == "catalog/disc"
+        assert mapping.target_for("catalog/cd/performer") == \
+            "catalog/disc/artist"
+        assert mapping.target_for("catalog/cd/name") == "catalog/disc/title"
+        assert mapping.target_for("catalog/cd/songs/song") == \
+            "catalog/disc/tracks/song"
+
+    def test_scores_recorded(self):
+        matcher = SchemaMatcher()
+        source = infer_schema(parse(CATALOG_B))
+        target = infer_schema(parse(CATALOG_A))
+        mapping = matcher.match(source, target)
+        assert all(0.0 <= score <= 1.0 for score in mapping.scores.values())
+        assert len(mapping) >= 5
+
+    def test_min_similarity_prunes(self):
+        strict = SchemaMatcher(min_similarity=0.99)
+        source = infer_schema(parse("<db><alpha><x>1</x></alpha></db>"))
+        target = infer_schema(parse("<db><omega><y>1</y></omega></db>"))
+        mapping = strict.match(source, target)
+        assert mapping.target_for("db/alpha") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchemaMatcher(min_similarity=2.0)
+        with pytest.raises(ValueError):
+            SchemaMatcher(name_weight=-0.1)
+
+
+class TestTransform:
+    def make_mapping(self):
+        matcher = SchemaMatcher()
+        source = infer_schema(parse(CATALOG_B))
+        target = infer_schema(parse(CATALOG_A))
+        return matcher.match(source, target)
+
+    def test_apply_mapping_renames(self):
+        mapping = self.make_mapping()
+        converted = apply_mapping(parse(CATALOG_B), mapping)
+        disc = converted.root.find("disc")
+        assert disc is not None
+        assert disc.find("artist").text == "Blue Monkeys"
+        assert disc.find("title").text == "Golden Harbor"
+        assert disc.find("tracks").find_all("song")
+
+    def test_attributes_and_text_preserved(self):
+        mapping = self.make_mapping()
+        converted = apply_mapping(parse(CATALOG_B), mapping)
+        disc = converted.root.find("disc")
+        assert disc.get("released") == "1999"  # attribute names untouched
+
+    def test_unmapped_kept_by_default(self):
+        mapping = self.make_mapping()
+        source = parse(CATALOG_B.replace("</cd>", "<extra>e</extra></cd>"))
+        converted = apply_mapping(source, mapping)
+        assert converted.root.find("disc").find("extra") is not None
+
+    def test_unmapped_dropped_when_requested(self):
+        mapping = self.make_mapping()
+        source = parse(CATALOG_B.replace("</cd>", "<extra>e</extra></cd>"))
+        converted = apply_mapping(source, mapping, drop_unmapped=True)
+        assert converted.root.find("disc").find("extra") is None
+
+    def test_unmapped_root_rejected(self):
+        mapping = self.make_mapping()
+        with pytest.raises(ValueError):
+            apply_mapping(parse("<other/>"), mapping)
+
+    def test_merge_documents(self):
+        mapping = self.make_mapping()
+        aligned = apply_mapping(parse(CATALOG_B), mapping)
+        merged = merge_documents("catalog", parse(CATALOG_A), aligned)
+        discs = merged.root.find_all("disc")
+        assert len(discs) == 3
+        assert {disc.get("source") for disc in discs} == {"0", "1"}
+
+    def test_merge_rejects_mismatched_roots(self):
+        with pytest.raises(ValueError):
+            merge_documents("catalog", parse("<other/>"))
+
+    def test_merge_requires_documents(self):
+        with pytest.raises(ValueError):
+            merge_documents("catalog")
+
+
+class TestIntegrationThenDedup:
+    def test_integrated_sources_deduplicate(self):
+        """The paper's preprocessing story end to end: match, transform,
+        merge, then SXNM finds the cross-source duplicate."""
+        from repro import CandidateSpec, SxnmConfig, SxnmDetector
+        matcher = SchemaMatcher()
+        source = infer_schema(parse(CATALOG_B))
+        target = infer_schema(parse(CATALOG_A))
+        aligned = apply_mapping(parse(CATALOG_B), matcher.match(source, target))
+        merged = merge_documents("catalog", parse(CATALOG_A), aligned)
+
+        config = SxnmConfig(window_size=5, od_threshold=0.6)
+        config.add(CandidateSpec.build(
+            "disc", "catalog/disc",
+            od=[("artist/text()", 0.5), ("title/text()", 0.5)],
+            keys=[[("artist/text()", "K1-K4")]]))
+        result = SxnmDetector(config).run(merged)
+        duplicates = result.cluster_set("disc").duplicate_clusters()
+        assert len(duplicates) == 1  # Golden Harbor appears in both sources

@@ -1,0 +1,64 @@
+"""Unit tests for DTD export of inferred schemas."""
+
+from repro.schema import infer_schema, schema_to_dtd
+from repro.xmlmodel import parse
+
+
+class TestSchemaToDtd:
+    def test_element_declarations(self):
+        schema = infer_schema(parse(
+            "<catalog><disc><artist>a</artist><dtitle>t</dtitle></disc>"
+            "<disc><artist>b</artist><dtitle>u</dtitle></disc></catalog>"))
+        dtd = schema_to_dtd(schema)
+        assert "<!ELEMENT catalog (disc+)>" in dtd
+        assert "<!ELEMENT disc (artist, dtitle)>" in dtd
+        assert "<!ELEMENT artist (#PCDATA)>" in dtd
+
+    def test_optional_child(self):
+        schema = infer_schema(parse(
+            "<db><m><t>x</t><y>1</y></m><m><t>x</t></m></db>"))
+        dtd = schema_to_dtd(schema)
+        assert "y?" in dtd
+
+    def test_repeated_child(self):
+        schema = infer_schema(parse(
+            "<db><m><t>a</t><t>b</t></m></db>"))
+        dtd = schema_to_dtd(schema)
+        assert "<!ELEMENT m (t+)>" in dtd
+
+    def test_optional_repeated_child(self):
+        schema = infer_schema(parse(
+            "<db><m><t>a</t><t>b</t></m><m/></db>"))
+        dtd = schema_to_dtd(schema)
+        assert "<!ELEMENT m (t*)>" in dtd
+
+    def test_empty_element(self):
+        schema = infer_schema(parse("<db><marker/></db>"))
+        assert "<!ELEMENT marker EMPTY>" in schema_to_dtd(schema)
+
+    def test_mixed_content(self):
+        schema = infer_schema(parse("<db><p>text <b>bold</b> more</p></db>"))
+        dtd = schema_to_dtd(schema)
+        assert "<!ELEMENT p (#PCDATA | b)*>" in dtd
+
+    def test_attributes(self):
+        schema = infer_schema(parse(
+            '<db><m year="1999"/><m year="1994" length="90"/></db>'))
+        dtd = schema_to_dtd(schema)
+        assert "<!ATTLIST m year CDATA #REQUIRED>" in dtd
+        assert "<!ATTLIST m length CDATA #IMPLIED>" in dtd
+
+    def test_each_tag_declared_once(self):
+        schema = infer_schema(parse(
+            "<db><a><t>x</t></a><b><t>y</t></b></db>"))
+        dtd = schema_to_dtd(schema)
+        assert dtd.count("<!ELEMENT t ") == 1
+
+    def test_generated_movie_corpus_documents_paper_schema(self):
+        from repro.datagen import generate_clean_movies
+        schema = infer_schema(generate_clean_movies(30, seed=1))
+        dtd = schema_to_dtd(schema)
+        # The paper's data set 1 description, as a DTD.
+        assert "<!ELEMENT movie_database (movies)>" in dtd
+        assert "<!ELEMENT person (lastname, firstname+)>" in dtd
+        assert "<!ATTLIST movie oid CDATA #REQUIRED>" in dtd

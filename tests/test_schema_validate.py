@@ -1,0 +1,94 @@
+"""Unit tests for schema conformance validation."""
+
+from repro.schema import infer_schema, validate_against_schema
+from repro.xmlmodel import parse
+
+REFERENCE = """
+<catalog>
+  <disc year="1999">
+    <artist>A</artist><dtitle>T</dtitle>
+    <tracks><song>1</song><song>2</song></tracks>
+  </disc>
+  <disc>
+    <artist>B</artist><dtitle>U</dtitle>
+    <tracks><song>3</song></tracks>
+  </disc>
+</catalog>
+"""
+
+
+def schema():
+    return infer_schema(parse(REFERENCE))
+
+
+class TestValidateAgainstSchema:
+    def test_conforming_document(self):
+        document = parse(
+            "<catalog><disc><artist>X</artist><dtitle>Y</dtitle>"
+            "<tracks><song>s</song></tracks></disc></catalog>")
+        assert validate_against_schema(document, schema()) == []
+
+    def test_sample_validates_against_itself(self):
+        assert validate_against_schema(parse(REFERENCE), schema()) == []
+
+    def test_unknown_element(self):
+        document = parse(
+            "<catalog><disc><artist>X</artist><dtitle>Y</dtitle>"
+            "<tracks><song>s</song></tracks><bonus>b</bonus></disc></catalog>")
+        violations = validate_against_schema(document, schema())
+        assert any(v.kind == "unknown-element" and "bonus" in v.detail
+                   for v in violations)
+
+    def test_unknown_attribute(self):
+        document = parse(
+            "<catalog><disc price='9.99'><artist>X</artist><dtitle>Y</dtitle>"
+            "<tracks><song>s</song></tracks></disc></catalog>")
+        violations = validate_against_schema(document, schema())
+        assert any(v.kind == "unknown-attribute" for v in violations)
+
+    def test_cardinality_above_maximum(self):
+        document = parse(
+            "<catalog><disc><artist>X</artist><dtitle>Y</dtitle><dtitle>Z</dtitle>"
+            "<tracks><song>s</song></tracks></disc></catalog>")
+        violations = validate_against_schema(document, schema())
+        assert any(v.kind == "cardinality" and "maximum" in v.detail
+                   for v in violations)
+
+    def test_cardinality_below_minimum(self):
+        document = parse(
+            "<catalog><disc><dtitle>Y</dtitle>"
+            "<tracks><song>s</song></tracks></disc></catalog>")
+        violations = validate_against_schema(document, schema())
+        assert any("artist" in v.path and "missing" in v.detail
+                   for v in violations)
+
+    def test_wrong_root(self):
+        violations = validate_against_schema(parse("<shop/>"), schema())
+        assert len(violations) == 1
+        assert violations[0].kind == "unknown-element"
+
+    def test_strict_text(self):
+        document = parse(
+            "<catalog><disc>oops<artist>X</artist><dtitle>Y</dtitle>"
+            "<tracks><song>s</song></tracks></disc></catalog>")
+        lenient = validate_against_schema(document, schema())
+        strict = validate_against_schema(document, schema(), strict_text=True)
+        assert not any(v.kind == "text" for v in lenient)
+        assert any(v.kind == "text" for v in strict)
+
+    def test_violation_str(self):
+        violations = validate_against_schema(parse("<shop/>"), schema())
+        assert "unknown-element" in str(violations[0])
+
+    def test_transformed_source_conforms(self):
+        """The full integration pipeline produces conforming output."""
+        from repro.schema import SchemaMatcher, apply_mapping
+        source = parse(
+            "<catalog><cd><performer>X</performer><name>Y</name>"
+            "<songs><song>s</song><song>t</song></songs></cd></catalog>")
+        matcher = SchemaMatcher()
+        mapping = matcher.match(infer_schema(source), schema())
+        aligned = apply_mapping(source, mapping, drop_unmapped=True)
+        # Renamed document introduces no unknown elements.
+        violations = validate_against_schema(aligned, schema())
+        assert not any(v.kind == "unknown-element" for v in violations)

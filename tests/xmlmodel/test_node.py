@@ -1,0 +1,147 @@
+"""Unit tests for the XML tree model."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, XmlElement, document, element
+
+
+def build_movie() -> XmlElement:
+    return element(
+        "movie", {"year": "1999"},
+        element("title", text="Matrix"),
+        element("people",
+                element("person", text="Keanu Reeves"),
+                element("person", text="Carrie-Anne Moss")),
+    )
+
+
+class TestXmlElement:
+    def test_tag_required(self):
+        with pytest.raises(ValueError):
+            XmlElement("")
+
+    def test_append_sets_parent(self):
+        parent = XmlElement("a")
+        child = parent.make_child("b")
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_insert_and_remove(self):
+        parent = XmlElement("a")
+        first = parent.make_child("b")
+        second = XmlElement("c")
+        parent.insert(0, second)
+        assert parent.children == [second, first]
+        parent.remove(second)
+        assert parent.children == [first]
+        assert second.parent is None
+
+    def test_extend(self):
+        parent = XmlElement("a")
+        kids = [XmlElement("b"), XmlElement("c")]
+        parent.extend(kids)
+        assert [c.tag for c in parent.children] == ["b", "c"]
+        assert all(c.parent is parent for c in kids)
+
+    def test_iter_document_order(self):
+        movie = build_movie()
+        tags = [node.tag for node in movie.iter()]
+        assert tags == ["movie", "title", "people", "person", "person"]
+
+    def test_iter_children_filter(self):
+        movie = build_movie()
+        people = movie.find("people")
+        assert len(list(people.iter_children("person"))) == 2
+        assert len(list(people.iter_children())) == 2
+        assert list(people.iter_children("ghost")) == []
+
+    def test_find_and_find_all(self):
+        movie = build_movie()
+        assert movie.find("title").text == "Matrix"
+        assert movie.find("nope") is None
+        persons = movie.find("people").find_all("person")
+        assert [p.text for p in persons] == ["Keanu Reeves", "Carrie-Anne Moss"]
+
+    def test_ancestors_depth_root(self):
+        movie = build_movie()
+        person = movie.find("people").children[0]
+        assert [a.tag for a in person.ancestors()] == ["people", "movie"]
+        assert person.depth() == 2
+        assert person.root() is movie
+        assert movie.depth() == 0
+
+    def test_path_from_root(self):
+        movie = build_movie()
+        person = movie.find("people").children[0]
+        assert person.path_from_root() == "movie/people/person"
+        assert movie.path_from_root() == "movie"
+
+    def test_get_set_attribute(self):
+        movie = build_movie()
+        assert movie.get("year") == "1999"
+        assert movie.get("missing") is None
+        assert movie.get("missing", "x") == "x"
+        movie.set("length", 136)
+        assert movie.get("length") == "136"
+
+    def test_text_content_concatenates(self):
+        movie = build_movie()
+        assert "Matrix" in movie.text_content()
+        assert "Keanu Reeves" in movie.text_content()
+
+    def test_text_content_with_tails(self):
+        a = XmlElement("a", text="x")
+        b = a.make_child("b", text="y")
+        b.tail = "z"
+        assert a.text_content() == "xyz"
+
+    def test_copy_is_deep(self):
+        movie = build_movie()
+        clone = movie.copy()
+        assert clone is not movie
+        assert clone.structurally_equal(movie)
+        clone.find("title").text = "Speed"
+        assert movie.find("title").text == "Matrix"
+        assert clone.parent is None
+
+    def test_structural_equality_detects_differences(self):
+        movie = build_movie()
+        other = build_movie()
+        assert movie.structurally_equal(other)
+        other.attributes["year"] = "2000"
+        assert not movie.structurally_equal(other)
+
+    def test_structural_equality_child_count(self):
+        a, b = build_movie(), build_movie()
+        b.find("people").make_child("person", text="Extra")
+        assert not a.structurally_equal(b)
+
+    def test_structural_equality_text(self):
+        a, b = XmlElement("x", text=None), XmlElement("x", text="")
+        assert a.structurally_equal(b)  # None and "" are equivalent content
+        b.text = "y"
+        assert not a.structurally_equal(b)
+
+
+class TestXmlDocument:
+    def test_assign_eids_document_order(self):
+        doc = document(build_movie())
+        eids = [node.eid for node in doc.iter()]
+        assert eids == [0, 1, 2, 3, 4]
+
+    def test_element_count(self):
+        doc = document(build_movie())
+        assert doc.element_count() == 5
+
+    def test_elements_by_eid(self):
+        doc = XmlDocument(build_movie())
+        mapping = doc.elements_by_eid()
+        assert mapping[0].tag == "movie"
+        assert mapping[4].text == "Carrie-Anne Moss"
+
+    def test_copy(self):
+        doc = document(build_movie())
+        clone = doc.copy()
+        assert clone.root.structurally_equal(doc.root)
+        clone.root.find("title").text = "Speed"
+        assert doc.root.find("title").text == "Matrix"

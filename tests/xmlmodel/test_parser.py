@@ -1,0 +1,173 @@
+"""Unit tests for the from-scratch XML parser (DOM and streaming)."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlmodel import iter_events, parse, parse_file, serialize, write_file
+
+
+class TestParseBasics:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.tag == "a"
+        assert doc.root.children == []
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text == "hello"
+
+    def test_nested_elements(self):
+        doc = parse("<a><b>x</b><c>y</c></a>")
+        assert [c.tag for c in doc.root.children] == ["b", "c"]
+        assert doc.root.children[0].text == "x"
+
+    def test_attributes_double_and_single_quotes(self):
+        doc = parse("""<a x="1" y='2'/>""")
+        assert doc.root.attributes == {"x": "1", "y": "2"}
+
+    def test_mixed_content_tails(self):
+        doc = parse("<a>pre<b>in</b>post</a>")
+        assert doc.root.text == "pre"
+        assert doc.root.children[0].text == "in"
+        assert doc.root.children[0].tail == "post"
+
+    def test_eids_assigned(self):
+        doc = parse("<a><b/><c><d/></c></a>")
+        assert [n.eid for n in doc.iter()] == [0, 1, 2, 3]
+
+    def test_xml_declaration_skipped(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse('<!DOCTYPE a SYSTEM "a.dtd"><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>t</a>")
+        assert doc.root.text == "t"
+
+    def test_comments_skipped(self):
+        doc = parse("<!-- top --><a><!-- inner -->x</a><!-- after -->")
+        assert doc.root.text == "x"
+
+    def test_processing_instruction_skipped(self):
+        doc = parse('<?pi data?><a><?inner?>x</a>')
+        assert doc.root.text == "x"
+
+    def test_cdata_passthrough(self):
+        doc = parse("<a><![CDATA[<raw> & stuff]]></a>")
+        assert doc.root.text == "<raw> & stuff"
+
+    def test_entities_decoded_in_text(self):
+        doc = parse("<a>&lt;x&gt; &amp; &quot;q&quot; &apos;a&apos;</a>")
+        assert doc.root.text == "<x> & \"q\" 'a'"
+
+    def test_numeric_character_references(self):
+        doc = parse("<a>&#65;&#x42;</a>")
+        assert doc.root.text == "AB"
+
+    def test_entities_decoded_in_attributes(self):
+        doc = parse('<a t="&amp;&lt;&#33;"/>')
+        assert doc.root.get("t") == "&<!"
+
+    def test_whitespace_around_root_ok(self):
+        doc = parse("  \n <a/> \n ")
+        assert doc.root.tag == "a"
+
+    def test_namespace_prefixes_kept_verbatim(self):
+        doc = parse('<ns:a xmlns:ns="urn:x"><ns:b/></ns:a>')
+        assert doc.root.tag == "ns:a"
+        assert doc.root.children[0].tag == "ns:b"
+
+    def test_unicode_text(self):
+        doc = parse("<a>日本語 тест</a>")
+        assert doc.root.text == "日本語 тест"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "<a/><b/>",
+        "text only",
+        "<a>&unknown;</a>",
+        "<a>&#xZZ;</a>",
+        "<a x=1/>",
+        "<a x='1' x='2'/>",
+        "<a><b></a>",
+        "<!DOCTYPE a",
+        "<a>&broken</a>",
+    ])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(XmlParseError):
+            parse(bad)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XmlParseError) as info:
+            parse("<a>\n  <b></c>\n</a>")
+        assert info.value.line == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a/>junk")
+
+
+class TestStreaming:
+    def test_event_sequence(self):
+        events = list(iter_events("<a x='1'><b>t</b></a>"))
+        kinds = [e.kind for e in events]
+        assert kinds == ["start", "start", "text", "end", "end"]
+        assert events[0].value == ("a", {"x": "1"})
+        assert events[2].value == "t"
+        assert events[-1].value == "a"
+
+    def test_self_closing_emits_start_end(self):
+        events = list(iter_events("<a><b/></a>"))
+        assert [(e.kind, e.value if e.kind == "end" else e.value[0] if e.kind == "start" else e.value)
+                for e in events] == [
+            ("start", "a"), ("start", "b"), ("end", "b"), ("end", "a")]
+
+    def test_streaming_matches_dom(self):
+        data = "<m year='1999'><t>Matrix</t><p><n>Keanu</n></p></m>"
+        doc = parse(data)
+        starts = [e.value[0] for e in iter_events(data) if e.kind == "start"]
+        assert starts == [n.tag for n in doc.iter()]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("data", [
+        "<a/>",
+        "<a>text</a>",
+        "<a x=\"1\"><b>t</b><c/></a>",
+        "<a>pre<b>in</b>post</a>",
+        "<a>&lt;escaped&gt; &amp; more</a>",
+    ])
+    def test_parse_serialize_parse(self, data):
+        doc = parse(data)
+        again = parse(serialize(doc))
+        assert doc.root.structurally_equal(again.root)
+
+    def test_pretty_round_trip_structural(self):
+        doc = parse("<a><b><c>deep</c></b><d>x</d></a>")
+        pretty = serialize(doc, pretty=True)
+        assert "\n" in pretty
+        again = parse(pretty)
+        # Structural content survives pretty printing.
+        assert again.root.find("d").text == "x"
+        assert again.root.find("b").children[0].text == "deep"
+
+    def test_file_round_trip(self, tmp_path):
+        doc = parse("<catalog><disc><title>Blue</title></disc></catalog>")
+        path = str(tmp_path / "out.xml")
+        write_file(doc, path)
+        again = parse_file(path)
+        assert again.root.find("disc").find("title").text == "Blue"
+
+    def test_declaration_emitted(self):
+        doc = parse("<a/>")
+        out = serialize(doc, declaration=True)
+        assert out.startswith("<?xml")

@@ -1,0 +1,83 @@
+"""Unit tests for attribute predicates in the XPath subset."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.xmlmodel import parse
+from repro.xpath import ChildStep, parse_path, select_elements, select_values
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        '<catalog>'
+        '<title lang="en">Golden Harbor</title>'
+        '<title lang="de">Goldener Hafen</title>'
+        '<title lang="en">Second English</title>'
+        '<title>Untagged</title>'
+        '</catalog>')
+
+
+class TestParsing:
+    def test_attribute_presence(self):
+        step = parse_path("title[@lang]").steps[0]
+        assert step == ChildStep("title", attribute="lang")
+
+    def test_attribute_equality(self):
+        step = parse_path("title[@lang='en']").steps[0]
+        assert step.attribute == "lang"
+        assert step.attribute_value == "en"
+
+    def test_double_quotes(self):
+        step = parse_path('title[@lang="en"]').steps[0]
+        assert step.attribute_value == "en"
+
+    def test_combined_attribute_and_position(self):
+        step = parse_path("title[@lang='en'][2]").steps[0]
+        assert step.attribute_value == "en"
+        assert step.position == 2
+
+    def test_str_round_trip(self):
+        for expr in ["title[@lang]", "title[@lang='en']",
+                     "a/b[@x='1'][2]/text()"]:
+            assert str(parse_path(expr)) == expr
+
+    @pytest.mark.parametrize("bad", [
+        "title[@]",
+        "title[@lang=en]",
+        "title[@lang='en]",
+        "title[@1bad='x']",
+        "title[foo]",
+        "title[1][2]",
+        "title[@a][@b]",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
+
+
+class TestEvaluation:
+    def test_presence_filter(self, doc):
+        values = select_values(doc.root, "title[@lang]/text()")
+        assert values == ["Golden Harbor", "Goldener Hafen", "Second English"]
+
+    def test_equality_filter(self, doc):
+        values = select_values(doc.root, "title[@lang='en']/text()")
+        assert values == ["Golden Harbor", "Second English"]
+
+    def test_equality_then_position(self, doc):
+        values = select_values(doc.root, "title[@lang='en'][2]/text()")
+        assert values == ["Second English"]
+
+    def test_no_match(self, doc):
+        assert select_values(doc.root, "title[@lang='fr']/text()") == []
+
+    def test_select_elements(self, doc):
+        hits = select_elements(doc.root, "title[@lang='de']")
+        assert len(hits) == 1
+        assert hits[0].text == "Goldener Hafen"
+
+    def test_usable_in_key_definition(self, doc):
+        from repro.keys import KeyDefinition
+        key = KeyDefinition.create([("title[@lang='en']/text()", "K1-K4")])
+        assert key.generate(doc.root) == "GLDN"

@@ -1,0 +1,137 @@
+"""Unit tests for path evaluation against XML trees."""
+
+import pytest
+
+from repro.errors import PathEvaluationError
+from repro.xmlmodel import document, element, parse
+from repro.xpath import (first_value, parse_path, resolve_absolute,
+                         select_elements, select_values)
+
+
+@pytest.fixture()
+def movie_doc():
+    return parse(
+        '<movie_database><movies>'
+        '<movie year="1999" length="136">'
+        '<title>Matrix</title>'
+        '<people><person>Keanu Reeves</person><person>Carrie-Anne Moss</person></people>'
+        '</movie>'
+        '<movie year="1994">'
+        '<title>Speed</title>'
+        '<people><person>Keanu Reeves</person></people>'
+        '</movie>'
+        '</movies></movie_database>')
+
+
+class TestSelectValues:
+    def test_text_path(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "title/text()") == ["Matrix"]
+
+    def test_attribute_path(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "@year") == ["1999"]
+
+    def test_positional_text(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "people/person[1]/text()") == ["Keanu Reeves"]
+        assert select_values(movie, "people/person[2]/text()") == ["Carrie-Anne Moss"]
+
+    def test_position_out_of_range_is_empty(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[1]
+        assert select_values(movie, "people/person[2]/text()") == []
+
+    def test_all_matches_without_predicate(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "people/person/text()") == [
+            "Keanu Reeves", "Carrie-Anne Moss"]
+
+    def test_missing_attribute_empty(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[1]
+        assert select_values(movie, "@length") == []
+
+    def test_missing_element_empty(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "director/text()") == []
+
+    def test_element_path_concatenates_text(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[1]
+        assert select_values(movie, "people") == ["Keanu Reeves"]
+
+    def test_text_only_path(self):
+        title = element("title", text="Blue Album")
+        assert select_values(title, "text()") == ["Blue Album"]
+
+    def test_text_of_empty_element_is_empty_list(self):
+        title = element("title")
+        assert select_values(title, "text()") == []
+
+    def test_attribute_after_navigation(self, movie_doc):
+        movies = movie_doc.root.find("movies")
+        assert select_values(movies, "movie/@year") == ["1999", "1994"]
+
+    def test_wildcard_step(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        values = select_values(movie, "*/text()")
+        assert values == ["Matrix"]
+
+    def test_descendant_axis(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert select_values(movie, "//person/text()") == [
+            "Keanu Reeves", "Carrie-Anne Moss"]
+
+
+class TestFirstValue:
+    def test_present(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert first_value(movie, "title/text()") == "Matrix"
+
+    def test_absent_is_none(self, movie_doc):
+        movie = movie_doc.root.find("movies").children[0]
+        assert first_value(movie, "director/text()") is None
+
+
+class TestSelectElements:
+    def test_relative(self, movie_doc):
+        movies = movie_doc.root.find("movies")
+        hits = select_elements(movies, "movie")
+        assert [h.get("year") for h in hits] == ["1999", "1994"]
+
+    def test_document_context_uses_absolute(self, movie_doc):
+        hits = select_elements(movie_doc, "movie_database/movies/movie")
+        assert len(hits) == 2
+
+    def test_value_path_rejected(self, movie_doc):
+        with pytest.raises(PathEvaluationError):
+            select_elements(movie_doc.root, "title/text()")
+
+
+class TestResolveAbsolute:
+    def test_root_tag_first_step(self, movie_doc):
+        hits = resolve_absolute(movie_doc.root, "movie_database/movies/movie")
+        assert len(hits) == 2
+
+    def test_leading_slash_equivalent(self, movie_doc):
+        a = resolve_absolute(movie_doc.root, "movie_database/movies/movie")
+        b = resolve_absolute(movie_doc.root, "/movie_database/movies/movie")
+        assert a == b
+
+    def test_wrong_root_is_empty(self, movie_doc):
+        assert resolve_absolute(movie_doc.root, "other/movies/movie") == []
+
+    def test_root_only(self, movie_doc):
+        hits = resolve_absolute(movie_doc.root, "movie_database")
+        assert hits == [movie_doc.root]
+
+    def test_descendant_from_root(self, movie_doc):
+        hits = resolve_absolute(movie_doc.root, "//person")
+        assert len(hits) == 3
+
+    def test_value_path_rejected(self, movie_doc):
+        with pytest.raises(PathEvaluationError):
+            resolve_absolute(movie_doc.root, "movie_database/@x")
+
+    def test_navigation_does_not_mutate_parents(self, movie_doc):
+        root = movie_doc.root
+        resolve_absolute(root, "//person")
+        assert root.parent is None

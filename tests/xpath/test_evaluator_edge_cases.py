@@ -1,0 +1,86 @@
+"""Additional evaluator edge cases: deep paths, odd structures."""
+
+import pytest
+
+from repro.xmlmodel import parse
+from repro.xpath import (first_value, parse_path, resolve_absolute,
+                         select_elements, select_values)
+
+
+@pytest.fixture()
+def deep_doc():
+    return parse(
+        "<a><b><c><d><e>deep</e></d></c></b>"
+        "<b><c><d><e>deeper</e><e>deepest</e></d></c></b></a>")
+
+
+class TestDeepNavigation:
+    def test_five_level_path(self, deep_doc):
+        values = select_values(deep_doc.root, "b/c/d/e/text()")
+        assert values == ["deep", "deeper", "deepest"]
+
+    def test_positional_at_each_level(self, deep_doc):
+        values = select_values(deep_doc.root, "b[2]/c/d/e[2]/text()")
+        assert values == ["deepest"]
+
+    def test_descendant_axis_mid_path(self, deep_doc):
+        values = select_values(deep_doc.root, "b//e/text()")
+        assert len(values) == 3
+
+    def test_absolute_deep(self, deep_doc):
+        hits = resolve_absolute(deep_doc.root, "a/b/c/d/e")
+        assert len(hits) == 3
+
+
+class TestOddStructures:
+    def test_repeated_tags_at_multiple_depths(self):
+        doc = parse("<x><x><x>inner</x></x></x>")
+        hits = resolve_absolute(doc.root, "x/x/x")
+        assert len(hits) == 1
+        assert hits[0].text == "inner"
+
+    def test_descendant_matches_same_tag_nested(self):
+        doc = parse("<x><x><x>inner</x></x></x>")
+        hits = resolve_absolute(doc.root, "//x")
+        assert len(hits) == 3
+
+    def test_wildcard_across_heterogeneous_children(self):
+        doc = parse("<r><a>1</a><b>2</b><c>3</c></r>")
+        assert select_values(doc.root, "*/text()") == ["1", "2", "3"]
+
+    def test_wildcard_with_position(self):
+        doc = parse("<r><a>1</a><b>2</b></r>")
+        assert select_values(doc.root, "*[2]/text()") == ["2"]
+
+    def test_attribute_on_wildcard(self):
+        doc = parse("<r><a k='x'/><b k='y'/><c/></r>")
+        assert select_values(doc.root, "*/@k") == ["x", "y"]
+
+    def test_text_ignores_child_only_elements(self):
+        doc = parse("<r><a><b>inner</b></a></r>")
+        # a has no own text: text() yields nothing.
+        assert select_values(doc.root, "a/text()") == []
+        # but the element path concatenates descendant text.
+        assert select_values(doc.root, "a") == ["inner"]
+
+    def test_whitespace_text_preserved(self):
+        doc = parse("<r><a>  </a></r>")
+        assert select_values(doc.root, "a/text()") == ["  "]
+
+    def test_first_value_on_multiple(self):
+        doc = parse("<r><a>1</a><a>2</a></r>")
+        assert first_value(doc.root, "a/text()") == "1"
+
+
+class TestPathObjectsReusable:
+    def test_parsed_path_reused_across_documents(self):
+        path = parse_path("item/t/text()")
+        doc_a = parse("<db><item><t>A</t></item></db>")
+        doc_b = parse("<db><item><t>B</t></item></db>")
+        assert select_values(doc_a.root, path) == ["A"]
+        assert select_values(doc_b.root, path) == ["B"]
+
+    def test_select_elements_accepts_parsed_path(self):
+        path = parse_path("item")
+        doc = parse("<db><item/><item/></db>")
+        assert len(select_elements(doc.root, path)) == 2

@@ -1,0 +1,82 @@
+"""Unit tests for path parsing."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.xpath import AttributeStep, ChildStep, TextStep, parse_path
+
+
+class TestParsePath:
+    def test_simple_relative(self):
+        path = parse_path("title/text()")
+        assert not path.absolute
+        assert path.steps == (ChildStep("title"), TextStep())
+        assert path.is_value_path
+
+    def test_attribute_only(self):
+        path = parse_path("@year")
+        assert path.steps == (AttributeStep("year"),)
+        assert path.is_value_path
+
+    def test_positional_predicate(self):
+        path = parse_path("people/person[1]/text()")
+        assert path.steps[1] == ChildStep("person", position=1)
+
+    def test_multi_step_element_path(self):
+        path = parse_path("movie_database/movies/movie")
+        assert [s.name for s in path.steps] == ["movie_database", "movies", "movie"]
+        assert not path.is_value_path
+
+    def test_leading_slash_absolute(self):
+        path = parse_path("/catalog/disc")
+        assert path.absolute
+        assert [s.name for s in path.steps] == ["catalog", "disc"]
+
+    def test_attribute_after_steps(self):
+        path = parse_path("movie/@year")
+        assert path.steps == (ChildStep("movie"), AttributeStep("year"))
+
+    def test_descendant_axis(self):
+        path = parse_path("disc//title")
+        assert path.steps[1] == ChildStep("title", descendant=True)
+
+    def test_leading_descendant_axis(self):
+        path = parse_path("//title")
+        assert path.steps == (ChildStep("title", descendant=True),)
+
+    def test_wildcard(self):
+        path = parse_path("*/text()")
+        assert path.steps[0] == ChildStep("*")
+
+    def test_text_only(self):
+        path = parse_path("text()")
+        assert path.steps == (TextStep(),)
+
+    def test_str_round_trip(self):
+        for expr in ["title/text()", "@year", "people/person[2]/text()",
+                     "/catalog/disc", "disc//title", "a/b/c"]:
+            assert str(parse_path(expr)) == expr
+
+    def test_caching_returns_equal(self):
+        assert parse_path("a/b") is parse_path("a/b")
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "/",
+        "a//",
+        "a/text()/b",
+        "@a/b",
+        "a[0]",
+        "a[-1]",
+        "a[x]",
+        "[1]",
+        "a/@",
+        "1abc",
+        "a/#b",
+        "//text()",
+        "//@x",
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(PathSyntaxError):
+            parse_path(bad)
