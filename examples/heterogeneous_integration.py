@@ -11,7 +11,7 @@ example owns that full pipeline: infer both source schemas, match them
 vocabulary, merge, and deduplicate across sources.
 """
 
-from repro import CandidateSpec, SxnmConfig, SxnmDetector, parse, serialize
+from repro import CandidateSpec, SxnmConfig, SxnmDetector, parse
 from repro.schema import SchemaMatcher, apply_mapping, infer_schema, merge_documents
 
 SHOP_A = """

@@ -20,11 +20,63 @@ import argparse
 import sys
 
 from .config import load_config_file
-from .core import SxnmDetector, deduplicate_document
+from .core import EngineObserver, SxnmDetector, deduplicate_document
 from .datagen import generate_dataset2, generate_dataset3, generate_dirty_movies
 from .errors import ReproError
 from .eval import evaluate_pairs, gold_pairs, render_table
 from .xmlmodel import parse_file, write_file
+
+
+class ProgressObserver(EngineObserver):
+    """Streams phase/candidate/pass progress lines to a text stream.
+
+    Backs ``sxnm detect --progress``; every line is prefixed with ``#``
+    so progress can be separated from the report on stdout.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _line(self, text: str) -> None:
+        print(f"# {text}", file=self.stream, flush=True)
+
+    def phase_finished(self, phase, seconds, candidate=None):
+        if candidate is None:
+            self._line(f"{phase} phase finished in {seconds:.3f}s")
+
+    def candidate_started(self, candidate, instances):
+        self._line(f"candidate {candidate}: {instances} instances")
+
+    def pass_finished(self, candidate, key_index, comparisons):
+        self._line(f"candidate {candidate}: pass over key {key_index + 1} "
+                   f"made {comparisons} comparisons")
+
+    def candidate_finished(self, candidate, outcome):
+        self._line(f"candidate {candidate}: {len(outcome.pairs)} duplicate "
+                   f"pair(s) from {outcome.comparisons} comparisons "
+                   f"(SW {outcome.window_seconds:.3f}s, "
+                   f"TC {outcome.closure_seconds:.3f}s)")
+
+    def warning(self, message):
+        self._line(f"warning: {message}")
+
+
+class TraceObserver(EngineObserver):
+    """Streams one line per compared pair (``sxnm detect --trace``)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def pair_compared(self, candidate, left_eid, right_eid, verdict):
+        descendants = ("-" if verdict.descendants is None
+                       else f"{verdict.descendants:.3f}")
+        marker = " DUPLICATE" if verdict.is_duplicate else ""
+        print(f"# {candidate} {left_eid}~{right_eid} od={verdict.od:.3f} "
+              f"desc={descendants}{marker}", file=self.stream, flush=True)
+
+    def pair_filtered(self, candidate, left_eid, right_eid):
+        print(f"# {candidate} {left_eid}~{right_eid} filtered",
+              file=self.stream, flush=True)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -53,7 +105,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if getattr(args, "gk", None):
         from .core import load_gk
         gk = load_gk(args.gk)
-    result = SxnmDetector(config).run(document, window=args.window, gk=gk)
+    observers: list[EngineObserver] = []
+    if getattr(args, "progress", False):
+        observers.append(ProgressObserver())
+    if getattr(args, "trace", False):
+        observers.append(TraceObserver())
+    result = SxnmDetector(config, observers=observers).run(
+        document, window=args.window, gk=gk)
     lines = []
     for name, outcome in result.outcomes.items():
         clusters = outcome.cluster_set.duplicate_clusters()
@@ -216,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--gk", default=None,
                         help="reuse GK tables written by 'sxnm keygen' "
                              "(must stem from exactly this data file)")
+    detect.add_argument("--progress", action="store_true",
+                        help="stream per-candidate progress events from the "
+                             "engine observer API to stderr")
+    detect.add_argument("--trace", action="store_true",
+                        help="stream one line per compared pair to stderr "
+                             "(verbose; implies per-pair instrumentation)")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

@@ -3,6 +3,18 @@
 from .adaptive import AdaptiveSxnmDetector, adaptive_window_pass, key_similarity
 from .candidates import CandidateHierarchy, CandidateNode
 from .clusters import ClusterSet
+from .engine import DetectionEngine
+from .observer import (CounterObserver, EngineObserver, ObserverGroup,
+                       TimingObserver)
+from .results import select_key_indices
+from .stages import (AdaptiveWindowStrategy, AllPairsStrategy,
+                     CandidateContext, ClosureStrategy, DecisionPolicy,
+                     DomKeySource, EngineStages, FixedWindowStrategy,
+                     KeySource, LiveClosure, MethodClosure,
+                     NeighborhoodOutcome, NeighborhoodStrategy, OdOnlyPolicy,
+                     ParentGroupedStrategy, PrecomputedKeySource,
+                     QuadraticClosure, StreamingKeySource, TheoryPolicy,
+                     ThresholdPolicy, UnionFindClosure)
 from .dedup import (deduplicate_document, first_representative,
                     fuse_clusters, most_complete_representative,
                     richest_text_representative)
@@ -13,7 +25,8 @@ from .detector import (CandidateOutcome, PhaseTimings, SxnmDetector,
                        SxnmResult, detect_duplicates)
 from .calibrate import CalibrationResult, calibrate_thresholds
 from .gk import GkRow, GkTable
-from .incremental import IncrementalSxnm
+from .incremental import (AccumulatingKeySource, IncrementalNeighborhood,
+                          IncrementalSxnm)
 from .keyquality import (KeyStatistics, key_statistics, pair_separation,
                          suggest_window_size)
 from .keygen import generate_gk, generate_gk_streaming
@@ -28,12 +41,40 @@ from .theory import (DescendantsCondition, OdCondition,
 from .window import de_window_pass, multipass, window_pass
 
 __all__ = [
+    "AccumulatingKeySource",
     "AdaptiveSxnmDetector",
+    "AdaptiveWindowStrategy",
+    "AllPairsStrategy",
+    "CandidateContext",
     "CandidateHierarchy",
     "CandidateNode",
     "CalibrationResult",
     "CandidateOutcome",
+    "ClosureStrategy",
     "ClusterSet",
+    "CounterObserver",
+    "DecisionPolicy",
+    "DetectionEngine",
+    "DomKeySource",
+    "EngineObserver",
+    "EngineStages",
+    "FixedWindowStrategy",
+    "IncrementalNeighborhood",
+    "KeySource",
+    "LiveClosure",
+    "MethodClosure",
+    "NeighborhoodOutcome",
+    "NeighborhoodStrategy",
+    "ObserverGroup",
+    "OdOnlyPolicy",
+    "ParentGroupedStrategy",
+    "PrecomputedKeySource",
+    "QuadraticClosure",
+    "StreamingKeySource",
+    "TheoryPolicy",
+    "ThresholdPolicy",
+    "TimingObserver",
+    "UnionFindClosure",
     "GkRow",
     "GkTable",
     "IncrementalSxnm",
@@ -77,6 +118,7 @@ __all__ = [
     "pair_separation",
     "save_clusters",
     "save_gk",
+    "select_key_indices",
     "suggest_window_size",
     "od_similarity",
     "window_pass",

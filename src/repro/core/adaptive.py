@@ -6,109 +6,63 @@ be duplicates scattered by small errors, dissimilar keys mean the sorted
 order has moved on to a different object.  The key-distance measure is a
 normalized prefix-biased edit similarity; growth stops when it falls
 below ``key_similarity_floor`` or the window reaches ``max_window``.
+
+:class:`AdaptiveSxnmDetector` is an engine configuration swapping the
+fixed-window neighborhood for the adaptive one; since the engine
+refactor it shares every other capability with
+:class:`~repro.core.SxnmDetector` — decision rules, comparison filters,
+OD caching, precomputed GK tables, and observer instrumentation.
+
+The pass kernel (:func:`adaptive_window_pass`) and
+:func:`key_similarity` live in :mod:`repro.core.window` and are
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
+from ..config import SxnmConfig
+from ..xmlmodel import XmlDocument
+from .engine import DetectionEngine
+from .gk import GkTable
+from .observer import EngineObserver
+from .results import SxnmResult
+from .simmeasure import Decision
+from .stages import AdaptiveWindowStrategy, DomKeySource, ThresholdPolicy
+from .window import adaptive_window_pass, key_similarity  # noqa: F401
 
-from ..config import SxnmConfig, ensure_valid
-from ..similarity import levenshtein_similarity
-from ..xmlmodel import XmlDocument, parse
-from .candidates import CandidateHierarchy
-from .clusters import ClusterSet
-from .detector import CandidateOutcome, SxnmResult
-from .gk import GkRow, GkTable
-from .keygen import generate_gk
-from .simmeasure import SimilarityMeasure
-
-
-def key_similarity(left: str, right: str) -> float:
-    """Similarity of two sort keys (edit similarity; empty keys match)."""
-    return levenshtein_similarity(left, right)
-
-
-def adaptive_window_pass(table: GkTable, key_index: int,
-                         compare: Callable[[GkRow, GkRow], object],
-                         pairs: set[tuple[int, int]],
-                         min_window: int = 2, max_window: int = 20,
-                         key_similarity_floor: float = 0.6) -> int:
-    """One adaptive pass; returns the comparison count.
-
-    Every record is compared to at least ``min_window - 1`` predecessors;
-    the neighborhood keeps extending backwards while the predecessor's
-    key is at least ``key_similarity_floor``-similar to the record's key,
-    up to ``max_window - 1`` predecessors.
-    """
-    if not 2 <= min_window <= max_window:
-        raise ValueError("need 2 <= min_window <= max_window")
-    ordered = table.sorted_by_key(key_index)
-    comparisons = 0
-    for index, row in enumerate(ordered):
-        reach = 1
-        while reach < max_window and index - reach >= 0:
-            if reach >= min_window - 1:
-                predecessor = ordered[index - reach]
-                if key_similarity(predecessor.keys[key_index],
-                                  row.keys[key_index]) < key_similarity_floor:
-                    break
-            reach += 1
-        for other_index in range(max(0, index - reach + 1), index):
-            other = ordered[other_index]
-            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-            if pair in pairs:
-                continue
-            comparisons += 1
-            if compare(other, row).is_duplicate:  # type: ignore[attr-defined]
-                pairs.add(pair)
-    return comparisons
+__all__ = ["AdaptiveSxnmDetector", "adaptive_window_pass", "key_similarity"]
 
 
 class AdaptiveSxnmDetector:
-    """SXNM with adaptive windows instead of a fixed size."""
+    """SXNM with adaptive windows instead of a fixed size.
+
+    ``decision``, ``use_filters``, and the run-time ``gk``/``od_cache``
+    parameters behave exactly as on :class:`~repro.core.SxnmDetector`.
+    """
 
     def __init__(self, config: SxnmConfig, min_window: int = 2,
-                 max_window: int = 20, key_similarity_floor: float = 0.6):
-        self.config = ensure_valid(config)
-        self.hierarchy = CandidateHierarchy(config)
+                 max_window: int = 20, key_similarity_floor: float = 0.6,
+                 decision: Decision = "gates", use_filters: bool = False,
+                 observers: list[EngineObserver] | tuple = ()):
         self.min_window = min_window
         self.max_window = max_window
         self.key_similarity_floor = key_similarity_floor
+        self.decision: Decision = decision
+        self.use_filters = use_filters
+        self.engine = DetectionEngine(
+            config,
+            key_source=DomKeySource(),
+            neighborhood=AdaptiveWindowStrategy(
+                min_window=min_window, max_window=max_window,
+                key_similarity_floor=key_similarity_floor),
+            decision=ThresholdPolicy(decision, use_filters=use_filters),
+            observers=observers)
+        self.config = self.engine.config
+        self.hierarchy = self.engine.hierarchy
 
-    def run(self, source: str | XmlDocument) -> SxnmResult:
+    def run(self, source: str | XmlDocument,
+            gk: dict[str, GkTable] | None = None,
+            od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
+            ) -> SxnmResult:
         """Bottom-up detection with adaptive neighborhoods."""
-        start = time.perf_counter()
-        document = parse(source) if isinstance(source, str) else source
-        gk = generate_gk(document, self.config, self.hierarchy)
-        result = SxnmResult(gk=gk)
-        result.timings.key_generation = time.perf_counter() - start
-
-        cluster_sets: dict[str, ClusterSet] = {}
-        for node in self.hierarchy.order:
-            spec = node.spec
-            table = gk[spec.name]
-            measure = SimilarityMeasure(spec, self.config, cluster_sets)
-
-            window_start = time.perf_counter()
-            pairs: set[tuple[int, int]] = set()
-            comparisons = 0
-            for key_index in range(table.key_count):
-                comparisons += adaptive_window_pass(
-                    table, key_index, measure.compare, pairs,
-                    min_window=self.min_window, max_window=self.max_window,
-                    key_similarity_floor=self.key_similarity_floor)
-            window_seconds = time.perf_counter() - window_start
-
-            closure_start = time.perf_counter()
-            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids())
-            closure_seconds = time.perf_counter() - closure_start
-
-            cluster_sets[spec.name] = cluster_set
-            result.outcomes[spec.name] = CandidateOutcome(
-                name=spec.name, cluster_set=cluster_set, pairs=pairs,
-                comparisons=comparisons, window_seconds=window_seconds,
-                closure_seconds=closure_seconds)
-            result.timings.window += window_seconds
-            result.timings.closure += closure_seconds
-        return result
+        return self.engine.run(source, gk=gk, od_cache=od_cache)

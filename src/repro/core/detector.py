@@ -1,100 +1,36 @@
 """The SXNM orchestrator: both phases end to end.
 
-:class:`SxnmDetector` wires together the candidate hierarchy, key
-generation, the sliding-window multi-pass, the similarity measure, and
-transitive closure into the bottom-up workflow of Fig. 1.  Phase timings
-(KG, SW, TC — with DD = SW + TC) match the paper's scalability
-experiments.
+:class:`SxnmDetector` is the classic front door to the paper's workflow
+(Fig. 1): candidate hierarchy, key generation, sliding-window
+multi-pass, similarity measure, and transitive closure, traversed
+bottom-up.  Since the engine refactor it is a thin wrapper that picks a
+:class:`~repro.core.engine.DetectionEngine` configuration — results are
+bit-identical to the historical hand-rolled loop.  Phase timings (KG,
+SW, TC — with DD = SW + TC) match the paper's scalability experiments.
+
+The result types (:class:`PhaseTimings`, :class:`CandidateOutcome`,
+:class:`SxnmResult`) live in :mod:`repro.core.results` and are
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from ..config import SxnmConfig, ensure_valid
-from ..errors import DetectionError
-from ..xmlmodel import XmlDocument, parse
-from .candidates import CandidateHierarchy
-from .clusters import ClusterSet
+from ..config import SxnmConfig
+from ..xmlmodel import XmlDocument
+from .engine import DetectionEngine
 from .gk import GkTable
-from .keygen import generate_gk, generate_gk_streaming
-from .simmeasure import Decision, PairVerdict, SimilarityMeasure
+from .observer import EngineObserver
+from .results import (CandidateOutcome, KeySelection,  # noqa: F401
+                      PhaseTimings, SxnmResult, select_key_indices)
+from .simmeasure import Decision
+from .stages import (DomKeySource, FixedWindowStrategy, MethodClosure,
+                     StreamingKeySource, TheoryPolicy, ThresholdPolicy)
 from .theory import XmlEquationalTheory
-from .window import multipass
-
-KeySelection = int | list[int] | None
-
-
-@dataclass
-class PhaseTimings:
-    """Seconds spent per phase (paper Fig. 5 nomenclature)."""
-
-    key_generation: float = 0.0
-    window: float = 0.0
-    closure: float = 0.0
-
-    @property
-    def duplicate_detection(self) -> float:
-        """DD = SW + TC."""
-        return self.window + self.closure
-
-    @property
-    def total(self) -> float:
-        return self.key_generation + self.duplicate_detection
-
-
-@dataclass
-class CandidateOutcome:
-    """Per-candidate detection outcome."""
-
-    name: str
-    cluster_set: ClusterSet
-    pairs: set[tuple[int, int]]
-    comparisons: int
-    window_seconds: float
-    closure_seconds: float
-    filtered_comparisons: int = 0
-
-
-@dataclass
-class SxnmResult:
-    """Everything a run produced: GK tables, cluster sets, timings."""
-
-    gk: dict[str, GkTable]
-    outcomes: dict[str, CandidateOutcome] = field(default_factory=dict)
-    timings: PhaseTimings = field(default_factory=PhaseTimings)
-
-    def cluster_set(self, candidate_name: str) -> ClusterSet:
-        """The CS table for ``candidate_name``."""
-        try:
-            return self.outcomes[candidate_name].cluster_set
-        except KeyError:
-            raise DetectionError(
-                f"no result for candidate {candidate_name!r}") from None
-
-    def pairs(self, candidate_name: str) -> set[tuple[int, int]]:
-        """Confirmed duplicate eid pairs for ``candidate_name``."""
-        return set(self.outcomes[candidate_name].pairs)
-
-    @property
-    def total_comparisons(self) -> int:
-        return sum(outcome.comparisons for outcome in self.outcomes.values())
 
 
 def _select_key_indices(table: GkTable, selection: KeySelection) -> list[int]:
-    """Resolve a key selection against the keys a candidate actually has."""
-    available = list(range(table.key_count))
-    if selection is None:
-        return available
-    if isinstance(selection, int):
-        wanted = [selection]
-    else:
-        wanted = list(selection)
-    chosen = [index for index in wanted if 0 <= index < table.key_count]
-    # A candidate with fewer keys than the experiment's selected pass
-    # still needs deduplication: fall back to all of its keys.
-    return chosen or available
+    """Backward-compatible alias of :func:`repro.core.results.select_key_indices`."""
+    return select_key_indices(table, selection)
 
 
 class SxnmDetector:
@@ -128,6 +64,9 @@ class SxnmDetector:
         Use DE-SNM-style passes (Sec. 5 outlook): equal-key groups are
         confirmed against one anchor and only representatives enter the
         window — fewer comparisons on heavily duplicated data.
+    observers:
+        :class:`~repro.core.observer.EngineObserver` instances streaming
+        run/phase/candidate/pass/pair events.
     """
 
     def __init__(self, config: SxnmConfig, decision: Decision = "gates",
@@ -135,15 +74,28 @@ class SxnmDetector:
                  closure_method: str = "union_find",
                  use_filters: bool = False,
                  theories: dict[str, XmlEquationalTheory] | None = None,
-                 duplicate_elimination: bool = False):
-        self.config = ensure_valid(config)
-        self.hierarchy = CandidateHierarchy(config)
+                 duplicate_elimination: bool = False,
+                 observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
         self.closure_method = closure_method
         self.use_filters = use_filters
         self.theories = dict(theories or {})
         self.duplicate_elimination = duplicate_elimination
+
+        policy = ThresholdPolicy(decision, use_filters=use_filters)
+        self.engine = DetectionEngine(
+            config,
+            key_source=(StreamingKeySource() if streaming_keygen
+                        else DomKeySource()),
+            neighborhood=FixedWindowStrategy(
+                duplicate_elimination=duplicate_elimination),
+            decision=(TheoryPolicy(self.theories, policy) if self.theories
+                      else policy),
+            closure=MethodClosure(closure_method),
+            observers=observers)
+        self.config = self.engine.config
+        self.hierarchy = self.engine.hierarchy
 
     def run(self, source: str | XmlDocument, window: int | None = None,
             key_selection: KeySelection = None,
@@ -173,59 +125,9 @@ class SxnmDetector:
             differ); sweeps pass one dict to avoid recomputing edit
             distances.
         """
-        start = time.perf_counter()
-        if gk is None:
-            if isinstance(source, str) and self.streaming_keygen:
-                gk = generate_gk_streaming(source, self.config, self.hierarchy)
-            else:
-                document = parse(source) if isinstance(source, str) else source
-                gk = generate_gk(document, self.config, self.hierarchy)
-        result = SxnmResult(gk=gk)
-        result.timings.key_generation = time.perf_counter() - start
-
-        cluster_sets: dict[str, ClusterSet] = {}
-        for node in self.hierarchy.order:
-            spec = node.spec
-            table = gk[spec.name]
-            candidate_cache = None
-            if od_cache is not None:
-                candidate_cache = od_cache.setdefault(spec.name, {})
-            measure = SimilarityMeasure(spec, self.config, cluster_sets,
-                                        decision=self.decision,
-                                        od_cache=candidate_cache,
-                                        use_filters=self.use_filters)
-            theory = self.theories.get(spec.name)
-            if theory is None:
-                compare = measure.compare
-            else:
-                def compare(left, right, _spec=spec, _theory=theory,
-                            _sets=cluster_sets):
-                    is_duplicate = _theory.decide(left, right, _spec, _sets)
-                    return PairVerdict(0.0, None, 0.0, is_duplicate)
-            effective_window = (window if window is not None
-                                else self.config.effective_window(spec))
-
-            window_start = time.perf_counter()
-            pairs, comparisons = multipass(
-                table, effective_window, compare,
-                key_indices=_select_key_indices(table, key_selection),
-                duplicate_elimination=self.duplicate_elimination)
-            window_seconds = time.perf_counter() - window_start
-
-            closure_start = time.perf_counter()
-            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids(),
-                                                method=self.closure_method)
-            closure_seconds = time.perf_counter() - closure_start
-
-            cluster_sets[spec.name] = cluster_set
-            result.outcomes[spec.name] = CandidateOutcome(
-                name=spec.name, cluster_set=cluster_set, pairs=pairs,
-                comparisons=comparisons, window_seconds=window_seconds,
-                closure_seconds=closure_seconds,
-                filtered_comparisons=measure.filtered_comparisons)
-            result.timings.window += window_seconds
-            result.timings.closure += closure_seconds
-        return result
+        return self.engine.run(source, window=window,
+                               key_selection=key_selection, gk=gk,
+                               od_cache=od_cache)
 
 
 def detect_duplicates(source: str | XmlDocument, config: SxnmConfig,

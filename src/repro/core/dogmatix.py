@@ -6,77 +6,38 @@ filter to prune comparisons.  However, in the worst case, all pairs of
 elements need to be compared, unlike the sorted neighborhood method that
 has a lower complexity."
 
-:class:`DogmatixDetector` reproduces that comparison profile: for every
-candidate it enumerates *all pairs* but prunes each with the cheap
-OD-similarity upper bound (length/bag filters) before the expensive edit
-distances.  Quality matches all-pairs detection; the comparison count
-shows the quadratic worst case the windowing avoids.
+:class:`DogmatixDetector` reproduces that comparison profile as an
+engine configuration built around
+:class:`~repro.core.stages.AllPairsStrategy`: for every candidate it
+enumerates *all pairs* but prunes each with the cheap OD-similarity
+upper bound (length/bag filters) before the expensive edit distances.
+Quality matches all-pairs detection; the comparison count shows the
+quadratic worst case the windowing avoids.
 """
 
 from __future__ import annotations
 
-import time
-
-from ..config import SxnmConfig, ensure_valid
-from ..xmlmodel import XmlDocument, parse
-from .candidates import CandidateHierarchy
-from .clusters import ClusterSet
-from .detector import CandidateOutcome, SxnmResult
-from .keygen import generate_gk
-from .simmeasure import SimilarityMeasure, od_similarity_upper_bound
+from ..config import SxnmConfig
+from ..xmlmodel import XmlDocument
+from .engine import DetectionEngine
+from .observer import EngineObserver
+from .results import SxnmResult
+from .stages import AllPairsStrategy
 
 
 class DogmatixDetector:
     """Bottom-up all-pairs detection with filter pruning."""
 
-    def __init__(self, config: SxnmConfig, use_filters: bool = True):
-        self.config = ensure_valid(config)
-        self.hierarchy = CandidateHierarchy(config)
+    def __init__(self, config: SxnmConfig, use_filters: bool = True,
+                 observers: list[EngineObserver] | tuple = ()):
         self.use_filters = use_filters
+        self.engine = DetectionEngine(
+            config,
+            neighborhood=AllPairsStrategy(use_filters=use_filters),
+            observers=observers)
+        self.config = self.engine.config
+        self.hierarchy = self.engine.hierarchy
 
     def run(self, source: str | XmlDocument) -> SxnmResult:
         """Detect duplicates by filtered all-pairs comparison."""
-        start = time.perf_counter()
-        document = parse(source) if isinstance(source, str) else source
-        gk = generate_gk(document, self.config, self.hierarchy)
-        result = SxnmResult(gk=gk)
-        result.timings.key_generation = time.perf_counter() - start
-
-        cluster_sets: dict[str, ClusterSet] = {}
-        for node in self.hierarchy.order:
-            spec = node.spec
-            table = gk[spec.name]
-            measure = SimilarityMeasure(spec, self.config, cluster_sets)
-            od_threshold = self.config.effective_od_threshold(spec)
-            rows = list(table)
-
-            window_start = time.perf_counter()
-            pairs: set[tuple[int, int]] = set()
-            comparisons = 0
-            filtered = 0
-            for i, left in enumerate(rows):
-                for right in rows[i + 1:]:
-                    if self.use_filters:
-                        bound = od_similarity_upper_bound(left, right, spec)
-                        if bound < od_threshold:
-                            filtered += 1
-                            continue
-                    comparisons += 1
-                    if measure.compare(left, right).is_duplicate:
-                        pairs.add((min(left.eid, right.eid),
-                                   max(left.eid, right.eid)))
-            window_seconds = time.perf_counter() - window_start
-
-            closure_start = time.perf_counter()
-            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids())
-            closure_seconds = time.perf_counter() - closure_start
-
-            cluster_sets[spec.name] = cluster_set
-            result.outcomes[spec.name] = CandidateOutcome(
-                name=spec.name, cluster_set=cluster_set, pairs=pairs,
-                comparisons=comparisons, window_seconds=window_seconds,
-                closure_seconds=closure_seconds,
-                filtered_comparisons=filtered)
-            result.timings.window += window_seconds
-            result.timings.closure += closure_seconds
-        return result
+        return self.engine.run(source)

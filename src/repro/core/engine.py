@@ -1,0 +1,202 @@
+"""The unified detection engine.
+
+:class:`DetectionEngine` owns the SXNM workflow of Fig. 1 — key
+generation, candidate traversal, neighborhood comparison, transitive
+closure — and delegates each phase to a pluggable stage
+(:mod:`repro.core.stages`):
+
+* :class:`~repro.core.stages.KeySource` → GK tables,
+* :class:`~repro.core.stages.NeighborhoodStrategy` → compared pairs,
+* :class:`~repro.core.stages.DecisionPolicy` → pair classification,
+* :class:`~repro.core.stages.ClosureStrategy` → cluster sets.
+
+The historical detector classes (:class:`~repro.core.SxnmDetector`,
+:class:`~repro.core.AdaptiveSxnmDetector`,
+:class:`~repro.core.TopDownDetector`,
+:class:`~repro.core.DogmatixDetector`,
+:class:`~repro.core.IncrementalSxnm`) are thin wrappers that pick an
+engine configuration; their results are bit-identical to their former
+hand-rolled loops.
+
+Instrumentation: attach :class:`~repro.core.observer.EngineObserver`
+instances to stream run/phase/candidate/pass/pair events.  Without
+observers the engine takes a fast path — comparisons invoke the raw
+decision callable and only the coarse per-phase timers run, exactly as
+the old detectors did.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import SxnmConfig, ensure_valid
+from ..xmlmodel import XmlDocument
+from .candidates import CandidateHierarchy
+from .clusters import ClusterSet
+from .observer import (PHASE_CLOSURE, PHASE_KEY_GENERATION, PHASE_WINDOW,
+                       EngineObserver, ObserverGroup)
+from .results import (CandidateOutcome, KeySelection, SxnmResult,
+                      select_key_indices)
+from .stages import (CandidateContext, ClosureStrategy, Compare,
+                     DecisionPolicy, DomKeySource, FixedWindowStrategy,
+                     KeySource, NeighborhoodStrategy, ThresholdPolicy,
+                     UnionFindClosure, TOP_DOWN)
+
+
+class DetectionEngine:
+    """One engine, four pluggable stages, optional instrumentation.
+
+    Parameters
+    ----------
+    config:
+        A valid :class:`~repro.config.SxnmConfig` (validated eagerly).
+    key_source, neighborhood, decision, closure:
+        The stage implementations; defaults reproduce the plain SXNM
+        detector (DOM keygen, fixed multi-pass window, threshold gates,
+        union-find closure).
+    observers:
+        :class:`EngineObserver` instances receiving engine events.
+        More can be attached later with :meth:`add_observer`.
+    """
+
+    def __init__(self, config: SxnmConfig, *,
+                 key_source: KeySource | None = None,
+                 neighborhood: NeighborhoodStrategy | None = None,
+                 decision: DecisionPolicy | None = None,
+                 closure: ClosureStrategy | None = None,
+                 observers: list[EngineObserver] | tuple = ()):
+        self.config = ensure_valid(config)
+        self.hierarchy = CandidateHierarchy(config)
+        self.key_source = key_source if key_source is not None \
+            else DomKeySource()
+        self.neighborhood = neighborhood if neighborhood is not None \
+            else FixedWindowStrategy()
+        self.decision = decision if decision is not None else ThresholdPolicy()
+        self.closure = closure if closure is not None else UnionFindClosure()
+        self.observers: list[EngineObserver] = list(observers)
+
+    def add_observer(self, observer: EngineObserver) -> None:
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: EngineObserver) -> None:
+        self.observers.remove(observer)
+
+    @property
+    def order(self):
+        """Candidate traversal order implied by the neighborhood stage."""
+        if getattr(self.neighborhood, "traversal", None) == TOP_DOWN:
+            return list(reversed(self.hierarchy.order))
+        return list(self.hierarchy.order)
+
+    def run(self, source: str | XmlDocument, window: int | None = None,
+            key_selection: KeySelection = None,
+            gk: dict | None = None,
+            od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
+            ) -> SxnmResult:
+        """Detect duplicates in ``source`` (XML text or parsed document).
+
+        Parameters
+        ----------
+        window:
+            Override the configured window sizes for every candidate.
+        key_selection:
+            ``None`` → all keys (multi-pass); an int or list of ints →
+            only those key indices.  A candidate lacking every selected
+            key falls back to its own keys (observers get a warning).
+        gk:
+            Precomputed GK tables for exactly this ``source`` — skips
+            the key-generation stage entirely.
+        od_cache:
+            Mutable per-candidate cache of OD similarities, shared
+            across runs with the same ``gk``.
+        """
+        emit = ObserverGroup(self.observers) if self.observers else None
+        if emit is not None:
+            emit.run_started()
+            emit.phase_started(PHASE_KEY_GENERATION)
+
+        kg_start = time.perf_counter()
+        if gk is None:
+            tables = self.key_source.generate(source, self.config,
+                                              self.hierarchy)
+        else:
+            tables = gk
+        result = SxnmResult(gk=tables)
+        result.timings.key_generation = time.perf_counter() - kg_start
+        if emit is not None:
+            emit.phase_finished(PHASE_KEY_GENERATION,
+                                result.timings.key_generation)
+
+        cluster_sets: dict[str, ClusterSet] = {}
+        for node in self.order:
+            spec = node.spec
+            table = tables[spec.name]
+            if emit is not None:
+                emit.candidate_started(spec.name, len(table))
+
+            candidate_cache = None
+            if od_cache is not None:
+                candidate_cache = od_cache.setdefault(spec.name, {})
+            decider = self.decision.decider(spec, self.config, cluster_sets,
+                                            candidate_cache)
+            filtered_before = decider.filtered_comparisons
+            compare: Compare = decider.compare
+            if emit is not None:
+                compare = self._instrumented(spec.name, decider.compare, emit)
+
+            key_indices = select_key_indices(
+                table, key_selection,
+                warn=emit.warning if emit is not None else None)
+            effective_window = (window if window is not None
+                                else self.config.effective_window(spec))
+            pairs: set[tuple[int, int]] = set()
+            ctx = CandidateContext(
+                node=node, spec=spec, config=self.config, table=table,
+                tables=tables, window=effective_window,
+                key_indices=key_indices, compare=compare, pairs=pairs,
+                cluster_sets=cluster_sets, emit=emit)
+
+            if emit is not None:
+                emit.phase_started(PHASE_WINDOW, spec.name)
+            window_start = time.perf_counter()
+            neighborhood = self.neighborhood.find_pairs(ctx)
+            window_seconds = time.perf_counter() - window_start
+            if emit is not None:
+                emit.phase_finished(PHASE_WINDOW, window_seconds, spec.name)
+                emit.phase_started(PHASE_CLOSURE, spec.name)
+
+            closure_start = time.perf_counter()
+            cluster_set = self.closure.close(spec.name, pairs, table.eids())
+            closure_seconds = time.perf_counter() - closure_start
+            if emit is not None:
+                emit.phase_finished(PHASE_CLOSURE, closure_seconds, spec.name)
+
+            cluster_sets[spec.name] = cluster_set
+            outcome = CandidateOutcome(
+                name=spec.name, cluster_set=cluster_set, pairs=pairs,
+                comparisons=neighborhood.comparisons,
+                window_seconds=window_seconds,
+                closure_seconds=closure_seconds,
+                filtered_comparisons=neighborhood.filtered
+                + (decider.filtered_comparisons - filtered_before))
+            result.outcomes[spec.name] = outcome
+            result.timings.window += window_seconds
+            result.timings.closure += closure_seconds
+            if emit is not None:
+                emit.candidate_finished(spec.name, outcome)
+
+        if emit is not None:
+            emit.run_finished(result)
+        return result
+
+    @staticmethod
+    def _instrumented(candidate: str, compare: Compare,
+                      emit: ObserverGroup) -> Compare:
+        """Wrap ``compare`` to stream pair events to observers."""
+        def observed(left, right):
+            verdict = compare(left, right)
+            emit.pair_compared(candidate, left.eid, right.eid, verdict)
+            if verdict.is_duplicate:
+                emit.pair_confirmed(candidate, left.eid, right.eid)
+            return verdict
+        return observed

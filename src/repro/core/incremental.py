@@ -3,16 +3,21 @@
 The paper recalls that the relational SNM has "an incremental version
 … dealing with how to combine data that have already been deduplicated
 with new data packets" (Sec. 2.2).  :class:`IncrementalSxnm` transplants
-that to XML: batches are documents with the familiar schema; per
-candidate and per key a sorted key list persists across batches, and
-each new batch compares only the neighborhoods that contain at least one
-*new* instance.
+that to XML as an engine configuration built from three stateful stages:
 
-Descendant evidence uses the *live* cluster state (union-find roots as
-cluster ids).  One documented trade-off of incrementality: a parent pair
-compared in an earlier batch is not re-examined when a later batch
-merges descendant clusters that would now push the pair over the
-threshold.
+* :class:`AccumulatingKeySource` — batches are documents with the
+  familiar schema; their GK rows are eid-offset and appended to
+  persistent per-candidate tables.
+* :class:`IncrementalNeighborhood` — per candidate and per key a sorted
+  key list persists across batches, and each new batch compares only
+  the neighborhoods that contain at least one *new* instance.
+* :class:`~repro.core.stages.LiveClosure` — a union-find forest that
+  survives across batches supplies the live cluster state for
+  descendant evidence.
+
+One documented trade-off of incrementality: a parent pair compared in
+an earlier batch is not re-examined when a later batch merges
+descendant clusters that would now push the pair over the threshold.
 """
 
 from __future__ import annotations
@@ -20,70 +25,131 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from ..clustering import UnionFind
-from ..config import SxnmConfig, ensure_valid
+from ..config import SxnmConfig
 from ..xmlmodel import XmlDocument, parse
-from .candidates import CandidateHierarchy
 from .clusters import ClusterSet
-from .detector import SxnmResult  # noqa: F401  (re-exported concept)
+from .engine import DetectionEngine
 from .gk import GkRow, GkTable
 from .keygen import generate_gk
-from .simmeasure import Decision, SimilarityMeasure
-
-
-class _LiveClusters:
-    """Duck-typed stand-in for :class:`ClusterSet` over a union-find.
-
-    ``cid`` returns the union-find root, which is unique per cluster —
-    sufficient for the jaccard over cluster-id lists in Def. 3.
-    """
-
-    def __init__(self, candidate_name: str):
-        self.candidate_name = candidate_name
-        self.forest = UnionFind()
-
-    def add(self, eid: int) -> None:
-        self.forest.add(eid)
-
-    def union(self, left: int, right: int) -> None:
-        self.forest.union(left, right)
-
-    def cid(self, eid: int) -> int:
-        if eid not in self.forest:
-            raise KeyError(
-                f"CS_{self.candidate_name}: eid {eid} is not a known instance")
-        return self.forest.find(eid)  # type: ignore[return-value]
-
-    def snapshot(self) -> ClusterSet:
-        return ClusterSet(self.candidate_name, self.forest.groups())
+from .observer import EngineObserver
+from .results import SxnmResult  # noqa: F401  (re-exported concept)
+from .simmeasure import Decision
+from .stages import (BOTTOM_UP, CandidateContext, LiveClosure,
+                     NeighborhoodOutcome, ThresholdPolicy)
 
 
 @dataclass
 class _CandidateState:
+    """Persistent per-candidate state shared by the incremental stages."""
+
     table: GkTable
     sorted_keys: list[list[tuple[str, int]]]
-    clusters: _LiveClusters
     pairs: set[tuple[int, int]] = field(default_factory=set)
     comparisons: int = 0
+    new_rows: list[GkRow] = field(default_factory=list)
+
+
+class AccumulatingKeySource:
+    """Key source that appends eid-offset batch rows to persistent tables.
+
+    Each ``generate`` call treats ``source`` as one batch: its element
+    ids are offset so they never collide with earlier batches, the
+    shifted rows are appended to the persistent GK tables, and the new
+    rows are recorded for :class:`IncrementalNeighborhood`.
+    """
+
+    def __init__(self, config: SxnmConfig):
+        self._eid_offset = 0
+        self.states: dict[str, _CandidateState] = {}
+        for spec in config.candidates:
+            self.states[spec.name] = _CandidateState(
+                table=GkTable(spec.name, key_count=len(spec.keys),
+                              od_count=len(spec.ods)),
+                sorted_keys=[[] for _ in spec.keys])
+
+    def generate(self, source, config, hierarchy):
+        document = parse(source) if isinstance(source, str) else source
+        batch_gk = generate_gk(document, config, hierarchy)
+        offset = self._eid_offset
+        self._eid_offset += document.element_count()
+
+        for name, table in batch_gk.items():
+            state = self.states[name]
+            state.new_rows = []
+            for row in table:
+                children = {child_name: [eid + offset for eid in eids]
+                            for child_name, eids in row.children.items()}
+                shifted = GkRow(row.eid + offset, list(row.keys),
+                                list(row.ods), children)
+                state.table.add(shifted)
+                state.new_rows.append(shifted)
+        return {name: state.table for name, state in self.states.items()}
+
+
+class IncrementalNeighborhood:
+    """Window only the neighborhoods touched by the current batch.
+
+    New rows are merged into the persistent per-key sorted lists; the
+    sliding window then skips any pair whose two members both predate
+    the batch — those neighborhoods were already examined.
+    """
+
+    traversal = BOTTOM_UP
+
+    def __init__(self, states: dict[str, _CandidateState]):
+        self.states = states
+
+    def find_pairs(self, ctx: CandidateContext) -> NeighborhoodOutcome:
+        state = self.states[ctx.spec.name]
+        new_eids = {row.eid for row in state.new_rows}
+        batch_comparisons = 0
+        for key_index, order in enumerate(state.sorted_keys):
+            ctx.pass_started(key_index)
+            pass_comparisons = 0
+            for row in state.new_rows:
+                entry = (row.keys[key_index], row.eid)
+                order.insert(bisect.bisect_left(order, entry), entry)
+            for index, (_, eid) in enumerate(order):
+                start = max(0, index - ctx.window + 1)
+                for other_index in range(start, index):
+                    other_eid = order[other_index][1]
+                    if eid not in new_eids and other_eid not in new_eids:
+                        continue
+                    pair = (min(other_eid, eid), max(other_eid, eid))
+                    if pair in state.pairs:
+                        continue
+                    pass_comparisons += 1
+                    verdict = ctx.compare(state.table.row(pair[0]),
+                                          state.table.row(pair[1]))
+                    if verdict.is_duplicate:
+                        state.pairs.add(pair)
+            ctx.pass_finished(key_index, pass_comparisons)
+            batch_comparisons += pass_comparisons
+        state.comparisons += batch_comparisons
+        ctx.pairs.update(state.pairs)
+        return NeighborhoodOutcome(batch_comparisons)
 
 
 class IncrementalSxnm:
     """Stateful SXNM accepting document batches over time."""
 
     def __init__(self, config: SxnmConfig, window: int | None = None,
-                 decision: Decision = "gates"):
-        self.config = ensure_valid(config)
-        self.hierarchy = CandidateHierarchy(config)
+                 decision: Decision = "gates",
+                 observers: list[EngineObserver] | tuple = ()):
         self.window = window
         self.decision: Decision = decision
-        self._eid_offset = 0
-        self._states: dict[str, _CandidateState] = {}
-        for spec in config.candidates:
-            self._states[spec.name] = _CandidateState(
-                table=GkTable(spec.name, key_count=len(spec.keys),
-                              od_count=len(spec.ods)),
-                sorted_keys=[[] for _ in spec.keys],
-                clusters=_LiveClusters(spec.name))
+        self._key_source = AccumulatingKeySource(config)
+        self._closure = LiveClosure()
+        self.engine = DetectionEngine(
+            config,
+            key_source=self._key_source,
+            neighborhood=IncrementalNeighborhood(self._key_source.states),
+            decision=ThresholdPolicy(decision),
+            closure=self._closure,
+            observers=observers)
+        self.config = self.engine.config
+        self.hierarchy = self.engine.hierarchy
+        self._states = self._key_source.states
 
     # ------------------------------------------------------------------
     def add_batch(self, source: str | XmlDocument) -> dict[str, int]:
@@ -92,62 +158,11 @@ class IncrementalSxnm:
         The batch must use the same schema (root structure) as previous
         batches; its element ids are offset so they never collide.
         """
-        document = parse(source) if isinstance(source, str) else source
-        batch_gk = generate_gk(document, self.config, self.hierarchy)
-        offset = self._eid_offset
-        self._eid_offset += document.element_count()
-
-        new_rows: dict[str, list[GkRow]] = {}
-        for name, table in batch_gk.items():
-            shifted = []
-            for row in table:
-                children = {child_name: [eid + offset for eid in eids]
-                            for child_name, eids in row.children.items()}
-                shifted_row = GkRow(row.eid + offset, list(row.keys),
-                                    list(row.ods), children)
-                self._states[name].table.add(shifted_row)
-                self._states[name].clusters.add(shifted_row.eid)
-                shifted.append(shifted_row)
-            new_rows[name] = shifted
-
-        new_pair_counts: dict[str, int] = {}
-        live_sets = {name: state.clusters for name, state in self._states.items()}
-        for node in self.hierarchy.order:
-            spec = node.spec
-            state = self._states[spec.name]
-            measure = SimilarityMeasure(
-                spec, self.config,
-                cluster_sets=live_sets,  # type: ignore[arg-type]
-                decision=self.decision)
-            window = (self.window if self.window is not None
-                      else self.config.effective_window(spec))
-            before = len(state.pairs)
-            self._compare_batch(state, new_rows[spec.name], window, measure)
-            new_pair_counts[spec.name] = len(state.pairs) - before
-        return new_pair_counts
-
-    def _compare_batch(self, state: _CandidateState, rows: list[GkRow],
-                       window: int, measure: SimilarityMeasure) -> None:
-        new_eids = {row.eid for row in rows}
-        for key_index, order in enumerate(state.sorted_keys):
-            for row in rows:
-                entry = (row.keys[key_index], row.eid)
-                order.insert(bisect.bisect_left(order, entry), entry)
-            for index, (_, eid) in enumerate(order):
-                start = max(0, index - window + 1)
-                for other_index in range(start, index):
-                    other_eid = order[other_index][1]
-                    if eid not in new_eids and other_eid not in new_eids:
-                        continue
-                    pair = (min(other_eid, eid), max(other_eid, eid))
-                    if pair in state.pairs:
-                        continue
-                    state.comparisons += 1
-                    verdict = measure.compare(state.table.row(pair[0]),
-                                              state.table.row(pair[1]))
-                    if verdict.is_duplicate:
-                        state.pairs.add(pair)
-                        state.clusters.union(*pair)
+        before = {name: len(state.pairs)
+                  for name, state in self._states.items()}
+        self.engine.run(source, window=self.window)
+        return {name: len(state.pairs) - before[name]
+                for name, state in self._states.items()}
 
     # ------------------------------------------------------------------
     def pairs(self, candidate_name: str) -> set[tuple[int, int]]:
@@ -160,7 +175,8 @@ class IncrementalSxnm:
 
     def cluster_set(self, candidate_name: str) -> ClusterSet:
         """Materialized snapshot of the current clusters."""
-        return self._states[candidate_name].clusters.snapshot()
+        return ClusterSet(candidate_name,
+                          self._closure.forest(candidate_name).groups())
 
     def instance_count(self, candidate_name: str) -> int:
         """Number of ingested instances of ``candidate_name``."""

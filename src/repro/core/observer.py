@@ -1,0 +1,215 @@
+"""Instrumentation hooks for the detection engine.
+
+An :class:`EngineObserver` receives the engine's life-cycle events —
+run/phase/candidate/pass started and finished, every pair compared,
+filtered, or confirmed, plus warnings — and replaces the ad-hoc
+``time.perf_counter()`` plumbing the detector variants used to carry.
+All methods are no-ops on the base class, so observers override only
+what they care about.
+
+Event order within one run::
+
+    run_started
+      phase_started("KG") … phase_finished("KG")
+      candidate_started(name)                # bottom-up (or top-down) order
+        phase_started("SW", name)
+          pass_started(name, key_index)      # strategies with key passes
+            pair_compared / pair_filtered / pair_confirmed …
+          pass_finished(name, key_index)
+        phase_finished("SW", name)
+        phase_started("TC", name) … phase_finished("TC", name)
+      candidate_finished(name, outcome)
+    run_finished(result)
+
+The engine pays for instrumentation only when observers are attached:
+without any, the comparison hot path runs the raw decision callable.
+"""
+
+from __future__ import annotations
+
+from .results import CandidateOutcome, PhaseTimings, SxnmResult
+
+# Phase names (paper Fig. 5): key generation, sliding window, closure.
+PHASE_KEY_GENERATION = "KG"
+PHASE_WINDOW = "SW"
+PHASE_CLOSURE = "TC"
+
+
+class EngineObserver:
+    """Base observer: every hook is a no-op.  Subclass and override."""
+
+    def run_started(self) -> None:
+        """A detection run is beginning (before key generation)."""
+
+    def run_finished(self, result: SxnmResult) -> None:
+        """The run completed; ``result`` is fully populated."""
+
+    def phase_started(self, phase: str, candidate: str | None = None) -> None:
+        """Phase ``phase`` ("KG"/"SW"/"TC") began.
+
+        ``candidate`` is ``None`` for the run-wide KG phase and the
+        candidate name for the per-candidate SW and TC phases.
+        """
+
+    def phase_finished(self, phase: str, seconds: float,
+                       candidate: str | None = None) -> None:
+        """Phase ``phase`` ended after ``seconds`` of wall-clock time."""
+
+    def candidate_started(self, candidate: str, instances: int) -> None:
+        """Detection for ``candidate`` (``instances`` GK rows) began."""
+
+    def candidate_finished(self, candidate: str,
+                           outcome: CandidateOutcome) -> None:
+        """Detection for ``candidate`` ended with ``outcome``."""
+
+    def pass_started(self, candidate: str, key_index: int) -> None:
+        """A neighborhood pass over key ``key_index`` began."""
+
+    def pass_finished(self, candidate: str, key_index: int,
+                      comparisons: int) -> None:
+        """The pass over key ``key_index`` made ``comparisons`` comparisons."""
+
+    def pair_compared(self, candidate: str, left_eid: int, right_eid: int,
+                      verdict) -> None:
+        """A pair was fully compared; ``verdict`` is the PairVerdict."""
+
+    def pair_filtered(self, candidate: str, left_eid: int,
+                      right_eid: int) -> None:
+        """A pair was pruned by a cheap filter before full comparison."""
+
+    def pair_confirmed(self, candidate: str, left_eid: int,
+                       right_eid: int) -> None:
+        """A compared pair was classified as a duplicate."""
+
+    def warning(self, message: str) -> None:
+        """The engine noticed something questionable but recoverable."""
+
+
+class ObserverGroup(EngineObserver):
+    """Fans every event out to a list of observers, in order."""
+
+    def __init__(self, observers: list[EngineObserver]):
+        self.observers = list(observers)
+
+    def run_started(self):
+        for observer in self.observers:
+            observer.run_started()
+
+    def run_finished(self, result):
+        for observer in self.observers:
+            observer.run_finished(result)
+
+    def phase_started(self, phase, candidate=None):
+        for observer in self.observers:
+            observer.phase_started(phase, candidate)
+
+    def phase_finished(self, phase, seconds, candidate=None):
+        for observer in self.observers:
+            observer.phase_finished(phase, seconds, candidate)
+
+    def candidate_started(self, candidate, instances):
+        for observer in self.observers:
+            observer.candidate_started(candidate, instances)
+
+    def candidate_finished(self, candidate, outcome):
+        for observer in self.observers:
+            observer.candidate_finished(candidate, outcome)
+
+    def pass_started(self, candidate, key_index):
+        for observer in self.observers:
+            observer.pass_started(candidate, key_index)
+
+    def pass_finished(self, candidate, key_index, comparisons):
+        for observer in self.observers:
+            observer.pass_finished(candidate, key_index, comparisons)
+
+    def pair_compared(self, candidate, left_eid, right_eid, verdict):
+        for observer in self.observers:
+            observer.pair_compared(candidate, left_eid, right_eid, verdict)
+
+    def pair_filtered(self, candidate, left_eid, right_eid):
+        for observer in self.observers:
+            observer.pair_filtered(candidate, left_eid, right_eid)
+
+    def pair_confirmed(self, candidate, left_eid, right_eid):
+        for observer in self.observers:
+            observer.pair_confirmed(candidate, left_eid, right_eid)
+
+    def warning(self, message):
+        for observer in self.observers:
+            observer.warning(message)
+
+
+class TimingObserver(EngineObserver):
+    """Accumulates phase durations from engine events.
+
+    ``timings`` rebuilds the familiar :class:`PhaseTimings`;
+    ``phase_seconds`` holds the raw per-phase totals keyed by phase name
+    ("KG"/"SW"/"TC"), summed over candidates and runs.
+    """
+
+    def __init__(self):
+        self.phase_seconds: dict[str, float] = {}
+
+    def phase_finished(self, phase, seconds, candidate=None):
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    @property
+    def timings(self) -> PhaseTimings:
+        return PhaseTimings(
+            key_generation=self.phase_seconds.get(PHASE_KEY_GENERATION, 0.0),
+            window=self.phase_seconds.get(PHASE_WINDOW, 0.0),
+            closure=self.phase_seconds.get(PHASE_CLOSURE, 0.0))
+
+
+class CounterObserver(EngineObserver):
+    """Counts engine events; the engine's odometer.
+
+    ``counts`` maps event name to a total; per-candidate comparison and
+    confirmation counts live in ``comparisons_by_candidate`` /
+    ``confirmed_by_candidate``, and ``warnings`` collects warning text.
+    """
+
+    def __init__(self):
+        self.counts: dict[str, int] = {}
+        self.comparisons_by_candidate: dict[str, int] = {}
+        self.confirmed_by_candidate: dict[str, int] = {}
+        self.warnings: list[str] = []
+
+    def _bump(self, event: str) -> None:
+        self.counts[event] = self.counts.get(event, 0) + 1
+
+    def run_started(self):
+        self._bump("run_started")
+
+    def run_finished(self, result):
+        self._bump("run_finished")
+
+    def candidate_started(self, candidate, instances):
+        self._bump("candidate_started")
+
+    def candidate_finished(self, candidate, outcome):
+        self._bump("candidate_finished")
+
+    def pass_started(self, candidate, key_index):
+        self._bump("pass_started")
+
+    def pass_finished(self, candidate, key_index, comparisons):
+        self._bump("pass_finished")
+
+    def pair_compared(self, candidate, left_eid, right_eid, verdict):
+        self._bump("pair_compared")
+        self.comparisons_by_candidate[candidate] = \
+            self.comparisons_by_candidate.get(candidate, 0) + 1
+
+    def pair_filtered(self, candidate, left_eid, right_eid):
+        self._bump("pair_filtered")
+
+    def pair_confirmed(self, candidate, left_eid, right_eid):
+        self._bump("pair_confirmed")
+        self.confirmed_by_candidate[candidate] = \
+            self.confirmed_by_candidate.get(candidate, 0) + 1
+
+    def warning(self, message):
+        self._bump("warning")
+        self.warnings.append(message)

@@ -1,0 +1,106 @@
+"""Result types shared by the detection engine and its wrappers.
+
+:class:`PhaseTimings`, :class:`CandidateOutcome`, and :class:`SxnmResult`
+describe what a detection run produced — GK tables, per-candidate cluster
+sets and counters, and per-phase wall-clock times (KG, SW, TC with
+DD = SW + TC, the paper's Fig. 5 nomenclature).  They historically lived
+in :mod:`repro.core.detector` and are re-exported there.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import DetectionError
+from .clusters import ClusterSet
+from .gk import GkTable
+
+KeySelection = int | list[int] | None
+
+
+@dataclass
+class PhaseTimings:
+    """Seconds spent per phase (paper Fig. 5 nomenclature)."""
+
+    key_generation: float = 0.0
+    window: float = 0.0
+    closure: float = 0.0
+
+    @property
+    def duplicate_detection(self) -> float:
+        """DD = SW + TC."""
+        return self.window + self.closure
+
+    @property
+    def total(self) -> float:
+        return self.key_generation + self.duplicate_detection
+
+
+@dataclass
+class CandidateOutcome:
+    """Per-candidate detection outcome."""
+
+    name: str
+    cluster_set: ClusterSet
+    pairs: set[tuple[int, int]]
+    comparisons: int
+    window_seconds: float
+    closure_seconds: float
+    filtered_comparisons: int = 0
+
+
+@dataclass
+class SxnmResult:
+    """Everything a run produced: GK tables, cluster sets, timings."""
+
+    gk: dict[str, GkTable]
+    outcomes: dict[str, CandidateOutcome] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    def cluster_set(self, candidate_name: str) -> ClusterSet:
+        """The CS table for ``candidate_name``."""
+        try:
+            return self.outcomes[candidate_name].cluster_set
+        except KeyError:
+            raise DetectionError(
+                f"no result for candidate {candidate_name!r}") from None
+
+    def pairs(self, candidate_name: str) -> set[tuple[int, int]]:
+        """Confirmed duplicate eid pairs for ``candidate_name``."""
+        return set(self.outcomes[candidate_name].pairs)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(outcome.comparisons for outcome in self.outcomes.values())
+
+
+def select_key_indices(table: GkTable, selection: KeySelection,
+                       warn: Callable[[str], None] | None = None) -> list[int]:
+    """Resolve a key selection against the keys a candidate actually has.
+
+    Out-of-range indices are dropped and repeated indices collapse to
+    their first occurrence, preserving the caller's order.  A candidate
+    with fewer keys than the experiment's selected pass still needs
+    deduplication, so an empty resolution falls back to all of the
+    candidate's keys — reported through ``warn`` so the fallback is no
+    longer silent.
+    """
+    available = list(range(table.key_count))
+    if selection is None:
+        return available
+    if isinstance(selection, int):
+        wanted = [selection]
+    else:
+        wanted = list(selection)
+    chosen: list[int] = []
+    for index in wanted:
+        if 0 <= index < table.key_count and index not in chosen:
+            chosen.append(index)
+    if not chosen:
+        if warn is not None:
+            warn(f"GK_{table.candidate_name}: key selection {selection!r} "
+                 f"matches none of the {table.key_count} keys; "
+                 f"falling back to all keys")
+        return available
+    return chosen

@@ -7,132 +7,42 @@ comparisons but *misses duplicates for M:N parent-child relationships* —
 a duplicated actor playing in two different movies is never compared,
 because the two movies are not duplicates.
 
-:class:`TopDownDetector` implements that strategy over the same
-configuration/GK machinery so the ablation benchmark can quantify the
-loss.  Ancestor candidates are compared on their object descriptions
-alone (no descendant information exists yet top-down); descendant
-candidates are windowed *within* the groups induced by their parents'
-clusters.
+:class:`TopDownDetector` realizes that strategy as an engine
+configuration: the :class:`~repro.core.stages.ParentGroupedStrategy`
+neighborhood reverses the traversal (shallowest candidates first) and
+windows descendants *within* the groups induced by their parents'
+clusters, while the :class:`~repro.core.stages.OdOnlyPolicy` decision
+compares ancestors on their object descriptions alone (no descendant
+information exists yet top-down).  The ablation benchmark quantifies
+the loss against bottom-up SXNM.
 """
 
 from __future__ import annotations
 
-import time
-
-from ..config import SxnmConfig, ensure_valid
-from ..xmlmodel import XmlDocument, parse
-from .candidates import CandidateHierarchy
-from .clusters import ClusterSet
-from .detector import CandidateOutcome, SxnmResult
-from .gk import GkRow, GkTable
-from .keygen import generate_gk
-from .simmeasure import SimilarityMeasure
-from .window import window_pass
+from ..config import SxnmConfig
+from ..xmlmodel import XmlDocument
+from .engine import DetectionEngine
+from .observer import EngineObserver
+from .results import SxnmResult
+from .stages import OdOnlyPolicy, ParentGroupedStrategy
 
 
 class TopDownDetector:
     """Top-down (ancestors-first) duplicate detection with pruning."""
 
-    def __init__(self, config: SxnmConfig):
-        self.config = ensure_valid(config)
-        self.hierarchy = CandidateHierarchy(config)
+    def __init__(self, config: SxnmConfig,
+                 observers: list[EngineObserver] | tuple = ()):
+        self.engine = DetectionEngine(
+            config,
+            neighborhood=ParentGroupedStrategy(),
+            decision=OdOnlyPolicy(),
+            observers=observers)
+        self.config = self.engine.config
+        self.hierarchy = self.engine.hierarchy
         # Shallowest first: reverse of SXNM's bottom-up order.
-        self.order = list(reversed(self.hierarchy.order))
+        self.order = self.engine.order
 
-    def run(self, source: str | XmlDocument, window: int | None = None) -> SxnmResult:
+    def run(self, source: str | XmlDocument,
+            window: int | None = None) -> SxnmResult:
         """Detect duplicates top-down; see class docstring for semantics."""
-        start = time.perf_counter()
-        document = parse(source) if isinstance(source, str) else source
-        gk = generate_gk(document, self.config, self.hierarchy)
-        result = SxnmResult(gk=gk)
-        result.timings.key_generation = time.perf_counter() - start
-
-        cluster_sets: dict[str, ClusterSet] = {}
-        for node in self.order:
-            spec = node.spec
-            table = gk[spec.name]
-            # Top-down has no descendant information; OD similarity only.
-            measure = SimilarityMeasure(spec, self.config, cluster_sets={},
-                                        decision="gates")
-            measure.spec = _od_only(spec)
-            effective_window = (window if window is not None
-                                else self.config.effective_window(spec))
-
-            window_start = time.perf_counter()
-            pairs: set[tuple[int, int]] = set()
-            comparisons = 0
-            groups = self._groups(node, table, cluster_sets, result)
-            for group in groups:
-                comparisons += _windowed_group(group, table, effective_window,
-                                               measure, pairs)
-            window_seconds = time.perf_counter() - window_start
-
-            closure_start = time.perf_counter()
-            cluster_set = ClusterSet.from_pairs(spec.name, pairs, table.eids())
-            closure_seconds = time.perf_counter() - closure_start
-
-            cluster_sets[spec.name] = cluster_set
-            result.outcomes[spec.name] = CandidateOutcome(
-                name=spec.name, cluster_set=cluster_set, pairs=pairs,
-                comparisons=comparisons, window_seconds=window_seconds,
-                closure_seconds=closure_seconds)
-            result.timings.window += window_seconds
-            result.timings.closure += closure_seconds
-        return result
-
-    def _groups(self, node, table: GkTable,
-                cluster_sets: dict[str, ClusterSet],
-                result: SxnmResult) -> list[list[int]]:
-        """Comparison groups for a candidate.
-
-        Root candidates form one global group.  A child candidate's
-        instances are grouped by the *cluster* of their parent instance:
-        only children under duplicate (or identical) ancestors are
-        compared — DELPHI's pruning rule.
-        """
-        if node.parent is None or node.parent.name not in cluster_sets:
-            return [table.eids()]
-        parent_table = result.gk[node.parent.name]
-        parent_clusters = cluster_sets[node.parent.name]
-        groups: dict[int, list[int]] = {}
-        for parent_row in parent_table:
-            for child_eid in parent_row.children.get(node.name, []):
-                cid = parent_clusters.cid(parent_row.eid)
-                groups.setdefault(cid, []).append(child_eid)
-        grouped = [sorted(eids) for eids in groups.values()]
-        # Children not reachable from any parent instance (should not
-        # happen with consistent paths) still need clustering.
-        seen = {eid for group in grouped for eid in group}
-        orphans = [eid for eid in table.eids() if eid not in seen]
-        if orphans:
-            grouped.append(orphans)
-        return grouped
-
-
-def _od_only(spec):
-    """A shallow copy of ``spec`` with descendant usage disabled."""
-    import copy
-    clone = copy.copy(spec)
-    clone.use_descendants = False
-    return clone
-
-
-def _windowed_group(eids: list[int], table: GkTable, window: int,
-                    measure: SimilarityMeasure,
-                    pairs: set[tuple[int, int]]) -> int:
-    """Multi-pass windowing restricted to ``eids``."""
-    comparisons = 0
-    rows = [table.row(eid) for eid in eids]
-    for key_index in range(table.key_count):
-        ordered = sorted(rows, key=lambda row: (row.keys[key_index], row.eid))
-        for index, row in enumerate(ordered):
-            start = max(0, index - window + 1)
-            for other_index in range(start, index):
-                other = ordered[other_index]
-                pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-                if pair in pairs:
-                    continue
-                comparisons += 1
-                if measure.compare(other, row).is_duplicate:
-                    pairs.add(pair)
-    return comparisons
+        return self.engine.run(source, window=window)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from ..similarity import levenshtein_similarity
 from .gk import GkRow, GkTable
 from .simmeasure import PairVerdict
 
@@ -59,9 +60,12 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
     for row in table.sorted_by_key(key_index):
         groups.setdefault(row.keys[key_index], []).append(row)
 
-    representatives: list[GkRow] = []
+    # ``groups`` preserves first-occurrence order of the key values, and
+    # the rows came from ``sorted_by_key`` — so taking each group's first
+    # row yields the representatives already in (key, eid) order.
+    ordered: list[GkRow] = []
     for key_value, group in groups.items():
-        representatives.append(group[0])
+        ordered.append(group[0])
         if len(group) < 2:
             continue
         anchor = group[0]
@@ -73,8 +77,6 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
             if compare(anchor, row).is_duplicate:
                 pairs.add(pair)
 
-    ordered = sorted(representatives,
-                     key=lambda row: (row.keys[key_index], row.eid))
     for index, row in enumerate(ordered):
         start = max(0, index - window + 1)
         for other_index in range(start, index):
@@ -84,6 +86,47 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
                 continue
             comparisons += 1
             if compare(other, row).is_duplicate:
+                pairs.add(pair)
+    return comparisons
+
+
+def key_similarity(left: str, right: str) -> float:
+    """Similarity of two sort keys (edit similarity; empty keys match)."""
+    return levenshtein_similarity(left, right)
+
+
+def adaptive_window_pass(table: GkTable, key_index: int,
+                         compare: Callable[[GkRow, GkRow], object],
+                         pairs: set[tuple[int, int]],
+                         min_window: int = 2, max_window: int = 20,
+                         key_similarity_floor: float = 0.6) -> int:
+    """One adaptive pass (Lehti & Fankhauser); returns the comparison count.
+
+    Every record is compared to at least ``min_window - 1`` predecessors;
+    the neighborhood keeps extending backwards while the predecessor's
+    key is at least ``key_similarity_floor``-similar to the record's key,
+    up to ``max_window - 1`` predecessors.
+    """
+    if not 2 <= min_window <= max_window:
+        raise ValueError("need 2 <= min_window <= max_window")
+    ordered = table.sorted_by_key(key_index)
+    comparisons = 0
+    for index, row in enumerate(ordered):
+        reach = 1
+        while reach < max_window and index - reach >= 0:
+            if reach >= min_window - 1:
+                predecessor = ordered[index - reach]
+                if key_similarity(predecessor.keys[key_index],
+                                  row.keys[key_index]) < key_similarity_floor:
+                    break
+            reach += 1
+        for other_index in range(max(0, index - reach + 1), index):
+            other = ordered[other_index]
+            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+            if pair in pairs:
+                continue
+            comparisons += 1
+            if compare(other, row).is_duplicate:  # type: ignore[attr-defined]
                 pairs.add(pair)
     return comparisons
 

@@ -15,8 +15,8 @@ import random
 from ..xmlmodel import XmlDocument, XmlElement
 from . import vocab
 from .dirty import DirtySpec, make_dirty
-from .toxgene import (ChildSpec, CleanGenerator, ElementTemplate, TextGenerator,
-                      choice, int_range, sometimes, words)
+from .toxgene import (ChildSpec, ElementTemplate, TextGenerator,
+                      choice, int_range, sometimes)
 
 
 def _movie_title() -> TextGenerator:

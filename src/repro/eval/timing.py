@@ -40,6 +40,16 @@ class PhaseTimer:
         """Context manager accumulating into phase ``name``."""
         return PhaseTimer._Phase(self, name)
 
+    def observer(self):
+        """An engine observer feeding this timer from phase events.
+
+        Attach the returned object to a
+        :class:`~repro.core.engine.DetectionEngine` (or any detector's
+        ``observers``) and the engine's "KG"/"SW"/"TC" phase durations
+        accumulate here, exactly as if measured with :meth:`phase`.
+        """
+        return _EnginePhaseAdapter(self)
+
     def seconds(self, name: str) -> float:
         """Total seconds recorded for ``name`` (0.0 if never entered)."""
         return self._totals.get(name, 0.0)
@@ -47,3 +57,21 @@ class PhaseTimer:
     def phases(self) -> dict[str, float]:
         """All recorded totals (a copy)."""
         return dict(self._totals)
+
+
+class _EnginePhaseAdapter:
+    """Engine observer that routes phase durations into a PhaseTimer."""
+
+    def __init__(self, timer: PhaseTimer):
+        self._timer = timer
+
+    def phase_finished(self, phase: str, seconds: float,
+                       candidate: str | None = None) -> None:
+        totals = self._timer._totals
+        totals[phase] = totals.get(phase, 0.0) + seconds
+
+    def __getattr__(self, name: str):
+        # Every other engine event is a no-op, mirroring EngineObserver.
+        def _noop(*args, **kwargs):
+            return None
+        return _noop

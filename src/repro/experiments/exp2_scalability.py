@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core import SxnmDetector
+from ..core import SxnmDetector, TimingObserver
 from ..datagen import generate_clean_movies, generate_dirty_movies
 from ..xmlmodel import XmlDocument, serialize
 from .configs import scalability_config
@@ -64,13 +64,20 @@ def run_scalability(profile: str, sizes: list[int] | None = None,
         document = _document_for(profile, movie_count, seed)
         element_count = document.element_count()
         text = serialize(document)
-        result = detector.run(text)
+        # Phase times come from the engine's observer events (the same
+        # stream ``--progress`` consumes) instead of the result fields.
+        timing = TimingObserver()
+        detector.engine.add_observer(timing)
+        try:
+            detector.run(text)
+        finally:
+            detector.engine.remove_observer(timing)
         points.append(ScalabilityPoint(
             profile=profile, movie_count=movie_count,
             element_count=element_count,
-            kg_seconds=result.timings.key_generation,
-            sw_seconds=result.timings.window,
-            tc_seconds=result.timings.closure))
+            kg_seconds=timing.timings.key_generation,
+            sw_seconds=timing.timings.window,
+            tc_seconds=timing.timings.closure))
     return points
 
 

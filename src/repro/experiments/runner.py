@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import SxnmConfig
-from ..core import SxnmDetector
+from ..core import CounterObserver, SxnmDetector
 from ..eval import PrecisionRecall, evaluate_pairs, gold_pairs
 from ..xmlmodel import XmlDocument
 
@@ -54,15 +54,23 @@ def effectiveness_sweep(document: XmlDocument, config: SxnmConfig,
     for series_name, selection in selections:
         points: list[SweepPoint] = []
         for window in windows:
-            result = detector.run(document, window=window,
-                                  key_selection=selection, gk=gk,
-                                  od_cache=od_cache)
+            # Comparison counts come from the engine's observer events
+            # rather than the result's private counters.
+            counter = CounterObserver()
+            detector.engine.add_observer(counter)
+            try:
+                result = detector.run(document, window=window,
+                                      key_selection=selection, gk=gk,
+                                      od_cache=od_cache)
+            finally:
+                detector.engine.remove_observer(counter)
             found = result.pairs(candidate_name)
             points.append(SweepPoint(
                 series=series_name, window=window,
                 metrics=evaluate_pairs(found, gold),
                 duplicate_pairs=len(found),
-                comparisons=result.outcomes[candidate_name].comparisons))
+                comparisons=counter.comparisons_by_candidate.get(
+                    candidate_name, 0)))
         series[series_name] = points
     return series
 

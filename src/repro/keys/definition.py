@@ -15,7 +15,7 @@ for its Key 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..xmlmodel import XmlElement
 from ..xpath import Path, first_value, parse_path

@@ -83,7 +83,7 @@ def _observe(element: XmlElement, node: SchemaNode) -> None:
     counts: Counter = Counter(child.tag for child in element.children)
     seen_tags = set(counts)
     for tag, count in counts.items():
-        child_node = node.child(tag)
+        node.child(tag)  # materialize the child schema node
         node.max_occurs[tag] = max(node.max_occurs.get(tag, 0), count)
         if tag in node.min_occurs:
             node.min_occurs[tag] = min(node.min_occurs[tag], count)

@@ -1,0 +1,372 @@
+"""Golden equivalence: the engine-backed detectors vs frozen references.
+
+Each reference implementation below re-states a pre-refactor detector
+loop directly on the shared kernels (``generate_gk``, ``multipass`` /
+``adaptive_window_pass``, ``SimilarityMeasure``, ``ClusterSet``),
+without going through :class:`~repro.core.DetectionEngine`.  The tests
+assert *bit-identical* pairs, comparison counts, and cluster partitions
+against the thin wrappers, on generated movie and CD corpora — the
+refactor's central invariant.
+"""
+
+import bisect
+
+import pytest
+
+from repro.clustering import UnionFind
+from repro.config import SxnmConfig
+from repro.core import (AdaptiveSxnmDetector, CandidateHierarchy, ClusterSet,
+                        DogmatixDetector, GkRow, GkTable, IncrementalSxnm,
+                        SxnmDetector, TopDownDetector, adaptive_window_pass,
+                        generate_gk, multipass, select_key_indices)
+from repro.core.simmeasure import SimilarityMeasure, od_similarity_upper_bound
+from repro.core.stages import od_only_spec
+from repro.datagen import generate_dataset2, generate_dirty_movies
+from repro.experiments import dataset1_config, dataset2_config
+from repro.xmlmodel import XmlDocument, serialize
+
+
+def partition(cluster_set: ClusterSet) -> set[frozenset[int]]:
+    """Cluster-id-free view of a partition (jaccard-invariant)."""
+    return {frozenset(cluster) for cluster in cluster_set}
+
+
+@pytest.fixture(scope="module")
+def movies() -> XmlDocument:
+    return generate_dirty_movies(60, seed=11, profile="effectiveness")
+
+
+@pytest.fixture(scope="module")
+def discs() -> XmlDocument:
+    return generate_dataset2(disc_count=80, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# Frozen references (pre-refactor detector loops, restated)
+
+
+def reference_sxnm(config: SxnmConfig, document: XmlDocument,
+                   window=None, key_selection=None, decision="gates",
+                   use_filters=False, duplicate_elimination=False,
+                   closure_method="union_find"):
+    """The historical SxnmDetector loop: bottom-up multipass windows."""
+    hierarchy = CandidateHierarchy(config)
+    tables = generate_gk(document, config, hierarchy)
+    cluster_sets: dict[str, ClusterSet] = {}
+    outcomes = {}
+    for node in hierarchy.order:
+        spec = node.spec
+        table = tables[spec.name]
+        measure = SimilarityMeasure(spec, config, cluster_sets,
+                                    decision=decision,
+                                    use_filters=use_filters)
+        pairs, comparisons = multipass(
+            table, window if window is not None
+            else config.effective_window(spec), measure.compare,
+            key_indices=select_key_indices(table, key_selection),
+            duplicate_elimination=duplicate_elimination)
+        cluster_sets[spec.name] = ClusterSet.from_pairs(
+            spec.name, pairs, table.eids(), method=closure_method)
+        outcomes[spec.name] = (pairs, comparisons,
+                               measure.filtered_comparisons,
+                               partition(cluster_sets[spec.name]))
+    return outcomes
+
+
+def reference_adaptive(config: SxnmConfig, document: XmlDocument,
+                       min_window=2, max_window=20,
+                       key_similarity_floor=0.6):
+    """The historical AdaptiveSxnmDetector loop."""
+    hierarchy = CandidateHierarchy(config)
+    tables = generate_gk(document, config, hierarchy)
+    cluster_sets: dict[str, ClusterSet] = {}
+    outcomes = {}
+    for node in hierarchy.order:
+        spec = node.spec
+        table = tables[spec.name]
+        measure = SimilarityMeasure(spec, config, cluster_sets)
+        pairs: set[tuple[int, int]] = set()
+        comparisons = 0
+        for key_index in range(table.key_count):
+            comparisons += adaptive_window_pass(
+                table, key_index, measure.compare, pairs,
+                min_window=min_window, max_window=max_window,
+                key_similarity_floor=key_similarity_floor)
+        cluster_sets[spec.name] = ClusterSet.from_pairs(spec.name, pairs,
+                                                        table.eids())
+        outcomes[spec.name] = (pairs, comparisons,
+                               partition(cluster_sets[spec.name]))
+    return outcomes
+
+
+def reference_dogmatix(config: SxnmConfig, document: XmlDocument,
+                       use_filters=True):
+    """The historical DogmatixDetector loop: filtered all-pairs."""
+    hierarchy = CandidateHierarchy(config)
+    tables = generate_gk(document, config, hierarchy)
+    cluster_sets: dict[str, ClusterSet] = {}
+    outcomes = {}
+    for node in hierarchy.order:
+        spec = node.spec
+        table = tables[spec.name]
+        od_threshold = config.effective_od_threshold(spec)
+        measure = SimilarityMeasure(spec, config, cluster_sets)
+        rows = list(table)
+        pairs: set[tuple[int, int]] = set()
+        comparisons = filtered = 0
+        for i, left in enumerate(rows):
+            for right in rows[i + 1:]:
+                if use_filters and od_similarity_upper_bound(
+                        left, right, spec) < od_threshold:
+                    filtered += 1
+                    continue
+                comparisons += 1
+                if measure.compare(left, right).is_duplicate:
+                    pairs.add((min(left.eid, right.eid),
+                               max(left.eid, right.eid)))
+        cluster_sets[spec.name] = ClusterSet.from_pairs(spec.name, pairs,
+                                                        table.eids())
+        outcomes[spec.name] = (pairs, comparisons, filtered,
+                               partition(cluster_sets[spec.name]))
+    return outcomes
+
+
+def reference_topdown(config: SxnmConfig, document: XmlDocument,
+                      window=None):
+    """The historical TopDownDetector loop: parent-grouped OD-only windows."""
+    hierarchy = CandidateHierarchy(config)
+    tables = generate_gk(document, config, hierarchy)
+    cluster_sets: dict[str, ClusterSet] = {}
+    outcomes = {}
+    for node in reversed(hierarchy.order):
+        spec = node.spec
+        table = tables[spec.name]
+        measure = SimilarityMeasure(od_only_spec(spec), config,
+                                    cluster_sets={}, decision="gates")
+        effective = (window if window is not None
+                     else config.effective_window(spec))
+        if node.parent is None or node.parent.name not in cluster_sets:
+            groups = [table.eids()]
+        else:
+            parent_clusters = cluster_sets[node.parent.name]
+            by_cid: dict[int, list[int]] = {}
+            for parent_row in tables[node.parent.name]:
+                for child_eid in parent_row.children.get(node.name, []):
+                    cid = parent_clusters.cid(parent_row.eid)
+                    by_cid.setdefault(cid, []).append(child_eid)
+            groups = [sorted(eids) for eids in by_cid.values()]
+            seen = {eid for group in groups for eid in group}
+            orphans = [eid for eid in table.eids() if eid not in seen]
+            if orphans:
+                groups.append(orphans)
+        pairs: set[tuple[int, int]] = set()
+        comparisons = 0
+        for key_index in range(table.key_count):
+            for group in groups:
+                rows = [table.row(eid) for eid in group]
+                ordered = sorted(rows,
+                                 key=lambda row: (row.keys[key_index], row.eid))
+                for index, row in enumerate(ordered):
+                    for other in ordered[max(0, index - effective + 1):index]:
+                        pair = (min(other.eid, row.eid),
+                                max(other.eid, row.eid))
+                        if pair in pairs:
+                            continue
+                        comparisons += 1
+                        if measure.compare(other, row).is_duplicate:
+                            pairs.add(pair)
+        cluster_sets[spec.name] = ClusterSet.from_pairs(spec.name, pairs,
+                                                        table.eids())
+        outcomes[spec.name] = (pairs, comparisons,
+                               partition(cluster_sets[spec.name]))
+    return outcomes
+
+
+def reference_incremental(config: SxnmConfig, batches, window: int):
+    """The historical IncrementalSxnm loop, restated on the kernels."""
+    hierarchy = CandidateHierarchy(config)
+    names = [spec.name for spec in config.candidates]
+    tables = {spec.name: GkTable(spec.name, key_count=len(spec.keys),
+                                 od_count=len(spec.ods))
+              for spec in config.candidates}
+    sorted_keys = {spec.name: [[] for _ in spec.keys]
+                   for spec in config.candidates}
+    forests = {name: UnionFind() for name in names}
+    all_pairs: dict[str, set[tuple[int, int]]] = {name: set()
+                                                  for name in names}
+    comparisons = dict.fromkeys(names, 0)
+    eid_offset = 0
+    for batch in batches:
+        batch_gk = generate_gk(batch, config, hierarchy)
+        offset = eid_offset
+        eid_offset += batch.element_count()
+        new_rows: dict[str, list[GkRow]] = {}
+        for name, table in batch_gk.items():
+            new_rows[name] = []
+            for row in table:
+                children = {child: [eid + offset for eid in eids]
+                            for child, eids in row.children.items()}
+                shifted = GkRow(row.eid + offset, list(row.keys),
+                                list(row.ods), children)
+                tables[name].add(shifted)
+                new_rows[name].append(shifted)
+        cluster_sets: dict[str, ClusterSet] = {}
+        for node in hierarchy.order:
+            name = node.spec.name
+            table = tables[name]
+            measure = SimilarityMeasure(node.spec, config, cluster_sets)
+            new_eids = {row.eid for row in new_rows[name]}
+            for key_index, order in enumerate(sorted_keys[name]):
+                for row in new_rows[name]:
+                    entry = (row.keys[key_index], row.eid)
+                    order.insert(bisect.bisect_left(order, entry), entry)
+                for index, (_, eid) in enumerate(order):
+                    for other_index in range(max(0, index - window + 1),
+                                             index):
+                        other_eid = order[other_index][1]
+                        if eid not in new_eids and other_eid not in new_eids:
+                            continue
+                        pair = (min(other_eid, eid), max(other_eid, eid))
+                        if pair in all_pairs[name]:
+                            continue
+                        comparisons[name] += 1
+                        if measure.compare(table.row(pair[0]),
+                                           table.row(pair[1])).is_duplicate:
+                            all_pairs[name].add(pair)
+            forest = forests[name]
+            for eid in table.eids():
+                forest.add(eid)
+            for left, right in all_pairs[name]:
+                forest.union(left, right)
+            cluster_sets[name] = ClusterSet(name, forest.groups())
+    return {name: (all_pairs[name], comparisons[name],
+                   partition(ClusterSet(name, forests[name].groups())))
+            for name in names}
+
+
+# ---------------------------------------------------------------------------
+# SxnmDetector vs the reference, across its configuration space
+
+
+class TestSxnmDetectorGolden:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+    def test_movies(self, movies, kwargs):
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        detector = SxnmDetector(
+            config,
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+        result = detector.run(movies, window=6)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters
+
+    def test_discs_with_key_selection(self, discs):
+        config = dataset2_config()
+        reference = reference_sxnm(config, discs, window=8, key_selection=0)
+        result = SxnmDetector(config).run(discs, window=8, key_selection=0)
+        for name, (pairs, comparisons, _, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+            assert partition(result.outcomes[name].cluster_set) == clusters
+
+    def test_streaming_keygen_matches_reference(self, movies):
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6)
+        result = SxnmDetector(config, streaming_keygen=True).run(
+            serialize(movies), window=6)
+        for name, (pairs, comparisons, _, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+
+
+class TestVariantDetectorsGolden:
+    def test_adaptive(self, movies):
+        config = dataset1_config()
+        reference = reference_adaptive(config, movies, min_window=2,
+                                       max_window=10,
+                                       key_similarity_floor=0.55)
+        result = AdaptiveSxnmDetector(config, min_window=2, max_window=10,
+                                      key_similarity_floor=0.55).run(movies)
+        for name, (pairs, comparisons, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+            assert partition(result.outcomes[name].cluster_set) == clusters
+
+    @pytest.mark.parametrize("use_filters", [True, False],
+                             ids=["filtered", "unfiltered"])
+    def test_dogmatix(self, discs, use_filters):
+        config = dataset2_config()
+        reference = reference_dogmatix(config, discs, use_filters=use_filters)
+        result = DogmatixDetector(config, use_filters=use_filters).run(discs)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters
+
+    def test_topdown(self, movies):
+        config = dataset1_config()
+        reference = reference_topdown(config, movies, window=6)
+        result = TopDownDetector(config).run(movies, window=6)
+        for name, (pairs, comparisons, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+            assert partition(result.outcomes[name].cluster_set) == clusters
+
+
+class TestIncrementalGolden:
+    def test_single_batch_matches_from_scratch(self, movies):
+        """One batch through the incremental engine == the plain detector."""
+        config = dataset1_config()
+        incremental = IncrementalSxnm(config, window=6)
+        incremental.add_batch(movies)
+        scratch = SxnmDetector(config).run(movies, window=6)
+        for name in scratch.outcomes:
+            assert incremental.pairs(name) == scratch.pairs(name)
+            assert (incremental.comparisons(name)
+                    == scratch.outcomes[name].comparisons)
+            assert (partition(incremental.cluster_set(name))
+                    == partition(scratch.outcomes[name].cluster_set))
+
+    def test_batch_deltas_sum_to_totals(self):
+        config = dataset1_config()
+        batches = [generate_dirty_movies(25, seed=seed,
+                                         profile="effectiveness")
+                   for seed in (21, 22, 23)]
+        incremental = IncrementalSxnm(config, window=6)
+        delta_total = {}
+        for batch in batches:
+            for name, delta in incremental.add_batch(batch).items():
+                assert delta >= 0
+                delta_total[name] = delta_total.get(name, 0) + delta
+        for name, total in delta_total.items():
+            assert total == len(incremental.pairs(name))
+
+    def test_multi_batch_matches_frozen_reference(self):
+        """Three batches through IncrementalSxnm == the restated loop."""
+        config = dataset1_config()
+        batches = [generate_dirty_movies(20, seed=seed,
+                                         profile="effectiveness")
+                   for seed in (31, 32, 33)]
+        incremental = IncrementalSxnm(config, window=6)
+        for batch in batches:
+            incremental.add_batch(batch)
+        reference = reference_incremental(config, batches, window=6)
+        for name, (pairs, comparisons, clusters) in reference.items():
+            assert incremental.pairs(name) == pairs
+            assert incremental.comparisons(name) == comparisons
+            assert partition(incremental.cluster_set(name)) == clusters

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import CandidateSpec, SxnmConfig
 from repro.core import SxnmDetector, explain_pair
-from repro.errors import ConfigError, DetectionError
+from repro.errors import ConfigError
 from repro.xmlmodel import parse
 
 XML = """

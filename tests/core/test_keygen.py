@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import CandidateSpec, SxnmConfig
-from repro.core import CandidateHierarchy, generate_gk, generate_gk_streaming
+from repro.core import generate_gk, generate_gk_streaming
 from repro.xmlmodel import parse
 
 MOVIE_XML = """

@@ -1,0 +1,224 @@
+"""Observer hook API: event ordering, fan-out, and the built-in observers."""
+
+import pytest
+
+from repro.core import (CounterObserver, DogmatixDetector, EngineObserver,
+                        ObserverGroup, SxnmDetector, TimingObserver)
+from repro.core.observer import (PHASE_CLOSURE, PHASE_KEY_GENERATION,
+                                 PHASE_WINDOW)
+from tests.core.test_detector import MOVIES_XML, movie_config
+
+
+class RecordingObserver(EngineObserver):
+    """Appends every event it receives, in order."""
+
+    def __init__(self):
+        self.events: list[tuple] = []
+
+    def run_started(self):
+        self.events.append(("run_started",))
+
+    def run_finished(self, result):
+        self.events.append(("run_finished",))
+
+    def phase_started(self, phase, candidate=None):
+        self.events.append(("phase_started", phase, candidate))
+
+    def phase_finished(self, phase, seconds, candidate=None):
+        self.events.append(("phase_finished", phase, candidate))
+
+    def candidate_started(self, candidate, instances):
+        self.events.append(("candidate_started", candidate, instances))
+
+    def candidate_finished(self, candidate, outcome):
+        self.events.append(("candidate_finished", candidate, outcome))
+
+    def pass_started(self, candidate, key_index):
+        self.events.append(("pass_started", candidate, key_index))
+
+    def pass_finished(self, candidate, key_index, comparisons):
+        self.events.append(("pass_finished", candidate, key_index,
+                            comparisons))
+
+    def pair_compared(self, candidate, left_eid, right_eid, verdict):
+        self.events.append(("pair_compared", candidate, left_eid, right_eid))
+
+    def pair_filtered(self, candidate, left_eid, right_eid):
+        self.events.append(("pair_filtered", candidate, left_eid, right_eid))
+
+    def pair_confirmed(self, candidate, left_eid, right_eid):
+        self.events.append(("pair_confirmed", candidate, left_eid, right_eid))
+
+    def warning(self, message):
+        self.events.append(("warning", message))
+
+
+def run_recorded(**detector_kwargs):
+    recorder = RecordingObserver()
+    detector = SxnmDetector(movie_config(), observers=[recorder],
+                            **detector_kwargs)
+    result = detector.run(MOVIES_XML)
+    return recorder.events, result, detector
+
+
+class TestEventOrdering:
+    def test_run_brackets_everything(self):
+        events, _, _ = run_recorded()
+        assert events[0] == ("run_started",)
+        assert events[-1] == ("run_finished",)
+
+    def test_key_generation_phase_comes_first(self):
+        events, _, _ = run_recorded()
+        assert events[1] == ("phase_started", PHASE_KEY_GENERATION, None)
+        assert events[2][:3] == ("phase_finished", PHASE_KEY_GENERATION, None)
+
+    def test_candidates_arrive_in_bottom_up_order(self):
+        events, _, detector = run_recorded()
+        started = [event[1] for event in events
+                   if event[0] == "candidate_started"]
+        assert started == [node.spec.name for node in detector.engine.order]
+        assert started == ["person", "movie"]
+
+    def test_candidate_event_structure(self):
+        """Per candidate: SW phase wrapping the passes, then TC."""
+        events, result, _ = run_recorded()
+        for name in ("person", "movie"):
+            candidate = [
+                event for event in events
+                if (event[0].startswith("phase_") and event[2] == name)
+                or (not event[0].startswith(("run_", "phase_"))
+                    and len(event) > 1 and event[1] == name)]
+            kinds = [event[0] for event in candidate]
+            assert kinds[0] == "candidate_started"
+            assert kinds[1] == "phase_started"
+            assert candidate[1] == ("phase_started", PHASE_WINDOW, name)
+            assert kinds[-1] == "candidate_finished"
+            # SW closes before TC opens, TC closes before the outcome.
+            sw_end = candidate.index(("phase_finished", PHASE_WINDOW, name))
+            tc_start = candidate.index(("phase_started", PHASE_CLOSURE, name))
+            tc_end = candidate.index(("phase_finished", PHASE_CLOSURE, name))
+            assert sw_end < tc_start < tc_end < len(candidate) - 1
+            # All pass and pair events happen inside the SW phase.
+            for index, event in enumerate(candidate):
+                if event[0].startswith(("pass_", "pair_")):
+                    assert 1 < index < sw_end
+
+    def test_pass_events_nest_pairs(self):
+        events, result, _ = run_recorded()
+        open_pass = None
+        compared = {name: 0 for name in result.outcomes}
+        for event in events:
+            if event[0] == "pass_started":
+                assert open_pass is None
+                open_pass = (event[1], event[2])
+            elif event[0] == "pass_finished":
+                assert open_pass == (event[1], event[2])
+                open_pass = None
+            elif event[0] == "pair_compared":
+                assert open_pass is not None and open_pass[0] == event[1]
+                compared[event[1]] += 1
+        assert open_pass is None
+        for name, outcome in result.outcomes.items():
+            assert compared[name] == outcome.comparisons
+
+    def test_pass_comparison_counts_sum_to_outcome(self):
+        events, result, _ = run_recorded()
+        for name, outcome in result.outcomes.items():
+            per_pass = [event[3] for event in events
+                        if event[0] == "pass_finished" and event[1] == name]
+            assert sum(per_pass) == outcome.comparisons
+
+    def test_confirmations_match_pairs(self):
+        events, result, _ = run_recorded()
+        for name, outcome in result.outcomes.items():
+            confirmed = {(event[2], event[3]) for event in events
+                         if event[0] == "pair_confirmed" and event[1] == name}
+            assert confirmed == {(min(pair), max(pair))
+                                 for pair in outcome.pairs}
+
+    def test_candidate_finished_carries_outcome(self):
+        events, result, _ = run_recorded()
+        outcomes = {event[1]: event[2] for event in events
+                    if event[0] == "candidate_finished"}
+        for name, outcome in result.outcomes.items():
+            assert outcomes[name] is outcome
+
+    def test_warning_on_key_selection_fallback(self):
+        recorder = RecordingObserver()
+        detector = SxnmDetector(movie_config(), observers=[recorder])
+        # person has a single key: selecting index 1 triggers the fallback.
+        detector.run(MOVIES_XML, key_selection=1)
+        warnings = [event for event in recorder.events
+                    if event[0] == "warning"]
+        assert len(warnings) == 1
+        assert "GK_person" in warnings[0][1]
+
+    def test_pair_filtered_streams_from_strategy_filters(self):
+        recorder = RecordingObserver()
+        DogmatixDetector(movie_config(),
+                         observers=[recorder]).run(MOVIES_XML)
+        filtered = [event for event in recorder.events
+                    if event[0] == "pair_filtered"]
+        compared = [event for event in recorder.events
+                    if event[0] == "pair_compared"]
+        assert filtered  # the OD bound prunes at least one pair
+        # A filtered pair is never also compared within the run.
+        assert not ({event[1:] for event in filtered}
+                    & {event[1:] for event in compared})
+
+
+class TestBuiltInObservers:
+    def test_counter_observer_totals(self):
+        counter = CounterObserver()
+        result = SxnmDetector(movie_config(),
+                              observers=[counter]).run(MOVIES_XML)
+        assert counter.counts["run_started"] == 1
+        assert counter.counts["run_finished"] == 1
+        assert counter.counts["candidate_started"] == len(result.outcomes)
+        for name, outcome in result.outcomes.items():
+            assert (counter.comparisons_by_candidate[name]
+                    == outcome.comparisons)
+            assert (counter.confirmed_by_candidate.get(name, 0)
+                    == len(outcome.pairs))
+
+    def test_timing_observer_matches_result_timings(self):
+        timing = TimingObserver()
+        result = SxnmDetector(movie_config(),
+                              observers=[timing]).run(MOVIES_XML)
+        assert timing.timings.key_generation == pytest.approx(
+            result.timings.key_generation)
+        assert timing.timings.window == pytest.approx(result.timings.window)
+        assert timing.timings.closure == pytest.approx(result.timings.closure)
+
+    def test_timing_observer_accumulates_across_runs(self):
+        timing = TimingObserver()
+        detector = SxnmDetector(movie_config(), observers=[timing])
+        detector.run(MOVIES_XML)
+        first = timing.timings.window
+        detector.run(MOVIES_XML)
+        assert timing.timings.window > first
+
+    def test_observer_group_fans_out_in_order(self):
+        calls = []
+
+        class Tagged(EngineObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def run_started(self):
+                calls.append(self.tag)
+
+        group = ObserverGroup([Tagged("first"), Tagged("second")])
+        group.run_started()
+        assert calls == ["first", "second"]
+
+    def test_observers_equal_unobserved_results(self):
+        """Instrumentation must not change detection outcomes."""
+        observed = SxnmDetector(
+            movie_config(),
+            observers=[CounterObserver(), TimingObserver()]).run(MOVIES_XML)
+        plain = SxnmDetector(movie_config()).run(MOVIES_XML)
+        for name in plain.outcomes:
+            assert observed.pairs(name) == plain.pairs(name)
+            assert (observed.outcomes[name].comparisons
+                    == plain.outcomes[name].comparisons)

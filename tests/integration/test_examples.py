@@ -4,8 +4,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
-
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -61,10 +59,18 @@ class TestExamplesRun:
         assert "Suggested window size" in output
         assert "Calibrated thresholds" in output
 
+    def test_engine_observers(self, capsys):
+        load_example("engine_observers").main()
+        output = capsys.readouterr().out
+        assert "Engine events of one detection run" in output
+        assert "pair_compared" in output
+        assert "Stage swaps: one engine, many detectors" in output
+
     def test_all_examples_are_covered(self):
         """Every example file in examples/ has a smoke test above."""
         tested = {"quickstart", "cd_catalog_dedup", "movie_catalog_dedup",
                   "config_driven_cli", "incremental_snm",
-                  "heterogeneous_integration", "parameter_tuning"}
+                  "heterogeneous_integration", "parameter_tuning",
+                  "engine_observers"}
         present = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
         assert present == tested, f"untested examples: {present - tested}"

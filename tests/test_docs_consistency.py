@@ -3,7 +3,6 @@
 import pathlib
 import re
 
-import pytest
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 

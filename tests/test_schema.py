@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.schema import (SchemaMatcher, SchemaNode, apply_mapping,
+from repro.schema import (SchemaMatcher, apply_mapping,
                           infer_schema, merge_documents)
 from repro.xmlmodel import parse
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import PathEvaluationError
-from repro.xmlmodel import document, element, parse
-from repro.xpath import (first_value, parse_path, resolve_absolute,
+from repro.xmlmodel import element, parse
+from repro.xpath import (first_value, resolve_absolute,
                          select_elements, select_values)
 
 
