@@ -46,6 +46,10 @@ def test_filters_skip_edit_distances(benchmark):
     assert filtered.pairs("movie") == plain.pairs("movie")
     # ...and they short-circuit a substantial share of comparisons.
     assert outcome.filtered_comparisons > 0.3 * outcome.comparisons
+    # The comparison plane also slashes the full edit-distance DPs the
+    # surviving pairs would otherwise pay.
+    assert (outcome.compare_stats.edit_full_evals
+            < 0.5 * plain.outcomes["movie"].compare_stats.edit_full_evals)
 
 
 def test_de_sxnm_on_heavily_duplicated_data(benchmark):

@@ -77,6 +77,36 @@ def test_fig5c_many_duplicates(scalability_results, benchmark):
         rounds=1, iterations=1)
 
 
+def test_fig5_filters_cut_edit_distances(benchmark):
+    """At Fig. 5 scale the filter-aware plane detects the same duplicates
+    with far fewer full edit-distance evaluations."""
+    from repro.core import SxnmDetector
+    from repro.datagen import generate_dirty_movies
+    from repro.experiments import dataset1_config
+
+    document = generate_dirty_movies(SCALABILITY_SIZES[-1], seed=7,
+                                     profile="many")
+    config = dataset1_config()
+    plain = SxnmDetector(config, use_filters=False).run(document, window=10)
+    filtered = benchmark.pedantic(
+        lambda: SxnmDetector(config, use_filters=True).run(document,
+                                                           window=10),
+        rounds=1, iterations=1)
+
+    for name in plain.outcomes:
+        assert filtered.pairs(name) == plain.pairs(name)
+    plain_evals = sum(outcome.compare_stats.edit_full_evals
+                      for outcome in plain.outcomes.values())
+    filtered_evals = sum(outcome.compare_stats.edit_full_evals
+                         for outcome in filtered.outcomes.values())
+    assert filtered_evals < 0.5 * plain_evals
+
+    rows = [["plain", plain_evals], ["filter-aware plane", filtered_evals]]
+    write_result("fig5_filter_edit_evals", render_table(
+        ["mode", "full edit DPs"], rows,
+        title="Fig 5 workload: full edit-distance evaluations"))
+
+
 def test_fig5d_overhead(scalability_results, benchmark):
     clean = scalability_results["clean"]
     few = scalability_results["few"]

@@ -57,6 +57,14 @@ class ProgressObserver(EngineObserver):
                    f"(SW {outcome.window_seconds:.3f}s, "
                    f"TC {outcome.closure_seconds:.3f}s)")
 
+    def comparison_stats(self, candidate, stats):
+        self._line(
+            f"candidate {candidate}: comparison plane: "
+            f"{stats.pairs_prefiltered} prefiltered, "
+            f"{stats.pairs_pruned} pruned mid-pair, "
+            f"{stats.edit_full_evals} full edit DPs, "
+            f"phi cache {stats.phi_cache_hit_rate:.0%} hits")
+
     def warning(self, message):
         self._line(f"warning: {message}")
 
@@ -76,6 +84,20 @@ class TraceObserver(EngineObserver):
 
     def pair_filtered(self, candidate, left_eid, right_eid):
         print(f"# {candidate} {left_eid}~{right_eid} filtered",
+              file=self.stream, flush=True)
+
+    def comparison_stats(self, candidate, stats):
+        print(f"# {candidate} comparison plane: "
+              f"scored={stats.pairs_scored} "
+              f"prefiltered={stats.pairs_prefiltered} "
+              f"pruned={stats.pairs_pruned} "
+              f"fields={stats.fields_evaluated} "
+              f"skipped={stats.fields_skipped} "
+              f"short-circuits={stats.filter_short_circuits} "
+              f"cache-hits={stats.phi_cache_hits} "
+              f"cache-misses={stats.phi_cache_misses} "
+              f"edit-full={stats.edit_full_evals} "
+              f"edit-banded={stats.edit_bounded_evals}",
               file=self.stream, flush=True)
 
 
@@ -110,7 +132,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         observers.append(ProgressObserver())
     if getattr(args, "trace", False):
         observers.append(TraceObserver())
-    result = SxnmDetector(config, observers=observers).run(
+    use_filters = True if getattr(args, "filters", False) else None
+    result = SxnmDetector(config, use_filters=use_filters,
+                          observers=observers).run(
         document, window=args.window, gk=gk)
     lines = []
     for name, outcome in result.outcomes.items():
@@ -280,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--trace", action="store_true",
                         help="stream one line per compared pair to stderr "
                              "(verbose; implies per-pair instrumentation)")
+    detect.add_argument("--filters", action="store_true",
+                        help="arm the comparison plane's pruning layers "
+                             "(length/bag filters, banded edit distances, "
+                             "upper-bound aborts); identical results, "
+                             "fewer expensive comparisons")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

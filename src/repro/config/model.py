@@ -31,6 +31,10 @@ DEFAULT_WINDOW_SIZE = 5
 DEFAULT_OD_THRESHOLD = 0.65
 DEFAULT_DESC_THRESHOLD = 0.3
 DEFAULT_DUPLICATE_THRESHOLD = 0.65
+# Size of the shared φ memo cache the comparison plane uses (entries,
+# LRU).  0 disables memoization.  Kept here rather than imported from
+# repro.similarity so the config layer stays dependency-free.
+DEFAULT_PHI_CACHE_SIZE = 32768
 
 
 @dataclass(frozen=True)
@@ -193,13 +197,21 @@ class CandidateSpec:
 
 @dataclass
 class SxnmConfig:
-    """The full parameter set *P*: all candidates plus global defaults."""
+    """The full parameter set *P*: all candidates plus global defaults.
+
+    ``use_filters`` arms the comparison plane's pruning layers by
+    default (overridable per detector); ``phi_cache_size`` bounds the
+    shared φ memo cache (0 disables it).  Neither knob changes detected
+    duplicates — only how much work comparisons cost.
+    """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
     window_size: int = DEFAULT_WINDOW_SIZE
     od_threshold: float = DEFAULT_OD_THRESHOLD
     desc_threshold: float = DEFAULT_DESC_THRESHOLD
     duplicate_threshold: float = DEFAULT_DUPLICATE_THRESHOLD
+    use_filters: bool = False
+    phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

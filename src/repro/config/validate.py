@@ -99,6 +99,8 @@ def validate_config(config: SxnmConfig) -> list[str]:
                          ("duplicate_threshold", config.duplicate_threshold)]:
         if not 0.0 <= value <= 1.0:
             problems.append(f"global {label} {value} outside [0, 1]")
+    if config.phi_cache_size < 0:
+        problems.append("phi cache size must be >= 0 (0 disables the cache)")
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

@@ -146,6 +146,10 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
         value = _get_float(root, attribute)
         if value is not None:
             setattr(config, name, value)
+    config.use_filters = _get_bool(root, "useFilters", config.use_filters)
+    phi_cache_size = _get_int(root, "phiCacheSize")
+    if phi_cache_size is not None:
+        config.phi_cache_size = phi_cache_size
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -206,6 +210,8 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         "odThreshold": repr(config.od_threshold),
         "descThreshold": repr(config.desc_threshold),
         "duplicateThreshold": repr(config.duplicate_threshold),
+        "useFilters": "true" if config.use_filters else "false",
+        "phiCacheSize": str(config.phi_cache_size),
     })
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))

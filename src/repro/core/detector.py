@@ -52,9 +52,11 @@ class SxnmDetector:
         grows with the number of duplicate pairs — used to reproduce the
         paper's Fig. 5 TC behaviour).
     use_filters:
-        Apply the length/bag comparison filters before computing edit
-        distances (Sec. 5 outlook).  Identical results under the
+        Arm the comparison plane's pruning layers — per-string filter
+        bounds and weighted-sum upper-bound aborts — before computing
+        edit distances (Sec. 5 outlook).  Identical results under the
         "gates" decision, usually fewer expensive comparisons.
+        ``None`` (default) defers to ``config.use_filters``.
     theories:
         Optional per-candidate :class:`XmlEquationalTheory` — domain
         rules replacing the threshold decision for those candidates
@@ -72,18 +74,19 @@ class SxnmDetector:
     def __init__(self, config: SxnmConfig, decision: Decision = "gates",
                  streaming_keygen: bool = False,
                  closure_method: str = "union_find",
-                 use_filters: bool = False,
+                 use_filters: bool | None = None,
                  theories: dict[str, XmlEquationalTheory] | None = None,
                  duplicate_elimination: bool = False,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
         self.closure_method = closure_method
-        self.use_filters = use_filters
+        self.use_filters = (use_filters if use_filters is not None
+                            else getattr(config, "use_filters", False))
         self.theories = dict(theories or {})
         self.duplicate_elimination = duplicate_elimination
 
-        policy = ThresholdPolicy(decision, use_filters=use_filters)
+        policy = ThresholdPolicy(decision, use_filters=self.use_filters)
         self.engine = DetectionEngine(
             config,
             key_source=(StreamingKeySource() if streaming_keygen

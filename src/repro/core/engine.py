@@ -172,17 +172,21 @@ class DetectionEngine:
                 emit.phase_finished(PHASE_CLOSURE, closure_seconds, spec.name)
 
             cluster_sets[spec.name] = cluster_set
+            compare_stats = getattr(decider, "stats", None)
             outcome = CandidateOutcome(
                 name=spec.name, cluster_set=cluster_set, pairs=pairs,
                 comparisons=neighborhood.comparisons,
                 window_seconds=window_seconds,
                 closure_seconds=closure_seconds,
                 filtered_comparisons=neighborhood.filtered
-                + (decider.filtered_comparisons - filtered_before))
+                + (decider.filtered_comparisons - filtered_before),
+                compare_stats=compare_stats)
             result.outcomes[spec.name] = outcome
             result.timings.window += window_seconds
             result.timings.closure += closure_seconds
             if emit is not None:
+                if compare_stats is not None:
+                    emit.comparison_stats(spec.name, compare_stats)
                 emit.candidate_finished(spec.name, outcome)
 
         if emit is not None:

@@ -23,7 +23,8 @@ from collections.abc import Iterable
 from ..config import CandidateSpec, SxnmConfig
 from ..errors import ConfigError
 from ..keys import KeyDefinition
-from ..xmlmodel import XmlDocument, XmlElement, XmlEvent, iter_events
+from ..xmlmodel import (XmlDocument, XmlElement, XmlEvent, is_xml_name,
+                        iter_events)
 from ..xpath import first_value, resolve_absolute, select_elements
 from .candidates import CandidateHierarchy, CandidateNode, _steps_of
 from .gk import GkRow, GkTable
@@ -94,7 +95,10 @@ class _OpenCandidate:
 def _plain_steps(spec: CandidateSpec) -> tuple[str, ...]:
     steps = _steps_of(spec.xpath)
     for step in steps:
-        if not step.replace("_", "").replace("-", "").replace(".", "").isalnum():
+        # Share the parser's name predicate: any element name the parser
+        # accepts (including namespace-prefixed ones like "db:movie") is
+        # a plain step; predicates, wildcards, and "//" are not.
+        if not is_xml_name(step):
             raise ConfigError(
                 f"streaming key generation requires plain candidate paths; "
                 f"{spec.name!r} uses step {step!r}")

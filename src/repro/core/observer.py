@@ -27,6 +27,7 @@ without any, the comparison hot path runs the raw decision callable.
 
 from __future__ import annotations
 
+from ..similarity import ComparisonStats
 from .results import CandidateOutcome, PhaseTimings, SxnmResult
 
 # Phase names (paper Fig. 5): key generation, sliding window, closure.
@@ -80,6 +81,17 @@ class EngineObserver:
     def pair_confirmed(self, candidate: str, left_eid: int,
                        right_eid: int) -> None:
         """A compared pair was classified as a duplicate."""
+
+    def comparison_stats(self, candidate: str, stats) -> None:
+        """The candidate's comparison-plane counters, emitted once just
+        before ``candidate_finished``.
+
+        ``stats`` is the decider's cumulative
+        :class:`~repro.similarity.plan.ComparisonStats` (φ cache
+        hits/misses, filter short-circuits, fields evaluated, pruned
+        pairs) for this candidate's run.  Deciders without a comparison
+        plan (equational theories) emit nothing.
+        """
 
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
@@ -135,6 +147,10 @@ class ObserverGroup(EngineObserver):
         for observer in self.observers:
             observer.pair_confirmed(candidate, left_eid, right_eid)
 
+    def comparison_stats(self, candidate, stats):
+        for observer in self.observers:
+            observer.comparison_stats(candidate, stats)
+
     def warning(self, message):
         for observer in self.observers:
             observer.warning(message)
@@ -168,12 +184,16 @@ class CounterObserver(EngineObserver):
     ``counts`` maps event name to a total; per-candidate comparison and
     confirmation counts live in ``comparisons_by_candidate`` /
     ``confirmed_by_candidate``, and ``warnings`` collects warning text.
+    Comparison-plane counters (φ cache hits, filter short-circuits, …)
+    are merged into ``counts`` by stat name and accumulated per
+    candidate in ``compare_stats_by_candidate``.
     """
 
     def __init__(self):
         self.counts: dict[str, int] = {}
         self.comparisons_by_candidate: dict[str, int] = {}
         self.confirmed_by_candidate: dict[str, int] = {}
+        self.compare_stats_by_candidate: dict[str, "ComparisonStats"] = {}
         self.warnings: list[str] = []
 
     def _bump(self, event: str) -> None:
@@ -209,6 +229,13 @@ class CounterObserver(EngineObserver):
         self._bump("pair_confirmed")
         self.confirmed_by_candidate[candidate] = \
             self.confirmed_by_candidate.get(candidate, 0) + 1
+
+    def comparison_stats(self, candidate, stats):
+        merged = self.compare_stats_by_candidate.setdefault(
+            candidate, ComparisonStats())
+        merged.merge(stats)
+        for name, value in stats.as_dict().items():
+            self.counts[name] = self.counts.get(name, 0) + value
 
     def warning(self, message):
         self._bump("warning")

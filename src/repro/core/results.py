@@ -13,6 +13,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import DetectionError
+from ..similarity import ComparisonStats
 from .clusters import ClusterSet
 from .gk import GkTable
 
@@ -48,6 +49,9 @@ class CandidateOutcome:
     window_seconds: float
     closure_seconds: float
     filtered_comparisons: int = 0
+    # Comparison-plane counters (φ cache hits, filter short-circuits,
+    # fields evaluated …) — None for deciders without a plan.
+    compare_stats: ComparisonStats | None = None
 
 
 @dataclass

@@ -23,6 +23,14 @@ where descendants are configured.  The alternative single-threshold rule
 over the combined similarity (the average of OD and descendant
 similarity, as in Sec. 3.4's "our current implementation calculates the
 average") is available as ``decision="combined"``.
+
+Since the comparison-plane refactor the OD layer is evaluated through a
+compiled :class:`~repro.similarity.plan.ComparisonPlan`: φ functions run
+cheapest-first with the registry's filter bounds and a shared memo
+cache, and — under the "gates" decision with filters enabled — pairs are
+pruned as soon as the maximum still-achievable weighted score falls
+below the OD threshold.  Scores and decisions are bit-identical to the
+plain field loop (the plan sums exact terms in specification order).
 """
 
 from __future__ import annotations
@@ -32,13 +40,11 @@ from typing import Literal
 
 from ..config import CandidateSpec, SxnmConfig
 from ..errors import DetectionError
-from ..similarity import (dice_coefficient, get_similarity, jaccard,
-                          multiset_jaccard, overlap_coefficient)
-from ..similarity.filters import bag_filter_bound, length_filter_bound
+from ..similarity import (ComparisonPlan, ComparisonStats, PhiCache,
+                          dice_coefficient, jaccard, multiset_jaccard,
+                          overlap_coefficient)
 from .clusters import ClusterSet
 from .gk import GkRow
-
-_EDIT_LIKE_PHIS = {"edit", "levenshtein", "damerau"}
 
 _DESC_PHI_FUNCTIONS = {
     "jaccard": jaccard,
@@ -51,53 +57,29 @@ Decision = Literal["gates", "combined"]
 
 
 def od_similarity(left: GkRow, right: GkRow, spec: CandidateSpec) -> float:
-    """Def. 2: weighted φ similarity of two object descriptions."""
-    weighted = 0.0
-    total_relevance = 0.0
-    for index, (_, relevance, phi_name) in enumerate(spec.od_items()):
-        left_value = left.ods[index]
-        right_value = right.ods[index]
-        if left_value is None and right_value is None:
-            continue  # both missing: term skipped, weights renormalized
-        total_relevance += relevance
-        if left_value is None or right_value is None:
-            continue  # one side missing: contributes 0
-        phi = get_similarity(phi_name)
-        weighted += relevance * phi(left_value, right_value)
-    if total_relevance == 0.0:
-        return 0.0
-    return weighted / total_relevance
+    """Def. 2: weighted φ similarity of two object descriptions.
+
+    Convenience wrapper compiling a throwaway
+    :class:`~repro.similarity.plan.ComparisonPlan`; hot paths hold a
+    compiled plan instead.  Bit-identical either way.
+    """
+    plan = ComparisonPlan.from_od_items(spec.od_items())
+    return plan.score(left.ods, right.ods)
 
 
 def od_similarity_upper_bound(left: GkRow, right: GkRow,
                               spec: CandidateSpec) -> float:
     """A cheap upper bound of :func:`od_similarity`.
 
-    Edit-distance terms are bounded by the length and bag filters (see
-    :mod:`repro.similarity.filters`); other φ functions are bounded by
-    1.0.  If this bound already falls below the OD threshold, the full
+    Terms are bounded by the φ's registered filter bounds — the length
+    and bag filters for the edit family (see
+    :mod:`repro.similarity.filters`), 1.0 for unfiltered functions.  If
+    this bound already falls below the OD threshold, the full
     (quadratic) edit distances never need to run — the paper's outlook
     asks exactly how such filters interact with the windowing filter.
     """
-    weighted = 0.0
-    total_relevance = 0.0
-    for index, (_, relevance, phi_name) in enumerate(spec.od_items()):
-        left_value = left.ods[index]
-        right_value = right.ods[index]
-        if left_value is None and right_value is None:
-            continue
-        total_relevance += relevance
-        if left_value is None or right_value is None:
-            continue
-        if phi_name in _EDIT_LIKE_PHIS:
-            bound = min(length_filter_bound(left_value, right_value),
-                        bag_filter_bound(left_value, right_value))
-        else:
-            bound = 1.0
-        weighted += relevance * bound
-    if total_relevance == 0.0:
-        return 0.0
-    return weighted / total_relevance
+    plan = ComparisonPlan.from_od_items(spec.od_items())
+    return plan.upper_bound(left.ods, right.ods)
 
 
 def descendant_similarity(left: GkRow, right: GkRow,
@@ -156,13 +138,21 @@ class PairVerdict:
 
 
 class SimilarityMeasure:
-    """Configured similarity + classification for one candidate."""
+    """Configured similarity + classification for one candidate.
+
+    The OD layer runs through a compiled
+    :class:`~repro.similarity.plan.ComparisonPlan`; ``phi_cache`` shares
+    a φ memo across measures (one is created from
+    ``config.phi_cache_size`` when omitted), and ``stats`` exposes the
+    plan's :class:`~repro.similarity.plan.ComparisonStats` counters.
+    """
 
     def __init__(self, spec: CandidateSpec, config: SxnmConfig,
                  cluster_sets: dict[str, ClusterSet],
                  decision: Decision = "gates",
                  od_cache: dict[tuple[int, int], float] | None = None,
-                 use_filters: bool = False):
+                 use_filters: bool = False,
+                 phi_cache: PhiCache | None = None):
         if decision not in ("gates", "combined"):
             raise DetectionError(f"unknown decision rule {decision!r}")
         self.spec = spec
@@ -178,22 +168,50 @@ class SimilarityMeasure:
         # "gates" decision, where a refuted OD threshold settles the pair.
         self.use_filters = use_filters and decision == "gates"
         self.filtered_comparisons = 0
+        if phi_cache is None:
+            cache_size = getattr(config, "phi_cache_size", 0)
+            phi_cache = PhiCache(cache_size) if cache_size > 0 else None
+        self.stats = ComparisonStats()
+        self.plan = ComparisonPlan.from_od_items(
+            spec.od_items(),
+            threshold=self.od_threshold if self.use_filters else None,
+            phi_cache=phi_cache, stats=self.stats)
+
+    def _cached_od(self, left: GkRow, right: GkRow) -> float | None:
+        if self.od_cache is None:
+            return None
+        key = (min(left.eid, right.eid), max(left.eid, right.eid))
+        return self.od_cache.get(key)
+
+    def _store_od(self, left: GkRow, right: GkRow, od: float) -> float:
+        if self.od_cache is not None:
+            key = (min(left.eid, right.eid), max(left.eid, right.eid))
+            self.od_cache[key] = od
+        return od
 
     def compare(self, left: GkRow, right: GkRow) -> PairVerdict:
         """Compute all similarity layers and classify the pair."""
         if self.use_filters:
-            bound = od_similarity_upper_bound(left, right, self.spec)
-            if bound < self.od_threshold:
+            probe = self.plan.probe(left.ods, right.ods)
+            if probe.prefiltered:
                 self.filtered_comparisons += 1
-                return PairVerdict(bound, None, bound, False)
-        if self.od_cache is None:
-            od = od_similarity(left, right, self.spec)
-        else:
-            cache_key = (min(left.eid, right.eid), max(left.eid, right.eid))
-            od = self.od_cache.get(cache_key)
+                return PairVerdict(probe.score, None, probe.score, False)
+            od = self._cached_od(left, right)
             if od is None:
-                od = od_similarity(left, right, self.spec)
-                self.od_cache[cache_key] = od
+                outcome = self.plan.resolve(probe)
+                if not outcome.exact:
+                    # Pruned mid-evaluation: the dominating bound proves
+                    # the OD gate fails, so the pair cannot be a
+                    # duplicate under "gates" — skip descendants.  Never
+                    # cached (the bound is threshold-dependent).
+                    return PairVerdict(outcome.score, None, outcome.score,
+                                       False)
+                od = self._store_od(left, right, outcome.score)
+        else:
+            od = self._cached_od(left, right)
+            if od is None:
+                od = self._store_od(left, right,
+                                    self.plan.score(left.ods, right.ods))
         descendants: float | None = None
         if self.spec.use_descendants:
             descendants = descendant_similarity(

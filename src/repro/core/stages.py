@@ -32,14 +32,14 @@ from typing import Protocol, runtime_checkable
 
 from ..clustering import UnionFind
 from ..config import CandidateSpec, SxnmConfig
+from ..similarity import ComparisonPlan, PhiCache
 from ..xmlmodel import XmlDocument, parse
 from .candidates import CandidateHierarchy, CandidateNode
 from .clusters import ClusterSet
 from .gk import GkRow, GkTable
 from .keygen import generate_gk, generate_gk_streaming
 from .observer import ObserverGroup
-from .simmeasure import (Decision, PairVerdict, SimilarityMeasure,
-                         od_similarity_upper_bound)
+from .simmeasure import Decision, PairVerdict, SimilarityMeasure
 from .theory import XmlEquationalTheory
 from .window import adaptive_window_pass, de_window_pass, window_pass
 
@@ -158,23 +158,49 @@ class DecisionPolicy(Protocol):
         ...
 
 
-class ThresholdPolicy:
+class _SharedPhiCache:
+    """Mixin: one φ memo cache per policy, sized from the config.
+
+    Deciders are built per candidate per run, but φ scores depend only
+    on ``(phi_name, left, right)`` — sharing the cache across candidates
+    and runs is always sound (only exact values are stored).
+    """
+
+    _phi_cache_instance: PhiCache | None = None
+
+    def phi_cache(self, config: SxnmConfig) -> PhiCache | None:
+        size = getattr(config, "phi_cache_size", 0)
+        if size <= 0:
+            return None
+        cache = self._phi_cache_instance
+        if cache is None or cache.maxsize != size:
+            cache = PhiCache(size)
+            self._phi_cache_instance = cache
+        return cache
+
+
+class ThresholdPolicy(_SharedPhiCache):
     """The paper's threshold decision (Defs. 2 and 3).
 
     ``decision`` selects independent OD/descendants gates or the single
-    combined threshold; ``use_filters`` applies the length/bag bounds
-    before the expensive edit distances (sound under "gates" only).
+    combined threshold; ``use_filters`` arms the comparison plane's
+    pruning layers — per-string filter bounds and weighted-sum
+    upper-bound aborts — before the expensive edit distances (sound
+    under "gates" only).  ``None`` defers to ``config.use_filters``.
     """
 
     def __init__(self, decision: Decision = "gates",
-                 use_filters: bool = False):
+                 use_filters: bool | None = None):
         self.decision: Decision = decision
         self.use_filters = use_filters
 
     def decider(self, spec, config, cluster_sets, od_cache):
+        use_filters = (self.use_filters if self.use_filters is not None
+                       else getattr(config, "use_filters", False))
         return SimilarityMeasure(spec, config, cluster_sets,
                                  decision=self.decision, od_cache=od_cache,
-                                 use_filters=self.use_filters)
+                                 use_filters=use_filters,
+                                 phi_cache=self.phi_cache(config))
 
 
 class _TheoryDecider:
@@ -219,7 +245,7 @@ def od_only_spec(spec: CandidateSpec) -> CandidateSpec:
     return clone
 
 
-class OdOnlyPolicy:
+class OdOnlyPolicy(_SharedPhiCache):
     """Classify on object descriptions alone (no descendant evidence).
 
     Top-down traversals use this: when ancestors are processed first, no
@@ -228,7 +254,8 @@ class OdOnlyPolicy:
 
     def decider(self, spec, config, cluster_sets, od_cache):
         return SimilarityMeasure(od_only_spec(spec), config, cluster_sets={},
-                                 decision="gates", od_cache=od_cache)
+                                 decision="gates", od_cache=od_cache,
+                                 phi_cache=self.phi_cache(config))
 
 
 # ---------------------------------------------------------------------------
@@ -325,13 +352,16 @@ class AllPairsStrategy:
 
     def find_pairs(self, ctx: CandidateContext) -> NeighborhoodOutcome:
         od_threshold = ctx.config.effective_od_threshold(ctx.spec)
+        # Compiled once per candidate; upper_bound() is bit-identical to
+        # the historical per-pair od_similarity_upper_bound calls.
+        plan = ComparisonPlan.from_od_items(ctx.spec.od_items())
         rows = list(ctx.table)
         comparisons = 0
         filtered = 0
         for i, left in enumerate(rows):
             for right in rows[i + 1:]:
                 if self.use_filters:
-                    bound = od_similarity_upper_bound(left, right, ctx.spec)
+                    bound = plan.upper_bound(left.ods, right.ods)
                     if bound < od_threshold:
                         filtered += 1
                         ctx.pair_filtered(min(left.eid, right.eid),

@@ -20,7 +20,8 @@ import math
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from ..similarity import get_similarity
+from ..similarity import (DEFAULT_PHI_CACHE_SIZE, CompiledCondition,
+                          ComparisonStats, PhiCache, get_similarity)
 from .record import Record
 
 _EPSILON = 1e-6
@@ -57,15 +58,23 @@ class FieldModel:
         return math.log((1.0 - self.m) / (1.0 - self.u))
 
     def agrees(self, left: Record, right: Record) -> bool:
-        return get_similarity(self.phi)(
-            left.get(self.field), right.get(self.field)) >= self.agree_at
+        return CompiledCondition(self.phi, self.agree_at).holds(
+            left.get(self.field), right.get(self.field))
 
 
 class FellegiSunterMatcher:
-    """Weight-summing matcher with match / possible / non-match bands."""
+    """Weight-summing matcher with match / possible / non-match bands.
+
+    Each field's agreement test is compiled against the registry's
+    filter metadata (length/bag bounds, banded DP for the edit family)
+    with a shared φ memo cache; agreement outcomes, weights, and
+    classifications are identical to the plain per-field loop.
+    """
 
     def __init__(self, fields: list[FieldModel], upper: float,
-                 lower: float | None = None):
+                 lower: float | None = None, use_filters: bool = True,
+                 phi_cache: PhiCache | None = None,
+                 phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE):
         if not fields:
             raise ValueError("at least one field model is required")
         if lower is None:
@@ -75,12 +84,21 @@ class FellegiSunterMatcher:
         self.fields = list(fields)
         self.upper = upper
         self.lower = lower
+        if phi_cache is None and phi_cache_size > 0:
+            phi_cache = PhiCache(phi_cache_size)
+        self.stats = ComparisonStats()
+        self._agreements = [
+            (model,
+             CompiledCondition(model.phi, model.agree_at,
+                               phi_cache=phi_cache, stats=self.stats,
+                               use_filters=use_filters))
+            for model in self.fields]
 
     def weight(self, left: Record, right: Record) -> float:
         """Summed log-likelihood weight of the pair."""
         total = 0.0
-        for model in self.fields:
-            if model.agrees(left, right):
+        for model, agreement in self._agreements:
+            if agreement.holds(left.get(model.field), right.get(model.field)):
                 total += model.agreement_weight
             else:
                 total += model.disagreement_weight

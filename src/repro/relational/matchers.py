@@ -10,6 +10,14 @@ callable ``(Record, Record) -> bool``.  Two standard implementations:
 * :class:`RuleMatcher` — a conjunction/disjunction of per-field
   conditions, the classic equational-theory style ("name similar AND
   address similar").
+
+Both run on the compiled comparison plane
+(:mod:`repro.similarity.plan`): fields are evaluated cheapest-first
+with the registry's filter bounds, edit distances run through the
+banded DP, φ scores are memoized in a shared cache, and — for the
+weighted matcher — pairs are abandoned as soon as the maximum
+still-achievable score falls below the threshold.  Scores and
+decisions are bit-identical to the plain field loops they replace.
 """
 
 from __future__ import annotations
@@ -17,7 +25,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from ..similarity import get_similarity
+from ..similarity import (DEFAULT_PHI_CACHE_SIZE, CompiledCondition,
+                          ComparisonPlan, ComparisonStats, PhiCache)
 from .record import Record
 
 Matcher = Callable[[Record, Record], bool]
@@ -36,31 +45,46 @@ class WeightedFieldMatcher:
     """Weighted-average similarity over fields, thresholded.
 
     ``rules`` weights should sum to 1 for the score to stay in [0, 1];
-    the matcher normalizes by the weight sum so any positive weights work.
+    the matcher normalizes by the weight sum so any positive weights
+    work.  ``use_filters`` (default on) lets the compiled plan abort a
+    pair once its maximum still-achievable score falls below the
+    threshold — decisions are unchanged, work usually is.  ``stats``
+    exposes the plan's :class:`~repro.similarity.plan.ComparisonStats`.
     """
 
-    def __init__(self, rules: list[FieldRule], threshold: float):
+    def __init__(self, rules: list[FieldRule], threshold: float,
+                 use_filters: bool = True,
+                 phi_cache: PhiCache | None = None,
+                 phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE):
         if not rules:
             raise ValueError("at least one field rule is required")
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must lie in [0, 1]")
-        self._rules = [(rule.field, rule.weight, get_similarity(rule.phi))
-                       for rule in rules]
         total = sum(rule.weight for rule in rules)
         if total <= 0:
             raise ValueError("weights must sum to a positive value")
         self._total_weight = total
         self.threshold = threshold
+        self.use_filters = use_filters
+        if phi_cache is None and phi_cache_size > 0:
+            phi_cache = PhiCache(phi_cache_size)
+        self.stats = ComparisonStats()
+        self._fields = [rule.field for rule in rules]
+        self.plan = ComparisonPlan.from_field_rules(
+            rules, threshold=threshold if use_filters else None,
+            phi_cache=phi_cache, stats=self.stats)
+
+    def _values(self, record: Record) -> list[str]:
+        return [record.get(field_name) for field_name in self._fields]
 
     def similarity(self, left: Record, right: Record) -> float:
-        """Weighted-average field similarity in [0, 1]."""
-        score = 0.0
-        for field_name, weight, phi in self._rules:
-            score += weight * phi(left.get(field_name), right.get(field_name))
-        return score / self._total_weight
+        """Weighted-average field similarity in [0, 1] (always exact)."""
+        return self.plan.score(self._values(left), self._values(right))
 
     def __call__(self, left: Record, right: Record) -> bool:
-        return self.similarity(left, right) >= self.threshold
+        if not self.use_filters:
+            return self.similarity(left, right) >= self.threshold
+        return self.plan.decide(self._values(left), self._values(right))
 
 
 @dataclass(frozen=True)
@@ -72,27 +96,50 @@ class Condition:
     at_least: float
 
     def holds(self, left: Record, right: Record) -> bool:
-        return get_similarity(self.phi)(
-            left.get(self.field), right.get(self.field)) >= self.at_least
+        return CompiledCondition(self.phi, self.at_least).holds(
+            left.get(self.field), right.get(self.field))
 
 
 class RuleMatcher:
     """Equational theory: ALL of ``require`` and ANY of ``alternatives``.
 
-    ``require`` conditions must all hold; if ``alternatives`` is nonempty,
-    at least one of them must hold as well.
+    ``require`` conditions must all hold; if ``alternatives`` is
+    nonempty, at least one of them must hold as well.  Each condition is
+    compiled against the registry's filter metadata and all share one φ
+    memo cache, so repeated field values and refutable edit distances
+    never pay for a full DP.
     """
 
     def __init__(self, require: list[Condition] | None = None,
-                 alternatives: list[Condition] | None = None):
+                 alternatives: list[Condition] | None = None,
+                 use_filters: bool = True,
+                 phi_cache: PhiCache | None = None,
+                 phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE):
         self.require = list(require or [])
         self.alternatives = list(alternatives or [])
         if not self.require and not self.alternatives:
             raise ValueError("a rule matcher needs at least one condition")
+        if phi_cache is None and phi_cache_size > 0:
+            phi_cache = PhiCache(phi_cache_size)
+        self.stats = ComparisonStats()
+        self._require = [
+            (condition.field,
+             CompiledCondition(condition.phi, condition.at_least,
+                               phi_cache=phi_cache, stats=self.stats,
+                               use_filters=use_filters))
+            for condition in self.require]
+        self._alternatives = [
+            (condition.field,
+             CompiledCondition(condition.phi, condition.at_least,
+                               phi_cache=phi_cache, stats=self.stats,
+                               use_filters=use_filters))
+            for condition in self.alternatives]
 
     def __call__(self, left: Record, right: Record) -> bool:
-        if not all(condition.holds(left, right) for condition in self.require):
+        if not all(compiled.holds(left.get(field), right.get(field))
+                   for field, compiled in self._require):
             return False
-        if self.alternatives:
-            return any(condition.holds(left, right) for condition in self.alternatives)
+        if self._alternatives:
+            return any(compiled.holds(left.get(field), right.get(field))
+                       for field, compiled in self._alternatives)
         return True

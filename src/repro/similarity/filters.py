@@ -96,6 +96,31 @@ def bounded_levenshtein(left: str, right: str, max_distance: int) -> int:
     return distance if distance <= max_distance else overflow
 
 
+def bounded_edit_similarity(left: str, right: str,
+                            floor: float) -> tuple[float, bool]:
+    """Normalized edit similarity through the banded DP.
+
+    Returns ``(value, exact)``: the exact ``levenshtein_similarity`` with
+    ``exact=True`` whenever it is at least ``floor``; otherwise a
+    *dominating upper bound* strictly below ``floor`` with
+    ``exact=False``.  The bound is term-wise ≥ the exact similarity even
+    in float arithmetic, which is what lets the comparison plane prune
+    on it without changing decisions.
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0, True
+    # Epsilon guards the float boundary: 10 * (1 - 0.9) is 0.999...,
+    # which must still allow distance 1 (similarity exactly 0.9).
+    max_distance = int(longest * (1.0 - floor) + 1e-9)
+    distance = bounded_levenshtein(left, right, max_distance)
+    if distance > max_distance:
+        # The true distance is at least max_distance + 1, so similarity
+        # is at most this value — and 1 - x/n rounds monotonically.
+        return 1.0 - (max_distance + 1) / longest, False
+    return 1.0 - distance / longest, True
+
+
 def filtered_edit_similarity(left: str, right: str, floor: float) -> float:
     """Normalized edit similarity, short-circuited below ``floor``.
 

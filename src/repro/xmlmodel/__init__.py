@@ -12,7 +12,8 @@ Public surface:
 
 from .builder import document, element, text_child
 from .node import XmlDocument, XmlElement
-from .parser import XmlEvent, iter_events, iter_events_file, parse, parse_file
+from .parser import (XmlEvent, is_xml_name, iter_events, iter_events_file,
+                     parse, parse_file)
 from .writer import escape_attribute, escape_text, serialize, write_file
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "element",
     "escape_attribute",
     "escape_text",
+    "is_xml_name",
     "iter_events",
     "iter_events_file",
     "parse",

@@ -46,6 +46,14 @@ def _is_name_char(char: str) -> bool:
     return char.isalnum() or char in _NAME_EXTRA
 
 
+def is_xml_name(text: str) -> bool:
+    """True iff ``text`` is a name this parser would accept — including
+    namespace-prefixed names like ``db:movie``."""
+    if not text or not _is_name_start(text[0]):
+        return False
+    return all(_is_name_char(char) for char in text[1:])
+
+
 class XmlEvent(NamedTuple):
     """One streaming parse event.
 

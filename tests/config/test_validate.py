@@ -25,6 +25,14 @@ class TestValidateConfig:
         problems = validate_config(SxnmConfig())
         assert any("no candidates" in p for p in problems)
 
+    def test_negative_phi_cache_size_rejected(self):
+        config = valid_config()
+        config.phi_cache_size = -1
+        problems = validate_config(config)
+        assert any("phi cache size" in p for p in problems)
+        config.phi_cache_size = 0  # 0 = disabled, still valid
+        assert validate_config(config) == []
+
     def test_relevance_sum_checked(self):
         config = SxnmConfig()
         config.add(CandidateSpec.build(

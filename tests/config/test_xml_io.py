@@ -111,6 +111,23 @@ class TestRoundTrip:
         again = load_config_file(path)
         assert again.candidate("movie").pass_count == 2
 
+    def test_comparator_knobs_round_trip(self):
+        xml = CONFIG_XML.replace(
+            'odThreshold="0.65"',
+            'odThreshold="0.65" useFilters="true" phiCacheSize="512"')
+        config = load_config(xml)
+        assert config.use_filters is True
+        assert config.phi_cache_size == 512
+        reloaded = load_config(dump_config(config))
+        assert reloaded.use_filters is True
+        assert reloaded.phi_cache_size == 512
+
+    def test_comparator_knob_defaults(self):
+        from repro.config.model import DEFAULT_PHI_CACHE_SIZE
+        config = load_config(CONFIG_XML)
+        assert config.use_filters is False
+        assert config.phi_cache_size == DEFAULT_PHI_CACHE_SIZE
+
     def test_programmatic_config_dumps(self):
         config = SxnmConfig()
         config.add(CandidateSpec.build(

@@ -18,11 +18,13 @@ from repro.config import SxnmConfig
 from repro.core import (AdaptiveSxnmDetector, CandidateHierarchy, ClusterSet,
                         DogmatixDetector, GkRow, GkTable, IncrementalSxnm,
                         SxnmDetector, TopDownDetector, adaptive_window_pass,
-                        generate_gk, multipass, select_key_indices)
+                        generate_gk, multipass, od_similarity,
+                        select_key_indices)
 from repro.core.simmeasure import SimilarityMeasure, od_similarity_upper_bound
 from repro.core.stages import od_only_spec
 from repro.datagen import generate_dataset2, generate_dirty_movies
 from repro.experiments import dataset1_config, dataset2_config
+from repro.similarity import get_similarity
 from repro.xmlmodel import XmlDocument, serialize
 
 
@@ -326,6 +328,84 @@ class TestVariantDetectorsGolden:
             assert result.outcomes[name].pairs == pairs
             assert result.outcomes[name].comparisons == comparisons
             assert partition(result.outcomes[name].cluster_set) == clusters
+
+
+class TestComparisonScoreGolden:
+    """The comparison plane reproduces *scores*, not just decisions."""
+
+    @staticmethod
+    def naive_od(left: GkRow, right: GkRow, spec) -> float:
+        """The historical per-field OD loop, restated on the registry."""
+        weighted = 0.0
+        total = 0.0
+        for index, (_, relevance, phi) in enumerate(spec.od_items()):
+            left_value = left.ods[index]
+            right_value = right.ods[index]
+            if left_value is None and right_value is None:
+                continue
+            total += relevance
+            if left_value is None or right_value is None:
+                continue
+            weighted += relevance * get_similarity(phi)(left_value,
+                                                        right_value)
+        if total == 0.0:
+            return 0.0
+        return weighted / total
+
+    def test_od_similarity_bitwise_equal_naive_loop(self, movies):
+        config = dataset1_config()
+        hierarchy = CandidateHierarchy(config)
+        tables = generate_gk(movies, config, hierarchy)
+        for node in hierarchy.order:
+            spec = node.spec
+            rows = list(tables[spec.name])[:40]
+            for i, left in enumerate(rows):
+                for right in rows[i + 1:]:
+                    assert (od_similarity(left, right, spec)
+                            == self.naive_od(left, right, spec))
+
+    def test_filtered_verdicts_sound_and_exact_on_acceptance(self, movies):
+        """Filtered verdicts: same decisions; bitwise od when accepted;
+        otherwise a dominating bound of the exact od."""
+        config = dataset1_config()
+        hierarchy = CandidateHierarchy(config)
+        tables = generate_gk(movies, config, hierarchy)
+        cluster_sets: dict[str, ClusterSet] = {}
+        prefiltered_total = 0
+        for node in hierarchy.order:
+            spec = node.spec
+            table = tables[spec.name]
+            plain = SimilarityMeasure(spec, config, cluster_sets)
+            fast = SimilarityMeasure(spec, config, cluster_sets,
+                                     use_filters=True)
+            pairs: set[tuple[int, int]] = set()
+            rows = list(table)
+            for i, left in enumerate(rows):
+                for right in rows[i + 1:]:
+                    exact = plain.compare(left, right)
+                    filtered = fast.compare(left, right)
+                    assert filtered.is_duplicate == exact.is_duplicate
+                    assert filtered.od >= exact.od
+                    if filtered.is_duplicate:
+                        assert filtered.od == exact.od
+                        assert filtered.descendants == exact.descendants
+                        pairs.add((left.eid, right.eid))
+            prefiltered_total += fast.filtered_comparisons
+            cluster_sets[spec.name] = ClusterSet.from_pairs(
+                spec.name, pairs, table.eids())
+        assert prefiltered_total > 0  # the filters actually fired
+
+    def test_detector_filters_do_not_change_results(self, movies):
+        config = dataset1_config()
+        plain = SxnmDetector(config, use_filters=False).run(movies, window=6)
+        fast = SxnmDetector(config, use_filters=True).run(movies, window=6)
+        assert sum(outcome.filtered_comparisons
+                   for outcome in fast.outcomes.values()) > 0
+        for name, outcome in plain.outcomes.items():
+            assert fast.outcomes[name].pairs == outcome.pairs
+            assert fast.outcomes[name].comparisons == outcome.comparisons
+            assert (partition(fast.outcomes[name].cluster_set)
+                    == partition(outcome.cluster_set))
 
 
 class TestIncrementalGolden:

@@ -137,3 +137,24 @@ class TestGenerateGkStreaming:
         b_row = next(iter(gk["b"]))
         assert list(a_row.children) == ["b"]       # c registers with b, not a
         assert list(b_row.children) == ["c"]
+
+    def test_namespace_prefixed_paths(self):
+        """Regression: prefixed names like db:movie are plain steps."""
+        xml = """
+        <db:movie_database>
+          <db:movies>
+            <db:movie year="1999"><db:title>Matrix</db:title></db:movie>
+            <db:movie year="2000"><db:title>Memento</db:title></db:movie>
+          </db:movies>
+        </db:movie_database>
+        """
+        config = SxnmConfig()
+        config.add(CandidateSpec.build(
+            "movie", "db:movie_database/db:movies/db:movie",
+            od=[("db:title/text()", 0.8), ("@year", 0.2, "year")],
+            keys=[[("db:title/text()", "K1-K5")]]))
+        stream = generate_gk_streaming(xml, config)
+        dom = generate_gk(parse(xml), config)
+        assert [(row.eid, row.keys, row.ods) for row in stream["movie"]] \
+            == [(row.eid, row.keys, row.ods) for row in dom["movie"]]
+        assert [row.ods[0] for row in stream["movie"]] == ["Matrix", "Memento"]

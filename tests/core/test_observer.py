@@ -49,6 +49,9 @@ class RecordingObserver(EngineObserver):
     def pair_confirmed(self, candidate, left_eid, right_eid):
         self.events.append(("pair_confirmed", candidate, left_eid, right_eid))
 
+    def comparison_stats(self, candidate, stats):
+        self.events.append(("comparison_stats", candidate, stats))
+
     def warning(self, message):
         self.events.append(("warning", message))
 
@@ -211,6 +214,39 @@ class TestBuiltInObservers:
         group = ObserverGroup([Tagged("first"), Tagged("second")])
         group.run_started()
         assert calls == ["first", "second"]
+
+    def test_comparison_stats_event_per_candidate(self):
+        """One comparison_stats event per candidate, just before finish."""
+        events, result, _ = run_recorded(use_filters=True)
+        for name in result.outcomes:
+            stat_events = [event for event in events
+                           if event[0] == "comparison_stats"
+                           and event[1] == name]
+            assert len(stat_events) == 1
+            finish = events.index(("candidate_finished", name,
+                                   result.outcomes[name]))
+            assert events.index(stat_events[0]) == finish - 1
+            stats = stat_events[0][2]
+            assert stats.fields_evaluated > 0
+            assert (stats.pairs_scored + stats.pairs_prefiltered
+                    <= result.outcomes[name].comparisons
+                    + result.outcomes[name].filtered_comparisons)
+
+    def test_counter_observer_collects_comparison_stats(self):
+        counter = CounterObserver()
+        result = SxnmDetector(movie_config(), use_filters=True,
+                              observers=[counter]).run(MOVIES_XML)
+        assert set(counter.compare_stats_by_candidate) == set(result.outcomes)
+        assert counter.counts["fields_evaluated"] > 0
+        for name, outcome in result.outcomes.items():
+            assert (counter.compare_stats_by_candidate[name].pairs_prefiltered
+                    == outcome.filtered_comparisons)
+
+    def test_outcome_carries_compare_stats(self):
+        result = SxnmDetector(movie_config(), use_filters=True).run(MOVIES_XML)
+        for outcome in result.outcomes.values():
+            assert outcome.compare_stats is not None
+            assert outcome.compare_stats.fields_evaluated > 0
 
     def test_observers_equal_unobserved_results(self):
         """Instrumentation must not change detection outcomes."""

@@ -1,0 +1,240 @@
+"""The compiled comparison plane: plans, caches, pruning, stats."""
+
+import random
+
+import pytest
+
+from repro.similarity import (CompiledCondition, ComparisonPlan,
+                              ComparisonStats, PhiCache, PhiTraits, PlanField,
+                              get_similarity, levenshtein_similarity,
+                              register_similarity, reset_registry)
+
+
+def naive_score(fields, left, right):
+    """The historical field loop the plan must match bitwise."""
+    weighted = 0.0
+    total = 0.0
+    for index, spec in enumerate(fields):
+        left_value = left[index]
+        right_value = right[index]
+        if left_value is None and right_value is None:
+            continue
+        total += spec.weight
+        if left_value is None or right_value is None:
+            continue
+        weighted += spec.weight * get_similarity(spec.phi)(left_value,
+                                                           right_value)
+    if total == 0.0:
+        return 0.0
+    return weighted / total
+
+
+def random_corpus(seed, count=120):
+    rng = random.Random(seed)
+    words = ["matrix", "matrlx", "memento", "casablanca", "casablanka",
+             "vertigo", "psycho", "psychoo", "alien", "aliens", ""]
+    rows = []
+    for _ in range(count):
+        title = rng.choice(words)
+        year = str(rng.randint(1940, 2010)) if rng.random() > 0.1 else None
+        note = rng.choice(words) if rng.random() > 0.2 else None
+        rows.append([title, year, note])
+    return rows
+
+
+FIELDS = [PlanField("title", 0.6, "edit"),
+          PlanField("year", 0.2, "year"),
+          PlanField("note", 0.2, "edit")]
+
+
+class TestPhiCache:
+    def test_lru_eviction(self):
+        cache = PhiCache(2)
+        cache.put(("edit", "a", "b"), 0.1)
+        cache.put(("edit", "a", "c"), 0.2)
+        assert cache.get(("edit", "a", "b")) == 0.1  # refresh recency
+        cache.put(("edit", "a", "d"), 0.3)           # evicts ("a", "c")
+        assert cache.get(("edit", "a", "c")) is None
+        assert cache.get(("edit", "a", "b")) == 0.1
+        assert cache.get(("edit", "a", "d")) == 0.3
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self):
+        cache = PhiCache(8)
+        assert cache.get(("edit", "x", "y")) is None
+        cache.put(("edit", "x", "y"), 0.5)
+        assert cache.get(("edit", "x", "y")) == 0.5
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            PhiCache(0)
+
+
+class TestPlanScore:
+    def test_bitwise_equal_to_naive_loop(self):
+        plan = ComparisonPlan(FIELDS)
+        rows = random_corpus(11)
+        for left in rows[:40]:
+            for right in rows[40:80]:
+                assert plan.score(left, right) == naive_score(FIELDS, left,
+                                                              right)
+
+    def test_missing_value_semantics(self):
+        plan = ComparisonPlan(FIELDS)
+        # Both missing: field skipped, weights renormalized.
+        assert plan.score(["abc", None, None],
+                          ["abc", None, None]) == 1.0
+        # One missing: weight counts, contributes zero.
+        one_missing = plan.score(["abc", "1999", None],
+                                 ["abc", "1999", "xyz"])
+        assert one_missing == pytest.approx(0.8)
+        # Everything missing: zero.
+        assert plan.score([None, None, None], [None, None, None]) == 0.0
+
+    def test_upper_bound_dominates_score(self):
+        plan = ComparisonPlan(FIELDS)
+        rows = random_corpus(13)
+        for left in rows[:40]:
+            for right in rows[40:80]:
+                assert (plan.upper_bound(left, right)
+                        >= plan.score(left, right))
+
+    def test_memoization_counts(self):
+        stats = ComparisonStats()
+        plan = ComparisonPlan(FIELDS, phi_cache=PhiCache(1024), stats=stats)
+        left = ["matrix", "1999", "alien"]
+        right = ["matrlx", "1999", "aliens"]
+        first = plan.score(left, right)
+        misses = stats.phi_cache_misses
+        second = plan.score(left, right)
+        assert first == second
+        assert stats.phi_cache_misses == misses  # all hits the second time
+        assert stats.phi_cache_hits > 0
+
+    def test_symmetric_cache_key_normalization(self):
+        stats = ComparisonStats()
+        plan = ComparisonPlan([PlanField("title", 1.0, "edit")],
+                              phi_cache=PhiCache(64), stats=stats)
+        plan.score(["matrix"], ["matrlx"])
+        plan.score(["matrlx"], ["matrix"])  # reversed pair must hit
+        assert stats.phi_cache_hits == 1
+
+
+class TestPlanPruning:
+    def test_decisions_match_exact_scores(self):
+        for threshold in (0.5, 0.65, 0.8, 0.95):
+            stats = ComparisonStats()
+            plan = ComparisonPlan(FIELDS, threshold=threshold,
+                                  phi_cache=PhiCache(4096), stats=stats)
+            exact_plan = ComparisonPlan(FIELDS)
+            rows = random_corpus(17)
+            for left in rows[:50]:
+                for right in rows[50:100]:
+                    outcome = plan.evaluate(left, right)
+                    exact = exact_plan.score(left, right)
+                    assert ((outcome.exact
+                             and outcome.score >= threshold)
+                            == (exact >= threshold))
+                    if outcome.exact:
+                        assert outcome.score == exact
+                    else:
+                        # Inexact scores are dominating bounds below the
+                        # threshold, proving the exact score fails too.
+                        assert outcome.score >= exact
+                        assert outcome.score < threshold
+
+    def test_prefilter_counts(self):
+        stats = ComparisonStats()
+        plan = ComparisonPlan([PlanField("title", 1.0, "edit")],
+                              threshold=0.9, stats=stats)
+        outcome = plan.evaluate(["completely different"], ["zzz"])
+        assert outcome.prefiltered and not outcome.exact
+        assert stats.pairs_prefiltered == 1
+        assert stats.fields_evaluated == 0  # no φ ever ran
+
+    def test_cheap_field_rejection_skips_edit_distance(self):
+        # "exact" (cost 0) is evaluated before "edit" (cost 3); with the
+        # cheap field already refuting the threshold, the weighted-sum
+        # abort fires before any edit DP runs.
+        stats = ComparisonStats()
+        fields = [PlanField("id", 0.6, "exact"),
+                  PlanField("blob", 0.4, "edit")]
+        plan = ComparisonPlan(fields, threshold=0.5, stats=stats)
+        # Same lengths and bags, so the pair-level bound cannot reject;
+        # only the in-pair abort after the exact-match miss can.
+        outcome = plan.evaluate(["abcd", "stressed"], ["dcba", "desserts"])
+        assert not outcome.exact
+        assert stats.pairs_pruned == 1
+        assert stats.edit_full_evals == 0
+        assert stats.edit_bounded_evals == 0
+        assert stats.fields_skipped == 1
+
+    def test_stats_merge_and_rates(self):
+        one = ComparisonStats(phi_cache_hits=3, phi_cache_misses=1,
+                              fields_evaluated=8, filter_short_circuits=2)
+        two = ComparisonStats(phi_cache_hits=1, phi_cache_misses=3)
+        one.merge(two)
+        assert one.phi_cache_hits == 4
+        assert one.phi_cache_misses == 4
+        assert one.phi_cache_hit_rate == 0.5
+        assert one.filter_short_circuit_rate == 0.25
+        assert ComparisonStats().phi_cache_hit_rate == 0.0
+        assert set(two.as_dict()) == set(one.as_dict())
+
+
+class TestCustomPhiTraits:
+    def teardown_method(self):
+        reset_registry()
+
+    def test_registered_phi_gets_filter_binding(self):
+        # A user φ with registered bounds is pruned like the edit family.
+        def never_similar(left, right):
+            raise AssertionError("full phi must not run")
+
+        def zero_bound(left, right):
+            return 0.0
+
+        register_similarity("hopeless", never_similar,
+                            traits=PhiTraits(cost=3, symmetric=True,
+                                             upper_bounds=(zero_bound,)))
+        plan = ComparisonPlan([PlanField("f", 1.0, "hopeless")],
+                              threshold=0.5)
+        outcome = plan.evaluate(["abc"], ["abd"])
+        assert outcome.prefiltered and not outcome.exact
+
+    def test_traitless_phi_defaults_are_sound(self):
+        register_similarity("always", lambda left, right: 1.0)
+        plan = ComparisonPlan([PlanField("f", 1.0, "always")], threshold=0.9)
+        outcome = plan.evaluate(["x"], ["y"])
+        assert outcome.exact and outcome.score == 1.0
+
+    def test_reset_registry_restores_builtin_traits(self):
+        register_similarity("edit", lambda left, right: 0.0, overwrite=True)
+        reset_registry()
+        plan = ComparisonPlan([PlanField("f", 1.0, "edit")])
+        assert plan.score(["same"], ["same"]) == 1.0
+
+
+class TestCompiledCondition:
+    def test_matches_plain_threshold_test(self):
+        condition = CompiledCondition("edit", 0.8, phi_cache=PhiCache(256))
+        rng = random.Random(23)
+        words = ["matrix", "matrlx", "casablanca", "kasablanca", "x", ""]
+        for _ in range(300):
+            left, right = rng.choice(words), rng.choice(words)
+            expected = levenshtein_similarity(left, right) >= 0.8
+            assert condition.holds(left, right) == expected
+
+    def test_filter_short_circuit_counts(self):
+        condition = CompiledCondition("edit", 0.9)
+        assert not condition.holds("short", "a much longer string")
+        assert condition.stats.filter_short_circuits == 1
+        assert condition.stats.edit_full_evals == 0
+
+    def test_unfiltered_mode(self):
+        condition = CompiledCondition("edit", 0.9, use_filters=False)
+        assert condition.holds("same", "same")
+        assert not condition.holds("short", "a much longer string")
+        assert condition.stats.filter_short_circuits == 0
