@@ -51,6 +51,15 @@ class ProgressObserver(EngineObserver):
         self._line(f"candidate {candidate}: pass over key {key_index + 1} "
                    f"made {comparisons} comparisons")
 
+    def pass_dispatched(self, candidate, key_index, shards):
+        self._line(f"candidate {candidate}: pass over key {key_index + 1} "
+                   f"dispatched as {shards} parallel shard(s)")
+
+    def pass_merged(self, candidate, key_index, comparisons, redundant):
+        self._line(f"candidate {candidate}: pass over key {key_index + 1} "
+                   f"merged ({comparisons} comparisons, "
+                   f"{redundant} redundant)")
+
     def candidate_finished(self, candidate, outcome):
         self._line(f"candidate {candidate}: {len(outcome.pairs)} duplicate "
                    f"pair(s) from {outcome.comparisons} comparisons "
@@ -134,6 +143,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         observers.append(TraceObserver())
     use_filters = True if getattr(args, "filters", False) else None
     result = SxnmDetector(config, use_filters=use_filters,
+                          workers=getattr(args, "workers", None),
                           observers=observers).run(
         document, window=args.window, gk=gk)
     lines = []
@@ -309,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(length/bag filters, banded edit distances, "
                              "upper-bound aborts); identical results, "
                              "fewer expensive comparisons")
+    detect.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="shard window passes across N worker processes "
+                             "(identical pairs and clusters; comparison "
+                             "counts may rise); default: the configuration's "
+                             "'workers' attribute")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

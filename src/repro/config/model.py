@@ -35,6 +35,13 @@ DEFAULT_DUPLICATE_THRESHOLD = 0.65
 # LRU).  0 disables memoization.  Kept here rather than imported from
 # repro.similarity so the config layer stays dependency-free.
 DEFAULT_PHI_CACHE_SIZE = 32768
+# Worker processes for the detection phase (1 = serial) and the table
+# size below which a candidate always runs serially (process start-up
+# and row pickling dwarf the comparison work on small tables).  Kept
+# here rather than imported from repro.core.parallel for the same
+# dependency-freedom reason as above.
+DEFAULT_WORKERS = 1
+DEFAULT_PARALLEL_MIN_ROWS = 64
 
 
 @dataclass(frozen=True)
@@ -201,8 +208,11 @@ class SxnmConfig:
 
     ``use_filters`` arms the comparison plane's pruning layers by
     default (overridable per detector); ``phi_cache_size`` bounds the
-    shared φ memo cache (0 disables it).  Neither knob changes detected
-    duplicates — only how much work comparisons cost.
+    shared φ memo cache (0 disables it).  ``workers`` shards the window
+    passes across that many processes (1 = serial), except for
+    candidates with fewer than ``parallel_min_rows`` GK rows, which stay
+    serial.  None of these knobs changes detected duplicates — only how
+    much work comparisons cost and where they run.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -212,6 +222,8 @@ class SxnmConfig:
     duplicate_threshold: float = DEFAULT_DUPLICATE_THRESHOLD
     use_filters: bool = False
     phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE
+    workers: int = DEFAULT_WORKERS
+    parallel_min_rows: int = DEFAULT_PARALLEL_MIN_ROWS
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

@@ -101,6 +101,10 @@ def validate_config(config: SxnmConfig) -> list[str]:
             problems.append(f"global {label} {value} outside [0, 1]")
     if config.phi_cache_size < 0:
         problems.append("phi cache size must be >= 0 (0 disables the cache)")
+    if config.workers < 1:
+        problems.append("workers must be >= 1 (1 runs serially)")
+    if config.parallel_min_rows < 0:
+        problems.append("parallel min rows must be >= 0")
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

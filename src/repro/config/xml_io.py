@@ -150,6 +150,12 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     phi_cache_size = _get_int(root, "phiCacheSize")
     if phi_cache_size is not None:
         config.phi_cache_size = phi_cache_size
+    workers = _get_int(root, "workers")
+    if workers is not None:
+        config.workers = workers
+    parallel_min_rows = _get_int(root, "parallelMinRows")
+    if parallel_min_rows is not None:
+        config.parallel_min_rows = parallel_min_rows
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -212,6 +218,8 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         "duplicateThreshold": repr(config.duplicate_threshold),
         "useFilters": "true" if config.use_filters else "false",
         "phiCacheSize": str(config.phi_cache_size),
+        "workers": str(config.workers),
+        "parallelMinRows": str(config.parallel_min_rows),
     })
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))

@@ -6,6 +6,9 @@ from .clusters import ClusterSet
 from .engine import DetectionEngine
 from .observer import (CounterObserver, EngineObserver, ObserverGroup,
                        TimingObserver)
+from .parallel import (ParallelWindowStrategy, parallel_multipass,
+                       plan_segments, segment_bounds, shared_executor,
+                       shutdown_executors)
 from .results import select_key_indices
 from .stages import (AdaptiveWindowStrategy, AllPairsStrategy,
                      CandidateContext, ClosureStrategy, DecisionPolicy,
@@ -38,7 +41,8 @@ from .simmeasure import (PairVerdict, SimilarityMeasure, descendant_similarity,
 from .topdown import TopDownDetector
 from .theory import (DescendantsCondition, OdCondition,
                      XmlEquationalTheory)
-from .window import de_window_pass, multipass, window_pass
+from .window import (de_window_pass, keys_similar, multipass,
+                     segment_window_pass, window_pass)
 
 __all__ = [
     "AccumulatingKeySource",
@@ -67,6 +71,7 @@ __all__ = [
     "NeighborhoodStrategy",
     "ObserverGroup",
     "OdOnlyPolicy",
+    "ParallelWindowStrategy",
     "ParentGroupedStrategy",
     "PrecomputedKeySource",
     "QuadraticClosure",
@@ -114,11 +119,18 @@ __all__ = [
     "clusters_to_document",
     "key_similarity",
     "key_statistics",
+    "keys_similar",
     "multipass",
     "pair_separation",
+    "parallel_multipass",
+    "plan_segments",
     "save_clusters",
     "save_gk",
+    "segment_bounds",
+    "segment_window_pass",
     "select_key_indices",
+    "shared_executor",
+    "shutdown_executors",
     "suggest_window_size",
     "od_similarity",
     "window_pass",

@@ -20,6 +20,7 @@ from ..xmlmodel import XmlDocument
 from .engine import DetectionEngine
 from .gk import GkTable
 from .observer import EngineObserver
+from .parallel import ParallelWindowStrategy
 from .results import (CandidateOutcome, KeySelection,  # noqa: F401
                       PhaseTimings, SxnmResult, select_key_indices)
 from .simmeasure import Decision
@@ -66,6 +67,13 @@ class SxnmDetector:
         Use DE-SNM-style passes (Sec. 5 outlook): equal-key groups are
         confirmed against one anchor and only representatives enter the
         window — fewer comparisons on heavily duplicated data.
+    workers:
+        Shard the window passes across this many worker processes
+        (``repro.core.parallel``).  Pairs and clusters are bit-identical
+        to the serial run; comparison counts may rise (recorded as
+        ``redundant_comparisons`` in the comparison stats).  ``None``
+        (default) defers to ``config.workers``; candidates smaller than
+        ``config.parallel_min_rows`` always run serially.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -77,6 +85,7 @@ class SxnmDetector:
                  use_filters: bool | None = None,
                  theories: dict[str, XmlEquationalTheory] | None = None,
                  duplicate_elimination: bool = False,
+                 workers: int | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -85,14 +94,22 @@ class SxnmDetector:
                             else getattr(config, "use_filters", False))
         self.theories = dict(theories or {})
         self.duplicate_elimination = duplicate_elimination
+        self.workers = (workers if workers is not None
+                        else getattr(config, "workers", 1))
 
+        if self.workers > 1:
+            neighborhood = ParallelWindowStrategy(
+                workers=self.workers,
+                duplicate_elimination=duplicate_elimination)
+        else:
+            neighborhood = FixedWindowStrategy(
+                duplicate_elimination=duplicate_elimination)
         policy = ThresholdPolicy(decision, use_filters=self.use_filters)
         self.engine = DetectionEngine(
             config,
             key_source=(StreamingKeySource() if streaming_keygen
                         else DomKeySource()),
-            neighborhood=FixedWindowStrategy(
-                duplicate_elimination=duplicate_elimination),
+            neighborhood=neighborhood,
             decision=(TheoryPolicy(self.theories, policy) if self.theories
                       else policy),
             closure=MethodClosure(closure_method),

@@ -154,7 +154,7 @@ class DetectionEngine:
                 node=node, spec=spec, config=self.config, table=table,
                 tables=tables, window=effective_window,
                 key_indices=key_indices, compare=compare, pairs=pairs,
-                cluster_sets=cluster_sets, emit=emit)
+                cluster_sets=cluster_sets, emit=emit, decider=decider)
 
             if emit is not None:
                 emit.phase_started(PHASE_WINDOW, spec.name)

@@ -14,7 +14,9 @@ Event order within one run::
       candidate_started(name)                # bottom-up (or top-down) order
         phase_started("SW", name)
           pass_started(name, key_index)      # strategies with key passes
+            pass_dispatched(name, key_index, shards)   # parallel strategies
             pair_compared / pair_filtered / pair_confirmed …
+            pass_merged(name, key_index, comparisons, redundant)
           pass_finished(name, key_index)
         phase_finished("SW", name)
         phase_started("TC", name) … phase_finished("TC", name)
@@ -69,6 +71,24 @@ class EngineObserver:
     def pass_finished(self, candidate: str, key_index: int,
                       comparisons: int) -> None:
         """The pass over key ``key_index`` made ``comparisons`` comparisons."""
+
+    def pass_dispatched(self, candidate: str, key_index: int,
+                        shards: int) -> None:
+        """The pass was sharded into ``shards`` parallel worker tasks.
+
+        Emitted (between ``pass_started`` and ``pass_merged``) only by
+        parallel neighborhood strategies; worker processes do not emit
+        per-pair events.
+        """
+
+    def pass_merged(self, candidate: str, key_index: int, comparisons: int,
+                    redundant: int) -> None:
+        """The pass's shard results were unioned in the parent.
+
+        ``redundant`` counts confirmed pairs already known from earlier
+        shards or passes — comparisons the serial ``skip_known`` path
+        would have avoided.
+        """
 
     def pair_compared(self, candidate: str, left_eid: int, right_eid: int,
                       verdict) -> None:
@@ -134,6 +154,14 @@ class ObserverGroup(EngineObserver):
     def pass_finished(self, candidate, key_index, comparisons):
         for observer in self.observers:
             observer.pass_finished(candidate, key_index, comparisons)
+
+    def pass_dispatched(self, candidate, key_index, shards):
+        for observer in self.observers:
+            observer.pass_dispatched(candidate, key_index, shards)
+
+    def pass_merged(self, candidate, key_index, comparisons, redundant):
+        for observer in self.observers:
+            observer.pass_merged(candidate, key_index, comparisons, redundant)
 
     def pair_compared(self, candidate, left_eid, right_eid, verdict):
         for observer in self.observers:
@@ -216,6 +244,14 @@ class CounterObserver(EngineObserver):
 
     def pass_finished(self, candidate, key_index, comparisons):
         self._bump("pass_finished")
+
+    def pass_dispatched(self, candidate, key_index, shards):
+        self._bump("pass_dispatched")
+        self.counts["shards_dispatched"] = \
+            self.counts.get("shards_dispatched", 0) + shards
+
+    def pass_merged(self, candidate, key_index, comparisons, redundant):
+        self._bump("pass_merged")
 
     def pair_compared(self, candidate, left_eid, right_eid, verdict):
         self._bump("pair_compared")

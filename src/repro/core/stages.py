@@ -55,7 +55,14 @@ TOP_DOWN = "top_down"
 
 @dataclass
 class CandidateContext:
-    """Everything a neighborhood strategy may need for one candidate."""
+    """Everything a neighborhood strategy may need for one candidate.
+
+    ``compare`` is the classifier callable (possibly wrapped for
+    per-pair observer events); ``decider`` is the underlying
+    :class:`PairDecider` the decision policy built.  Strategies that
+    ship comparisons to other processes pickle ``decider`` — the
+    instrumented ``compare`` closure cannot travel.
+    """
 
     node: CandidateNode
     spec: CandidateSpec
@@ -68,6 +75,7 @@ class CandidateContext:
     pairs: set[tuple[int, int]]
     cluster_sets: dict[str, ClusterSet]
     emit: ObserverGroup | None = None
+    decider: PairDecider | None = None
 
     def pass_started(self, key_index: int) -> None:
         if self.emit is not None:
@@ -77,9 +85,23 @@ class CandidateContext:
         if self.emit is not None:
             self.emit.pass_finished(self.spec.name, key_index, comparisons)
 
+    def pass_dispatched(self, key_index: int, shards: int) -> None:
+        if self.emit is not None:
+            self.emit.pass_dispatched(self.spec.name, key_index, shards)
+
+    def pass_merged(self, key_index: int, comparisons: int,
+                    redundant: int) -> None:
+        if self.emit is not None:
+            self.emit.pass_merged(self.spec.name, key_index, comparisons,
+                                  redundant)
+
     def pair_filtered(self, left_eid: int, right_eid: int) -> None:
         if self.emit is not None:
             self.emit.pair_filtered(self.spec.name, left_eid, right_eid)
+
+    def warning(self, message: str) -> None:
+        if self.emit is not None:
+            self.emit.warning(message)
 
 
 @dataclass

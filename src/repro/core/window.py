@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..similarity import levenshtein_similarity
+from ..similarity import filtered_edit_similarity, levenshtein_similarity
 from .gk import GkRow, GkTable
 from .simmeasure import PairVerdict
 
@@ -52,20 +52,32 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
     the cheapest duplicates to confirm), and a single representative per
     key value enters the sliding window.  On heavily duplicated data the
     windowed list shrinks substantially.  Returns the comparison count.
+
+    Rows whose key is empty carry no grouping evidence (the key
+    generator found nothing to extract), so each one is unique: it
+    enters the window individually and is never anchor-compared.
     """
     if window < 2:
         raise ValueError("window size must be >= 2")
     comparisons = 0
     groups: dict[str, list[GkRow]] = {}
-    for row in table.sorted_by_key(key_index):
-        groups.setdefault(row.keys[key_index], []).append(row)
-
-    # ``groups`` preserves first-occurrence order of the key values, and
-    # the rows came from ``sorted_by_key`` — so taking each group's first
-    # row yields the representatives already in (key, eid) order.
     ordered: list[GkRow] = []
-    for key_value, group in groups.items():
-        ordered.append(group[0])
+    # The rows come from ``sorted_by_key``, so appending each empty-key
+    # row and each group's first row as they appear keeps ``ordered`` in
+    # (key, eid) order (groups preserve first-occurrence order too).
+    for row in table.sorted_by_key(key_index):
+        key_value = row.keys[key_index]
+        if not key_value:
+            ordered.append(row)
+            continue
+        group = groups.get(key_value)
+        if group is None:
+            groups[key_value] = [row]
+            ordered.append(row)
+        else:
+            group.append(row)
+
+    for group in groups.values():
         if len(group) < 2:
             continue
         anchor = group[0]
@@ -95,6 +107,21 @@ def key_similarity(left: str, right: str) -> float:
     return levenshtein_similarity(left, right)
 
 
+def keys_similar(left: str, right: str, floor: float) -> bool:
+    """Decision-only form of ``key_similarity(left, right) >= floor``.
+
+    Routed through the banded edit path: keys clearly below the floor
+    are refuted by the length/bag bounds or a truncated DP and never pay
+    the full quadratic distance — they dominate adaptive-pass cost, since
+    every extension attempt ends on one.
+    """
+    if floor <= 0.0:
+        return True
+    if floor > 1.0:
+        return False
+    return filtered_edit_similarity(left, right, floor) >= floor
+
+
 def adaptive_window_pass(table: GkTable, key_index: int,
                          compare: Callable[[GkRow, GkRow], object],
                          pairs: set[tuple[int, int]],
@@ -116,8 +143,9 @@ def adaptive_window_pass(table: GkTable, key_index: int,
         while reach < max_window and index - reach >= 0:
             if reach >= min_window - 1:
                 predecessor = ordered[index - reach]
-                if key_similarity(predecessor.keys[key_index],
-                                  row.keys[key_index]) < key_similarity_floor:
+                if not keys_similar(predecessor.keys[key_index],
+                                    row.keys[key_index],
+                                    key_similarity_floor):
                     break
             reach += 1
         for other_index in range(max(0, index - reach + 1), index):
@@ -127,6 +155,38 @@ def adaptive_window_pass(table: GkTable, key_index: int,
                 continue
             comparisons += 1
             if compare(other, row).is_duplicate:  # type: ignore[attr-defined]
+                pairs.add(pair)
+    return comparisons
+
+
+def segment_window_pass(ordered: list[GkRow], window: int,
+                        compare: Callable[[GkRow, GkRow], PairVerdict],
+                        pairs: set[tuple[int, int]],
+                        start: int = 0) -> int:
+    """Sliding-window comparisons over one contiguous segment of a pass.
+
+    ``ordered`` is a slice of a key-sorted row list.  The first ``start``
+    rows are overlap carried from the preceding segment: they serve only
+    as predecessors and never anchor comparisons themselves.  Because
+    each in-window pair is anchored by exactly one row (the later one in
+    key order), splitting a sorted pass into contiguous segments that
+    each prepend their ``window - 1`` predecessor rows covers every
+    adjacency exactly once — the union of the segments' pairs equals the
+    serial pass.  Pairs already in ``pairs`` are skipped; confirmed eid
+    pairs are added (smaller eid first).  Returns the comparison count.
+    """
+    if window < 2:
+        raise ValueError("window size must be >= 2")
+    comparisons = 0
+    for index in range(max(start, 0), len(ordered)):
+        row = ordered[index]
+        for other_index in range(max(0, index - window + 1), index):
+            other = ordered[other_index]
+            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+            if pair in pairs:
+                continue
+            comparisons += 1
+            if compare(other, row).is_duplicate:
                 pairs.add(pair)
     return comparisons
 

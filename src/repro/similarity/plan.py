@@ -79,6 +79,7 @@ class ComparisonStats:
     phi_cache_misses: int = 0
     edit_full_evals: int = 0       # full DP runs of filterable (edit-like) φs
     edit_bounded_evals: int = 0    # banded DP runs
+    redundant_comparisons: int = 0  # pairs re-confirmed by parallel shards
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -92,6 +93,7 @@ class ComparisonStats:
             "phi_cache_misses": self.phi_cache_misses,
             "edit_full_evals": self.edit_full_evals,
             "edit_bounded_evals": self.edit_bounded_evals,
+            "redundant_comparisons": self.redundant_comparisons,
         }
 
     def merge(self, other: "ComparisonStats") -> None:
@@ -155,6 +157,13 @@ class PhiCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def __reduce__(self):
+        # Pickle as an *empty* cache of the same capacity.  The cache is
+        # a pure memo — shipping its entries to worker processes would
+        # copy up to ``maxsize`` strings per task without changing any
+        # result, so cross-process copies start cold instead.
+        return (self.__class__, (self.maxsize,))
 
 
 # ---------------------------------------------------------------------------

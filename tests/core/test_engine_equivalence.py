@@ -10,6 +10,7 @@ refactor's central invariant.
 """
 
 import bisect
+import os
 
 import pytest
 
@@ -450,3 +451,57 @@ class TestIncrementalGolden:
             assert incremental.pairs(name) == pairs
             assert incremental.comparisons(name) == comparisons
             assert partition(incremental.cluster_set(name)) == clusters
+
+
+class TestParallelDetectionGolden:
+    """Sharded detection is bit-identical to serial on every configuration.
+
+    Each of the five detector configurations runs once serially and once
+    with the passes sharded across worker processes
+    (``SXNM_TEST_WORKERS``, default 2; CI re-runs this suite with an
+    explicit worker count).  Pairs and cluster partitions must match
+    exactly; comparison counts may only rise, and the rise must equal
+    the recorded ``redundant_comparisons``.
+    """
+
+    WORKERS = int(os.environ.get("SXNM_TEST_WORKERS", "2"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+    def test_movies(self, movies, kwargs):
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        common = dict(
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+        serial = SxnmDetector(config, workers=1, **common).run(movies,
+                                                               window=6)
+        parallel = SxnmDetector(config, workers=self.WORKERS,
+                                **common).run(movies, window=6)
+        for name, outcome in serial.outcomes.items():
+            sharded = parallel.outcomes[name]
+            assert sharded.pairs == outcome.pairs
+            assert (partition(sharded.cluster_set)
+                    == partition(outcome.cluster_set))
+            assert sharded.comparisons >= outcome.comparisons
+            if sharded.compare_stats is not None:
+                assert (sharded.comparisons - outcome.comparisons
+                        == sharded.compare_stats.redundant_comparisons)
+
+    def test_parallel_matches_frozen_reference(self, movies):
+        """Transitively: sharded == serial wrapper == pre-refactor loop."""
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        reference = reference_sxnm(config, movies, window=6)
+        result = SxnmDetector(config, workers=self.WORKERS).run(movies,
+                                                                window=6)
+        for name, (pairs, _, _, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert partition(result.outcomes[name].cluster_set) == clusters

@@ -3,8 +3,9 @@
 import pytest
 
 from repro.config import CandidateSpec, SxnmConfig
-from repro.core import (GkRow, GkTable, PairVerdict, SxnmDetector, multipass,
-                        window_pass)
+from repro.core import (GkRow, GkTable, PairVerdict, SxnmDetector,
+                        adaptive_window_pass, de_window_pass, key_similarity,
+                        keys_similar, multipass, window_pass)
 from repro.xmlmodel import parse
 
 
@@ -95,6 +96,92 @@ class TestMultipass:
                                        key_indices=[])
         assert pairs == set()
         assert comparisons == 0
+
+
+class TestDeWindowPassEmptyKeys:
+    def test_empty_keys_are_unique(self):
+        """Rows with empty keys are not a group: each enters the window
+        individually and none is compared against an arbitrary anchor."""
+        table = table_with([[""], [""], [""]])
+        pairs: set = set()
+        comparisons = de_window_pass(table, 0, 3, always_duplicate, pairs)
+        # All three rows are in the window together: 3 windowed
+        # comparisons, no anchor comparisons.
+        assert comparisons == 3
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_empty_keys_outside_window_stay_apart(self):
+        # Pre-fix, all empty keys collapsed behind one representative and
+        # were anchor-compared regardless of distance; now the window
+        # governs them like any other unique key.
+        table = table_with([[""]] * 4)
+        pairs: set = set()
+        de_window_pass(table, 0, 2, never_duplicate, pairs)
+        assert pairs == set()
+
+    def test_non_empty_groups_still_collapse(self):
+        table = table_with([["a"], [""], ["a"], [""], ["b"]])
+        pairs: set = set()
+        comparisons = de_window_pass(table, 0, 2, always_duplicate, pairs)
+        # "a" group: 1 anchor comparison; window over the 4 remaining
+        # entries ("", "", "a"-rep, "b"): 3 adjacent comparisons.
+        assert (0, 2) in pairs
+        assert comparisons == 4
+
+    def test_matches_plain_window_when_all_keys_empty(self):
+        table = table_with([[""]] * 6)
+        de_pairs: set = set()
+        plain_pairs: set = set()
+        de = de_window_pass(table, 0, 4, always_duplicate, de_pairs)
+        plain = window_pass(table, 0, 4, always_duplicate, plain_pairs)
+        assert de_pairs == plain_pairs
+        assert de == plain
+
+
+class TestBoundedKeySimilarity:
+    FLOORS = [0.0, 0.3, 0.5, 0.6, 0.8, 1.0]
+    KEYS = ["", "a", "ab", "abc", "abd", "xbc", "abcdef", "fedcba",
+            "ALPHA", "ALPHB", "totally different"]
+
+    def test_decision_matches_full_dp(self):
+        for floor in self.FLOORS:
+            for left in self.KEYS:
+                for right in self.KEYS:
+                    assert keys_similar(left, right, floor) \
+                        == (key_similarity(left, right) >= floor), \
+                        (left, right, floor)
+
+    def test_adaptive_pass_unchanged_by_bounded_path(self):
+        """The adaptive pass (now routed through the banded DP) makes
+        exactly the comparisons the full-DP floor check implied."""
+        table = table_with([["abcd"], ["abce"], ["abzz"], ["qrst"],
+                            ["qrsu"], ["zzzz"]])
+        pairs: set = set()
+        comparisons = adaptive_window_pass(table, 0, always_duplicate, pairs,
+                                           min_window=2, max_window=5,
+                                           key_similarity_floor=0.6)
+        reference_pairs: set = set()
+        reference = 0
+        ordered = table.sorted_by_key(0)
+        for index, row in enumerate(ordered):
+            reach = 1
+            while reach < 5 and index - reach >= 0:
+                if reach >= 1:
+                    predecessor = ordered[index - reach]
+                    if key_similarity(predecessor.keys[0],
+                                      row.keys[0]) < 0.6:
+                        break
+                reach += 1
+            for other_index in range(max(0, index - reach + 1), index):
+                other = ordered[other_index]
+                pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+                if pair in reference_pairs:
+                    continue
+                reference += 1
+                if always_duplicate(other, row).is_duplicate:
+                    reference_pairs.add(pair)
+        assert pairs == reference_pairs
+        assert comparisons == reference
 
 
 class TestDetectorOptions:
