@@ -1,0 +1,196 @@
+"""Machine-readable perf record for the persistent φ cache.
+
+Runs the effectiveness corpus through the detector three ways — no
+cache, cold cache (empty directory), warm cache (the directory the cold
+run populated) — asserts all three return bit-identical pairs, and
+requires the warm run to perform at least 50% fewer exact φ evaluations
+than the cold run (measured as ``phi_cache_misses`` in the merged
+``ComparisonStats``; full edit DPs are recorded alongside).  A fourth
+scenario replays the paper's incremental reality: a grown corpus
+(base + fresh batch) detected warm against the base run's cache, where
+only the new batch's scores should be computed.
+
+Honesty over optimism: when ``SXNM_BENCH_PHICACHE_DIR`` points at a
+pre-existing directory (the CI warm-smoke job runs this file twice over
+one directory), the "cold" run isn't cold, so the ≥50% reduction is
+recorded but not asserted — ``reduction_asserted`` in
+``BENCH_phicache.json`` says which happened.  Warm-run disk hits are
+asserted unconditionally.
+
+``SXNM_BENCH_PHICACHE_MOVIES`` overrides the corpus size
+(``SXNM_BENCH_FULL=1`` runs the paper scale).
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from conftest import FULL_SCALE, SEED, write_result
+
+from repro.core import SxnmDetector
+from repro.datagen import generate_dirty_movies
+from repro.eval import render_table
+from repro.experiments import dataset1_config
+from repro.similarity import ComparisonStats
+from repro.xmlmodel import XmlDocument
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_MOVIES = "400" if FULL_SCALE else "150"
+BENCH_MOVIES = int(os.environ.get("SXNM_BENCH_PHICACHE_MOVIES",
+                                  DEFAULT_MOVIES))
+BATCH_MOVIES = max(10, BENCH_MOVIES // 5)
+WINDOW = 8
+REDUCTION_TARGET = 0.5
+
+
+def total_stats(result) -> ComparisonStats:
+    total = ComparisonStats()
+    for outcome in result.outcomes.values():
+        if outcome.compare_stats is not None:
+            total.merge(outcome.compare_stats)
+    return total
+
+
+def pair_sets(result):
+    return {name: outcome.pairs for name, outcome in result.outcomes.items()}
+
+
+def grow_corpus(base: XmlDocument, batch_movies: int, seed: int):
+    """The incremental scenario: the base corpus plus a fresh batch.
+
+    ``generate_dirty_movies`` has no prefix property across counts, so
+    the grown corpus is built by appending a second generated document's
+    movie elements under the base copy's ``movies`` element.
+    """
+    grown = base.copy()
+    batch = generate_dirty_movies(batch_movies, seed=seed, profile="few")
+    movies = next(child for child in grown.root.children
+                  if child.tag == "movies")
+    batch_movies_element = next(child for child in batch.root.children
+                                if child.tag == "movies")
+    for movie in list(batch_movies_element.children):
+        movies.append(movie)
+    grown.assign_eids()
+    return grown
+
+
+def timed_run(document, cache_dir=None):
+    # A fresh config per run: SxnmDetector records ``phi_cache_dir``
+    # into the config it is given, so sharing one would leak the cache
+    # directory into runs meant to be cache-free.
+    detector = SxnmDetector(dataset1_config(), phi_cache_dir=cache_dir)
+    start = time.perf_counter()
+    result = detector.run(document, window=WINDOW)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def scenario_record(name, result, seconds):
+    stats = total_stats(result)
+    return {
+        "scenario": name,
+        "seconds": round(seconds, 4),
+        "phi_cache_misses": stats.phi_cache_misses,
+        "phi_cache_hits": stats.phi_cache_hits,
+        "phi_cache_disk_hits": stats.phi_cache_disk_hits,
+        "phi_cache_spilled": stats.phi_cache_spilled,
+        "edit_full_evals": stats.edit_full_evals,
+        "stats": stats.as_dict(),
+    }
+
+
+def test_phicache_perf_record(benchmark):
+    document = generate_dirty_movies(BENCH_MOVIES, seed=SEED,
+                                     profile="effectiveness")
+
+    env_dir = os.environ.get("SXNM_BENCH_PHICACHE_DIR")
+    if env_dir:
+        cache_dir = env_dir
+        dir_was_empty = not any(
+            name.endswith(".phiseg")
+            for name in (os.listdir(env_dir)
+                         if os.path.isdir(env_dir) else []))
+    else:
+        cache_dir = tempfile.mkdtemp(prefix="sxnm-bench-phicache-")
+        dir_was_empty = True
+
+    baseline, baseline_seconds = timed_run(document)
+    cold, cold_seconds = timed_run(document, cache_dir=cache_dir)
+    # The headline configuration pytest-benchmark records: the warm run.
+    start = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: SxnmDetector(dataset1_config(),
+                             phi_cache_dir=cache_dir).run(document,
+                                                          window=WINDOW),
+        rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+
+    expected = pair_sets(baseline)
+    assert pair_sets(cold) == expected
+    assert pair_sets(warm) == expected
+
+    cold_stats = total_stats(cold)
+    warm_stats = total_stats(warm)
+    assert warm_stats.phi_cache_disk_hits > 0
+    assert warm_stats.phi_cache_spilled == 0
+
+    reduction = 1.0 - (warm_stats.phi_cache_misses
+                       / max(cold_stats.phi_cache_misses, 1))
+    reduction_assertable = dir_was_empty
+    if reduction_assertable:
+        assert cold_stats.phi_cache_spilled > 0
+        assert reduction >= REDUCTION_TARGET, (cold_stats.phi_cache_misses,
+                                               warm_stats.phi_cache_misses)
+        assert warm_stats.edit_full_evals <= cold_stats.edit_full_evals
+
+    # Incremental batch: warm detection over base + fresh batch against
+    # the base corpus's cache — only the new batch costs φ evaluations.
+    grown = grow_corpus(document, BATCH_MOVIES, seed=SEED + 1)
+    grown_cold, grown_cold_seconds = timed_run(grown)
+    grown_warm, grown_warm_seconds = timed_run(grown,
+                                               cache_dir=cache_dir)
+    assert pair_sets(grown_warm) == pair_sets(grown_cold)
+    grown_warm_stats = total_stats(grown_warm)
+    assert grown_warm_stats.phi_cache_disk_hits > 0
+    grown_cold_stats = total_stats(grown_cold)
+    incremental_reduction = 1.0 - (grown_warm_stats.phi_cache_misses
+                                   / max(grown_cold_stats.phi_cache_misses,
+                                         1))
+
+    scenarios = [
+        scenario_record("no_cache", baseline, baseline_seconds),
+        scenario_record("cold", cold, cold_seconds),
+        scenario_record("warm", warm, warm_seconds),
+        scenario_record("incremental_no_cache", grown_cold,
+                        grown_cold_seconds),
+        scenario_record("incremental_warm", grown_warm,
+                        grown_warm_seconds),
+    ]
+    record = {
+        "benchmark": "persistent_phi_cache",
+        "dataset": {"generator": "dirty_movies", "profile": "effectiveness",
+                    "movies": BENCH_MOVIES, "batch_movies": BATCH_MOVIES,
+                    "elements": document.element_count(),
+                    "seed": SEED, "window": WINDOW},
+        "cache_dir_was_empty": dir_was_empty,
+        "pairs_identical_across_scenarios": True,
+        "scenarios": scenarios,
+        "warm_phi_eval_reduction": round(reduction, 3),
+        "incremental_phi_eval_reduction": round(incremental_reduction, 3),
+        "reduction_target": REDUCTION_TARGET,
+        "reduction_asserted": reduction_assertable,
+    }
+    (REPO_ROOT / "BENCH_phicache.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    rows = [[point["scenario"], f"{point['seconds']:.2f}",
+             point["phi_cache_misses"], point["phi_cache_disk_hits"],
+             point["phi_cache_spilled"], point["edit_full_evals"]]
+            for point in scenarios]
+    write_result("bench_phicache", render_table(
+        ["scenario", "seconds", "phi misses", "disk hits", "spilled",
+         "edit DPs"], rows,
+        title=f"Persistent phi cache: {BENCH_MOVIES}+{BATCH_MOVIES} movies, "
+              f"warm reduction {reduction:.0%}"))

@@ -74,6 +74,13 @@ class ProgressObserver(EngineObserver):
             f"{stats.edit_full_evals} full edit DPs, "
             f"phi cache {stats.phi_cache_hit_rate:.0%} hits")
 
+    def cache_loaded(self, directory, entries, segments):
+        self._line(f"phi cache: loaded {entries} entries from "
+                   f"{segments} segment(s) in {directory}")
+
+    def cache_flushed(self, directory, entries, segments):
+        self._line(f"phi cache: flushed {entries} new entries to {directory}")
+
     def warning(self, message):
         self._line(f"warning: {message}")
 
@@ -105,6 +112,8 @@ class TraceObserver(EngineObserver):
               f"short-circuits={stats.filter_short_circuits} "
               f"cache-hits={stats.phi_cache_hits} "
               f"cache-misses={stats.phi_cache_misses} "
+              f"cache-disk-hits={stats.phi_cache_disk_hits} "
+              f"cache-spilled={stats.phi_cache_spilled} "
               f"edit-full={stats.edit_full_evals} "
               f"edit-banded={stats.edit_bounded_evals}",
               file=self.stream, flush=True)
@@ -144,6 +153,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     use_filters = True if getattr(args, "filters", False) else None
     result = SxnmDetector(config, use_filters=use_filters,
                           workers=getattr(args, "workers", None),
+                          phi_cache_dir=getattr(args, "phi_cache_dir", None),
                           observers=observers).run(
         document, window=args.window, gk=gk)
     lines = []
@@ -324,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(identical pairs and clusters; comparison "
                              "counts may rise); default: the configuration's "
                              "'workers' attribute")
+    detect.add_argument("--phi-cache-dir", default=None, metavar="DIR",
+                        dest="phi_cache_dir",
+                        help="persist exact phi scores in DIR across runs "
+                             "(identical results; repeated detections skip "
+                             "recomputing edit distances); default: the "
+                             "configuration's 'phiCacheDir' attribute")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

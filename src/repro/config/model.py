@@ -211,8 +211,11 @@ class SxnmConfig:
     shared φ memo cache (0 disables it).  ``workers`` shards the window
     passes across that many processes (1 = serial), except for
     candidates with fewer than ``parallel_min_rows`` GK rows, which stay
-    serial.  None of these knobs changes detected duplicates — only how
-    much work comparisons cost and where they run.
+    serial.  ``phi_cache_dir`` names a directory where exact φ scores
+    persist *across* runs (``None`` keeps the memo in-memory only) and
+    ``phi_cache_persist`` gates it without forgetting the path.  None of
+    these knobs changes detected duplicates — only how much work
+    comparisons cost and where they run.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -222,6 +225,8 @@ class SxnmConfig:
     duplicate_threshold: float = DEFAULT_DUPLICATE_THRESHOLD
     use_filters: bool = False
     phi_cache_size: int = DEFAULT_PHI_CACHE_SIZE
+    phi_cache_dir: str | None = None
+    phi_cache_persist: bool = True
     workers: int = DEFAULT_WORKERS
     parallel_min_rows: int = DEFAULT_PARALLEL_MIN_ROWS
 

@@ -101,6 +101,12 @@ def validate_config(config: SxnmConfig) -> list[str]:
             problems.append(f"global {label} {value} outside [0, 1]")
     if config.phi_cache_size < 0:
         problems.append("phi cache size must be >= 0 (0 disables the cache)")
+    if config.phi_cache_dir is not None \
+            and not str(config.phi_cache_dir).strip():
+        problems.append("phi cache dir must be a non-empty path or None")
+    if config.phi_cache_dir is not None and config.phi_cache_size == 0:
+        problems.append("phi cache dir needs a positive phi cache size "
+                        "(the in-memory memo feeds the persistent spill)")
     if config.workers < 1:
         problems.append("workers must be >= 1 (1 runs serially)")
     if config.parallel_min_rows < 0:

@@ -150,6 +150,11 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     phi_cache_size = _get_int(root, "phiCacheSize")
     if phi_cache_size is not None:
         config.phi_cache_size = phi_cache_size
+    phi_cache_dir = root.get("phiCacheDir")
+    if phi_cache_dir is not None:
+        config.phi_cache_dir = phi_cache_dir
+    config.phi_cache_persist = _get_bool(root, "phiCachePersist",
+                                         config.phi_cache_persist)
     workers = _get_int(root, "workers")
     if workers is not None:
         config.workers = workers
@@ -221,6 +226,10 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         "workers": str(config.workers),
         "parallelMinRows": str(config.parallel_min_rows),
     })
+    if config.phi_cache_dir is not None:
+        root.set("phiCacheDir", config.phi_cache_dir)
+    if not config.phi_cache_persist:
+        root.set("phiCachePersist", "false")
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))
     return XmlDocument(root)

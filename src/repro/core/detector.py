@@ -74,6 +74,14 @@ class SxnmDetector:
         ``redundant_comparisons`` in the comparison stats).  ``None``
         (default) defers to ``config.workers``; candidates smaller than
         ``config.parallel_min_rows`` always run serially.
+    phi_cache_dir:
+        Directory for the persistent cross-run φ cache
+        (``repro.similarity.store``): exact φ scores load on run start
+        and new ones are flushed at run end, so repeated detections over
+        overlapping corpora skip recomputing edit distances.  Results
+        are bit-identical with or without it.  ``None`` (default) defers
+        to ``config.phi_cache_dir``; damaged or unwritable directories
+        warn via observers and run cold.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -86,6 +94,7 @@ class SxnmDetector:
                  theories: dict[str, XmlEquationalTheory] | None = None,
                  duplicate_elimination: bool = False,
                  workers: int | None = None,
+                 phi_cache_dir: str | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -96,6 +105,9 @@ class SxnmDetector:
         self.duplicate_elimination = duplicate_elimination
         self.workers = (workers if workers is not None
                         else getattr(config, "workers", 1))
+        if phi_cache_dir is not None:
+            config.phi_cache_dir = phi_cache_dir
+        self.phi_cache_dir = getattr(config, "phi_cache_dir", None)
 
         if self.workers > 1:
             neighborhood = ParallelWindowStrategy(

@@ -27,6 +27,7 @@ the old detectors did.
 
 from __future__ import annotations
 
+import os
 import time
 
 from ..config import SxnmConfig, ensure_valid
@@ -74,6 +75,7 @@ class DetectionEngine:
         self.decision = decision if decision is not None else ThresholdPolicy()
         self.closure = closure if closure is not None else UnionFindClosure()
         self.observers: list[EngineObserver] = list(observers)
+        self._phi_store = None
 
     def add_observer(self, observer: EngineObserver) -> None:
         self.observers.append(observer)
@@ -113,6 +115,16 @@ class DetectionEngine:
         emit = ObserverGroup(self.observers) if self.observers else None
         if emit is not None:
             emit.run_started()
+
+        phi_store = self._open_phi_store(emit)
+        attach = getattr(self.decision, "attach_phi_spill", None)
+        if attach is not None:
+            attach(phi_store)
+        if phi_store is not None and emit is not None:
+            emit.cache_loaded(phi_store.directory, len(phi_store),
+                              phi_store.segments_loaded)
+
+        if emit is not None:
             emit.phase_started(PHASE_KEY_GENERATION)
 
         kg_start = time.perf_counter()
@@ -189,9 +201,50 @@ class DetectionEngine:
                     emit.comparison_stats(spec.name, compare_stats)
                 emit.candidate_finished(spec.name, outcome)
 
+        if phi_store is not None:
+            flushed = phi_store.flush()
+            if emit is not None:
+                emit.cache_flushed(phi_store.directory, flushed,
+                                   phi_store.segments_written)
         if emit is not None:
             emit.run_finished(result)
         return result
+
+    def _open_phi_store(self, emit: ObserverGroup | None):
+        """The persistent φ spill store, opened once per engine.
+
+        Active only when the config names a ``phi_cache_dir``, leaves
+        ``phi_cache_persist`` on, and sizes the in-memory memo above
+        zero (no memo → nothing to spill).  A damaged or unusable store
+        warns through the observers and behaves as cold — persistence
+        problems never fail a detection run.
+        """
+        config = self.config
+        directory = getattr(config, "phi_cache_dir", None)
+        if (not directory
+                or not getattr(config, "phi_cache_persist", True)
+                or getattr(config, "phi_cache_size", 0) <= 0):
+            return None
+        store = self._phi_store
+        if store is None or store.directory != os.fspath(directory):
+            from ..similarity.store import PersistentPhiCache
+            store = PersistentPhiCache(directory)
+            self._phi_store = store
+        # Warnings from this run's loads/flushes reach this run's
+        # observers; warnings already recorded at open time are replayed
+        # below so late-attached observers still see them once.
+        store.warn = emit.warning if emit is not None else None
+        if not store._opened:
+            store.open()
+            self._phi_store_warned = store.warn is not None
+        elif (emit is not None and store.warnings
+                and not getattr(self, "_phi_store_warned", False)):
+            # The store was opened on an unobserved run — deliver its
+            # open-time warnings to the first observers that show up.
+            for message in store.warnings:
+                emit.warning(message)
+            self._phi_store_warned = True
+        return store
 
     @staticmethod
     def _instrumented(candidate: str, compare: Compare,

@@ -113,6 +113,27 @@ class EngineObserver:
         plan (equational theories) emit nothing.
         """
 
+    def cache_loaded(self, directory: str, entries: int,
+                     segments: int) -> None:
+        """The persistent φ cache was opened for this run.
+
+        ``entries`` is the number of exact scores currently visible
+        (loaded from ``segments`` readable segment files, plus any still
+        pending from an earlier run of the same engine).  Emitted after
+        ``run_started`` whenever persistence is active, even when the
+        directory was empty (``entries == 0`` → a cold start).
+        """
+
+    def cache_flushed(self, directory: str, entries: int,
+                      segments: int) -> None:
+        """The run's new exact φ scores were spilled to disk.
+
+        ``entries`` counts the scores written by this flush (0 when
+        nothing new was recorded or the write failed — failures also
+        produce a ``warning``); ``segments`` is the store's cumulative
+        segments-written count.  Emitted just before ``run_finished``.
+        """
+
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
 
@@ -178,6 +199,14 @@ class ObserverGroup(EngineObserver):
     def comparison_stats(self, candidate, stats):
         for observer in self.observers:
             observer.comparison_stats(candidate, stats)
+
+    def cache_loaded(self, directory, entries, segments):
+        for observer in self.observers:
+            observer.cache_loaded(directory, entries, segments)
+
+    def cache_flushed(self, directory, entries, segments):
+        for observer in self.observers:
+            observer.cache_flushed(directory, entries, segments)
 
     def warning(self, message):
         for observer in self.observers:
@@ -272,6 +301,16 @@ class CounterObserver(EngineObserver):
         merged.merge(stats)
         for name, value in stats.as_dict().items():
             self.counts[name] = self.counts.get(name, 0) + value
+
+    def cache_loaded(self, directory, entries, segments):
+        self._bump("cache_loaded")
+        self.counts["cache_entries_loaded"] = \
+            self.counts.get("cache_entries_loaded", 0) + entries
+
+    def cache_flushed(self, directory, entries, segments):
+        self._bump("cache_flushed")
+        self.counts["cache_entries_flushed"] = \
+            self.counts.get("cache_entries_flushed", 0) + entries
 
     def warning(self, message):
         self._bump("warning")

@@ -90,13 +90,20 @@ class PassTask:
 
 @dataclass
 class PassResult:
-    """What one worker shard produced."""
+    """What one worker shard produced.
+
+    ``phi_entries`` carries the exact φ scores this shard computed that
+    the persistent spill (if any) had not seen yet — the parent records
+    them into its own store so the end-of-run flush persists worker
+    results too.  ``None`` when persistence is off.
+    """
 
     key_index: int
     pairs: set[tuple[int, int]]
     comparisons: int
     filtered: int
     stats: ComparisonStats | None
+    phi_entries: dict[tuple, float] | None = None
 
 
 def run_pass_task(task: PassTask) -> PassResult:
@@ -104,7 +111,9 @@ def run_pass_task(task: PassTask) -> PassResult:
 
     The classifier is unpickled fresh per task, so its stats and
     filtered-comparison counters start at zero and report exactly this
-    shard's work.
+    shard's work.  With a persistent φ cache attached, the worker's
+    read-only shared store collects the shard's new exact scores; they
+    are drained here into the result as the shard's delta.
     """
     comparer = pickle.loads(task.comparer_pickle)
     compare = getattr(comparer, "compare", comparer)
@@ -128,10 +137,13 @@ def run_pass_task(task: PassTask) -> PassResult:
         stats_delta = ComparisonStats(**{
             name: value - stats_before[name]
             for name, value in stats.as_dict().items()})
+    phi_cache = getattr(getattr(comparer, "plan", None), "phi_cache", None)
+    spill = getattr(phi_cache, "spill", None)
+    phi_entries = spill.take_new() if spill is not None else None
     return PassResult(
         key_index=task.key_index, pairs=pairs, comparisons=comparisons,
         filtered=getattr(comparer, "filtered_comparisons", 0) - filtered_before,
-        stats=stats_delta)
+        stats=stats_delta, phi_entries=phi_entries)
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +224,8 @@ class MergeOutcome:
     #: ``(key_index, comparisons, redundant)`` per pass, in merge order.
     per_key: list[tuple[int, int, int]] = field(default_factory=list)
     stats: ComparisonStats | None = None
+    #: Union of the shards' new persistent-φ-cache entries.
+    phi_entries: dict[tuple, float] = field(default_factory=dict)
 
 
 def merge_pass_results(results: list[PassResult],
@@ -240,6 +254,8 @@ def merge_pass_results(results: list[PassResult],
             if outcome.stats is None:
                 outcome.stats = ComparisonStats()
             outcome.stats.merge(result.stats)
+        if result.phi_entries:
+            outcome.phi_entries.update(result.phi_entries)
     if outcome.stats is not None:
         outcome.stats.redundant_comparisons += outcome.redundant
     outcome.per_key = [
@@ -410,6 +426,14 @@ class ParallelWindowStrategy:
             return self._serial.find_pairs(ctx)
 
         outcome = merge_pass_results(results, pairs=ctx.pairs)
+        if outcome.phi_entries:
+            # Workers cannot write the store; their new exact scores are
+            # recorded here so the engine's end-of-run flush keeps them.
+            parent_cache = getattr(getattr(ctx.decider, "plan", None),
+                                   "phi_cache", None)
+            parent_spill = getattr(parent_cache, "spill", None)
+            if parent_spill is not None:
+                parent_spill.record_many(outcome.phi_entries)
         for key_index, comparisons, redundant in outcome.per_key:
             ctx.pass_merged(key_index, comparisons, redundant)
             ctx.pass_finished(key_index, comparisons)

@@ -186,9 +186,14 @@ class _SharedPhiCache:
     Deciders are built per candidate per run, but φ scores depend only
     on ``(phi_name, left, right)`` — sharing the cache across candidates
     and runs is always sound (only exact values are stored).
+
+    The engine may attach a persistent spill store
+    (:meth:`attach_phi_spill`); the cache then consults it on LRU
+    misses and queues new exact scores for the end-of-run flush.
     """
 
     _phi_cache_instance: PhiCache | None = None
+    _phi_spill = None
 
     def phi_cache(self, config: SxnmConfig) -> PhiCache | None:
         size = getattr(config, "phi_cache_size", 0)
@@ -196,9 +201,18 @@ class _SharedPhiCache:
             return None
         cache = self._phi_cache_instance
         if cache is None or cache.maxsize != size:
-            cache = PhiCache(size)
+            cache = PhiCache(size, spill=self._phi_spill)
             self._phi_cache_instance = cache
+        elif cache.spill is not self._phi_spill:
+            cache.spill = self._phi_spill
         return cache
+
+    def attach_phi_spill(self, store) -> None:
+        """Attach (or with ``None``, detach) the persistent spill layer."""
+        self._phi_spill = store
+        cache = self._phi_cache_instance
+        if cache is not None:
+            cache.spill = store
 
 
 class ThresholdPolicy(_SharedPhiCache):
@@ -258,6 +272,11 @@ class TheoryPolicy:
         if theory is None:
             return self.base.decider(spec, config, cluster_sets, od_cache)
         return _TheoryDecider(theory, spec, cluster_sets)
+
+    def attach_phi_spill(self, store) -> None:
+        attach = getattr(self.base, "attach_phi_spill", None)
+        if attach is not None:
+            attach(store)
 
 
 def od_only_spec(spec: CandidateSpec) -> CandidateSpec:

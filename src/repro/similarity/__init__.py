@@ -14,6 +14,8 @@ from .filters import (bag_distance, bag_filter_bound,
 from .plan import (DEFAULT_PHI_CACHE_SIZE, CompiledCondition, ComparisonPlan,
                    ComparisonStats, PhiCache, PlanField, PlanOutcome)
 from .soundex import soundex
+from .store import (PersistentPhiCache, open_shared_store, phi_fingerprint,
+                    reset_shared_stores)
 from .tokens import (dice_coefficient, jaccard, lcs_similarity,
                      longest_common_subsequence, multiset_jaccard,
                      ngram_similarity, ngrams, overlap_coefficient,
@@ -57,6 +59,10 @@ __all__ = [
     "numeric_similarity",
     "overlap_coefficient",
     "parse_number",
+    "PersistentPhiCache",
+    "open_shared_store",
+    "phi_fingerprint",
+    "reset_shared_stores",
     "register_similarity",
     "reset_registry",
     "soundex",

@@ -77,6 +77,8 @@ class ComparisonStats:
     filter_short_circuits: int = 0  # per-field filter/banded-DP truncations
     phi_cache_hits: int = 0
     phi_cache_misses: int = 0
+    phi_cache_disk_hits: int = 0   # hits served from the persistent spill
+    phi_cache_spilled: int = 0     # exact scores newly queued for disk
     edit_full_evals: int = 0       # full DP runs of filterable (edit-like) φs
     edit_bounded_evals: int = 0    # banded DP runs
     redundant_comparisons: int = 0  # pairs re-confirmed by parallel shards
@@ -91,6 +93,8 @@ class ComparisonStats:
             "filter_short_circuits": self.filter_short_circuits,
             "phi_cache_hits": self.phi_cache_hits,
             "phi_cache_misses": self.phi_cache_misses,
+            "phi_cache_disk_hits": self.phi_cache_disk_hits,
+            "phi_cache_spilled": self.phi_cache_spilled,
             "edit_full_evals": self.edit_full_evals,
             "edit_bounded_evals": self.edit_bounded_evals,
             "redundant_comparisons": self.redundant_comparisons,
@@ -123,47 +127,94 @@ class PhiCache:
     Only *exact* scores are ever stored; truncated bounds from pruned
     evaluations never enter the cache, so a cached value is always safe
     to reuse under any threshold.
+
+    An optional ``spill`` (a
+    :class:`repro.similarity.store.PersistentPhiCache`) extends the memo
+    across runs: LRU misses consult the spill (``from_disk`` flags the
+    last :meth:`get` that was served from it, counted as
+    ``phi_cache_disk_hits``), and every exact score is queued there for
+    the engine's end-of-run flush.
     """
 
-    __slots__ = ("maxsize", "_entries", "hits", "misses")
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "disk_hits",
+                 "spill", "from_disk")
 
-    def __init__(self, maxsize: int = DEFAULT_PHI_CACHE_SIZE):
+    def __init__(self, maxsize: int = DEFAULT_PHI_CACHE_SIZE, spill=None):
         if maxsize <= 0:
             raise ValueError("phi cache size must be positive")
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, float] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.spill = spill
+        self.from_disk = False
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: tuple) -> float | None:
+        self.from_disk = False
         value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        if value is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        if self.spill is not None:
+            value = self.spill.lookup(key)
+            if value is not None:
+                # Promote into the LRU so repeats stay dict-cheap.
+                self.put(key, value)
+                self.hits += 1
+                self.disk_hits += 1
+                self.from_disk = True
+                return value
+        self.misses += 1
+        return None
 
-    def put(self, key: tuple, value: float) -> None:
+    def put(self, key: tuple, value: float) -> bool:
+        """Store one exact score; ``True`` iff it was newly spilled."""
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
         entries[key] = value
         if len(entries) > self.maxsize:
             entries.popitem(last=False)
+        if self.spill is not None:
+            return self.spill.record(key, value)
+        return False
 
     def clear(self) -> None:
+        """Drop the entries *and* the hit/miss counters (a cleared cache
+        reports like a fresh one; the spill is not touched)."""
         self._entries.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without dropping entries."""
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.from_disk = False
 
     def __reduce__(self):
         # Pickle as an *empty* cache of the same capacity.  The cache is
         # a pure memo — shipping its entries to worker processes would
         # copy up to ``maxsize`` strings per task without changing any
-        # result, so cross-process copies start cold instead.
-        return (self.__class__, (self.maxsize,))
+        # result, so cross-process copies start cold instead.  A spill
+        # directory travels as its path; the worker reopens it read-only
+        # through the per-process shared-store memo.
+        directory = self.spill.directory if self.spill is not None else None
+        return (_restore_phi_cache, (self.maxsize, directory))
+
+
+def _restore_phi_cache(maxsize: int, spill_directory: str | None) -> PhiCache:
+    """Unpickle helper: rebuild a cold cache, reattaching the spill."""
+    spill = None
+    if spill_directory is not None:
+        from .store import open_shared_store
+        spill = open_shared_store(spill_directory)
+    return PhiCache(maxsize, spill=spill)
 
 
 # ---------------------------------------------------------------------------
@@ -336,8 +387,8 @@ class ComparisonPlan:
         value = f.phi(left, right)
         if f.filterable:
             self.stats.edit_full_evals += 1
-        if key is not None:
-            self.phi_cache.put(key, value)
+        if key is not None and self.phi_cache.put(key, value):
+            self.stats.phi_cache_spilled += 1
         return value
 
     def _evaluate_field(self, f: _CompiledField, left: str, right: str,
@@ -357,6 +408,8 @@ class ComparisonPlan:
             cached = self.phi_cache.get(key)
             if cached is not None:
                 stats.phi_cache_hits += 1
+                if self.phi_cache.from_disk:
+                    stats.phi_cache_disk_hits += 1
                 return cached, True
             stats.phi_cache_misses += 1
         bounded = f.traits.bounded
@@ -364,8 +417,8 @@ class ComparisonPlan:
             value, exact = bounded(left, right, min(floor_hint, 1.0))
             stats.edit_bounded_evals += 1
             if exact:
-                if key is not None:
-                    self.phi_cache.put(key, value)
+                if key is not None and self.phi_cache.put(key, value):
+                    stats.phi_cache_spilled += 1
                 return value, True
             stats.filter_short_circuits += 1
             return value, False
@@ -527,13 +580,15 @@ class CompiledCondition:
             cached = self.phi_cache.get(key)
             if cached is not None:
                 stats.phi_cache_hits += 1
+                if self.phi_cache.from_disk:
+                    stats.phi_cache_disk_hits += 1
                 return cached
             stats.phi_cache_misses += 1
         value = self.phi(left, right)
         if self.filterable:
             stats.edit_full_evals += 1
-        if key is not None:
-            self.phi_cache.put(key, value)
+        if key is not None and self.phi_cache.put(key, value):
+            stats.phi_cache_spilled += 1
         return value
 
     def holds(self, left: str, right: str) -> bool:
@@ -555,14 +610,16 @@ class CompiledCondition:
                 if cached is not None:
                     stats.fields_evaluated += 1
                     stats.phi_cache_hits += 1
+                    if self.phi_cache.from_disk:
+                        stats.phi_cache_disk_hits += 1
                     return cached >= self.at_least
                 stats.phi_cache_misses += 1
             stats.fields_evaluated += 1
             value, exact = bounded(left, right, min(self.at_least, 1.0))
             stats.edit_bounded_evals += 1
             if exact:
-                if key is not None:
-                    self.phi_cache.put(key, value)
+                if key is not None and self.phi_cache.put(key, value):
+                    stats.phi_cache_spilled += 1
                 return value >= self.at_least
             if value < self.at_least:
                 stats.filter_short_circuits += 1
@@ -570,7 +627,7 @@ class CompiledCondition:
             # Float-boundary corner — resolve with the full φ.
             value = self.phi(left, right)
             stats.edit_full_evals += 1
-            if key is not None:
-                self.phi_cache.put(key, value)
+            if key is not None and self.phi_cache.put(key, value):
+                stats.phi_cache_spilled += 1
             return value >= self.at_least
         return self.similarity(left, right) >= self.at_least

@@ -33,6 +33,23 @@ class TestValidateConfig:
         config.phi_cache_size = 0  # 0 = disabled, still valid
         assert validate_config(config) == []
 
+    def test_empty_phi_cache_dir_rejected(self):
+        config = valid_config()
+        config.phi_cache_dir = "   "
+        problems = validate_config(config)
+        assert any("phi cache dir" in p for p in problems)
+        config.phi_cache_dir = "/tmp/phicache"
+        assert validate_config(config) == []
+
+    def test_phi_cache_dir_requires_memo_capacity(self):
+        # The disk spill hangs off the in-memory memo: a directory with
+        # a zero-sized memo could never be consulted.
+        config = valid_config()
+        config.phi_cache_dir = "/tmp/phicache"
+        config.phi_cache_size = 0
+        problems = validate_config(config)
+        assert any("positive phi cache size" in p for p in problems)
+
     def test_relevance_sum_checked(self):
         config = SxnmConfig()
         config.add(CandidateSpec.build(

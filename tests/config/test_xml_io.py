@@ -127,6 +127,27 @@ class TestRoundTrip:
         config = load_config(CONFIG_XML)
         assert config.use_filters is False
         assert config.phi_cache_size == DEFAULT_PHI_CACHE_SIZE
+        assert config.phi_cache_dir is None
+        assert config.phi_cache_persist is True
+
+    def test_phi_cache_dir_round_trip(self):
+        xml = CONFIG_XML.replace(
+            'odThreshold="0.65"',
+            'odThreshold="0.65" phiCacheDir="/tmp/phicache" '
+            'phiCachePersist="false"')
+        config = load_config(xml)
+        assert config.phi_cache_dir == "/tmp/phicache"
+        assert config.phi_cache_persist is False
+        reloaded = load_config(dump_config(config))
+        assert reloaded.phi_cache_dir == "/tmp/phicache"
+        assert reloaded.phi_cache_persist is False
+
+    def test_phi_cache_dir_omitted_when_unset(self):
+        # No phiCacheDir attribute appears in a dump unless configured,
+        # and phiCachePersist only materializes when disabled.
+        text = dump_config(load_config(CONFIG_XML))
+        assert "phiCacheDir" not in text
+        assert "phiCachePersist" not in text
 
     def test_programmatic_config_dumps(self):
         config = SxnmConfig()

@@ -505,3 +505,50 @@ class TestParallelDetectionGolden:
         for name, (pairs, _, _, clusters) in reference.items():
             assert result.outcomes[name].pairs == pairs
             assert partition(result.outcomes[name].cluster_set) == clusters
+
+
+class TestWarmCacheGolden:
+    """Persistent-φ-cache detection is bit-identical to cacheless detection.
+
+    Each of the five detector configurations runs twice against the
+    *same* persistent cache directory — run 1 cold (it writes the
+    segment), run 2 warm (it serves every exact φ from disk) — plus a
+    no-cache baseline.  All three must agree exactly on pairs,
+    comparison counts, and cluster partitions, and the warm run must
+    actually hit the disk (otherwise this test guards nothing).
+    """
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+    def test_movies(self, movies, kwargs, tmp_path):
+        config = dataset1_config()
+        common = dict(
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+        cache_dir = str(tmp_path / "phi-cache")
+        baseline = SxnmDetector(config, **common).run(movies, window=6)
+        cold = SxnmDetector(dataset1_config(), phi_cache_dir=cache_dir,
+                            **common).run(movies, window=6)
+        warm = SxnmDetector(dataset1_config(), phi_cache_dir=cache_dir,
+                            **common).run(movies, window=6)
+        for name, outcome in baseline.outcomes.items():
+            for run in (cold, warm):
+                other = run.outcomes[name]
+                assert other.pairs == outcome.pairs
+                assert other.comparisons == outcome.comparisons
+                assert (partition(other.cluster_set)
+                        == partition(outcome.cluster_set))
+        cold_stats = [o.compare_stats for o in cold.outcomes.values()
+                      if o.compare_stats is not None]
+        warm_stats = [o.compare_stats for o in warm.outcomes.values()
+                      if o.compare_stats is not None]
+        assert sum(s.phi_cache_spilled for s in cold_stats) > 0
+        assert sum(s.phi_cache_disk_hits for s in warm_stats) > 0
+        assert sum(s.phi_cache_spilled for s in warm_stats) == 0

@@ -52,6 +52,12 @@ class RecordingObserver(EngineObserver):
     def comparison_stats(self, candidate, stats):
         self.events.append(("comparison_stats", candidate, stats))
 
+    def cache_loaded(self, directory, entries, segments):
+        self.events.append(("cache_loaded", directory, entries, segments))
+
+    def cache_flushed(self, directory, entries, segments):
+        self.events.append(("cache_flushed", directory, entries, segments))
+
     def warning(self, message):
         self.events.append(("warning", message))
 
@@ -257,4 +263,59 @@ class TestBuiltInObservers:
         for name in plain.outcomes:
             assert observed.pairs(name) == plain.pairs(name)
             assert (observed.outcomes[name].comparisons
+                    == plain.outcomes[name].comparisons)
+
+
+class TestCacheEvents:
+    """cache_loaded / cache_flushed bracket every persistent-cache run."""
+
+    def test_no_cache_means_no_cache_events(self):
+        events, _, _ = run_recorded()
+        assert not any(event[0].startswith("cache_") for event in events)
+
+    def test_cold_run_emits_loaded_then_flushed(self, tmp_path):
+        events, _, _ = run_recorded(phi_cache_dir=str(tmp_path))
+        cache_events = [event for event in events
+                        if event[0].startswith("cache_")]
+        assert [event[0] for event in cache_events] \
+            == ["cache_loaded", "cache_flushed"]
+        loaded, flushed = cache_events
+        assert loaded[1] == flushed[1] == str(tmp_path)
+        assert loaded[2] == 0          # cold: nothing on disk yet
+        assert flushed[2] > 0          # the run's scores were spilled
+        # cache_loaded comes right after run_started; cache_flushed
+        # right before run_finished.
+        assert events.index(loaded) == 1
+        assert events.index(flushed) == len(events) - 2
+
+    def test_warm_run_loads_what_the_cold_run_flushed(self, tmp_path):
+        cold, _, _ = run_recorded(phi_cache_dir=str(tmp_path))
+        flushed = next(event for event in cold
+                       if event[0] == "cache_flushed")
+        warm, _, _ = run_recorded(phi_cache_dir=str(tmp_path))
+        loaded = next(event for event in warm
+                      if event[0] == "cache_loaded")
+        assert loaded[2] == flushed[2]
+        assert next(event for event in warm
+                    if event[0] == "cache_flushed")[2] == 0
+
+    def test_counter_observer_accumulates_cache_counts(self, tmp_path):
+        counter = CounterObserver()
+        detector = SxnmDetector(movie_config(),
+                                phi_cache_dir=str(tmp_path),
+                                observers=[counter])
+        detector.run(MOVIES_XML)
+        detector.run(MOVIES_XML)
+        assert counter.counts["cache_loaded"] == 2
+        assert counter.counts["cache_flushed"] == 2
+        assert counter.counts["cache_entries_loaded"] > 0
+        assert counter.counts["cache_entries_flushed"] > 0
+
+    def test_persistent_cache_results_equal_unobserved(self, tmp_path):
+        cached = SxnmDetector(movie_config(),
+                              phi_cache_dir=str(tmp_path)).run(MOVIES_XML)
+        plain = SxnmDetector(movie_config()).run(MOVIES_XML)
+        for name in plain.outcomes:
+            assert cached.pairs(name) == plain.pairs(name)
+            assert (cached.outcomes[name].comparisons
                     == plain.outcomes[name].comparisons)

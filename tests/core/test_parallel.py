@@ -348,3 +348,49 @@ class TestPhiCachePickling:
         assert clone.maxsize == 128
         assert len(clone) == 0
         assert clone.hits == 0
+
+
+class TestParallelPersistentCache:
+    """Worker φ deltas travel back to the parent and persist."""
+
+    def test_parallel_cold_run_flushes_worker_scores(self, tmp_path):
+        counter = CounterObserver()
+        result = SxnmDetector(small_config(),
+                              workers=2,
+                              phi_cache_dir=str(tmp_path),
+                              observers=[counter]).run(MOVIES_XML)
+        serial = SxnmDetector(small_config()).run(MOVIES_XML)
+        assert result.pairs("movie") == serial.pairs("movie")
+        # The exact scores computed inside worker processes were drained
+        # as deltas, merged by the parent, and flushed at run end.
+        assert counter.counts.get("cache_flushed") == 1
+        assert counter.counts.get("cache_entries_flushed", 0) > 0
+
+    def test_warm_run_after_parallel_cold_run_hits_disk(self, tmp_path):
+        SxnmDetector(small_config(), workers=2,
+                     phi_cache_dir=str(tmp_path)).run(MOVIES_XML)
+
+        warm = SxnmDetector(small_config(),
+                            phi_cache_dir=str(tmp_path)).run(MOVIES_XML)
+        serial = SxnmDetector(small_config()).run(MOVIES_XML)
+        assert warm.pairs("movie") == serial.pairs("movie")
+        stats = warm.outcomes["movie"].compare_stats
+        assert stats.phi_cache_disk_hits > 0
+        assert stats.phi_cache_misses == 0  # fully served from disk
+        assert stats.phi_cache_spilled == 0
+
+    def test_parallel_warm_run_loads_in_workers(self, tmp_path):
+        SxnmDetector(small_config(), workers=2,
+                     phi_cache_dir=str(tmp_path)).run(MOVIES_XML)
+
+        counter = CounterObserver()
+        warm = SxnmDetector(small_config(), workers=2,
+                            phi_cache_dir=str(tmp_path),
+                            observers=[counter]).run(MOVIES_XML)
+        serial = SxnmDetector(small_config()).run(MOVIES_XML)
+        assert warm.pairs("movie") == serial.pairs("movie")
+        # Workers served their comparisons from the shared read-only
+        # store, so the parent had nothing new to flush.
+        assert counter.counts.get("cache_entries_flushed", 0) == 0
+        stats = warm.outcomes["movie"].compare_stats
+        assert stats.phi_cache_disk_hits > 0

@@ -44,6 +44,32 @@ class TestDetect:
         wide = capsys.readouterr().out
         assert narrow != wide
 
+    def test_phi_cache_dir_warm_run_same_clusters(self, workspace, capsys):
+        tmp_path, config, data = workspace
+        cache = str(tmp_path / "phicache")
+        assert main(["detect", "-c", config, data]) == 0
+        baseline = capsys.readouterr().out
+
+        assert main(["detect", "-c", config, data, "--progress",
+                     "--phi-cache-dir", cache]) == 0
+        cold, cold_progress = capsys.readouterr()
+        assert "phi cache: loaded 0 entries" in cold_progress
+        assert "phi cache: flushed" in cold_progress
+
+        assert main(["detect", "-c", config, data, "--progress",
+                     "--phi-cache-dir", cache]) == 0
+        warm, warm_progress = capsys.readouterr()
+        assert "phi cache: loaded" in warm_progress
+        assert "phi cache: loaded 0 entries" not in warm_progress
+        assert "phi cache: flushed 0 new entries" in warm_progress
+
+        def clusters(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("candidate", "  eids"))]
+
+        assert clusters(cold) == clusters(baseline)
+        assert clusters(warm) == clusters(baseline)
+
 
 class TestDedup:
     def test_writes_smaller_document(self, workspace, capsys):

@@ -71,6 +71,36 @@ class TestPhiCache:
         with pytest.raises(ValueError):
             PhiCache(0)
 
+    def test_clear_resets_counters(self):
+        # Regression: clear() used to drop the entries but keep stale
+        # hit/miss counters, so a cleared cache reported history it no
+        # longer had.
+        cache = PhiCache(8)
+        cache.get(("edit", "x", "y"))
+        cache.put(("edit", "x", "y"), 0.5)
+        cache.get(("edit", "x", "y"))
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.disk_hits) == (0, 0, 0)
+
+    def test_reset_stats_keeps_entries(self):
+        cache = PhiCache(8)
+        cache.put(("edit", "x", "y"), 0.5)
+        cache.get(("edit", "x", "y"))
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.get(("edit", "x", "y")) == 0.5  # entry survived
+
+    def test_pickles_as_empty_cache(self):
+        import pickle
+        cache = PhiCache(16)
+        cache.put(("edit", "x", "y"), 0.5)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.maxsize == 16
+        assert len(clone) == 0
+        assert clone.spill is None
+
 
 class TestPlanScore:
     def test_bitwise_equal_to_naive_loop(self):
