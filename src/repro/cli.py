@@ -67,8 +67,11 @@ class ProgressObserver(EngineObserver):
                    f"TC {outcome.closure_seconds:.3f}s)")
 
     def comparison_stats(self, candidate, stats):
+        batched = (f"{stats.batched_pairs} batched, "
+                   if stats.batched_pairs else "")
         self._line(
             f"candidate {candidate}: comparison plane: "
+            f"{batched}"
             f"{stats.pairs_prefiltered} prefiltered, "
             f"{stats.pairs_pruned} pruned mid-pair, "
             f"{stats.edit_full_evals} full edit DPs, "
@@ -115,7 +118,9 @@ class TraceObserver(EngineObserver):
               f"cache-disk-hits={stats.phi_cache_disk_hits} "
               f"cache-spilled={stats.phi_cache_spilled} "
               f"edit-full={stats.edit_full_evals} "
-              f"edit-banded={stats.edit_bounded_evals}",
+              f"edit-banded={stats.edit_bounded_evals} "
+              f"batched={stats.batched_pairs} "
+              f"batch-drops={stats.batch_prefilter_drops}",
               file=self.stream, flush=True)
 
 
@@ -151,9 +156,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     if getattr(args, "trace", False):
         observers.append(TraceObserver())
     use_filters = True if getattr(args, "filters", False) else None
+    batch_compare = True if getattr(args, "batch", False) else None
     result = SxnmDetector(config, use_filters=use_filters,
                           workers=getattr(args, "workers", None),
                           phi_cache_dir=getattr(args, "phi_cache_dir", None),
+                          batch_compare=batch_compare,
                           observers=observers).run(
         document, window=args.window, gk=gk)
     lines = []
@@ -340,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(identical results; repeated detections skip "
                              "recomputing edit distances); default: the "
                              "configuration's 'phiCacheDir' attribute")
+    detect.add_argument("--batch", action="store_true",
+                        help="classify each window block of pairs in one "
+                             "batched call over the comparison plane "
+                             "(shared per-string artifacts, column-wise "
+                             "prefilters, reused DP rows); identical pairs "
+                             "and clusters; default: the configuration's "
+                             "'batchCompare' attribute")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

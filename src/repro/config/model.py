@@ -213,9 +213,12 @@ class SxnmConfig:
     candidates with fewer than ``parallel_min_rows`` GK rows, which stay
     serial.  ``phi_cache_dir`` names a directory where exact φ scores
     persist *across* runs (``None`` keeps the memo in-memory only) and
-    ``phi_cache_persist`` gates it without forgetting the path.  None of
-    these knobs changes detected duplicates — only how much work
-    comparisons cost and where they run.
+    ``phi_cache_persist`` gates it without forgetting the path.
+    ``batch_compare`` classifies each window block of pairs in one
+    batched call over the comparison plane (per-string artifacts,
+    column-wise prefilters, shared DP rows) instead of pair by pair.
+    None of these knobs changes detected duplicates — only how much
+    work comparisons cost and where they run.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -229,6 +232,7 @@ class SxnmConfig:
     phi_cache_persist: bool = True
     workers: int = DEFAULT_WORKERS
     parallel_min_rows: int = DEFAULT_PARALLEL_MIN_ROWS
+    batch_compare: bool = False
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

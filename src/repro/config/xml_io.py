@@ -161,6 +161,8 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     parallel_min_rows = _get_int(root, "parallelMinRows")
     if parallel_min_rows is not None:
         config.parallel_min_rows = parallel_min_rows
+    config.batch_compare = _get_bool(root, "batchCompare",
+                                     config.batch_compare)
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -225,6 +227,7 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         "phiCacheSize": str(config.phi_cache_size),
         "workers": str(config.workers),
         "parallelMinRows": str(config.parallel_min_rows),
+        "batchCompare": "true" if config.batch_compare else "false",
     })
     if config.phi_cache_dir is not None:
         root.set("phiCacheDir", config.phi_cache_dir)

@@ -82,6 +82,15 @@ class SxnmDetector:
         are bit-identical with or without it.  ``None`` (default) defers
         to ``config.phi_cache_dir``; damaged or unwritable directories
         warn via observers and run cold.
+    batch_compare:
+        Classify each window block of candidate pairs in one batched
+        call over the comparison plane (``repro.similarity.batch``):
+        per-string artifacts are computed once per distinct string,
+        the length/bag prefilters run column-wise over the block, and
+        surviving pairs share Levenshtein DP rows.  Pairs, clusters,
+        and every non-batch stats counter are bit-identical to the
+        pair-at-a-time path.  ``None`` (default) defers to
+        ``config.batch_compare``.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -95,6 +104,7 @@ class SxnmDetector:
                  duplicate_elimination: bool = False,
                  workers: int | None = None,
                  phi_cache_dir: str | None = None,
+                 batch_compare: bool | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -108,6 +118,9 @@ class SxnmDetector:
         if phi_cache_dir is not None:
             config.phi_cache_dir = phi_cache_dir
         self.phi_cache_dir = getattr(config, "phi_cache_dir", None)
+        if batch_compare is not None:
+            config.batch_compare = batch_compare
+        self.batch_compare = getattr(config, "batch_compare", False)
 
         if self.workers > 1:
             neighborhood = ParallelWindowStrategy(

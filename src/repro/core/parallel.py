@@ -74,7 +74,10 @@ class PassTask:
     the full :func:`~repro.core.window.de_window_pass` (equal-key groups
     may span any segment boundary, so DE passes shard per key only).
     ``comparer_pickle`` is the pre-pickled pair classifier — pickled
-    once in the parent instead of once per task.
+    once in the parent instead of once per task.  ``batch`` asks the
+    worker to classify through the comparer's ``compare_block`` (the
+    batched plane) when it has one; results are bit-identical either
+    way, only the batch counters differ.
     """
 
     candidate: str
@@ -86,6 +89,7 @@ class PassTask:
     key_count: int
     od_count: int
     comparer_pickle: bytes
+    batch: bool = False
 
 
 @dataclass
@@ -117,19 +121,23 @@ def run_pass_task(task: PassTask) -> PassResult:
     """
     comparer = pickle.loads(task.comparer_pickle)
     compare = getattr(comparer, "compare", comparer)
+    compare_block = (getattr(comparer, "compare_block", None)
+                     if task.batch else None)
     filtered_before = getattr(comparer, "filtered_comparisons", 0)
     stats = getattr(comparer, "stats", None)
     stats_before = stats.as_dict() if stats is not None else None
     pairs: set[tuple[int, int]] = set()
     if task.mode == "window":
         comparisons = segment_window_pass(task.rows, task.window, compare,
-                                          pairs, start=task.start)
+                                          pairs, start=task.start,
+                                          compare_block=compare_block)
     elif task.mode == "de":
         table = GkTable(task.candidate, task.key_count, task.od_count)
         for row in task.rows:
             table.add(row)
         comparisons = de_window_pass(table, task.key_index, task.window,
-                                     compare, pairs)
+                                     compare, pairs,
+                                     compare_block=compare_block)
     else:
         raise ValueError(f"unknown pass task mode {task.mode!r}")
     stats_delta = None
@@ -184,7 +192,8 @@ def segment_bounds(row_count: int, segments: int) -> list[tuple[int, int]]:
 def build_pass_tasks(table: GkTable, window: int, key_indices: list[int],
                      duplicate_elimination: bool, workers: int,
                      comparer_pickle: bytes,
-                     segments_per_pass: int | None = None) -> list[PassTask]:
+                     segments_per_pass: int | None = None,
+                     batch: bool = False) -> list[PassTask]:
     """All shards for one candidate, grouped by key in pass order."""
     tasks: list[PassTask] = []
     for key_index in key_indices:
@@ -193,7 +202,7 @@ def build_pass_tasks(table: GkTable, window: int, key_indices: list[int],
                 candidate=table.candidate_name, mode="de",
                 key_index=key_index, window=window, rows=list(table),
                 start=0, key_count=table.key_count, od_count=table.od_count,
-                comparer_pickle=comparer_pickle))
+                comparer_pickle=comparer_pickle, batch=batch))
             continue
         ordered = table.sorted_by_key(key_index)
         segments = plan_segments(len(ordered), len(key_indices), workers,
@@ -205,7 +214,7 @@ def build_pass_tasks(table: GkTable, window: int, key_indices: list[int],
                 key_index=key_index, window=window,
                 rows=ordered[first:high], start=low - first,
                 key_count=table.key_count, od_count=table.od_count,
-                comparer_pickle=comparer_pickle))
+                comparer_pickle=comparer_pickle, batch=batch))
     return tasks
 
 
@@ -401,7 +410,8 @@ class ParallelWindowStrategy:
         tasks = build_pass_tasks(
             ctx.table, ctx.window, ctx.key_indices,
             self.duplicate_elimination, workers, comparer_pickle,
-            segments_per_pass=self.segments_per_pass)
+            segments_per_pass=self.segments_per_pass,
+            batch=ctx.compare_block is not None)
         pool = (self.executor if self.executor is not None
                 else shared_executor(workers))
         futures = []

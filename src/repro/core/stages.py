@@ -62,6 +62,11 @@ class CandidateContext:
     :class:`PairDecider` the decision policy built.  Strategies that
     ship comparisons to other processes pickle ``decider`` — the
     instrumented ``compare`` closure cannot travel.
+
+    ``compare_block`` is the batched classifier (``batchCompare``): one
+    call per anchor block, verdicts in pair order, results bit-identical
+    to ``compare``.  ``None`` when batching is off or the decider has no
+    block form; strategies fall back to ``compare`` pair by pair.
     """
 
     node: CandidateNode
@@ -76,6 +81,8 @@ class CandidateContext:
     cluster_sets: dict[str, ClusterSet]
     emit: ObserverGroup | None = None
     decider: PairDecider | None = None
+    compare_block: Callable[[list[tuple[GkRow, GkRow]]],
+                            list[PairVerdict]] | None = None
 
     def pass_started(self, key_index: int) -> None:
         if self.emit is not None:
@@ -338,10 +345,12 @@ class FixedWindowStrategy:
             ctx.pass_started(key_index)
             if self.duplicate_elimination:
                 comparisons = de_window_pass(ctx.table, key_index, ctx.window,
-                                             ctx.compare, ctx.pairs)
+                                             ctx.compare, ctx.pairs,
+                                             compare_block=ctx.compare_block)
             else:
                 comparisons = window_pass(ctx.table, key_index, ctx.window,
-                                          ctx.compare, ctx.pairs)
+                                          ctx.compare, ctx.pairs,
+                                          compare_block=ctx.compare_block)
             ctx.pass_finished(key_index, comparisons)
             total += comparisons
         return NeighborhoodOutcome(total)
@@ -464,6 +473,26 @@ class ParentGroupedStrategy:
         ordered = sorted(rows, key=lambda row: (row.keys[key_index], row.eid))
         for index, row in enumerate(ordered):
             start = max(0, index - ctx.window + 1)
+            if ctx.compare_block is not None:
+                # Same anchor-block shape as the bottom-up window —
+                # pairs within one anchor's block are distinct, so the
+                # batched call is equivalent (see window._compare_window_block).
+                block = []
+                block_pairs = []
+                for other_index in range(start, index):
+                    other = ordered[other_index]
+                    pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+                    if pair in ctx.pairs:
+                        continue
+                    block.append((other, row))
+                    block_pairs.append(pair)
+                comparisons += len(block)
+                if block:
+                    verdicts = ctx.compare_block(block)
+                    for pair, verdict in zip(block_pairs, verdicts):
+                        if verdict.is_duplicate:
+                            ctx.pairs.add(pair)
+                continue
             for other_index in range(start, index):
                 other = ordered[other_index]
                 pair = (min(other.eid, row.eid), max(other.eid, row.eid))

@@ -13,17 +13,55 @@ from ..similarity import filtered_edit_similarity, levenshtein_similarity
 from .gk import GkRow, GkTable
 from .simmeasure import PairVerdict
 
+#: Batched classifier: one call for a block of pairs, verdicts in order.
+CompareBlock = Callable[[list[tuple[GkRow, GkRow]]], list[PairVerdict]]
+
+
+def _compare_window_block(row: GkRow, ordered: list[GkRow], start: int,
+                          index: int, pairs: set[tuple[int, int]],
+                          compare_block: CompareBlock,
+                          skip_known: bool = True) -> int:
+    """Compare one anchor row against its window block in a single call.
+
+    Equivalent to the pair-at-a-time loop: the anchor's window pairs
+    all share the anchor eid and have distinct predecessor eids, so no
+    pair confirmed inside the block could have been skipped by a
+    mid-block ``skip_known`` check — deferring the checks to block
+    build time changes nothing.  Returns the comparison count.
+    """
+    block: list[tuple[GkRow, GkRow]] = []
+    block_pairs: list[tuple[int, int]] = []
+    for other_index in range(start, index):
+        other = ordered[other_index]
+        pair = (min(other.eid, row.eid), max(other.eid, row.eid))
+        if skip_known and pair in pairs:
+            continue
+        block.append((other, row))
+        block_pairs.append(pair)
+    if not block:
+        return 0
+    for pair, verdict in zip(block_pairs, compare_block(block)):
+        if verdict.is_duplicate:
+            pairs.add(pair)
+    return len(block)
+
 
 def window_pass(table: GkTable, key_index: int, window: int,
                 compare: Callable[[GkRow, GkRow], PairVerdict],
                 pairs: set[tuple[int, int]],
-                skip_known: bool = True) -> int:
+                skip_known: bool = True,
+                compare_block: CompareBlock | None = None) -> int:
     """One sliding-window pass; returns the number of comparisons made.
 
     Confirmed duplicate eid pairs are added to ``pairs`` (smaller eid
     first).  With ``skip_known`` (default), pairs already confirmed by an
     earlier pass are not re-compared — the multi-pass method unions pair
     sets, so re-confirming is pure waste.
+
+    With ``compare_block``, each anchor row's window of predecessors is
+    classified in one batched call instead of pair by pair — identical
+    pairs and verdicts (see :func:`_compare_window_block`), amortized
+    per-string work.
     """
     if window < 2:
         raise ValueError("window size must be >= 2")
@@ -31,6 +69,11 @@ def window_pass(table: GkTable, key_index: int, window: int,
     comparisons = 0
     for index, row in enumerate(ordered):
         start = max(0, index - window + 1)
+        if compare_block is not None:
+            comparisons += _compare_window_block(
+                row, ordered, start, index, pairs, compare_block,
+                skip_known=skip_known)
+            continue
         for other_index in range(start, index):
             other = ordered[other_index]
             pair = (min(other.eid, row.eid), max(other.eid, row.eid))
@@ -44,7 +87,8 @@ def window_pass(table: GkTable, key_index: int, window: int,
 
 def de_window_pass(table: GkTable, key_index: int, window: int,
                    compare: Callable[[GkRow, GkRow], PairVerdict],
-                   pairs: set[tuple[int, int]]) -> int:
+                   pairs: set[tuple[int, int]],
+                   compare_block: CompareBlock | None = None) -> int:
     """Duplicate-elimination window pass (DE-SNM idea, paper Sec. 5).
 
     Rows sharing an identical non-empty key are handled first: each group
@@ -81,6 +125,24 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
         if len(group) < 2:
             continue
         anchor = group[0]
+        if compare_block is not None:
+            # One block per equal-key group: the anchor repeats, member
+            # eids are distinct — same deferred-skip argument as the
+            # window blocks.
+            block = []
+            block_pairs = []
+            for row in group[1:]:
+                pair = (min(anchor.eid, row.eid), max(anchor.eid, row.eid))
+                if pair in pairs:
+                    continue
+                block.append((anchor, row))
+                block_pairs.append(pair)
+            comparisons += len(block)
+            if block:
+                for pair, verdict in zip(block_pairs, compare_block(block)):
+                    if verdict.is_duplicate:
+                        pairs.add(pair)
+            continue
         for row in group[1:]:
             pair = (min(anchor.eid, row.eid), max(anchor.eid, row.eid))
             if pair in pairs:
@@ -91,6 +153,10 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
 
     for index, row in enumerate(ordered):
         start = max(0, index - window + 1)
+        if compare_block is not None:
+            comparisons += _compare_window_block(
+                row, ordered, start, index, pairs, compare_block)
+            continue
         for other_index in range(start, index):
             other = ordered[other_index]
             pair = (min(other.eid, row.eid), max(other.eid, row.eid))
@@ -162,7 +228,8 @@ def adaptive_window_pass(table: GkTable, key_index: int,
 def segment_window_pass(ordered: list[GkRow], window: int,
                         compare: Callable[[GkRow, GkRow], PairVerdict],
                         pairs: set[tuple[int, int]],
-                        start: int = 0) -> int:
+                        start: int = 0,
+                        compare_block: CompareBlock | None = None) -> int:
     """Sliding-window comparisons over one contiguous segment of a pass.
 
     ``ordered`` is a slice of a key-sorted row list.  The first ``start``
@@ -180,7 +247,12 @@ def segment_window_pass(ordered: list[GkRow], window: int,
     comparisons = 0
     for index in range(max(start, 0), len(ordered)):
         row = ordered[index]
-        for other_index in range(max(0, index - window + 1), index):
+        window_start = max(0, index - window + 1)
+        if compare_block is not None:
+            comparisons += _compare_window_block(
+                row, ordered, window_start, index, pairs, compare_block)
+            continue
+        for other_index in range(window_start, index):
             other = ordered[other_index]
             pair = (min(other.eid, row.eid), max(other.eid, row.eid))
             if pair in pairs:
@@ -195,11 +267,13 @@ def multipass(table: GkTable, window: int,
               compare: Callable[[GkRow, GkRow], PairVerdict],
               key_indices: list[int] | None = None,
               duplicate_elimination: bool = False,
+              compare_block: CompareBlock | None = None,
               ) -> tuple[set[tuple[int, int]], int]:
     """Run one window pass per key; returns (pairs, total comparisons).
 
     With ``duplicate_elimination`` each pass uses :func:`de_window_pass`
-    instead of the plain window.
+    instead of the plain window.  ``compare_block`` batches each pass's
+    anchor blocks (same pairs, amortized per-string work).
     """
     pairs: set[tuple[int, int]] = set()
     comparisons = 0
@@ -207,8 +281,8 @@ def multipass(table: GkTable, window: int,
     for key_index in indices:
         if duplicate_elimination:
             comparisons += de_window_pass(table, key_index, window, compare,
-                                          pairs)
+                                          pairs, compare_block=compare_block)
         else:
             comparisons += window_pass(table, key_index, window, compare,
-                                       pairs)
+                                       pairs, compare_block=compare_block)
     return pairs, comparisons

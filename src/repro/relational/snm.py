@@ -90,9 +90,32 @@ def _window_pass(sorted_rids: list[int], relation: Relation, window: int,
     return comparisons
 
 
+def _window_pass_block(sorted_rids: list[int], relation: Relation, window: int,
+                       match_block, pairs: set[tuple[int, int]]) -> int:
+    """Batched variant of :func:`_window_pass`.
+
+    Each record's block of ``window - 1`` predecessors goes through the
+    matcher's ``match_block`` in one call; block order equals the serial
+    comparison order, so decisions and pair sets are bit-identical.
+    """
+    comparisons = 0
+    for index, rid in enumerate(sorted_rids):
+        start = max(0, index - window + 1)
+        if start >= index:
+            continue
+        others = sorted_rids[start:index]
+        block = [(relation[other], relation[rid]) for other in others]
+        comparisons += len(block)
+        for other, matched in zip(others, match_block(block)):
+            if matched:
+                pairs.add((min(other, rid), max(other, rid)))
+    return comparisons
+
+
 def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
                         matcher: Matcher, window: int = 5,
-                        closure: bool = True) -> SnmResult:
+                        closure: bool = True,
+                        batch: bool = False) -> SnmResult:
     """Run (multi-pass) SNM over ``relation``.
 
     One sliding-window pass per key in ``keys``; pairs are unioned across
@@ -113,11 +136,19 @@ def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
     closure:
         When false, skip transitive closure (``clusters`` stays empty) —
         useful for measuring phase costs separately.
+    batch:
+        Route each window block through the matcher's ``match_block``
+        (batched comparison plane) instead of pair-at-a-time calls.
+        Requires a matcher exposing ``match_block``; pairs and clusters
+        are bit-identical either way.
     """
     if not keys:
         raise ValueError("at least one key is required")
     if window < 2:
         raise ValueError("window size must be >= 2")
+    match_block = getattr(matcher, "match_block", None) if batch else None
+    if batch and match_block is None:
+        raise ValueError("batch=True requires a matcher with match_block")
 
     result = SnmResult()
     all_rids = [record.rid for record in relation]
@@ -128,8 +159,12 @@ def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
         result.key_generation_seconds += time.perf_counter() - start
 
         start = time.perf_counter()
-        result.comparisons += _window_pass(keyed, relation, window, matcher,
-                                           result.pairs)
+        if match_block is not None:
+            result.comparisons += _window_pass_block(
+                keyed, relation, window, match_block, result.pairs)
+        else:
+            result.comparisons += _window_pass(keyed, relation, window,
+                                               matcher, result.pairs)
         result.window_seconds += time.perf_counter() - start
 
     if closure:

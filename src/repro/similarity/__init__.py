@@ -8,6 +8,8 @@ from .registry import (DEFAULT_TRAITS, PhiTraits, SimilarityFunction,
                        available_similarities, exact_casefold_similarity,
                        exact_similarity, get_similarity, get_traits,
                        register_similarity, reset_registry)
+from .batch import (DpArena, PairBatch, bag_distance_from_artifacts,
+                    string_artifacts)
 from .filters import (bag_distance, bag_filter_bound,
                       bounded_edit_similarity, bounded_levenshtein,
                       filtered_edit_similarity, length_filter_bound)
@@ -27,6 +29,8 @@ __all__ = [
     "CompiledCondition",
     "ComparisonPlan",
     "ComparisonStats",
+    "DpArena",
+    "PairBatch",
     "PhiCache",
     "PhiTraits",
     "PlanField",
@@ -34,6 +38,7 @@ __all__ = [
     "SimilarityFunction",
     "available_similarities",
     "bag_distance",
+    "bag_distance_from_artifacts",
     "bag_filter_bound",
     "bounded_edit_similarity",
     "bounded_levenshtein",
@@ -66,6 +71,7 @@ __all__ = [
     "register_similarity",
     "reset_registry",
     "soundex",
+    "string_artifacts",
     "token_jaccard",
     "tokenize",
     "year_similarity",

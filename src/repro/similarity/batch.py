@@ -1,0 +1,375 @@
+"""Corpus-level batched evaluation over one compiled comparison plan.
+
+The window phase compares each row against its ``window - 1``
+predecessors back to back, so consecutive pairs share strings: the
+anchor row's values repeat across the whole block, and the sorted
+neighbors' values share long prefixes.  The pair-at-a-time
+:class:`~repro.similarity.plan.ComparisonPlan` walk re-derives lengths,
+character bags, and DP rows for every pair anyway.  :class:`PairBatch`
+amortizes that work across a block of pairs sharing one plan:
+
+* **per-string artifacts** — lengths and character bags are computed
+  once per *distinct string* (memoized across blocks for the life of
+  the batch) instead of once per pair side;
+* **column-wise prefilters** — the length/bag upper bounds of
+  :mod:`repro.similarity.filters` run field-by-field over the whole
+  block from those artifacts, so a dropped pair never touches a φ;
+* **shared DP rows** — surviving pairs walk the *unchanged*
+  ``plan.resolve``/``plan.score`` path, with full Levenshtein
+  evaluations routed through a resumable column DP
+  (:class:`DpArena`) that reuses the columns shared by the previous
+  pair's string prefix — the classic trick for sorted neighborhoods,
+  where adjacent strings share prefixes by construction.
+
+Bit-identity contract
+---------------------
+Batching never changes a score, a decision, or a non-batch counter:
+
+* the artifact-backed bounds compute *the same arithmetic* as
+  :func:`~repro.similarity.filters.length_filter_bound` and
+  :func:`~repro.similarity.filters.bag_filter_bound` (integer lengths
+  and bag distances are equal by construction, and the final
+  ``1 - d / longest`` division runs on the same integers), and bounds
+  registered by user φs are called directly;
+* survivors run through the very same ``plan`` methods as the
+  pair-at-a-time path, in block order — the shared
+  :class:`~repro.similarity.plan.PhiCache` /
+  :class:`~repro.similarity.store.PersistentPhiCache` seams therefore
+  see the identical lookup/insert sequence (single-string artifacts
+  never enter those seams: they are not φ scores, and the φ stores stay
+  authoritative for exact values only);
+* the arena computes the exact Levenshtein *distance* (an integer with
+  a unique value regardless of evaluation order) and applies the exact
+  ``levenshtein_similarity`` normalization, so routed values are
+  bitwise equal to direct calls.
+
+What does change is accounted in the two batch-only counters —
+``ComparisonStats.batched_pairs`` and ``batch_prefilter_drops`` — and
+in the arena's cell accounting (:attr:`DpArena.cells_computed` versus
+:attr:`DpArena.cells_naive`), which the batch benchmark reads.
+
+The differential battery in ``tests/similarity/test_batch_equivalence``
+and the hypothesis suite in ``tests/similarity/test_batch_properties``
+hold this contract against random plans, corpora, and thresholds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .filters import bag_filter_bound, length_filter_bound
+from .levenshtein import levenshtein_similarity
+from .plan import ComparisonPlan, PlanOutcome, _Probe
+
+#: A block item: the two value vectors of one candidate pair.
+PairValues = tuple[Sequence, Sequence]
+
+
+def string_artifacts(value: str) -> tuple[int, dict[str, int]]:
+    """The per-string precomputation: ``(length, character bag)``.
+
+    The bag maps each character to its count — the dict form of
+    ``collections.Counter(value)`` without the subclass overhead.
+    """
+    counts: dict[str, int] = {}
+    for char in value:
+        counts[char] = counts.get(char, 0) + 1
+    return len(value), counts
+
+
+def bag_distance_from_artifacts(left: dict[str, int],
+                                right: dict[str, int]) -> int:
+    """:func:`~repro.similarity.filters.bag_distance` from two bags.
+
+    ``Counter(a) - Counter(b)`` keeps only positive counts, so summing
+    ``max(0, a[c] - b[c])`` over the union of characters is the same
+    integer.
+    """
+    left_only = 0
+    right_only = 0
+    for char, count in left.items():
+        diff = count - right.get(char, 0)
+        if diff > 0:
+            left_only += diff
+    for char, count in right.items():
+        diff = count - left.get(char, 0)
+        if diff > 0:
+            right_only += diff
+    return max(left_only, right_only)
+
+
+class DpArena:
+    """A resumable column-wise Levenshtein DP shared across a block.
+
+    The arena fixes one *pattern* string (the side that repeats across
+    a window block — the anchor row's value) and consumes *text*
+    strings column by column: after consuming ``text[:k]`` the cached
+    column ``columns[k][j]`` holds the distance between ``text[:k]``
+    and ``pattern[:j]``.  A new text resumes from the longest common
+    prefix with the previous one, so the sorted neighbors of a window —
+    which share prefixes by construction of the sort — only pay for
+    their differing suffixes.
+
+    The result is the exact Levenshtein distance (the recurrence is the
+    textbook one; only the evaluation order differs), so similarities
+    derived from it are bit-identical to
+    :func:`~repro.similarity.levenshtein.levenshtein_distance`.
+
+    ``cells_computed``/``cells_naive`` account the DP work actually
+    paid versus what independent full matrices would have cost — the
+    batch benchmark's honest savings measure.
+    """
+
+    __slots__ = ("pattern", "text", "columns", "cells_computed",
+                 "cells_naive", "runs")
+
+    def __init__(self):
+        self.pattern: str | None = None
+        self.text = ""
+        self.columns: list[list[int]] = []
+        self.cells_computed = 0
+        self.cells_naive = 0
+        self.runs = 0
+
+    def distance(self, text: str, pattern: str) -> int:
+        """The exact Levenshtein distance between ``text`` and ``pattern``."""
+        self.runs += 1
+        self.cells_naive += len(text) * len(pattern)
+        if text == pattern:
+            # Mirrors the equal-strings shortcut of the plain DP; the
+            # cached columns still describe ``self.text`` so later calls
+            # resume correctly.
+            return 0
+        if pattern != self.pattern:
+            self.pattern = pattern
+            self.text = ""
+            self.columns = [list(range(len(pattern) + 1))]
+        common = 0
+        limit = min(len(text), len(self.text))
+        while common < limit and text[common] == self.text[common]:
+            common += 1
+        del self.columns[common + 1:]
+        self.text = text
+        width = len(pattern)
+        columns = self.columns
+        for index in range(common, len(text)):
+            char = text[index]
+            previous = columns[index]
+            current = [index + 1]
+            append = current.append
+            for col in range(1, width + 1):
+                cost = 0 if char == pattern[col - 1] else 1
+                append(min(previous[col] + 1,
+                           current[col - 1] + 1,
+                           previous[col - 1] + cost))
+            columns.append(current)
+            self.cells_computed += width
+        return columns[len(text)][width]
+
+
+class PairBatch:
+    """Batched evaluation of candidate-pair blocks over one plan.
+
+    A batch is created once per plan (per candidate) and fed blocks of
+    pairs — each a ``(left_values, right_values)`` tuple of the plan's
+    value vectors.  Artifacts persist across blocks; the DP arena's
+    prefix state persists too, so successive window blocks whose anchor
+    strings repeat keep their columns warm.
+
+    Every public method is proven equivalent to mapping the matching
+    :class:`~repro.similarity.plan.ComparisonPlan` method over the
+    block, stats included — except for the two batch-only counters
+    (``batched_pairs``, ``batch_prefilter_drops``) that measure the
+    batching itself.
+    """
+
+    def __init__(self, plan: ComparisonPlan):
+        self.plan = plan
+        self._artifacts: dict[str, tuple[int, dict[str, int]]] = {}
+        self.arena = DpArena()
+
+    # ------------------------------------------------------------------
+    # Artifacts and artifact-backed bounds
+
+    def artifacts(self, value: str) -> tuple[int, dict[str, int]]:
+        """Memoized :func:`string_artifacts` for ``value``."""
+        found = self._artifacts.get(value)
+        if found is None:
+            found = string_artifacts(value)
+            self._artifacts[value] = found
+        return found
+
+    def _bound(self, f, left: str, right: str) -> float:
+        """``ComparisonPlan._field_bound`` with artifact-backed filters.
+
+        The length and bag bounds are recognized by function identity
+        and recomputed from the per-string artifacts with the identical
+        arithmetic; unknown (user-registered) bounds are called
+        directly.  The ``min`` fold runs in registration order, exactly
+        like the pair-at-a-time path.
+        """
+        bounds = f.traits.upper_bounds
+        if not bounds:
+            return 1.0
+        value = None
+        for bound in bounds:
+            if bound is length_filter_bound:
+                left_len, _ = self.artifacts(left)
+                right_len, _ = self.artifacts(right)
+                longest = left_len if left_len > right_len else right_len
+                term = (1.0 if longest == 0
+                        else 1.0 - abs(left_len - right_len) / longest)
+            elif bound is bag_filter_bound:
+                left_len, left_bag = self.artifacts(left)
+                right_len, right_bag = self.artifacts(right)
+                longest = left_len if left_len > right_len else right_len
+                term = (1.0 if longest == 0 else
+                        1.0 - bag_distance_from_artifacts(left_bag,
+                                                          right_bag) / longest)
+            else:
+                term = bound(left, right)
+            value = term if value is None else min(value, term)
+        return value
+
+    # ------------------------------------------------------------------
+    # The arena seam into the plan's full-φ path
+
+    def _run_phi(self, f, left: str, right: str) -> float:
+        if f.phi is levenshtein_similarity:
+            left_len = len(left)
+            right_len = len(right)
+            longest = left_len if left_len > right_len else right_len
+            if longest == 0:
+                return 1.0
+            # ``left`` varies across a window block while ``right`` (the
+            # anchor row's value) repeats — the arena patterns on the
+            # repeating side and resumes on the varying side's prefix.
+            return 1.0 - self.arena.distance(left, right) / longest
+        return f.phi(left, right)
+
+    class _ArenaActive:
+        """Context manager installing the arena as the plan's φ runner."""
+
+        __slots__ = ("batch",)
+
+        def __init__(self, batch: "PairBatch"):
+            self.batch = batch
+
+        def __enter__(self):
+            self.batch.plan.phi_runner = self.batch._run_phi
+            return self.batch
+
+        def __exit__(self, *exc_info):
+            self.batch.plan.phi_runner = None
+            return False
+
+    def arena_active(self) -> "PairBatch._ArenaActive":
+        """Route the plan's full-φ evaluations through the DP arena
+        for the duration of a ``with`` block."""
+        return PairBatch._ArenaActive(self)
+
+    # ------------------------------------------------------------------
+    # Block evaluation
+
+    def probe_block(self, block: Sequence[PairValues]) -> list[_Probe]:
+        """Stage 1 for a whole block: column-wise pair-level bounds.
+
+        Equivalent to ``[plan.probe(left, right) for left, right in
+        block]`` — same probes, same ``pairs_prefiltered`` increments —
+        but the filter bounds run field-by-field over the block from
+        per-string artifacts.  Counts every pair into ``batched_pairs``
+        and every drop into ``batch_prefilter_drops``.
+        """
+        plan = self.plan
+        stats = plan.stats
+        stats.batched_pairs += len(block)
+        threshold = plan.threshold
+        plan_fields = plan.fields
+        # Column-wise: one field at a time across all pairs, so each
+        # field's bound functions and artifacts stay hot in cache.
+        bound_columns: list[list[float | None]] = []
+        for f in plan_fields:
+            if not f.traits.upper_bounds:
+                bound_columns.append([None] * len(block))
+                continue
+            column: list[float | None] = []
+            for left, right in block:
+                left_value = left[f.position]
+                right_value = right[f.position]
+                if left_value is None or right_value is None:
+                    column.append(None)
+                else:
+                    column.append(self._bound(f, left_value, right_value))
+            bound_columns.append(column)
+
+        probes: list[_Probe] = []
+        for pair_index, (left, right) in enumerate(block):
+            total = 0.0
+            vals: list[float | None] = [None] * len(plan_fields)
+            entries = []
+            for field_index, f in enumerate(plan_fields):
+                left_value = left[f.position]
+                right_value = right[f.position]
+                if left_value is None and right_value is None:
+                    continue
+                total += f.weight
+                if left_value is None or right_value is None:
+                    continue
+                entries.append(f)
+                bound = bound_columns[field_index][pair_index]
+                vals[f.position] = 1.0 if bound is None else bound
+            if total == 0.0:
+                probes.append(_Probe(left, right, total, vals, entries,
+                                     0.0, False))
+                continue
+            bound = plan._weighted(vals) / total
+            prefiltered = threshold is not None and bound < threshold
+            if prefiltered:
+                stats.pairs_prefiltered += 1
+                stats.batch_prefilter_drops += 1
+            probes.append(_Probe(left, right, total, vals, entries, bound,
+                                 prefiltered))
+        return probes
+
+    def resolve_block(self, probes: Sequence[_Probe]) -> list[PlanOutcome]:
+        """Stage 2 for surviving probes, DP arena armed.
+
+        Prefiltered probes yield the same inexact outcome
+        ``plan.evaluate`` reports for them; survivors run the unchanged
+        ``plan.resolve`` in block order (so the shared φ caches see the
+        identical sequence).
+        """
+        plan = self.plan
+        outcomes: list[PlanOutcome] = []
+        with self.arena_active():
+            for probe in probes:
+                if probe.prefiltered:
+                    outcomes.append(PlanOutcome(probe.score, exact=False,
+                                                prefiltered=True))
+                else:
+                    outcomes.append(plan.resolve(probe))
+        return outcomes
+
+    def evaluate_block(self, block: Sequence[PairValues]) -> list[PlanOutcome]:
+        """Batched ``plan.evaluate`` (probe + resolve) over a block."""
+        return self.resolve_block(self.probe_block(block))
+
+    def score_block(self, block: Sequence[PairValues]) -> list[float]:
+        """Batched ``plan.score``: exact weighted similarities.
+
+        No prefilters (scores are exact by definition); the batch still
+        amortizes repeated full edit DPs through the arena.  Counts the
+        block into ``batched_pairs``.
+        """
+        plan = self.plan
+        plan.stats.batched_pairs += len(block)
+        with self.arena_active():
+            return [plan.score(left, right) for left, right in block]
+
+    def decide_block(self, block: Sequence[PairValues]) -> list[bool]:
+        """Batched ``plan.decide``: thresholded decisions."""
+        if self.plan.threshold is None:
+            raise ValueError("decide_block() needs a plan threshold")
+        threshold = self.plan.threshold
+        return [outcome.exact and outcome.score >= threshold
+                for outcome in self.evaluate_block(block)]

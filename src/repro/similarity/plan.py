@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any
 
 from .registry import (PhiTraits, SimilarityFunction, get_similarity,
@@ -82,23 +82,15 @@ class ComparisonStats:
     edit_full_evals: int = 0       # full DP runs of filterable (edit-like) φs
     edit_bounded_evals: int = 0    # banded DP runs
     redundant_comparisons: int = 0  # pairs re-confirmed by parallel shards
+    batched_pairs: int = 0         # pairs evaluated through a PairBatch
+    batch_prefilter_drops: int = 0  # batch pairs dropped by column prefilters
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "pairs_scored": self.pairs_scored,
-            "pairs_prefiltered": self.pairs_prefiltered,
-            "pairs_pruned": self.pairs_pruned,
-            "fields_evaluated": self.fields_evaluated,
-            "fields_skipped": self.fields_skipped,
-            "filter_short_circuits": self.filter_short_circuits,
-            "phi_cache_hits": self.phi_cache_hits,
-            "phi_cache_misses": self.phi_cache_misses,
-            "phi_cache_disk_hits": self.phi_cache_disk_hits,
-            "phi_cache_spilled": self.phi_cache_spilled,
-            "edit_full_evals": self.edit_full_evals,
-            "edit_bounded_evals": self.edit_bounded_evals,
-            "redundant_comparisons": self.redundant_comparisons,
-        }
+        # Derived from the dataclass fields so a counter added later can
+        # never be silently dropped by :meth:`merge` (which iterates this
+        # dict) or by the parallel workers' stats-delta protocol.
+        return {spec.name: getattr(self, spec.name)
+                for spec in fields(self)}
 
     def merge(self, other: "ComparisonStats") -> None:
         """Add ``other``'s counters into this one."""
@@ -312,6 +304,11 @@ class ComparisonPlan:
         self.threshold = threshold
         self.phi_cache = phi_cache
         self.stats = stats if stats is not None else ComparisonStats()
+        # Optional full-φ delegate: when set (by a PairBatch's DP arena),
+        # full evaluations of a field run through it instead of calling
+        # ``field.phi`` directly.  The delegate must return bit-identical
+        # values — it exists purely to share work across a block.
+        self.phi_runner = None
         # Cheap φs first, expensive last; heavier weights break ties so
         # high-relevance fields settle pairs earlier.
         self._order = sorted(
@@ -334,6 +331,13 @@ class ComparisonPlan:
         """Compile relational field rules (``.field``/``.weight``/``.phi``)."""
         return cls([PlanField(rule.field, rule.weight, rule.phi)
                     for rule in rules], **kwargs)
+
+    def __getstate__(self):
+        # A phi runner is a bound method of a live DP arena — never ship
+        # it across processes; the receiving side starts unbatched.
+        state = self.__dict__.copy()
+        state["phi_runner"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Internal machinery
@@ -384,7 +388,9 @@ class ComparisonPlan:
 
     def _full_phi(self, f: _CompiledField, left: str, right: str,
                   key: tuple | None) -> float:
-        value = f.phi(left, right)
+        runner = self.phi_runner
+        value = (runner(f, left, right) if runner is not None
+                 else f.phi(left, right))
         if f.filterable:
             self.stats.edit_full_evals += 1
         if key is not None and self.phi_cache.put(key, value):

@@ -1,0 +1,65 @@
+"""Shared generators for the similarity-layer test battery.
+
+One home for the corpus/plan/text generators that the plan tests, the
+store property tests, the batch differential battery, and the engine
+golden suites all need — so a change to (say) the adversarial alphabet
+or the reference scoring loop propagates everywhere at once.  Import
+explicitly (``from tests.similarity.conftest import ...``); pytest's
+implicit conftest loading does not inject these names.
+"""
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.similarity import PlanField, get_similarity
+
+#: Every built-in φ a plan could reference.
+PHI_NAMES = ["edit", "levenshtein", "damerau", "jaro", "jaro_winkler",
+             "numeric", "year", "token_jaccard", "ngram", "lcs",
+             "exact", "exact_casefold"]
+
+#: Strings including combining marks, astral-plane codepoints,
+#: whitespace runs, and the JSON-hostile control range.
+adversarial_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=0x10FFFF,
+                           exclude_categories=("Cs",)),
+    max_size=24)
+
+#: The canonical three-field plan specification used across suites.
+FIELDS = [PlanField("title", 0.6, "edit"),
+          PlanField("year", 0.2, "year"),
+          PlanField("note", 0.2, "edit")]
+
+
+def naive_score(fields, left, right):
+    """The historical field loop the plan must match bitwise."""
+    weighted = 0.0
+    total = 0.0
+    for index, spec in enumerate(fields):
+        left_value = left[index]
+        right_value = right[index]
+        if left_value is None and right_value is None:
+            continue
+        total += spec.weight
+        if left_value is None or right_value is None:
+            continue
+        weighted += spec.weight * get_similarity(spec.phi)(left_value,
+                                                           right_value)
+    if total == 0.0:
+        return 0.0
+    return weighted / total
+
+
+def random_corpus(seed, count=120):
+    """Rows of ``[title, year, note]`` with misspellings and gaps."""
+    rng = random.Random(seed)
+    words = ["matrix", "matrlx", "memento", "casablanca", "casablanka",
+             "vertigo", "psycho", "psychoo", "alien", "aliens", ""]
+    rows = []
+    for _ in range(count):
+        title = rng.choice(words)
+        year = str(rng.randint(1940, 2010)) if rng.random() > 0.1 else None
+        note = rng.choice(words) if rng.random() > 0.2 else None
+        rows.append([title, year, note])
+    return rows

@@ -6,45 +6,9 @@ import pytest
 
 from repro.similarity import (CompiledCondition, ComparisonPlan,
                               ComparisonStats, PhiCache, PhiTraits, PlanField,
-                              get_similarity, levenshtein_similarity,
+                              levenshtein_similarity,
                               register_similarity, reset_registry)
-
-
-def naive_score(fields, left, right):
-    """The historical field loop the plan must match bitwise."""
-    weighted = 0.0
-    total = 0.0
-    for index, spec in enumerate(fields):
-        left_value = left[index]
-        right_value = right[index]
-        if left_value is None and right_value is None:
-            continue
-        total += spec.weight
-        if left_value is None or right_value is None:
-            continue
-        weighted += spec.weight * get_similarity(spec.phi)(left_value,
-                                                           right_value)
-    if total == 0.0:
-        return 0.0
-    return weighted / total
-
-
-def random_corpus(seed, count=120):
-    rng = random.Random(seed)
-    words = ["matrix", "matrlx", "memento", "casablanca", "casablanka",
-             "vertigo", "psycho", "psychoo", "alien", "aliens", ""]
-    rows = []
-    for _ in range(count):
-        title = rng.choice(words)
-        year = str(rng.randint(1940, 2010)) if rng.random() > 0.1 else None
-        note = rng.choice(words) if rng.random() > 0.2 else None
-        rows.append([title, year, note])
-    return rows
-
-
-FIELDS = [PlanField("title", 0.6, "edit"),
-          PlanField("year", 0.2, "year"),
-          PlanField("note", 0.2, "edit")]
+from tests.similarity.conftest import FIELDS, naive_score, random_corpus
 
 
 class TestPhiCache:
@@ -212,6 +176,25 @@ class TestPlanPruning:
         assert one.filter_short_circuit_rate == 0.25
         assert ComparisonStats().phi_cache_hit_rate == 0.0
         assert set(two.as_dict()) == set(one.as_dict())
+
+    def test_batch_counters_survive_merge_and_as_dict(self):
+        # Regression: as_dict() used to enumerate counters by hand, so
+        # merge() (which iterates that dict) silently dropped any field
+        # added later — the parallel workers' stats-delta protocol would
+        # have lost the batch counters the same way.
+        one = ComparisonStats(batched_pairs=5, batch_prefilter_drops=2)
+        two = ComparisonStats(batched_pairs=7, batch_prefilter_drops=1)
+        one.merge(two)
+        assert one.batched_pairs == 12
+        assert one.batch_prefilter_drops == 3
+        assert one.as_dict()["batched_pairs"] == 12
+        assert one.as_dict()["batch_prefilter_drops"] == 3
+
+    def test_as_dict_enumerates_every_dataclass_field(self):
+        import dataclasses
+        stats = ComparisonStats(batched_pairs=1)
+        assert set(stats.as_dict()) \
+            == {field.name for field in dataclasses.fields(stats)}
 
 
 class TestCustomPhiTraits:

@@ -14,18 +14,7 @@ from hypothesis import strategies as st
 
 from repro.similarity import get_similarity
 from repro.similarity.store import PersistentPhiCache
-
-#: Every built-in φ a plan could reference.
-PHI_NAMES = ["edit", "levenshtein", "damerau", "jaro", "jaro_winkler",
-             "numeric", "year", "token_jaccard", "ngram", "lcs",
-             "exact", "exact_casefold"]
-
-#: Strings including combining marks, astral-plane codepoints,
-#: whitespace runs, and the JSON-hostile control range.
-adversarial_text = st.text(
-    alphabet=st.characters(min_codepoint=0, max_codepoint=0x10FFFF,
-                           exclude_categories=("Cs",)),
-    max_size=24)
+from tests.similarity.conftest import PHI_NAMES, adversarial_text
 
 
 @st.composite
