@@ -1,17 +1,21 @@
 """Machine-readable perf record for the parallel window passes.
 
 Runs the Fig. 5 many-duplicates workload (the scalability corpus whose
-cost the sliding window dominates) through the detector at worker counts
-1, 2, and 4, asserts the sharded runs return bit-identical pairs, and
-writes the speedup curve plus the merged ``ComparisonStats`` (including
-``redundant_comparisons``) to ``BENCH_parallel.json`` at the repository
-root.
+cost the sliding window dominates) through the detector — and therefore
+through the shared-memory :class:`~repro.core.execution.ExecutionPlane`
+— at worker counts 1, 2, and 4, asserts the sharded runs return
+bit-identical pairs, and writes the speedup curve plus the merged
+``ComparisonStats`` (including ``redundant_comparisons``) to
+``BENCH_parallel.json`` at the repository root.
 
-Honesty over optimism: the record always carries ``cores`` (the CPUs
-actually available to this process).  The >= 1.5x speedup-at-4-workers
-assertion is made only where it is physically possible and meaningful —
-at least 4 cores and a non-tiny corpus; a single-core container still
-records its (flat or negative) curve rather than a fabricated one.
+Honesty over optimism: the record always carries both ``cpu_count``
+(what the machine claims) and ``usable_cores`` (what this process may
+actually schedule on).  A single-core host cannot measure parallel
+speedup at all, so it records ``skipped: "single-core host"`` and **no
+speedup numbers** — a 0.77× "curve" from a one-core container is
+measurement noise dressed as data.  The >= 1.5x speedup assertion runs
+wherever parallelism is physically expressible: at least 2 usable cores
+and a non-tiny corpus.
 
 ``SXNM_BENCH_PARALLEL_MOVIES`` overrides the corpus size (the CI smoke
 step runs a tiny corpus; ``SXNM_BENCH_FULL=1`` runs the paper scale).
@@ -37,13 +41,14 @@ BENCH_MOVIES = int(os.environ.get("SXNM_BENCH_PARALLEL_MOVIES",
 WINDOW = 10
 WORKER_COUNTS = (1, 2, 4)
 SPEEDUP_TARGET = 1.5
+CPU_COUNT = os.cpu_count() or 1
 
 
-def available_cores() -> int:
+def usable_cores() -> int:
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
+        return CPU_COUNT
 
 
 def total_stats(result) -> ComparisonStats:
@@ -54,11 +59,59 @@ def total_stats(result) -> ComparisonStats:
     return total
 
 
+def base_record(cores: int, movies: int, document) -> dict:
+    return {
+        "benchmark": "parallel_multipass",
+        "plane": "shm",
+        "cpu_count": CPU_COUNT,
+        "usable_cores": cores,
+        "dataset": {"generator": "dirty_movies", "profile": "many",
+                    "movies": movies,
+                    "elements": document.element_count(),
+                    "seed": SEED, "window": WINDOW},
+    }
+
+
+def write_record(record: dict) -> None:
+    (REPO_ROOT / "BENCH_parallel.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
 def test_parallel_window_perf_record(benchmark):
+    cores = usable_cores()
+
+    if cores == 1:
+        # One core cannot measure speedup; a timing "curve" here would
+        # only record scheduler noise.  Still prove the load-bearing
+        # invariant — sharded pairs identical to serial — on a corpus
+        # small enough not to waste the single core, and record an
+        # honest skip.
+        movies = min(BENCH_MOVIES, 60)
+        document = generate_dirty_movies(movies, seed=SEED, profile="many")
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        serial = SxnmDetector(config, workers=1).run(document, window=WINDOW)
+        sharded = benchmark.pedantic(
+            lambda: SxnmDetector(config, workers=2).run(document,
+                                                        window=WINDOW),
+            rounds=1, iterations=1)
+        for name in serial.outcomes:
+            assert sharded.pairs(name) == serial.pairs(name), name
+
+        record = base_record(cores, movies, document)
+        record["skipped"] = "single-core host"
+        record["pairs_identical_across_worker_counts"] = True
+        write_record(record)
+        write_result("bench_parallel", render_table(
+            ["workers", "seconds", "speedup", "comparisons", "redundant"],
+            [],
+            title=f"Parallel window passes: skipped (single-core host, "
+                  f"cpu_count={CPU_COUNT})"))
+        return
+
     document = generate_dirty_movies(BENCH_MOVIES, seed=SEED, profile="many")
     config = dataset1_config()
     config.parallel_min_rows = 0
-    cores = available_cores()
 
     runs = {}
     for workers in WORKER_COUNTS:
@@ -103,28 +156,21 @@ def test_parallel_window_perf_record(benchmark):
             "stats": stats.as_dict(),
         })
 
-    speedup_at_4 = curve[-1]["speedup"]
-    # A tiny smoke corpus measures pool overhead, not throughput; a
-    # machine without 4 cores cannot express a 4-way speedup at all.
-    speedup_assertable = cores >= 4 and BENCH_MOVIES >= int(DEFAULT_MOVIES)
+    speedup_at_top = curve[-1]["speedup"]
+    # A tiny smoke corpus measures pool overhead, not throughput.
+    speedup_assertable = cores >= 2 and BENCH_MOVIES >= int(DEFAULT_MOVIES)
     if speedup_assertable:
-        assert speedup_at_4 >= SPEEDUP_TARGET, curve
+        assert speedup_at_top >= SPEEDUP_TARGET, curve
 
-    record = {
-        "benchmark": "parallel_multipass",
-        "cores": cores,
-        "dataset": {"generator": "dirty_movies", "profile": "many",
-                    "movies": BENCH_MOVIES,
-                    "elements": document.element_count(),
-                    "seed": SEED, "window": WINDOW},
+    record = base_record(cores, BENCH_MOVIES, document)
+    record.update({
         "pairs_identical_across_worker_counts": True,
         "curve": curve,
-        "speedup_at_4_workers": speedup_at_4,
+        "speedup_at_4_workers": speedup_at_top,
         "speedup_target": SPEEDUP_TARGET,
         "speedup_asserted": speedup_assertable,
-    }
-    (REPO_ROOT / "BENCH_parallel.json").write_text(
-        json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    })
+    write_record(record)
 
     rows = [[point["workers"], f"{point['seconds']:.2f}",
              f"{point['speedup']:.2f}x", point["comparisons"],
@@ -133,4 +179,4 @@ def test_parallel_window_perf_record(benchmark):
     write_result("bench_parallel", render_table(
         ["workers", "seconds", "speedup", "comparisons", "redundant"], rows,
         title=f"Parallel window passes: {BENCH_MOVIES} movies, "
-              f"{cores} core(s)"))
+              f"{cores} usable core(s) of {CPU_COUNT}"))

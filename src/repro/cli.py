@@ -161,6 +161,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                           workers=getattr(args, "workers", None),
                           phi_cache_dir=getattr(args, "phi_cache_dir", None),
                           batch_compare=batch_compare,
+                          execution_plane=getattr(args, "plane", None),
                           observers=observers).run(
         document, window=args.window, gk=gk)
     lines = []
@@ -354,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "prefilters, reused DP rows); identical pairs "
                              "and clusters; default: the configuration's "
                              "'batchCompare' attribute")
+    detect.add_argument("--plane", default=None, dest="plane",
+                        choices=("auto", "serial", "threads", "shm"),
+                        help="execution backend for the window passes: "
+                             "'serial' in-process, 'threads' a warm thread "
+                             "pool, 'shm' a warm process pool fed through "
+                             "shared-memory segments, 'auto' serial for one "
+                             "worker and shm otherwise; identical pairs and "
+                             "clusters on every backend; default: the "
+                             "configuration's 'executionPlane' attribute")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

@@ -42,6 +42,16 @@ DEFAULT_PHI_CACHE_SIZE = 32768
 # dependency-freedom reason as above.
 DEFAULT_WORKERS = 1
 DEFAULT_PARALLEL_MIN_ROWS = 64
+# Execution-plane selection and its shared-memory transport.  "auto"
+# picks the serial backend for one worker and the shared-memory backend
+# otherwise; "serial"/"threads"/"shm" force a backend.  Candidate
+# payloads below DEFAULT_SHARED_MEMORY_MIN_BYTES ship inline with the
+# worker tasks instead of through a shared-memory segment.  Kept here
+# rather than imported from repro.core.execution for the same
+# dependency-freedom reason as above.
+DEFAULT_EXECUTION_PLANE = "auto"
+DEFAULT_WORKER_POOL_PERSIST = True
+DEFAULT_SHARED_MEMORY_MIN_BYTES = 65536
 
 
 @dataclass(frozen=True)
@@ -217,6 +227,11 @@ class SxnmConfig:
     ``batch_compare`` classifies each window block of pairs in one
     batched call over the comparison plane (per-string artifacts,
     column-wise prefilters, shared DP rows) instead of pair by pair.
+    ``execution_plane`` selects the execution backend ("auto" resolves
+    to serial for one worker, shared-memory otherwise);
+    ``worker_pool_persist`` keeps worker pools warm across runs in the
+    same process; ``shared_memory_min_bytes`` is the payload size below
+    which candidates ship inline rather than via a shared segment.
     None of these knobs changes detected duplicates — only how much
     work comparisons cost and where they run.
     """
@@ -233,6 +248,9 @@ class SxnmConfig:
     workers: int = DEFAULT_WORKERS
     parallel_min_rows: int = DEFAULT_PARALLEL_MIN_ROWS
     batch_compare: bool = False
+    execution_plane: str = DEFAULT_EXECUTION_PLANE
+    worker_pool_persist: bool = DEFAULT_WORKER_POOL_PERSIST
+    shared_memory_min_bytes: int = DEFAULT_SHARED_MEMORY_MIN_BYTES
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

@@ -111,6 +111,12 @@ def validate_config(config: SxnmConfig) -> list[str]:
         problems.append("workers must be >= 1 (1 runs serially)")
     if config.parallel_min_rows < 0:
         problems.append("parallel min rows must be >= 0")
+    if config.execution_plane not in ("auto", "serial", "threads", "shm"):
+        problems.append(
+            f"execution plane {config.execution_plane!r} unknown "
+            f"(expected 'auto', 'serial', 'threads', or 'shm')")
+    if config.shared_memory_min_bytes < 0:
+        problems.append("shared memory min bytes must be >= 0")
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

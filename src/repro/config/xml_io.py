@@ -163,6 +163,14 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
         config.parallel_min_rows = parallel_min_rows
     config.batch_compare = _get_bool(root, "batchCompare",
                                      config.batch_compare)
+    execution_plane = root.get("executionPlane")
+    if execution_plane is not None:
+        config.execution_plane = execution_plane
+    config.worker_pool_persist = _get_bool(root, "workerPoolPersist",
+                                           config.worker_pool_persist)
+    shared_memory_min_bytes = _get_int(root, "sharedMemoryMinBytes")
+    if shared_memory_min_bytes is not None:
+        config.shared_memory_min_bytes = shared_memory_min_bytes
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -228,11 +236,15 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         "workers": str(config.workers),
         "parallelMinRows": str(config.parallel_min_rows),
         "batchCompare": "true" if config.batch_compare else "false",
+        "executionPlane": config.execution_plane,
+        "sharedMemoryMinBytes": str(config.shared_memory_min_bytes),
     })
     if config.phi_cache_dir is not None:
         root.set("phiCacheDir", config.phi_cache_dir)
     if not config.phi_cache_persist:
         root.set("phiCachePersist", "false")
+    if not config.worker_pool_persist:
+        root.set("workerPoolPersist", "false")
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))
     return XmlDocument(root)

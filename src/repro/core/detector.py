@@ -91,6 +91,12 @@ class SxnmDetector:
         and every non-batch stats counter are bit-identical to the
         pair-at-a-time path.  ``None`` (default) defers to
         ``config.batch_compare``.
+    execution_plane:
+        Execution backend for the window passes: ``"auto"`` (serial for
+        one worker, shared-memory otherwise), ``"serial"``,
+        ``"threads"``, or ``"shm"`` (``repro.core.execution``).  All
+        backends produce bit-identical pairs and clusters.  ``None``
+        (default) defers to ``config.execution_plane``.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -105,6 +111,7 @@ class SxnmDetector:
                  workers: int | None = None,
                  phi_cache_dir: str | None = None,
                  batch_compare: bool | None = None,
+                 execution_plane: str | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -121,8 +128,11 @@ class SxnmDetector:
         if batch_compare is not None:
             config.batch_compare = batch_compare
         self.batch_compare = getattr(config, "batch_compare", False)
+        if execution_plane is not None:
+            config.execution_plane = execution_plane
+        self.execution_plane = getattr(config, "execution_plane", "auto")
 
-        if self.workers > 1:
+        if self.workers > 1 and self.execution_plane != "serial":
             neighborhood = ParallelWindowStrategy(
                 workers=self.workers,
                 duplicate_elimination=duplicate_elimination)
@@ -138,7 +148,8 @@ class SxnmDetector:
             decision=(TheoryPolicy(self.theories, policy) if self.theories
                       else policy),
             closure=MethodClosure(closure_method),
-            observers=observers)
+            observers=observers,
+            workers=self.workers)
         self.config = self.engine.config
         self.hierarchy = self.engine.hierarchy
 

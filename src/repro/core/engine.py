@@ -34,6 +34,7 @@ from ..config import SxnmConfig, ensure_valid
 from ..xmlmodel import XmlDocument
 from .candidates import CandidateHierarchy
 from .clusters import ClusterSet
+from .execution import make_plane
 from .observer import (PHASE_CLOSURE, PHASE_KEY_GENERATION, PHASE_WINDOW,
                        EngineObserver, ObserverGroup)
 from .results import (CandidateOutcome, KeySelection, SxnmResult,
@@ -58,6 +59,11 @@ class DetectionEngine:
     observers:
         :class:`EngineObserver` instances receiving engine events.
         More can be attached later with :meth:`add_observer`.
+    workers:
+        Worker count for the run's execution plane; ``None`` reads
+        ``config.workers``.  The plane itself is selected per run from
+        ``config.execution_plane`` (see
+        :func:`repro.core.execution.make_plane`).
     """
 
     def __init__(self, config: SxnmConfig, *,
@@ -65,8 +71,10 @@ class DetectionEngine:
                  neighborhood: NeighborhoodStrategy | None = None,
                  decision: DecisionPolicy | None = None,
                  closure: ClosureStrategy | None = None,
-                 observers: list[EngineObserver] | tuple = ()):
+                 observers: list[EngineObserver] | tuple = (),
+                 workers: int | None = None):
         self.config = ensure_valid(config)
+        self.workers = workers
         self.hierarchy = CandidateHierarchy(config)
         self.key_source = key_source if key_source is not None \
             else DomKeySource()
@@ -139,74 +147,84 @@ class DetectionEngine:
             emit.phase_finished(PHASE_KEY_GENERATION,
                                 result.timings.key_generation)
 
+        plane = make_plane(self.config, self.workers)
+        plane.open_run(emit)
+
         cluster_sets: dict[str, ClusterSet] = {}
-        for node in self.order:
-            spec = node.spec
-            table = tables[spec.name]
-            if emit is not None:
-                emit.candidate_started(spec.name, len(table))
+        try:
+            for node in self.order:
+                spec = node.spec
+                table = tables[spec.name]
+                if emit is not None:
+                    emit.candidate_started(spec.name, len(table))
 
-            candidate_cache = None
-            if od_cache is not None:
-                candidate_cache = od_cache.setdefault(spec.name, {})
-            decider = self.decision.decider(spec, self.config, cluster_sets,
-                                            candidate_cache)
-            filtered_before = decider.filtered_comparisons
-            compare: Compare = decider.compare
-            compare_block = None
-            if getattr(self.config, "batch_compare", False):
-                compare_block = getattr(decider, "compare_block", None)
-            if emit is not None:
-                compare = self._instrumented(spec.name, decider.compare, emit)
-                if compare_block is not None:
-                    compare_block = self._instrumented_block(
-                        spec.name, compare_block, emit)
+                candidate_cache = None
+                if od_cache is not None:
+                    candidate_cache = od_cache.setdefault(spec.name, {})
+                decider = self.decision.decider(spec, self.config,
+                                                cluster_sets, candidate_cache)
+                filtered_before = decider.filtered_comparisons
+                compare: Compare = decider.compare
+                compare_block = None
+                if getattr(self.config, "batch_compare", False):
+                    compare_block = getattr(decider, "compare_block", None)
+                if emit is not None:
+                    compare = self._instrumented(spec.name, decider.compare,
+                                                 emit)
+                    if compare_block is not None:
+                        compare_block = self._instrumented_block(
+                            spec.name, compare_block, emit)
 
-            key_indices = select_key_indices(
-                table, key_selection,
-                warn=emit.warning if emit is not None else None)
-            effective_window = (window if window is not None
-                                else self.config.effective_window(spec))
-            pairs: set[tuple[int, int]] = set()
-            ctx = CandidateContext(
-                node=node, spec=spec, config=self.config, table=table,
-                tables=tables, window=effective_window,
-                key_indices=key_indices, compare=compare, pairs=pairs,
-                cluster_sets=cluster_sets, emit=emit, decider=decider,
-                compare_block=compare_block)
+                key_indices = select_key_indices(
+                    table, key_selection,
+                    warn=emit.warning if emit is not None else None)
+                effective_window = (window if window is not None
+                                    else self.config.effective_window(spec))
+                pairs: set[tuple[int, int]] = set()
+                ctx = CandidateContext(
+                    node=node, spec=spec, config=self.config, table=table,
+                    tables=tables, window=effective_window,
+                    key_indices=key_indices, compare=compare, pairs=pairs,
+                    cluster_sets=cluster_sets, emit=emit, decider=decider,
+                    compare_block=compare_block, plane=plane)
 
-            if emit is not None:
-                emit.phase_started(PHASE_WINDOW, spec.name)
-            window_start = time.perf_counter()
-            neighborhood = self.neighborhood.find_pairs(ctx)
-            window_seconds = time.perf_counter() - window_start
-            if emit is not None:
-                emit.phase_finished(PHASE_WINDOW, window_seconds, spec.name)
-                emit.phase_started(PHASE_CLOSURE, spec.name)
+                if emit is not None:
+                    emit.phase_started(PHASE_WINDOW, spec.name)
+                window_start = time.perf_counter()
+                neighborhood = self.neighborhood.find_pairs(ctx)
+                window_seconds = time.perf_counter() - window_start
+                if emit is not None:
+                    emit.phase_finished(PHASE_WINDOW, window_seconds,
+                                        spec.name)
+                    emit.phase_started(PHASE_CLOSURE, spec.name)
 
-            closure_start = time.perf_counter()
-            cluster_set = self.closure.close(spec.name, pairs, table.eids())
-            closure_seconds = time.perf_counter() - closure_start
-            if emit is not None:
-                emit.phase_finished(PHASE_CLOSURE, closure_seconds, spec.name)
+                closure_start = time.perf_counter()
+                cluster_set = self.closure.close(spec.name, pairs,
+                                                 table.eids())
+                closure_seconds = time.perf_counter() - closure_start
+                if emit is not None:
+                    emit.phase_finished(PHASE_CLOSURE, closure_seconds,
+                                        spec.name)
 
-            cluster_sets[spec.name] = cluster_set
-            compare_stats = getattr(decider, "stats", None)
-            outcome = CandidateOutcome(
-                name=spec.name, cluster_set=cluster_set, pairs=pairs,
-                comparisons=neighborhood.comparisons,
-                window_seconds=window_seconds,
-                closure_seconds=closure_seconds,
-                filtered_comparisons=neighborhood.filtered
-                + (decider.filtered_comparisons - filtered_before),
-                compare_stats=compare_stats)
-            result.outcomes[spec.name] = outcome
-            result.timings.window += window_seconds
-            result.timings.closure += closure_seconds
-            if emit is not None:
-                if compare_stats is not None:
-                    emit.comparison_stats(spec.name, compare_stats)
-                emit.candidate_finished(spec.name, outcome)
+                cluster_sets[spec.name] = cluster_set
+                compare_stats = getattr(decider, "stats", None)
+                outcome = CandidateOutcome(
+                    name=spec.name, cluster_set=cluster_set, pairs=pairs,
+                    comparisons=neighborhood.comparisons,
+                    window_seconds=window_seconds,
+                    closure_seconds=closure_seconds,
+                    filtered_comparisons=neighborhood.filtered
+                    + (decider.filtered_comparisons - filtered_before),
+                    compare_stats=compare_stats)
+                result.outcomes[spec.name] = outcome
+                result.timings.window += window_seconds
+                result.timings.closure += closure_seconds
+                if emit is not None:
+                    if compare_stats is not None:
+                        emit.comparison_stats(spec.name, compare_stats)
+                    emit.candidate_finished(spec.name, outcome)
+        finally:
+            plane.finish_run()
 
         if phi_store is not None:
             flushed = phi_store.flush()

@@ -1,0 +1,1139 @@
+"""The ExecutionPlane: one dispatch seam for serial, threaded, and
+shared-memory window execution.
+
+Historically three code paths each re-implemented pass dispatch, stats
+merging, and cache handling: the serial ``window_pass``/``de_window_pass``
+loops, ``ParallelWindowStrategy``'s per-key ``PassTask`` fan-out, and the
+batched ``compare_block`` plane.  This module folds them onto one
+abstraction with three interchangeable backends:
+
+* :class:`SerialPlane` — the in-process reference.  Runs the unchanged
+  kernels of :mod:`repro.core.window`; every other backend is proven
+  bit-identical to it.
+* :class:`ThreadedBatchPlane` — the same shard/merge machinery over a
+  persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Shards
+  ship inline (no pickling across processes); semantics — per-shard
+  classifier state, redundant-comparison accounting — match the process
+  backend exactly, which makes it the cheap differential harness for
+  the shard plumbing.
+* :class:`SharedMemoryPlane` — a persistent warm
+  :class:`~concurrent.futures.ProcessPoolExecutor` fed through
+  :mod:`multiprocessing.shared_memory`.  The plane publishes one
+  segment per candidate — the document-order GK rows with an interned
+  string pool, the per-key sorted index tables, the pre-pickled pair
+  classifier, and (under ``batchCompare``) the per-string
+  :class:`~repro.similarity.batch.PairBatch` artifacts — and ships
+  shards as *index ranges into the shared table* instead of pickled row
+  slices.  Workers attach each segment once, memoize the unpickled
+  classifier (φ memo and OD caches stay warm across shards), and reach
+  the read-only :class:`~repro.similarity.store.PersistentPhiCache`
+  through the per-process shared store, refreshed against the parent's
+  segment index (see ``PhiCache.__reduce__``).
+
+The **bit-identity contract** is unchanged from the per-key fan-out:
+pairs and cluster sets equal the serial run exactly; only comparison
+counts may rise, because shards cannot see each other's confirmed
+pairs — every such re-confirmation is counted into
+``ComparisonStats.redundant_comparisons`` at merge time.
+
+The fallback ladder lives here, once: ``workers <= 1`` → serial, table
+below ``parallel_min_rows`` → serial, unpicklable classifier → warned
+serial, shared-memory payloads below ``sharedMemoryMinBytes`` (or a
+failed segment creation) → inline-row shards, broken process pool →
+warned serial retry.  Observer events (``pass_dispatched`` /
+``pass_merged`` plus the plane-level ``plane_opened`` /
+``segment_published``) are emitted from the plane so every backend
+produces the same stream.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import struct
+from collections import OrderedDict
+from collections.abc import Callable
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..similarity import ComparisonStats
+from ..similarity.batch import string_artifacts
+from .gk import GkRow, GkTable
+from .simmeasure import PairVerdict
+from .window import (de_window_pass, multipass, segment_window_pass,
+                     window_start)
+
+#: Tables smaller than this run serially by default — process start-up
+#: and row pickling dwarf the comparison work below it.
+DEFAULT_PARALLEL_MIN_ROWS = 64
+
+#: Never split a pass into segments averaging fewer rows than this; a
+#: tiny segment's IPC costs more than its comparisons.
+MIN_SEGMENT_ROWS = 32
+
+#: Candidate payloads smaller than this ship inline with the shards
+#: instead of through a shared-memory segment — mapping a segment has a
+#: fixed cost that tiny tables never amortize.
+DEFAULT_SHARED_MEMORY_MIN_BYTES = 65536
+
+#: Worker-side cap on concurrently attached shared-memory segments.
+SEGMENT_MEMO_LIMIT = 4
+
+
+# ---------------------------------------------------------------------------
+# Tasks and results (the picklable worker protocol)
+
+
+@dataclass
+class PassTask:
+    """One shard of one key's window pass, shipped to a worker.
+
+    ``mode`` selects the kernel: ``"window"`` runs
+    :func:`~repro.core.window.segment_window_pass`, ``"de"`` runs the
+    full :func:`~repro.core.window.de_window_pass` (equal-key groups may
+    span any segment boundary, so DE passes shard per key only).
+
+    Two transports share this protocol.  *Inline* shards carry their
+    ``rows`` (a contiguous slice of the key-sorted list whose first
+    ``start`` rows are overlap) and the pre-pickled classifier.
+    *Shared-memory* shards carry only ``segment`` (the segment name) and
+    the anchor range ``[lo, hi)``; the worker attaches the segment,
+    reuses its memoized classifier, and derives the row slice from the
+    published sort index — the rows themselves never travel per shard.
+
+    ``batch`` asks the worker to classify through the classifier's
+    ``compare_block`` (the batched plane) when it has one; results are
+    bit-identical either way, only the batch counters differ.
+    """
+
+    candidate: str
+    mode: str
+    key_index: int
+    window: int
+    rows: list[GkRow] | None
+    start: int
+    key_count: int
+    od_count: int
+    comparer_pickle: bytes
+    batch: bool = False
+    segment: str | None = None
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass
+class PassResult:
+    """What one worker shard produced.
+
+    ``phi_entries`` carries the exact φ scores this shard computed that
+    the persistent spill (if any) had not seen yet — the parent records
+    them into its own store so the end-of-run flush persists worker
+    results too.  ``None`` when persistence is off.
+    """
+
+    key_index: int
+    pairs: set[tuple[int, int]]
+    comparisons: int
+    filtered: int
+    stats: ComparisonStats | None
+    phi_entries: dict[tuple, float] | None = None
+
+
+def _shard_outcome(task: PassTask, comparer, pairs: set[tuple[int, int]],
+                   comparisons: int, filtered_before: int,
+                   stats_before: dict | None) -> PassResult:
+    """Package one shard's deltas (stats, filters, φ spill) as a result."""
+    stats = getattr(comparer, "stats", None)
+    stats_delta = None
+    if stats is not None and stats_before is not None:
+        stats_delta = ComparisonStats(**{
+            name: value - stats_before[name]
+            for name, value in stats.as_dict().items()})
+    phi_cache = getattr(getattr(comparer, "plan", None), "phi_cache", None)
+    spill = getattr(phi_cache, "spill", None)
+    phi_entries = spill.take_new() if spill is not None else None
+    return PassResult(
+        key_index=task.key_index, pairs=pairs, comparisons=comparisons,
+        filtered=getattr(comparer, "filtered_comparisons", 0) - filtered_before,
+        stats=stats_delta, phi_entries=phi_entries)
+
+
+def run_pass_task(task: PassTask) -> PassResult:
+    """Execute one shard (runs inside a worker process or thread).
+
+    Inline shards unpickle the classifier fresh per task, so its stats
+    and filtered-comparison counters start at zero and report exactly
+    this shard's work.  Shared-memory shards reuse the segment's
+    memoized classifier instead — its counters are snapshotted before
+    the kernel runs, so the reported deltas are identical while the φ
+    memo and OD caches stay warm across shards.  With a persistent φ
+    cache attached, the worker's read-only shared store collects the
+    shard's new exact scores; they are drained here into the result as
+    the shard's delta.
+    """
+    if task.segment is not None:
+        return _run_segment_task(task)
+    comparer = pickle.loads(task.comparer_pickle)
+    compare = getattr(comparer, "compare", comparer)
+    compare_block = (getattr(comparer, "compare_block", None)
+                     if task.batch else None)
+    filtered_before = getattr(comparer, "filtered_comparisons", 0)
+    stats = getattr(comparer, "stats", None)
+    stats_before = stats.as_dict() if stats is not None else None
+    pairs: set[tuple[int, int]] = set()
+    if task.mode == "window":
+        comparisons = segment_window_pass(task.rows, task.window, compare,
+                                          pairs, start=task.start,
+                                          compare_block=compare_block)
+    elif task.mode == "de":
+        table = GkTable(task.candidate, task.key_count, task.od_count)
+        for row in task.rows:
+            table.add(row)
+        comparisons = de_window_pass(table, task.key_index, task.window,
+                                     compare, pairs,
+                                     compare_block=compare_block)
+    else:
+        raise ValueError(f"unknown pass task mode {task.mode!r}")
+    return _shard_outcome(task, comparer, pairs, comparisons,
+                          filtered_before, stats_before)
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+
+
+def plan_segments(row_count: int, key_count: int, workers: int,
+                  segments_per_pass: int | None = None,
+                  min_segment_rows: int = MIN_SEGMENT_ROWS) -> int:
+    """Number of contiguous segments to split one key's pass into.
+
+    Enough segments to keep ``workers`` busy across ``key_count``
+    concurrent passes (``ceil(workers / key_count)``), but never so many
+    that segments average fewer than ``min_segment_rows`` rows.  An
+    explicit ``segments_per_pass`` overrides the heuristic (tests use
+    this to exercise extreme splits).
+    """
+    if row_count <= 0:
+        return 1
+    if segments_per_pass is not None:
+        return max(1, min(segments_per_pass, row_count))
+    segments = -(-workers // max(key_count, 1))
+    segments = min(segments, max(1, row_count // max(min_segment_rows, 1)))
+    return max(1, min(segments, row_count))
+
+
+def segment_bounds(row_count: int, segments: int) -> list[tuple[int, int]]:
+    """Half-open ``[low, high)`` anchor ranges of each non-empty segment."""
+    bounds = []
+    for index in range(segments):
+        low = row_count * index // segments
+        high = row_count * (index + 1) // segments
+        if low < high:
+            bounds.append((low, high))
+    return bounds
+
+
+def build_pass_tasks(table: GkTable, window: int, key_indices: list[int],
+                     duplicate_elimination: bool, workers: int,
+                     comparer_pickle: bytes,
+                     segments_per_pass: int | None = None,
+                     batch: bool = False) -> list[PassTask]:
+    """All inline shards for one candidate, grouped by key in pass order.
+
+    The overlap arithmetic is :func:`~repro.core.window.window_start`:
+    a segment anchoring ``[low, high)`` ships the rows from the first
+    in-window predecessor of ``low`` — exactly the rows the serial loop
+    would consult for those anchors.
+    """
+    tasks: list[PassTask] = []
+    for key_index in key_indices:
+        if duplicate_elimination:
+            tasks.append(PassTask(
+                candidate=table.candidate_name, mode="de",
+                key_index=key_index, window=window, rows=list(table),
+                start=0, key_count=table.key_count, od_count=table.od_count,
+                comparer_pickle=comparer_pickle, batch=batch))
+            continue
+        ordered = table.sorted_by_key(key_index)
+        segments = plan_segments(len(ordered), len(key_indices), workers,
+                                 segments_per_pass)
+        for low, high in segment_bounds(len(ordered), segments):
+            first = window_start(low, window)
+            tasks.append(PassTask(
+                candidate=table.candidate_name, mode="window",
+                key_index=key_index, window=window,
+                rows=ordered[first:high], start=low - first,
+                key_count=table.key_count, od_count=table.od_count,
+                comparer_pickle=comparer_pickle, batch=batch))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Result merging
+
+
+@dataclass
+class MergeOutcome:
+    """The parent-side union of all shard results for one candidate."""
+
+    pairs: set[tuple[int, int]] = field(default_factory=set)
+    comparisons: int = 0
+    filtered: int = 0
+    redundant: int = 0
+    #: ``(key_index, comparisons, redundant)`` per pass, in merge order.
+    per_key: list[tuple[int, int, int]] = field(default_factory=list)
+    stats: ComparisonStats | None = None
+    #: Union of the shards' new persistent-φ-cache entries.
+    phi_entries: dict[tuple, float] = field(default_factory=dict)
+
+
+def merge_pass_results(results: list[PassResult],
+                       pairs: set[tuple[int, int]] | None = None,
+                       ) -> MergeOutcome:
+    """Union shard pair sets and merge their stats, in shard order.
+
+    A confirmed pair already present in the union is exactly one the
+    serial pass would have skipped via ``skip_known`` — it is counted as
+    redundant (and recorded in the merged stats) rather than added twice.
+    """
+    outcome = MergeOutcome(pairs=pairs if pairs is not None else set())
+    key_order: dict[int, int] = {}
+    per_key: dict[int, list[int]] = {}
+    for result in results:
+        overlap = len(result.pairs & outcome.pairs)
+        outcome.pairs |= result.pairs
+        outcome.comparisons += result.comparisons
+        outcome.filtered += result.filtered
+        outcome.redundant += overlap
+        key_order.setdefault(result.key_index, len(key_order))
+        totals = per_key.setdefault(result.key_index, [0, 0])
+        totals[0] += result.comparisons
+        totals[1] += overlap
+        if result.stats is not None:
+            if outcome.stats is None:
+                outcome.stats = ComparisonStats()
+            outcome.stats.merge(result.stats)
+        if result.phi_entries:
+            outcome.phi_entries.update(result.phi_entries)
+    if outcome.stats is not None:
+        outcome.stats.redundant_comparisons += outcome.redundant
+    outcome.per_key = [
+        (key_index, per_key[key_index][0], per_key[key_index][1])
+        for key_index in sorted(key_order, key=key_order.get)]
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Persistent warm pools
+
+
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def shared_executor(workers: int) -> ProcessPoolExecutor:
+    """A lazily created, process-wide executor for ``workers`` workers.
+
+    Pools are expensive to start; detections, sweeps, and property tests
+    reuse one pool per worker count for the life of the process.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTORS[workers] = executor
+    return executor
+
+
+def discard_executor(workers: int) -> None:
+    """Drop (and shut down) the shared pool for ``workers``, if any."""
+    executor = _EXECUTORS.pop(workers, None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def shared_thread_pool(workers: int) -> ThreadPoolExecutor:
+    """The thread-pool analogue of :func:`shared_executor`."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    pool = _THREAD_POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(max_workers=workers)
+        _THREAD_POOLS[workers] = pool
+    return pool
+
+
+def discard_thread_pool(workers: int) -> None:
+    """Drop (and shut down) the shared thread pool for ``workers``."""
+    pool = _THREAD_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_executors() -> None:
+    """Shut down every shared pool (registered to run at exit)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown()
+    while _THREAD_POOLS:
+        _, pool = _THREAD_POOLS.popitem()
+        pool.shutdown()
+
+
+atexit.register(shutdown_executors)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory segments (parent side)
+
+
+def _intern_rows(table: GkTable) -> list[GkRow]:
+    """Copy the rows with equal strings collapsed to one object.
+
+    The pickle memo is identity-based: after interning, every repeated
+    key or OD string serializes as one definition plus back-references,
+    which is the "interned string pool" of the published segment.  The
+    copies are plain :class:`GkRow` values; the original table is never
+    mutated.
+    """
+    memo: dict[str, str] = {}
+
+    def canon(value):
+        if value is None:
+            return None
+        kept = memo.get(value)
+        if kept is None:
+            memo[value] = value
+            kept = value
+        return kept
+
+    return [GkRow(row.eid,
+                  [canon(key) for key in row.keys],
+                  [canon(od) for od in row.ods],
+                  {name: list(eids) for name, eids in row.children.items()})
+            for row in table]
+
+
+def build_segment_payload(table: GkTable, key_indices: list[int],
+                          comparer_pickle: bytes,
+                          batch: bool = False) -> dict:
+    """The per-candidate artifact bundle one shared segment publishes.
+
+    Contains the interned document-order rows, the per-key sort index
+    (row *positions*, so shards can address anchors without shipping
+    rows), the pre-pickled classifier, and — under ``batch`` — the
+    per-string :func:`~repro.similarity.batch.string_artifacts` of every
+    distinct OD value, computed once here instead of once per worker.
+    """
+    rows = _intern_rows(table)
+    orders: dict[int, list[int]] = {}
+    for key_index in key_indices:
+        orders[key_index] = sorted(
+            range(len(rows)),
+            key=lambda i: (rows[i].keys[key_index], rows[i].eid))
+    artifacts: dict[str, tuple[int, dict[str, int]]] = {}
+    if batch:
+        for row in rows:
+            for value in row.ods:
+                if value is not None and value not in artifacts:
+                    artifacts[value] = string_artifacts(value)
+    return {
+        "candidate": table.candidate_name,
+        "key_count": table.key_count,
+        "od_count": table.od_count,
+        "rows": rows,
+        "orders": orders,
+        "comparer": comparer_pickle,
+        "artifacts": artifacts,
+    }
+
+
+def publish_segment(blob: bytes):
+    """Create one shared-memory segment holding ``blob``.
+
+    Layout: an 8-byte big-endian length header followed by the pickled
+    payload.  Returns the live
+    :class:`~multiprocessing.shared_memory.SharedMemory` — the caller
+    owns it and must ``close()``/``unlink()`` after the candidate merge.
+    """
+    from multiprocessing import shared_memory
+    segment = shared_memory.SharedMemory(create=True, size=len(blob) + 8)
+    segment.buf[:8] = struct.pack(">Q", len(blob))
+    segment.buf[8:8 + len(blob)] = blob
+    return segment
+
+
+def release_segment(segment) -> None:
+    """Close and unlink one published segment, swallowing teardown races."""
+    try:
+        segment.close()
+    except OSError:
+        pass
+    try:
+        segment.unlink()
+    except (OSError, FileNotFoundError):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory segments (worker side)
+
+
+#: name → {"payload": dict, "comparer": obj|None, "table": GkTable|None,
+#:         "ordered": {key_index: [GkRow]}} — bounded per-process memo.
+_ATTACHED: OrderedDict[str, dict] = OrderedDict()
+
+
+def _attach_segment(name: str) -> dict:
+    """Read one published segment's payload (attach, copy out, close)."""
+    from multiprocessing import shared_memory
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        # The parent owns the segment's lifetime; unregister the attach
+        # so this process's resource tracker neither unlinks it early
+        # nor warns about a leak at exit.
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        (nbytes,) = struct.unpack(">Q", bytes(segment.buf[:8]))
+        payload = pickle.loads(bytes(segment.buf[8:8 + nbytes]))
+    finally:
+        segment.close()
+    return payload
+
+
+def _segment_state(name: str) -> dict:
+    state = _ATTACHED.get(name)
+    if state is None:
+        state = {"payload": _attach_segment(name), "comparer": None,
+                 "table": None, "ordered": {}}
+        _ATTACHED[name] = state
+        while len(_ATTACHED) > SEGMENT_MEMO_LIMIT:
+            _ATTACHED.popitem(last=False)
+    else:
+        _ATTACHED.move_to_end(name)
+    return state
+
+
+def _segment_comparer(state: dict):
+    """The segment's memoized classifier (unpickled once per process).
+
+    Keeping one classifier per segment keeps its φ memo cache and OD
+    cache warm across every shard of the candidate; per-shard counter
+    deltas stay exact because :func:`run_pass_task` snapshots them
+    around each kernel run.  Published per-string artifacts are seeded
+    into the classifier's batch layer on first use.
+    """
+    comparer = state["comparer"]
+    if comparer is None:
+        payload = state["payload"]
+        comparer = pickle.loads(payload["comparer"])
+        artifacts = payload.get("artifacts")
+        if artifacts:
+            seed = getattr(comparer, "seed_batch_artifacts", None)
+            if seed is not None:
+                seed(artifacts)
+        state["comparer"] = comparer
+    return comparer
+
+
+def _run_segment_task(task: PassTask) -> PassResult:
+    """Execute one shared-memory shard against its attached segment."""
+    state = _segment_state(task.segment)
+    payload = state["payload"]
+    comparer = _segment_comparer(state)
+    compare = getattr(comparer, "compare", comparer)
+    compare_block = (getattr(comparer, "compare_block", None)
+                     if task.batch else None)
+    filtered_before = getattr(comparer, "filtered_comparisons", 0)
+    stats = getattr(comparer, "stats", None)
+    stats_before = stats.as_dict() if stats is not None else None
+    pairs: set[tuple[int, int]] = set()
+    if task.mode == "window":
+        ordered = state["ordered"].get(task.key_index)
+        if ordered is None:
+            rows = payload["rows"]
+            ordered = [rows[i] for i in payload["orders"][task.key_index]]
+            state["ordered"][task.key_index] = ordered
+        first = window_start(task.lo, task.window)
+        comparisons = segment_window_pass(
+            ordered[first:task.hi], task.window, compare, pairs,
+            start=task.lo - first, compare_block=compare_block)
+    elif task.mode == "de":
+        table = state["table"]
+        if table is None:
+            table = GkTable(payload["candidate"], payload["key_count"],
+                            payload["od_count"])
+            for row in payload["rows"]:
+                table.add(row)
+            state["table"] = table
+        comparisons = de_window_pass(table, task.key_index, task.window,
+                                     compare, pairs,
+                                     compare_block=compare_block)
+    else:
+        raise ValueError(f"unknown pass task mode {task.mode!r}")
+    return _shard_outcome(task, comparer, pairs, comparisons,
+                          filtered_before, stats_before)
+
+
+# ---------------------------------------------------------------------------
+# Relational shards (the classical SNM path through the same seam)
+
+
+@dataclass
+class RelationalShard:
+    """One anchor-range shard of a relational window pass.
+
+    ``rids``/``records`` are the aligned slice of the key-sorted record
+    list whose first ``start`` entries are overlap.  The relational pass
+    has no ``skip_known`` optimization, so sharded comparison counts are
+    *exactly* equal to the serial pass — not merely an upper bound.
+    """
+
+    rids: list[int]
+    records: list
+    start: int
+    window: int
+    matcher_pickle: bytes
+    batch: bool = False
+
+
+def run_relational_shard(shard: RelationalShard) -> tuple[set, int]:
+    """Execute one relational shard; returns ``(pairs, comparisons)``."""
+    matcher = pickle.loads(shard.matcher_pickle)
+    match_block = (getattr(matcher, "match_block", None)
+                   if shard.batch else None)
+    pairs: set[tuple[int, int]] = set()
+    comparisons = 0
+    rids = shard.rids
+    records = shard.records
+    for index in range(max(shard.start, 0), len(rids)):
+        first = window_start(index, shard.window)
+        if first >= index:
+            continue
+        if match_block is not None:
+            block = [(records[other], records[index])
+                     for other in range(first, index)]
+            comparisons += len(block)
+            for other, matched in zip(range(first, index),
+                                      match_block(block)):
+                if matched:
+                    pairs.add((min(rids[other], rids[index]),
+                               max(rids[other], rids[index])))
+            continue
+        for other in range(first, index):
+            comparisons += 1
+            if matcher(records[other], records[index]):
+                pairs.add((min(rids[other], rids[index]),
+                           max(rids[other], rids[index])))
+    return pairs, comparisons
+
+
+# ---------------------------------------------------------------------------
+# The plane abstraction
+
+
+@dataclass
+class PlaneOutcome:
+    """What one candidate's neighborhood phase cost through the plane."""
+
+    comparisons: int
+    filtered: int = 0
+
+
+class ExecutionPlane:
+    """Common surface of the three execution backends.
+
+    One plane instance serves one detection run (the engine builds it
+    from the config via :func:`make_plane`); :meth:`open_run` announces
+    it to the observers and :meth:`finish_run` releases any resources a
+    non-persistent backend holds.  Strategies call :meth:`multipass`
+    (the fixed/DE multi-pass window), :meth:`grouped_pass` (top-down
+    parent-grouped windows), or :meth:`relational_pass` (the classical
+    SNM) — the three comparison shapes of the codebase.
+    """
+
+    name = "serial"
+    parallel = False
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open_run(self, emit) -> None:
+        """Announce the plane to this run's observers."""
+        if emit is not None:
+            plane_opened = getattr(emit, "plane_opened", None)
+            if plane_opened is not None:
+                plane_opened(self.name, self.workers)
+
+    def finish_run(self) -> None:
+        """Release per-run resources (non-persistent pools)."""
+
+    # -- the three comparison shapes ------------------------------------
+
+    def multipass(self, ctx, duplicate_elimination: bool = False,
+                  ) -> PlaneOutcome:
+        """One window (or DE) pass per selected key, serially."""
+        total = 0
+        for key_index in ctx.key_indices:
+            ctx.pass_started(key_index)
+            if duplicate_elimination:
+                comparisons = de_window_pass(
+                    ctx.table, key_index, ctx.window, ctx.compare, ctx.pairs,
+                    compare_block=ctx.compare_block)
+            else:
+                comparisons = segment_window_pass(
+                    ctx.table.sorted_by_key(key_index), ctx.window,
+                    ctx.compare, ctx.pairs, start=0,
+                    compare_block=ctx.compare_block)
+            ctx.pass_finished(key_index, comparisons)
+            total += comparisons
+        return PlaneOutcome(total)
+
+    def grouped_pass(self, ctx, ordered: list[GkRow]) -> int:
+        """Window one parent-group's sorted rows (top-down traversals).
+
+        Groups are windowed sequentially *sharing* ``ctx.pairs`` — a
+        pair confirmed in an earlier group is skipped, exactly the
+        historical semantics — so every backend runs them in-process to
+        preserve exact comparison counts.
+        """
+        return segment_window_pass(ordered, ctx.window, ctx.compare,
+                                   ctx.pairs, start=0,
+                                   compare_block=ctx.compare_block)
+
+    def relational_pass(self, sorted_rids: list[int], relation, window: int,
+                        matcher, match_block,
+                        pairs: set[tuple[int, int]]) -> int:
+        """One classical-SNM window pass over key-sorted record ids."""
+        shard = RelationalShard(
+            rids=sorted_rids,
+            records=[relation[rid] for rid in sorted_rids],
+            start=0, window=window, matcher_pickle=b"",
+            batch=match_block is not None)
+        # Serial execution never round-trips the matcher through pickle.
+        shard_pairs, comparisons = _run_relational_inline(
+            shard, matcher, match_block)
+        pairs |= shard_pairs
+        return comparisons
+
+
+def _run_relational_inline(shard: RelationalShard, matcher,
+                           match_block) -> tuple[set, int]:
+    """:func:`run_relational_shard` with live callables (serial path)."""
+    pairs: set[tuple[int, int]] = set()
+    comparisons = 0
+    rids = shard.rids
+    records = shard.records
+    for index in range(max(shard.start, 0), len(rids)):
+        first = window_start(index, shard.window)
+        if first >= index:
+            continue
+        if match_block is not None:
+            block = [(records[other], records[index])
+                     for other in range(first, index)]
+            comparisons += len(block)
+            for other, matched in zip(range(first, index),
+                                      match_block(block)):
+                if matched:
+                    pairs.add((min(rids[other], rids[index]),
+                               max(rids[other], rids[index])))
+            continue
+        for other in range(first, index):
+            comparisons += 1
+            if matcher(records[other], records[index]):
+                pairs.add((min(rids[other], rids[index]),
+                           max(rids[other], rids[index])))
+    return pairs, comparisons
+
+
+class SerialPlane(ExecutionPlane):
+    """The in-process reference backend (the bit-identity baseline)."""
+
+    name = "serial"
+    parallel = False
+
+    def __init__(self):
+        super().__init__(workers=1)
+
+
+class _PoolPlane(ExecutionPlane):
+    """Shared machinery of the two pooled backends.
+
+    Subclasses provide :meth:`_pool` (the executor), :meth:`_discard`
+    (drop a broken pool), and :meth:`_build_shards` (the transport).
+    Everything else — the fallback ladder, the dispatch/merge protocol,
+    the observer events, the redundant-comparison and φ-spill
+    accounting — lives here exactly once.
+    """
+
+    parallel = True
+
+    def __init__(self, workers: int = 2, min_rows: int | None = None,
+                 segments_per_pass: int | None = None,
+                 executor: Executor | None = None, persist: bool = True):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        super().__init__(workers=workers)
+        self.min_rows = min_rows
+        self.segments_per_pass = segments_per_pass
+        self.executor = executor
+        self.persist = persist
+        self._own_pool: Executor | None = None
+        self._serial = SerialPlane()
+
+    # -- backend hooks --------------------------------------------------
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _shared_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _discard_shared_pool(self) -> None:
+        raise NotImplementedError
+
+    def _build_shards(self, ctx, comparer_pickle: bytes,
+                      duplicate_elimination: bool) -> list[PassTask]:
+        raise NotImplementedError
+
+    def _release_shards(self) -> None:
+        """Free per-candidate transport resources (shm segments)."""
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _pool(self) -> Executor:
+        if self.executor is not None:
+            return self.executor
+        if self.persist:
+            return self._shared_pool()
+        if self._own_pool is None:
+            self._own_pool = self._make_pool()
+        return self._own_pool
+
+    def _broken_pool(self) -> None:
+        if self.executor is not None:
+            return
+        if self.persist:
+            self._discard_shared_pool()
+        elif self._own_pool is not None:
+            self._own_pool.shutdown(wait=False, cancel_futures=True)
+            self._own_pool = None
+
+    def finish_run(self) -> None:
+        if self._own_pool is not None:
+            self._own_pool.shutdown()
+            self._own_pool = None
+
+    # -- the multipass ladder -------------------------------------------
+
+    def _resolved_min_rows(self, ctx) -> int:
+        if self.min_rows is not None:
+            return self.min_rows
+        return getattr(ctx.config, "parallel_min_rows",
+                       DEFAULT_PARALLEL_MIN_ROWS)
+
+    def multipass(self, ctx, duplicate_elimination: bool = False,
+                  ) -> PlaneOutcome:
+        if (self.workers <= 1 or len(ctx.table) < self._resolved_min_rows(ctx)
+                or not ctx.key_indices):
+            return self._serial.multipass(ctx, duplicate_elimination)
+
+        comparer = ctx.decider if ctx.decider is not None else ctx.compare
+        try:
+            comparer_pickle = pickle.dumps(comparer,
+                                           protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:  # pickle raises a zoo of types
+            ctx.warning(f"parallel neighborhood: pair classifier is not "
+                        f"picklable ({error}); running serially")
+            return self._serial.multipass(ctx, duplicate_elimination)
+
+        try:
+            tasks = self._build_shards(ctx, comparer_pickle,
+                                       duplicate_elimination)
+            pool = self._pool()
+            futures = []
+            dispatched = 0
+            for key_index in ctx.key_indices:
+                ctx.pass_started(key_index)
+                key_tasks = [task for task in tasks
+                             if task.key_index == key_index]
+                futures.extend(pool.submit(run_pass_task, task)
+                               for task in key_tasks)
+                dispatched += len(key_tasks)
+                ctx.pass_dispatched(key_index, len(key_tasks))
+            assert dispatched == len(tasks)
+
+            try:
+                results = [future.result() for future in futures]
+            except BrokenProcessPool as error:
+                self._broken_pool()
+                ctx.warning(f"parallel neighborhood: worker pool broke "
+                            f"({error}); retrying serially")
+                return self._serial.multipass(ctx, duplicate_elimination)
+        finally:
+            self._release_shards()
+
+        outcome = merge_pass_results(results, pairs=ctx.pairs)
+        accepted = 0
+        if outcome.phi_entries:
+            # Workers cannot write the store; their new exact scores are
+            # recorded here so the engine's end-of-run flush keeps them.
+            # ``record_many`` dedupes against the parent's segment index
+            # and pending set — entries several workers computed, or the
+            # parent already knows, are accepted exactly once.
+            parent_cache = getattr(getattr(ctx.decider, "plan", None),
+                                   "phi_cache", None)
+            parent_spill = getattr(parent_cache, "spill", None)
+            if parent_spill is not None:
+                accepted = parent_spill.record_many(outcome.phi_entries)
+        if outcome.stats is not None:
+            # The honest spill counter: what the parent actually queued
+            # for flushing, not the sum of what each worker believed it
+            # spilled into its read-only copy.
+            outcome.stats.phi_cache_spilled = accepted
+        for key_index, comparisons, redundant in outcome.per_key:
+            ctx.pass_merged(key_index, comparisons, redundant)
+            ctx.pass_finished(key_index, comparisons)
+
+        parent_stats = getattr(ctx.decider, "stats", None)
+        if parent_stats is not None and outcome.stats is not None:
+            parent_stats.merge(outcome.stats)
+        return PlaneOutcome(outcome.comparisons, filtered=outcome.filtered)
+
+    # -- the relational ladder ------------------------------------------
+
+    def relational_pass(self, sorted_rids, relation, window, matcher,
+                        match_block, pairs):
+        if self.workers <= 1 or len(sorted_rids) < self._resolved_min_rows(
+                _ConfigOnly(None)):
+            return super().relational_pass(sorted_rids, relation, window,
+                                           matcher, match_block, pairs)
+        try:
+            matcher_pickle = pickle.dumps(matcher,
+                                          protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return super().relational_pass(sorted_rids, relation, window,
+                                           matcher, match_block, pairs)
+        segments = plan_segments(len(sorted_rids), 1, self.workers,
+                                 self.segments_per_pass)
+        shards = []
+        for low, high in segment_bounds(len(sorted_rids), segments):
+            first = window_start(low, window)
+            rids = sorted_rids[first:high]
+            shards.append(RelationalShard(
+                rids=rids, records=[relation[rid] for rid in rids],
+                start=low - first, window=window,
+                matcher_pickle=matcher_pickle,
+                batch=match_block is not None))
+        pool = self._pool()
+        futures = [pool.submit(run_relational_shard, shard)
+                   for shard in shards]
+        try:
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:
+            self._broken_pool()
+            return super().relational_pass(sorted_rids, relation, window,
+                                           matcher, match_block, pairs)
+        comparisons = 0
+        for shard_pairs, shard_comparisons in results:
+            pairs |= shard_pairs
+            comparisons += shard_comparisons
+        return comparisons
+
+
+@dataclass
+class _ConfigOnly:
+    """Adapter giving :meth:`_resolved_min_rows` a config-ish object."""
+
+    config: object | None
+
+
+class ThreadedBatchPlane(_PoolPlane):
+    """Shard execution on a persistent thread pool, rows shipped inline.
+
+    Threads share memory, so nothing is published — but the shard
+    protocol still round-trips the classifier through pickle per task
+    (isolated counters, cold per-shard state), making this backend
+    semantically indistinguishable from the process one: same pairs,
+    same comparison counts, same redundant accounting.  Useful as the
+    differential harness for the shard machinery and on platforms where
+    process pools are unavailable.
+    """
+
+    name = "threads"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _shared_pool(self) -> Executor:
+        return shared_thread_pool(self.workers)
+
+    def _discard_shared_pool(self) -> None:
+        discard_thread_pool(self.workers)
+
+    def _build_shards(self, ctx, comparer_pickle, duplicate_elimination):
+        return build_pass_tasks(
+            ctx.table, ctx.window, ctx.key_indices, duplicate_elimination,
+            self.workers, comparer_pickle,
+            segments_per_pass=self.segments_per_pass,
+            batch=ctx.compare_block is not None)
+
+
+class SharedMemoryPlane(_PoolPlane):
+    """Shard execution on a persistent process pool over shared memory.
+
+    Per candidate, the plane publishes one segment (see
+    :func:`build_segment_payload`) and ships shards as anchor ranges
+    into the published sort index.  Payloads below ``min_bytes`` — and
+    any candidate whose segment cannot be created — fall back to
+    inline-row shards on the same pool, so shared-memory failures never
+    change results, only transport.
+    """
+
+    name = "shm"
+
+    def __init__(self, workers: int = 2, min_rows: int | None = None,
+                 segments_per_pass: int | None = None,
+                 executor: Executor | None = None, persist: bool = True,
+                 min_bytes: int | None = None):
+        super().__init__(workers=workers, min_rows=min_rows,
+                         segments_per_pass=segments_per_pass,
+                         executor=executor, persist=persist)
+        self.min_bytes = (min_bytes if min_bytes is not None
+                          else DEFAULT_SHARED_MEMORY_MIN_BYTES)
+        self._segments: list = []
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _shared_pool(self) -> Executor:
+        return shared_executor(self.workers)
+
+    def _discard_shared_pool(self) -> None:
+        discard_executor(self.workers)
+
+    def _build_shards(self, ctx, comparer_pickle, duplicate_elimination):
+        payload = build_segment_payload(
+            ctx.table, ctx.key_indices, comparer_pickle,
+            batch=ctx.compare_block is not None)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = None
+        if len(blob) >= self.min_bytes:
+            try:
+                segment = publish_segment(blob)
+            except (OSError, ValueError):
+                segment = None  # no /dev/shm, quota, …: ship inline
+        if segment is None:
+            return build_pass_tasks(
+                ctx.table, ctx.window, ctx.key_indices,
+                duplicate_elimination, self.workers, comparer_pickle,
+                segments_per_pass=self.segments_per_pass,
+                batch=ctx.compare_block is not None)
+        self._segments.append(segment)
+        ctx.segment_published(segment.name, segment.size)
+        batch = ctx.compare_block is not None
+        tasks: list[PassTask] = []
+        for key_index in ctx.key_indices:
+            if duplicate_elimination:
+                tasks.append(PassTask(
+                    candidate=ctx.table.candidate_name, mode="de",
+                    key_index=key_index, window=ctx.window, rows=None,
+                    start=0, key_count=ctx.table.key_count,
+                    od_count=ctx.table.od_count, comparer_pickle=b"",
+                    batch=batch, segment=segment.name))
+                continue
+            row_count = len(payload["orders"][key_index])
+            segments = plan_segments(row_count, len(ctx.key_indices),
+                                     self.workers, self.segments_per_pass)
+            for low, high in segment_bounds(row_count, segments):
+                tasks.append(PassTask(
+                    candidate=ctx.table.candidate_name, mode="window",
+                    key_index=key_index, window=ctx.window, rows=None,
+                    start=0, key_count=ctx.table.key_count,
+                    od_count=ctx.table.od_count, comparer_pickle=b"",
+                    batch=batch, segment=segment.name, lo=low, hi=high))
+        return tasks
+
+    def _release_shards(self) -> None:
+        while self._segments:
+            release_segment(self._segments.pop())
+
+    def finish_run(self) -> None:
+        self._release_shards()
+        super().finish_run()
+
+
+# ---------------------------------------------------------------------------
+# Plane selection
+
+
+def make_plane(config, workers: int | None = None) -> ExecutionPlane:
+    """Build the configured plane for one run.
+
+    ``execution_plane`` ∈ {"auto", "serial", "threads", "shm"}; "auto"
+    picks :class:`SerialPlane` for one worker and
+    :class:`SharedMemoryPlane` otherwise.  An explicitly parallel plane
+    with one worker still degrades gracefully — every pooled backend
+    falls back to serial execution per candidate.
+    """
+    if workers is None:
+        workers = getattr(config, "workers", 1)
+    choice = getattr(config, "execution_plane", "auto")
+    persist = getattr(config, "worker_pool_persist", True)
+    min_bytes = getattr(config, "shared_memory_min_bytes",
+                        DEFAULT_SHARED_MEMORY_MIN_BYTES)
+    if choice == "serial":
+        return SerialPlane()
+    if choice == "threads":
+        return ThreadedBatchPlane(workers=max(workers, 1), persist=persist)
+    if choice == "shm":
+        return SharedMemoryPlane(workers=max(workers, 1), persist=persist,
+                                 min_bytes=min_bytes)
+    if workers <= 1:
+        return SerialPlane()
+    return SharedMemoryPlane(workers=workers, persist=persist,
+                             min_bytes=min_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level entry point
+
+
+def parallel_multipass(table: GkTable, window: int,
+                       compare: Callable[[GkRow, GkRow], PairVerdict],
+                       key_indices: list[int] | None = None,
+                       duplicate_elimination: bool = False,
+                       workers: int = 2, min_rows: int = 0,
+                       segments_per_pass: int | None = None,
+                       executor: Executor | None = None,
+                       ) -> tuple[set[tuple[int, int]], int]:
+    """Sharded :func:`~repro.core.window.multipass`; same pair set.
+
+    ``compare`` must be picklable (a module-level callable, or an object
+    with a picklable bound ``compare`` method).  ``workers <= 1`` and
+    tables below ``min_rows`` delegate to the serial kernel unchanged.
+    The returned comparison count may exceed the serial one — shards
+    cannot see each other's confirmed pairs.
+    """
+    if workers <= 1 or len(table) < min_rows:
+        return multipass(table, window, compare, key_indices=key_indices,
+                         duplicate_elimination=duplicate_elimination)
+    indices = (key_indices if key_indices is not None
+               else list(range(table.key_count)))
+    comparer_pickle = pickle.dumps(compare,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+    tasks = build_pass_tasks(table, window, indices, duplicate_elimination,
+                             workers, comparer_pickle,
+                             segments_per_pass=segments_per_pass)
+    pool = executor if executor is not None else shared_executor(workers)
+    futures = [pool.submit(run_pass_task, task) for task in tasks]
+    outcome = merge_pass_results([future.result() for future in futures])
+    return outcome.pairs, outcome.comparisons

@@ -113,6 +113,23 @@ class EngineObserver:
         plan (equational theories) emit nothing.
         """
 
+    def plane_opened(self, plane: str, workers: int) -> None:
+        """The run's execution plane was selected and opened.
+
+        ``plane`` is the backend name ("serial"/"threads"/"shm"),
+        ``workers`` its worker count (1 for serial).  Emitted once per
+        run, after ``run_started`` and before the first candidate.
+        """
+
+    def segment_published(self, candidate: str, segment: str,
+                          nbytes: int) -> None:
+        """A shared-memory segment was published for ``candidate``.
+
+        ``segment`` is the OS-level segment name and ``nbytes`` its
+        size.  Emitted only by the shared-memory plane, for candidates
+        whose payload clears ``sharedMemoryMinBytes``.
+        """
+
     def cache_loaded(self, directory: str, entries: int,
                      segments: int) -> None:
         """The persistent φ cache was opened for this run.
@@ -200,6 +217,21 @@ class ObserverGroup(EngineObserver):
         for observer in self.observers:
             observer.comparison_stats(candidate, stats)
 
+    def plane_opened(self, plane, workers):
+        for observer in self.observers:
+            # getattr-guarded: observers written before the plane events
+            # existed (duck-typed, not subclassing EngineObserver) keep
+            # working.
+            hook = getattr(observer, "plane_opened", None)
+            if hook is not None:
+                hook(plane, workers)
+
+    def segment_published(self, candidate, segment, nbytes):
+        for observer in self.observers:
+            hook = getattr(observer, "segment_published", None)
+            if hook is not None:
+                hook(candidate, segment, nbytes)
+
     def cache_loaded(self, directory, entries, segments):
         for observer in self.observers:
             observer.cache_loaded(directory, entries, segments)
@@ -281,6 +313,15 @@ class CounterObserver(EngineObserver):
 
     def pass_merged(self, candidate, key_index, comparisons, redundant):
         self._bump("pass_merged")
+
+    def plane_opened(self, plane, workers):
+        self._bump("plane_opened")
+        self.counts[f"plane_{plane}"] = self.counts.get(f"plane_{plane}", 0) + 1
+
+    def segment_published(self, candidate, segment, nbytes):
+        self._bump("segment_published")
+        self.counts["segment_bytes"] = \
+            self.counts.get("segment_bytes", 0) + nbytes
 
     def pair_compared(self, candidate, left_eid, right_eid, verdict):
         self._bump("pair_compared")

@@ -1,375 +1,47 @@
-"""Parallel execution of the multi-pass sliding window.
+"""Compatibility surface of the parallel multi-pass window.
 
-The paper's multi-pass method (Sec. 4.2) runs one independent
-sliding-window pass per sort key and unions the resulting pair sets — an
-embarrassingly parallel shape.  This module shards that work across a
-:class:`~concurrent.futures.ProcessPoolExecutor`:
-
-* **per-key sharding** — each key's pass is one task (the passes only
-  communicate through the final pair union);
-* **intra-pass segmenting** — a single pass is further split into
-  contiguous segments of the key-sorted row list, each prepended with
-  the ``window - 1`` rows before it.  Overlap rows serve only as
-  predecessors (they never anchor comparisons), and every in-window
-  pair is anchored by exactly one row, so the segments cover every
-  adjacency exactly once.  This keeps all workers busy on single-key or
-  skewed configurations.
-
-Workers return ``(pair set, comparison count, ComparisonStats)``; the
-parent unions the pairs, merges the stats via
-:meth:`~repro.similarity.plan.ComparisonStats.merge`, and feeds the
-union into closure.  **Pairs and cluster sets are bit-identical to the
-serial run**: the pair classifier is deterministic, and the serial
-``skip_known`` optimization only ever skips pairs that would re-confirm
-identically.  Comparison counts may *rise*, because ``skip_known``
-cannot see across shards — every such re-confirmation is counted in
-``ComparisonStats.redundant_comparisons`` so the trade stays observable.
-
-The pair classifier travels to the workers by pickle (GK rows and
-:class:`~repro.core.simmeasure.SimilarityMeasure` with its compiled
-plan are plain data; the shared φ cache pickles as an empty cache of
-the same capacity).  Classifiers that cannot be pickled — e.g. the
-observer-instrumented closure the engine wraps around ``compare`` —
-make :class:`ParallelWindowStrategy` fall back to the serial path with
-an observer warning.
+The dispatch, shard-planning, merge, and pool machinery that used to
+live here moved into :mod:`repro.core.execution` — the unified
+:class:`~repro.core.execution.ExecutionPlane` seam shared by the serial,
+threaded, and shared-memory backends.  This module re-exports the
+historical names (the worker protocol, the planners, the shared
+executor registry, :func:`parallel_multipass`) and keeps
+:class:`ParallelWindowStrategy` as a thin engine stage over
+:class:`~repro.core.execution.SharedMemoryPlane`.
 """
 
 from __future__ import annotations
 
-import atexit
-import pickle
-from collections.abc import Callable
-from concurrent.futures import Executor, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from concurrent.futures import Executor
 
-from ..similarity import ComparisonStats
-from .gk import GkRow, GkTable
-from .simmeasure import PairVerdict
-from .stages import (BOTTOM_UP, CandidateContext, FixedWindowStrategy,
-                     NeighborhoodOutcome)
-from .window import de_window_pass, multipass, segment_window_pass
+from .execution import (DEFAULT_PARALLEL_MIN_ROWS, MIN_SEGMENT_ROWS,
+                        MergeOutcome, PassResult, PassTask,
+                        SharedMemoryPlane, build_pass_tasks,
+                        discard_executor, merge_pass_results,
+                        parallel_multipass, plan_segments, run_pass_task,
+                        segment_bounds, shared_executor, shutdown_executors)
+from .stages import BOTTOM_UP, CandidateContext, NeighborhoodOutcome
 
-#: Tables smaller than this run serially by default — process start-up
-#: and row pickling dwarf the comparison work below it.
-DEFAULT_PARALLEL_MIN_ROWS = 64
-
-#: Never split a pass into segments averaging fewer rows than this; a
-#: tiny segment's IPC costs more than its comparisons.
-MIN_SEGMENT_ROWS = 32
-
-
-# ---------------------------------------------------------------------------
-# Tasks and results (the picklable worker protocol)
-
-
-@dataclass
-class PassTask:
-    """One shard of one key's window pass, shipped to a worker process.
-
-    ``mode`` selects the kernel: ``"window"`` runs
-    :func:`~repro.core.window.segment_window_pass` over ``rows`` (a
-    contiguous slice of the key-sorted list whose first ``start`` rows
-    are overlap), ``"de"`` rebuilds a GK table from ``rows`` and runs
-    the full :func:`~repro.core.window.de_window_pass` (equal-key groups
-    may span any segment boundary, so DE passes shard per key only).
-    ``comparer_pickle`` is the pre-pickled pair classifier — pickled
-    once in the parent instead of once per task.  ``batch`` asks the
-    worker to classify through the comparer's ``compare_block`` (the
-    batched plane) when it has one; results are bit-identical either
-    way, only the batch counters differ.
-    """
-
-    candidate: str
-    mode: str
-    key_index: int
-    window: int
-    rows: list[GkRow]
-    start: int
-    key_count: int
-    od_count: int
-    comparer_pickle: bytes
-    batch: bool = False
-
-
-@dataclass
-class PassResult:
-    """What one worker shard produced.
-
-    ``phi_entries`` carries the exact φ scores this shard computed that
-    the persistent spill (if any) had not seen yet — the parent records
-    them into its own store so the end-of-run flush persists worker
-    results too.  ``None`` when persistence is off.
-    """
-
-    key_index: int
-    pairs: set[tuple[int, int]]
-    comparisons: int
-    filtered: int
-    stats: ComparisonStats | None
-    phi_entries: dict[tuple, float] | None = None
-
-
-def run_pass_task(task: PassTask) -> PassResult:
-    """Execute one shard (runs inside a worker process).
-
-    The classifier is unpickled fresh per task, so its stats and
-    filtered-comparison counters start at zero and report exactly this
-    shard's work.  With a persistent φ cache attached, the worker's
-    read-only shared store collects the shard's new exact scores; they
-    are drained here into the result as the shard's delta.
-    """
-    comparer = pickle.loads(task.comparer_pickle)
-    compare = getattr(comparer, "compare", comparer)
-    compare_block = (getattr(comparer, "compare_block", None)
-                     if task.batch else None)
-    filtered_before = getattr(comparer, "filtered_comparisons", 0)
-    stats = getattr(comparer, "stats", None)
-    stats_before = stats.as_dict() if stats is not None else None
-    pairs: set[tuple[int, int]] = set()
-    if task.mode == "window":
-        comparisons = segment_window_pass(task.rows, task.window, compare,
-                                          pairs, start=task.start,
-                                          compare_block=compare_block)
-    elif task.mode == "de":
-        table = GkTable(task.candidate, task.key_count, task.od_count)
-        for row in task.rows:
-            table.add(row)
-        comparisons = de_window_pass(table, task.key_index, task.window,
-                                     compare, pairs,
-                                     compare_block=compare_block)
-    else:
-        raise ValueError(f"unknown pass task mode {task.mode!r}")
-    stats_delta = None
-    if stats is not None and stats_before is not None:
-        stats_delta = ComparisonStats(**{
-            name: value - stats_before[name]
-            for name, value in stats.as_dict().items()})
-    phi_cache = getattr(getattr(comparer, "plan", None), "phi_cache", None)
-    spill = getattr(phi_cache, "spill", None)
-    phi_entries = spill.take_new() if spill is not None else None
-    return PassResult(
-        key_index=task.key_index, pairs=pairs, comparisons=comparisons,
-        filtered=getattr(comparer, "filtered_comparisons", 0) - filtered_before,
-        stats=stats_delta, phi_entries=phi_entries)
-
-
-# ---------------------------------------------------------------------------
-# Shard planning
-
-
-def plan_segments(row_count: int, key_count: int, workers: int,
-                  segments_per_pass: int | None = None,
-                  min_segment_rows: int = MIN_SEGMENT_ROWS) -> int:
-    """Number of contiguous segments to split one key's pass into.
-
-    Enough segments to keep ``workers`` busy across ``key_count``
-    concurrent passes (``ceil(workers / key_count)``), but never so many
-    that segments average fewer than ``min_segment_rows`` rows.  An
-    explicit ``segments_per_pass`` overrides the heuristic (tests use
-    this to exercise extreme splits).
-    """
-    if row_count <= 0:
-        return 1
-    if segments_per_pass is not None:
-        return max(1, min(segments_per_pass, row_count))
-    segments = -(-workers // max(key_count, 1))
-    segments = min(segments, max(1, row_count // max(min_segment_rows, 1)))
-    return max(1, min(segments, row_count))
-
-
-def segment_bounds(row_count: int, segments: int) -> list[tuple[int, int]]:
-    """Half-open ``[low, high)`` anchor ranges of each non-empty segment."""
-    bounds = []
-    for index in range(segments):
-        low = row_count * index // segments
-        high = row_count * (index + 1) // segments
-        if low < high:
-            bounds.append((low, high))
-    return bounds
-
-
-def build_pass_tasks(table: GkTable, window: int, key_indices: list[int],
-                     duplicate_elimination: bool, workers: int,
-                     comparer_pickle: bytes,
-                     segments_per_pass: int | None = None,
-                     batch: bool = False) -> list[PassTask]:
-    """All shards for one candidate, grouped by key in pass order."""
-    tasks: list[PassTask] = []
-    for key_index in key_indices:
-        if duplicate_elimination:
-            tasks.append(PassTask(
-                candidate=table.candidate_name, mode="de",
-                key_index=key_index, window=window, rows=list(table),
-                start=0, key_count=table.key_count, od_count=table.od_count,
-                comparer_pickle=comparer_pickle, batch=batch))
-            continue
-        ordered = table.sorted_by_key(key_index)
-        segments = plan_segments(len(ordered), len(key_indices), workers,
-                                 segments_per_pass)
-        for low, high in segment_bounds(len(ordered), segments):
-            first = max(0, low - window + 1)
-            tasks.append(PassTask(
-                candidate=table.candidate_name, mode="window",
-                key_index=key_index, window=window,
-                rows=ordered[first:high], start=low - first,
-                key_count=table.key_count, od_count=table.od_count,
-                comparer_pickle=comparer_pickle, batch=batch))
-    return tasks
-
-
-# ---------------------------------------------------------------------------
-# Result merging
-
-
-@dataclass
-class MergeOutcome:
-    """The parent-side union of all shard results for one candidate."""
-
-    pairs: set[tuple[int, int]] = field(default_factory=set)
-    comparisons: int = 0
-    filtered: int = 0
-    redundant: int = 0
-    #: ``(key_index, comparisons, redundant)`` per pass, in merge order.
-    per_key: list[tuple[int, int, int]] = field(default_factory=list)
-    stats: ComparisonStats | None = None
-    #: Union of the shards' new persistent-φ-cache entries.
-    phi_entries: dict[tuple, float] = field(default_factory=dict)
-
-
-def merge_pass_results(results: list[PassResult],
-                       pairs: set[tuple[int, int]] | None = None,
-                       ) -> MergeOutcome:
-    """Union shard pair sets and merge their stats, in shard order.
-
-    A confirmed pair already present in the union is exactly one the
-    serial pass would have skipped via ``skip_known`` — it is counted as
-    redundant (and recorded in the merged stats) rather than added twice.
-    """
-    outcome = MergeOutcome(pairs=pairs if pairs is not None else set())
-    key_order: dict[int, int] = {}
-    per_key: dict[int, list[int]] = {}
-    for result in results:
-        overlap = len(result.pairs & outcome.pairs)
-        outcome.pairs |= result.pairs
-        outcome.comparisons += result.comparisons
-        outcome.filtered += result.filtered
-        outcome.redundant += overlap
-        key_order.setdefault(result.key_index, len(key_order))
-        totals = per_key.setdefault(result.key_index, [0, 0])
-        totals[0] += result.comparisons
-        totals[1] += overlap
-        if result.stats is not None:
-            if outcome.stats is None:
-                outcome.stats = ComparisonStats()
-            outcome.stats.merge(result.stats)
-        if result.phi_entries:
-            outcome.phi_entries.update(result.phi_entries)
-    if outcome.stats is not None:
-        outcome.stats.redundant_comparisons += outcome.redundant
-    outcome.per_key = [
-        (key_index, per_key[key_index][0], per_key[key_index][1])
-        for key_index in sorted(key_order, key=key_order.get)]
-    return outcome
-
-
-# ---------------------------------------------------------------------------
-# Shared executors
-
-
-_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
-
-
-def shared_executor(workers: int) -> ProcessPoolExecutor:
-    """A lazily created, process-wide executor for ``workers`` workers.
-
-    Pools are expensive to start; detections, sweeps, and property tests
-    reuse one pool per worker count for the life of the process.
-    """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    executor = _EXECUTORS.get(workers)
-    if executor is None:
-        executor = ProcessPoolExecutor(max_workers=workers)
-        _EXECUTORS[workers] = executor
-    return executor
-
-
-def discard_executor(workers: int) -> None:
-    """Drop (and shut down) the shared pool for ``workers``, if any."""
-    executor = _EXECUTORS.pop(workers, None)
-    if executor is not None:
-        executor.shutdown(wait=False, cancel_futures=True)
-
-
-def shutdown_executors() -> None:
-    """Shut down every shared pool (registered to run at exit)."""
-    while _EXECUTORS:
-        _, executor = _EXECUTORS.popitem()
-        executor.shutdown()
-
-
-atexit.register(shutdown_executors)
-
-
-# ---------------------------------------------------------------------------
-# Kernel-level entry point
-
-
-def parallel_multipass(table: GkTable, window: int,
-                       compare: Callable[[GkRow, GkRow], PairVerdict],
-                       key_indices: list[int] | None = None,
-                       duplicate_elimination: bool = False,
-                       workers: int = 2, min_rows: int = 0,
-                       segments_per_pass: int | None = None,
-                       executor: Executor | None = None,
-                       ) -> tuple[set[tuple[int, int]], int]:
-    """Sharded :func:`~repro.core.window.multipass`; same pair set.
-
-    ``compare`` must be picklable (a module-level callable, or an object
-    with a picklable bound ``compare`` method).  ``workers <= 1`` and
-    tables below ``min_rows`` delegate to the serial kernel unchanged.
-    The returned comparison count may exceed the serial one — shards
-    cannot see each other's confirmed pairs.
-    """
-    if workers <= 1 or len(table) < min_rows:
-        return multipass(table, window, compare, key_indices=key_indices,
-                         duplicate_elimination=duplicate_elimination)
-    indices = (key_indices if key_indices is not None
-               else list(range(table.key_count)))
-    comparer_pickle = pickle.dumps(compare,
-                                   protocol=pickle.HIGHEST_PROTOCOL)
-    tasks = build_pass_tasks(table, window, indices, duplicate_elimination,
-                             workers, comparer_pickle,
-                             segments_per_pass=segments_per_pass)
-    pool = executor if executor is not None else shared_executor(workers)
-    futures = [pool.submit(run_pass_task, task) for task in tasks]
-    outcome = merge_pass_results([future.result() for future in futures])
-    return outcome.pairs, outcome.comparisons
-
-
-# ---------------------------------------------------------------------------
-# Engine stage
+__all__ = [
+    "DEFAULT_PARALLEL_MIN_ROWS", "MIN_SEGMENT_ROWS", "MergeOutcome",
+    "ParallelWindowStrategy", "PassResult", "PassTask", "build_pass_tasks",
+    "discard_executor", "merge_pass_results", "parallel_multipass",
+    "plan_segments", "run_pass_task", "segment_bounds", "shared_executor",
+    "shutdown_executors",
+]
 
 
 class ParallelWindowStrategy:
     """Sharded fixed/DE multi-pass window (drop-in for the serial one).
 
-    Identical pairs and clusters to
+    A thin wrapper binding the engine's neighborhood stage to a
+    shared-memory execution plane.  Identical pairs and clusters to
     :class:`~repro.core.stages.FixedWindowStrategy` — only wall-clock
-    time and comparison counts differ.  Falls back to the serial
-    strategy (with an observer warning where applicable) whenever
-    parallelism cannot help or cannot work:
-
-    * ``workers`` resolves to 1 (``None`` defers to ``config.workers``),
-    * the table is smaller than ``min_rows`` (``None`` defers to
-      ``config.parallel_min_rows``),
-    * the pair classifier cannot be pickled,
-    * the process pool broke mid-run.
-
-    Worker processes do not emit per-pair observer events; passes report
-    ``pass_dispatched`` after submission and ``pass_merged`` (with the
-    redundant-comparison count) once their shards are unioned.
+    time and comparison counts differ; the fallback ladder (one worker,
+    small tables, unpicklable classifiers, broken pools) lives in the
+    plane.  When the engine already opened a compatible shared-memory
+    plane for the run, the strategy rides it — pool, published segments
+    and all — instead of opening a second one.
     """
 
     traversal = BOTTOM_UP
@@ -386,70 +58,30 @@ class ParallelWindowStrategy:
         self.min_rows = min_rows
         self.segments_per_pass = segments_per_pass
         self.executor = executor
-        self._serial = FixedWindowStrategy(
-            duplicate_elimination=duplicate_elimination)
+        self._planes: dict[int, SharedMemoryPlane] = {}
+
+    def _plane_for(self, ctx: CandidateContext,
+                   workers: int) -> SharedMemoryPlane:
+        if (isinstance(ctx.plane, SharedMemoryPlane)
+                and ctx.plane.workers == workers
+                and self.min_rows is None
+                and self.segments_per_pass is None
+                and self.executor is None):
+            return ctx.plane
+        plane = self._planes.get(workers)
+        if plane is None:
+            plane = SharedMemoryPlane(
+                workers=workers, min_rows=self.min_rows,
+                segments_per_pass=self.segments_per_pass,
+                executor=self.executor)
+            self._planes[workers] = plane
+        return plane
 
     def find_pairs(self, ctx: CandidateContext) -> NeighborhoodOutcome:
         workers = (self.workers if self.workers is not None
                    else getattr(ctx.config, "workers", 1))
-        min_rows = (self.min_rows if self.min_rows is not None
-                    else getattr(ctx.config, "parallel_min_rows",
-                                 DEFAULT_PARALLEL_MIN_ROWS))
-        if workers <= 1 or len(ctx.table) < min_rows or not ctx.key_indices:
-            return self._serial.find_pairs(ctx)
-
-        comparer = ctx.decider if ctx.decider is not None else ctx.compare
-        try:
-            comparer_pickle = pickle.dumps(comparer,
-                                           protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as error:  # pickle raises a zoo of types
-            ctx.warning(f"parallel neighborhood: pair classifier is not "
-                        f"picklable ({error}); running serially")
-            return self._serial.find_pairs(ctx)
-
-        tasks = build_pass_tasks(
-            ctx.table, ctx.window, ctx.key_indices,
-            self.duplicate_elimination, workers, comparer_pickle,
-            segments_per_pass=self.segments_per_pass,
-            batch=ctx.compare_block is not None)
-        pool = (self.executor if self.executor is not None
-                else shared_executor(workers))
-        futures = []
-        dispatched = 0
-        for key_index in ctx.key_indices:
-            ctx.pass_started(key_index)
-            key_tasks = [task for task in tasks
-                         if task.key_index == key_index]
-            futures.extend(pool.submit(run_pass_task, task)
-                           for task in key_tasks)
-            dispatched += len(key_tasks)
-            ctx.pass_dispatched(key_index, len(key_tasks))
-        assert dispatched == len(tasks)
-
-        try:
-            results = [future.result() for future in futures]
-        except BrokenProcessPool as error:
-            if self.executor is None:
-                discard_executor(workers)
-            ctx.warning(f"parallel neighborhood: worker pool broke "
-                        f"({error}); retrying serially")
-            return self._serial.find_pairs(ctx)
-
-        outcome = merge_pass_results(results, pairs=ctx.pairs)
-        if outcome.phi_entries:
-            # Workers cannot write the store; their new exact scores are
-            # recorded here so the engine's end-of-run flush keeps them.
-            parent_cache = getattr(getattr(ctx.decider, "plan", None),
-                                   "phi_cache", None)
-            parent_spill = getattr(parent_cache, "spill", None)
-            if parent_spill is not None:
-                parent_spill.record_many(outcome.phi_entries)
-        for key_index, comparisons, redundant in outcome.per_key:
-            ctx.pass_merged(key_index, comparisons, redundant)
-            ctx.pass_finished(key_index, comparisons)
-
-        parent_stats = getattr(ctx.decider, "stats", None)
-        if parent_stats is not None and outcome.stats is not None:
-            parent_stats.merge(outcome.stats)
+        plane = self._plane_for(ctx, max(workers, 1))
+        outcome = plane.multipass(
+            ctx, duplicate_elimination=self.duplicate_elimination)
         return NeighborhoodOutcome(outcome.comparisons,
                                    filtered=outcome.filtered)

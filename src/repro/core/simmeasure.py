@@ -264,6 +264,16 @@ class SimilarityMeasure:
             self._batch = batch
         return batch
 
+    def seed_batch_artifacts(
+            self, mapping: dict[str, tuple[int, dict[str, int]]]) -> None:
+        """Seed the batch layer's per-string artifact memo.
+
+        Used by shared-memory workers: the plane publishes each
+        candidate's string artifacts once and every worker seeds its
+        classifier from the segment instead of recomputing them.
+        """
+        self._pair_batch().seed_artifacts(mapping)
+
     def __getstate__(self):
         # The batch layer holds per-string artifact memos and live DP
         # columns — per-process working state, not configuration; worker

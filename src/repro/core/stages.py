@@ -36,12 +36,13 @@ from ..similarity import ComparisonPlan, PhiCache
 from ..xmlmodel import XmlDocument, parse
 from .candidates import CandidateHierarchy, CandidateNode
 from .clusters import ClusterSet
+from .execution import ExecutionPlane, SerialPlane
 from .gk import GkRow, GkTable
 from .keygen import generate_gk, generate_gk_streaming
 from .observer import ObserverGroup
 from .simmeasure import Decision, PairVerdict, SimilarityMeasure
 from .theory import XmlEquationalTheory
-from .window import adaptive_window_pass, de_window_pass, window_pass
+from .window import adaptive_window_pass
 
 Compare = Callable[[GkRow, GkRow], PairVerdict]
 
@@ -83,6 +84,12 @@ class CandidateContext:
     decider: PairDecider | None = None
     compare_block: Callable[[list[tuple[GkRow, GkRow]]],
                             list[PairVerdict]] | None = None
+    #: The run's execution backend; ``None`` means run in-process.
+    plane: ExecutionPlane | None = None
+
+    def execution_plane(self) -> ExecutionPlane:
+        """The backend to run this candidate on (serial when unset)."""
+        return self.plane if self.plane is not None else _SERIAL_PLANE
 
     def pass_started(self, key_index: int) -> None:
         if self.emit is not None:
@@ -109,6 +116,15 @@ class CandidateContext:
     def warning(self, message: str) -> None:
         if self.emit is not None:
             self.emit.warning(message)
+
+    def segment_published(self, segment: str, nbytes: int) -> None:
+        if self.emit is not None:
+            self.emit.segment_published(self.spec.name, segment, nbytes)
+
+
+#: Fallback backend for contexts built without a plane (direct strategy
+#: use in tests, incremental batches).
+_SERIAL_PLANE = SerialPlane()
 
 
 @dataclass
@@ -331,7 +347,11 @@ class FixedWindowStrategy:
 
     One pass per selected key; ``duplicate_elimination`` switches each
     pass to the DE variant where equal-key groups are confirmed against
-    an anchor and only representatives enter the window.
+    an anchor and only representatives enter the window.  Execution is
+    delegated to the context's :class:`~repro.core.execution.ExecutionPlane`
+    — serial, threaded, or shared-memory — which owns dispatch, merge,
+    and the fallback ladder; pairs and clusters are identical on every
+    backend.
     """
 
     traversal = BOTTOM_UP
@@ -340,20 +360,9 @@ class FixedWindowStrategy:
         self.duplicate_elimination = duplicate_elimination
 
     def find_pairs(self, ctx: CandidateContext) -> NeighborhoodOutcome:
-        total = 0
-        for key_index in ctx.key_indices:
-            ctx.pass_started(key_index)
-            if self.duplicate_elimination:
-                comparisons = de_window_pass(ctx.table, key_index, ctx.window,
-                                             ctx.compare, ctx.pairs,
-                                             compare_block=ctx.compare_block)
-            else:
-                comparisons = window_pass(ctx.table, key_index, ctx.window,
-                                          ctx.compare, ctx.pairs,
-                                          compare_block=ctx.compare_block)
-            ctx.pass_finished(key_index, comparisons)
-            total += comparisons
-        return NeighborhoodOutcome(total)
+        outcome = ctx.execution_plane().multipass(
+            ctx, duplicate_elimination=self.duplicate_elimination)
+        return NeighborhoodOutcome(outcome.comparisons, outcome.filtered)
 
 
 class AdaptiveWindowStrategy:
@@ -468,40 +477,12 @@ class ParentGroupedStrategy:
 
     def _windowed_group(self, ctx: CandidateContext, eids: list[int],
                         key_index: int) -> int:
-        comparisons = 0
         rows = [ctx.table.row(eid) for eid in eids]
         ordered = sorted(rows, key=lambda row: (row.keys[key_index], row.eid))
-        for index, row in enumerate(ordered):
-            start = max(0, index - ctx.window + 1)
-            if ctx.compare_block is not None:
-                # Same anchor-block shape as the bottom-up window —
-                # pairs within one anchor's block are distinct, so the
-                # batched call is equivalent (see window._compare_window_block).
-                block = []
-                block_pairs = []
-                for other_index in range(start, index):
-                    other = ordered[other_index]
-                    pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-                    if pair in ctx.pairs:
-                        continue
-                    block.append((other, row))
-                    block_pairs.append(pair)
-                comparisons += len(block)
-                if block:
-                    verdicts = ctx.compare_block(block)
-                    for pair, verdict in zip(block_pairs, verdicts):
-                        if verdict.is_duplicate:
-                            ctx.pairs.add(pair)
-                continue
-            for other_index in range(start, index):
-                other = ordered[other_index]
-                pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-                if pair in ctx.pairs:
-                    continue
-                comparisons += 1
-                if ctx.compare(other, row).is_duplicate:
-                    ctx.pairs.add(pair)
-        return comparisons
+        # A group's window is exactly one start=0 segment pass; groups
+        # share ctx.pairs sequentially, so the plane runs them
+        # in-process on every backend (see ExecutionPlane.grouped_pass).
+        return ctx.execution_plane().grouped_pass(ctx, ordered)
 
 
 # ---------------------------------------------------------------------------

@@ -17,6 +17,20 @@ from .simmeasure import PairVerdict
 CompareBlock = Callable[[list[tuple[GkRow, GkRow]]], list[PairVerdict]]
 
 
+def window_start(index: int, window: int) -> int:
+    """First in-window predecessor index of the anchor at ``index``.
+
+    The one piece of window arithmetic everything shares: a sliding
+    window of size ``window`` compares the anchor against the up to
+    ``window - 1`` rows before it, so the block starts at
+    ``max(0, index - window + 1)``.  The overlap-shard planners reuse
+    the same expression to decide how many predecessor rows a segment
+    starting at anchor ``index`` must prepend — keeping the serial
+    window and the sharded segments provably aligned.
+    """
+    return max(0, index - window + 1)
+
+
 def _compare_window_block(row: GkRow, ordered: list[GkRow], start: int,
                           index: int, pairs: set[tuple[int, int]],
                           compare_block: CompareBlock,
@@ -62,27 +76,15 @@ def window_pass(table: GkTable, key_index: int, window: int,
     classified in one batched call instead of pair by pair — identical
     pairs and verdicts (see :func:`_compare_window_block`), amortized
     per-string work.
+
+    A full pass is the ``start == 0`` special case of
+    :func:`segment_window_pass` (no overlap rows), so the sliding loop
+    lives there only.
     """
-    if window < 2:
-        raise ValueError("window size must be >= 2")
-    ordered = table.sorted_by_key(key_index)
-    comparisons = 0
-    for index, row in enumerate(ordered):
-        start = max(0, index - window + 1)
-        if compare_block is not None:
-            comparisons += _compare_window_block(
-                row, ordered, start, index, pairs, compare_block,
-                skip_known=skip_known)
-            continue
-        for other_index in range(start, index):
-            other = ordered[other_index]
-            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-            if skip_known and pair in pairs:
-                continue
-            comparisons += 1
-            if compare(other, row).is_duplicate:
-                pairs.add(pair)
-    return comparisons
+    return segment_window_pass(table.sorted_by_key(key_index), window,
+                               compare, pairs, start=0,
+                               compare_block=compare_block,
+                               skip_known=skip_known)
 
 
 def de_window_pass(table: GkTable, key_index: int, window: int,
@@ -151,20 +153,8 @@ def de_window_pass(table: GkTable, key_index: int, window: int,
             if compare(anchor, row).is_duplicate:
                 pairs.add(pair)
 
-    for index, row in enumerate(ordered):
-        start = max(0, index - window + 1)
-        if compare_block is not None:
-            comparisons += _compare_window_block(
-                row, ordered, start, index, pairs, compare_block)
-            continue
-        for other_index in range(start, index):
-            other = ordered[other_index]
-            pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-            if pair in pairs:
-                continue
-            comparisons += 1
-            if compare(other, row).is_duplicate:
-                pairs.add(pair)
+    comparisons += segment_window_pass(ordered, window, compare, pairs,
+                                       start=0, compare_block=compare_block)
     return comparisons
 
 
@@ -229,7 +219,8 @@ def segment_window_pass(ordered: list[GkRow], window: int,
                         compare: Callable[[GkRow, GkRow], PairVerdict],
                         pairs: set[tuple[int, int]],
                         start: int = 0,
-                        compare_block: CompareBlock | None = None) -> int:
+                        compare_block: CompareBlock | None = None,
+                        skip_known: bool = True) -> int:
     """Sliding-window comparisons over one contiguous segment of a pass.
 
     ``ordered`` is a slice of a key-sorted row list.  The first ``start``
@@ -239,23 +230,30 @@ def segment_window_pass(ordered: list[GkRow], window: int,
     key order), splitting a sorted pass into contiguous segments that
     each prepend their ``window - 1`` predecessor rows covers every
     adjacency exactly once — the union of the segments' pairs equals the
-    serial pass.  Pairs already in ``pairs`` are skipped; confirmed eid
-    pairs are added (smaller eid first).  Returns the comparison count.
+    serial pass.  With ``skip_known`` (default), pairs already in
+    ``pairs`` are skipped; confirmed eid pairs are added (smaller eid
+    first).  Returns the comparison count.
+
+    This is the one sliding loop in the codebase: a full serial pass is
+    the ``start == 0`` case (:func:`window_pass` delegates here), and
+    the shard planners in :mod:`repro.core.execution` derive their
+    overlap from the same :func:`window_start` arithmetic.
     """
     if window < 2:
         raise ValueError("window size must be >= 2")
     comparisons = 0
     for index in range(max(start, 0), len(ordered)):
         row = ordered[index]
-        window_start = max(0, index - window + 1)
+        block_start = window_start(index, window)
         if compare_block is not None:
             comparisons += _compare_window_block(
-                row, ordered, window_start, index, pairs, compare_block)
+                row, ordered, block_start, index, pairs, compare_block,
+                skip_known=skip_known)
             continue
-        for other_index in range(window_start, index):
+        for other_index in range(block_start, index):
             other = ordered[other_index]
             pair = (min(other.eid, row.eid), max(other.eid, row.eid))
-            if pair in pairs:
+            if skip_known and pair in pairs:
                 continue
             comparisons += 1
             if compare(other, row).is_duplicate:

@@ -115,7 +115,8 @@ def _window_pass_block(sorted_rids: list[int], relation: Relation, window: int,
 def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
                         matcher: Matcher, window: int = 5,
                         closure: bool = True,
-                        batch: bool = False) -> SnmResult:
+                        batch: bool = False,
+                        plane=None) -> SnmResult:
     """Run (multi-pass) SNM over ``relation``.
 
     One sliding-window pass per key in ``keys``; pairs are unioned across
@@ -141,6 +142,13 @@ def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
         (batched comparison plane) instead of pair-at-a-time calls.
         Requires a matcher exposing ``match_block``; pairs and clusters
         are bit-identical either way.
+    plane:
+        An :class:`~repro.core.execution.ExecutionPlane` to run the
+        passes on.  A parallel plane shards each pass into overlapping
+        anchor ranges across its worker pool; the relational window has
+        no ``skip_known`` optimization, so even comparison counts match
+        the serial run exactly.  ``None`` runs in-process via the
+        historical kernels.
     """
     if not keys:
         raise ValueError("at least one key is required")
@@ -159,7 +167,10 @@ def sorted_neighborhood(relation: Relation, keys: list[RelationalKey],
         result.key_generation_seconds += time.perf_counter() - start
 
         start = time.perf_counter()
-        if match_block is not None:
+        if plane is not None:
+            result.comparisons += plane.relational_pass(
+                keyed, relation, window, matcher, match_block, result.pairs)
+        elif match_block is not None:
             result.comparisons += _window_pass_block(
                 keyed, relation, window, match_block, result.pairs)
         else:

@@ -194,18 +194,32 @@ class PhiCache:
         # a pure memo — shipping its entries to worker processes would
         # copy up to ``maxsize`` strings per task without changing any
         # result, so cross-process copies start cold instead.  A spill
-        # directory travels as its path; the worker reopens it read-only
-        # through the per-process shared-store memo.
+        # travels as its directory path *plus* the parent store's
+        # segment-file index: the worker reopens the directory read-only
+        # through the per-process shared-store memo and refreshes it
+        # against that index, so a warm persistent worker whose store
+        # predates the parent's latest flush still sees every entry the
+        # parent has persisted (instead of recomputing and re-reporting
+        # them).
         directory = self.spill.directory if self.spill is not None else None
-        return (_restore_phi_cache, (self.maxsize, directory))
+        segments: tuple[str, ...] = ()
+        if self.spill is not None:
+            segment_files = getattr(self.spill, "segment_files", None)
+            if segment_files is not None:
+                segments = tuple(segment_files())
+        return (_restore_phi_cache, (self.maxsize, directory, segments))
 
 
-def _restore_phi_cache(maxsize: int, spill_directory: str | None) -> PhiCache:
-    """Unpickle helper: rebuild a cold cache, reattaching the spill."""
+def _restore_phi_cache(maxsize: int, spill_directory: str | None,
+                       expected: tuple[str, ...] = ()) -> PhiCache:
+    """Unpickle helper: rebuild a cold cache, reattaching the spill.
+
+    ``expected`` defaults empty for pickles produced by older versions.
+    """
     spill = None
     if spill_directory is not None:
         from .store import open_shared_store
-        spill = open_shared_store(spill_directory)
+        spill = open_shared_store(spill_directory, expected=expected)
     return PhiCache(maxsize, spill=spill)
 
 

@@ -28,6 +28,11 @@ from repro.experiments import dataset1_config, dataset2_config
 from repro.similarity import get_similarity
 from repro.xmlmodel import XmlDocument, serialize
 
+# CI re-runs the parallel golden suites against an explicit execution
+# backend (SXNM_TEST_PLANE=shm|threads|serial); "auto" picks the
+# default ladder.  Every backend must be bit-identical.
+TEST_PLANE = os.environ.get("SXNM_TEST_PLANE", "auto")
+
 
 def partition(cluster_set: ClusterSet) -> set[frozenset[int]]:
     """Cluster-id-free view of a partition (jaccard-invariant)."""
@@ -484,6 +489,7 @@ class TestParallelDetectionGolden:
         serial = SxnmDetector(config, workers=1, **common).run(movies,
                                                                window=6)
         parallel = SxnmDetector(config, workers=self.WORKERS,
+                                execution_plane=TEST_PLANE,
                                 **common).run(movies, window=6)
         for name, outcome in serial.outcomes.items():
             sharded = parallel.outcomes[name]
@@ -500,8 +506,9 @@ class TestParallelDetectionGolden:
         config = dataset1_config()
         config.parallel_min_rows = 0
         reference = reference_sxnm(config, movies, window=6)
-        result = SxnmDetector(config, workers=self.WORKERS).run(movies,
-                                                                window=6)
+        result = SxnmDetector(config, workers=self.WORKERS,
+                              execution_plane=TEST_PLANE).run(movies,
+                                                              window=6)
         for name, (pairs, _, _, clusters) in reference.items():
             assert result.outcomes[name].pairs == pairs
             assert partition(result.outcomes[name].cluster_set) == clusters
@@ -607,6 +614,7 @@ class TestBatchCompareGolden:
                               **self.common(kwargs)).run(movies, window=6)
         sharded = SxnmDetector(config, workers=self.WORKERS,
                                batch_compare=True,
+                               execution_plane=TEST_PLANE,
                                **self.common(kwargs)).run(movies, window=6)
         for name, outcome in serial.outcomes.items():
             other = sharded.outcomes[name]
