@@ -1,0 +1,146 @@
+"""Machine-readable perf record for the persistent DetectionIndex.
+
+Replays the resumable-session scenario: an incremental batch session
+committed to an index after every batch, the process dying, and a new
+process continuing with one more batch.  Three measured runs:
+
+* ``cold_full_rerun`` — no index: a fresh session re-ingests every
+  batch from scratch (what a restart costs without persistence).
+* ``warm_resume`` — a fresh session restores the committed state from
+  the index and ingests only the final batch.
+* ``continuous`` — the reference session that never restarted.
+
+All three must produce bit-identical pairs and cluster partitions.
+The deterministic claim — the warm continuation spends only the final
+batch's comparisons, strictly fewer than the cold rerun's total — is
+asserted unconditionally.  The wall-clock speedup is recorded in
+``BENCH_index.json`` but only asserted when the measured cold run is
+slower by any margin at all (``speedup_asserted`` says which happened
+— CI boxes with noisy clocks must not flake on timing).
+
+``SXNM_BENCH_INDEX_MOVIES`` overrides the per-batch corpus size
+(``SXNM_BENCH_FULL=1`` runs larger).
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import FULL_SCALE, SEED, write_result
+
+from repro.core import IncrementalSxnm
+from repro.datagen import generate_dirty_movies
+from repro.eval import render_table
+from repro.experiments import dataset1_config
+from repro.xmlmodel import serialize
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_MOVIES = "120" if FULL_SCALE else "60"
+BATCH_MOVIES = int(os.environ.get("SXNM_BENCH_INDEX_MOVIES",
+                                  DEFAULT_MOVIES))
+BATCH_COUNT = 5
+WINDOW = 8
+
+CANDIDATE = "movie"
+
+
+def make_batches():
+    return [serialize(generate_dirty_movies(BATCH_MOVIES, seed=SEED + i,
+                                            profile="effectiveness"))
+            for i in range(BATCH_COUNT)]
+
+
+def session_view(session):
+    return (session.pairs(CANDIDATE),
+            [list(cluster) for cluster in session.cluster_set(CANDIDATE)])
+
+
+def test_index_resume_perf_record(benchmark, tmp_path):
+    batches = make_batches()
+    index_dir = str(tmp_path / "index")
+
+    # The committed session: every batch but the last, then "the
+    # process dies" (the object goes away; only the index remains).
+    committed = IncrementalSxnm(dataset1_config(window=WINDOW),
+                                index_dir=index_dir)
+    for batch in batches[:-1]:
+        committed.add_batch(batch)
+    committed_comparisons = committed.comparisons(CANDIDATE)
+    del committed
+
+    # Reference: the session that never restarted.
+    continuous = IncrementalSxnm(dataset1_config(window=WINDOW))
+    for batch in batches:
+        continuous.add_batch(batch)
+
+    # Cold: a restart without persistence re-ingests everything.
+    start = time.perf_counter()
+    cold = IncrementalSxnm(dataset1_config(window=WINDOW))
+    for batch in batches:
+        cold.add_batch(batch)
+    cold_seconds = time.perf_counter() - start
+    cold_comparisons = cold.comparisons(CANDIDATE)
+
+    # Warm: restore from the index, ingest only the final batch.  The
+    # headline configuration pytest-benchmark records.
+    def warm_run():
+        session = IncrementalSxnm(dataset1_config(window=WINDOW),
+                                  index_dir=index_dir)
+        assert session.restored
+        session.add_batch(batches[-1])
+        return session
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_seconds = time.perf_counter() - start
+    warm_added_comparisons = (warm.comparisons(CANDIDATE)
+                              - committed_comparisons)
+
+    assert session_view(warm) == session_view(continuous)
+    assert session_view(cold) == session_view(continuous)
+    # The deterministic saving: the warm continuation paid for one
+    # batch, the cold rerun for all of them.
+    assert warm_added_comparisons < cold_comparisons
+    assert warm.comparisons(CANDIDATE) == cold_comparisons
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    speedup_assertable = cold_seconds > warm_seconds
+    if speedup_assertable:
+        assert speedup > 1.0
+
+    comparison_reduction = 1.0 - (warm_added_comparisons
+                                  / max(cold_comparisons, 1))
+    record = {
+        "benchmark": "detection_index_resume",
+        "dataset": {"generator": "dirty_movies",
+                    "profile": "effectiveness",
+                    "movies_per_batch": BATCH_MOVIES,
+                    "batches": BATCH_COUNT, "seed": SEED,
+                    "window": WINDOW},
+        "pairs_identical_across_scenarios": True,
+        "scenarios": [
+            {"scenario": "cold_full_rerun",
+             "seconds": round(cold_seconds, 4),
+             "comparisons": cold_comparisons,
+             "batches_ingested": BATCH_COUNT},
+            {"scenario": "warm_resume",
+             "seconds": round(warm_seconds, 4),
+             "comparisons_added": warm_added_comparisons,
+             "batches_ingested": 1},
+        ],
+        "comparison_reduction": round(comparison_reduction, 3),
+        "wall_clock_speedup": round(speedup, 2),
+        "speedup_asserted": speedup_assertable,
+    }
+    (REPO_ROOT / "BENCH_index.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    rows = [["cold_full_rerun", f"{cold_seconds:.2f}",
+             cold_comparisons, BATCH_COUNT],
+            ["warm_resume", f"{warm_seconds:.2f}",
+             warm_added_comparisons, 1]]
+    write_result("bench_index", render_table(
+        ["scenario", "seconds", "comparisons", "batches"], rows,
+        title=f"DetectionIndex resume: {BATCH_MOVIES} movies x "
+              f"{BATCH_COUNT} batches, window {WINDOW}"))

@@ -7,11 +7,14 @@ Subcommands::
     sxnm dedup   -c config.xml data.xml -o clean.xml
     sxnm evaluate -c config.xml data.xml --candidate NAME [--oid oid]
     sxnm generate {movies,cds} -n COUNT [-o out.xml] [--profile P] [--seed S]
+    sxnm index {init,status,compact} DIR [-c config.xml]
 
-``detect`` prints per-candidate duplicate clusters; ``dedup`` writes a
-deduplicated copy (prime representatives); ``evaluate`` scores detected
-pairs against the oid ground truth; ``generate`` produces the synthetic
-corpora used throughout the evaluation.
+``detect`` prints per-candidate duplicate clusters (``--index DIR``
+persists run state; ``--resume`` continues an interrupted indexed run);
+``dedup`` writes a deduplicated copy (prime representatives);
+``evaluate`` scores detected pairs against the oid ground truth;
+``generate`` produces the synthetic corpora used throughout the
+evaluation; ``index`` manages detection-index directories.
 """
 
 from __future__ import annotations
@@ -83,6 +86,16 @@ class ProgressObserver(EngineObserver):
 
     def cache_flushed(self, directory, entries, segments):
         self._line(f"phi cache: flushed {entries} new entries to {directory}")
+
+    def index_opened(self, directory, candidates, segments):
+        self._line(f"index: opened {directory} ({candidates} candidate(s) "
+                   f"resumable, {segments} segment(s))")
+
+    def index_committed(self, directory, candidate, pairs):
+        what = f"candidate {candidate}" if candidate is not None \
+            else "session snapshot"
+        self._line(f"index: committed {what} ({pairs} pair(s)) "
+                   f"to {directory}")
 
     def warning(self, message):
         self._line(f"warning: {message}")
@@ -162,8 +175,10 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                           phi_cache_dir=getattr(args, "phi_cache_dir", None),
                           batch_compare=batch_compare,
                           execution_plane=getattr(args, "plane", None),
+                          index_dir=getattr(args, "index", None),
                           observers=observers).run(
-        document, window=args.window, gk=gk)
+        document, window=args.window, gk=gk,
+        resume=getattr(args, "resume", False))
     lines = []
     for name, outcome in result.outcomes.items():
         clusters = outcome.cluster_set.duplicate_clusters()
@@ -247,6 +262,68 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(explanation.render())
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .core.index import DetectionIndex
+
+    if args.action == "init":
+        if not args.config:
+            print("error: 'sxnm index init' requires -c/--config",
+                  file=sys.stderr)
+            return 1
+        config = load_config_file(args.config)
+        index = DetectionIndex(args.directory,
+                               warn=lambda m: print(f"# warning: {m}",
+                                                    file=sys.stderr))
+        index.open()
+        if not index.usable:
+            print(f"error: cannot use index directory {args.directory!r}",
+                  file=sys.stderr)
+            return 1
+        index.initialize(config)
+        print(f"initialized index {args.directory} "
+              f"(config fingerprint {index.fingerprint})")
+        return 0
+
+    index = DetectionIndex(args.directory,
+                           read_only=(args.action == "status"),
+                           warn=lambda m: print(f"# warning: {m}",
+                                                file=sys.stderr))
+    index.open()
+    if args.action == "compact":
+        if not index.usable:
+            print(f"error: cannot use index directory {args.directory!r}",
+                  file=sys.stderr)
+            return 1
+        removed = index.compact()
+        print(f"compacted {args.directory} "
+              f"({removed} unreferenced segment file(s) removed)")
+        return 0
+
+    # status
+    status = index.status()
+    lines = [f"index {status['directory']}"]
+    if not status["usable"]:
+        lines.append("  (directory missing or unreadable)")
+    lines.append(f"  config fingerprint: {status['config_fingerprint']}")
+    lines.append(f"  corpus checksum:    {status['corpus_checksum']}")
+    lines.append(f"  run parameters:     {status['run_params']}")
+    completed = status["completed"]
+    lines.append(f"  completed candidates: "
+                 f"{', '.join(completed) if completed else '(none)'}")
+    lines.append(f"  segments: {len(status['segments'])} referenced, "
+                 f"{status['segment_files']} on disk "
+                 f"({len(status['orphan_segments'])} orphaned)")
+    for role, name in sorted(status["segments"].items()):
+        lines.append(f"    {role}: {name}")
+    counters = status["counters"]
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name}: {counters[name]}")
+    print("\n".join(lines))
     return 0
 
 
@@ -364,6 +441,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "worker and shm otherwise; identical pairs and "
                              "clusters on every backend; default: the "
                              "configuration's 'executionPlane' attribute")
+    detect.add_argument("--index", default=None, metavar="DIR",
+                        help="persist run state (GK tables, per-candidate "
+                             "pairs and stats) to a detection index in DIR; "
+                             "default: the configuration's 'indexDir' "
+                             "attribute")
+    detect.add_argument("--resume", action="store_true",
+                        help="continue an interrupted run from the detection "
+                             "index: committed candidates restore from disk, "
+                             "only the rest are detected (bit-identical "
+                             "results); refuses when the index does not "
+                             "match this configuration, corpus, and "
+                             "parameters")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(
@@ -405,6 +494,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="two element ids, comma-separated (eids as "
                               "printed by 'sxnm detect')")
     explain.set_defaults(handler=_cmd_explain)
+
+    index = sub.add_parser(
+        "index", help="manage detection-index directories")
+    index_sub = index.add_subparsers(dest="action", required=True)
+    index_init = index_sub.add_parser(
+        "init", help="create an index stamped with a config fingerprint")
+    index_init.add_argument("directory", help="index directory")
+    index_init.add_argument("-c", "--config", required=True,
+                            help="SXNM configuration XML file")
+    index_init.set_defaults(handler=_cmd_index)
+    index_status = index_sub.add_parser(
+        "status", help="report an index's manifest, segments, and counters")
+    index_status.add_argument("directory", help="index directory")
+    index_status.set_defaults(handler=_cmd_index, config=None)
+    index_compact = index_sub.add_parser(
+        "compact", help="remove segment files the manifest no longer "
+                        "references")
+    index_compact.add_argument("directory", help="index directory")
+    index_compact.set_defaults(handler=_cmd_index, config=None)
 
     experiments = sub.add_parser(
         "experiments", help="reproduce a figure of the paper's evaluation")

@@ -52,6 +52,13 @@ DEFAULT_PARALLEL_MIN_ROWS = 64
 DEFAULT_EXECUTION_PLANE = "auto"
 DEFAULT_WORKER_POOL_PERSIST = True
 DEFAULT_SHARED_MEMORY_MIN_BYTES = 65536
+# Detection index: a directory where per-run state (GK tables,
+# confirmed pairs, incremental session snapshots) persists across
+# process restarts, making runs resumable.  None keeps all run state
+# in memory; index_persist gates the directory without forgetting the
+# path.  Kept here rather than imported from repro.core.index for the
+# same dependency-freedom reason as above.
+DEFAULT_INDEX_PERSIST = True
 
 
 @dataclass(frozen=True)
@@ -232,8 +239,13 @@ class SxnmConfig:
     ``worker_pool_persist`` keeps worker pools warm across runs in the
     same process; ``shared_memory_min_bytes`` is the payload size below
     which candidates ship inline rather than via a shared segment.
-    None of these knobs changes detected duplicates — only how much
-    work comparisons cost and where they run.
+    ``index_dir`` names a :class:`~repro.core.index.DetectionIndex`
+    directory where per-run detection state persists so interrupted
+    runs and incremental sessions resume from disk (``None`` keeps run
+    state in memory only); ``index_persist`` gates it without
+    forgetting the path.  None of these knobs changes detected
+    duplicates — only how much work comparisons cost, where they run,
+    and whether state survives a restart.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -251,6 +263,8 @@ class SxnmConfig:
     execution_plane: str = DEFAULT_EXECUTION_PLANE
     worker_pool_persist: bool = DEFAULT_WORKER_POOL_PERSIST
     shared_memory_min_bytes: int = DEFAULT_SHARED_MEMORY_MIN_BYTES
+    index_dir: str | None = None
+    index_persist: bool = DEFAULT_INDEX_PERSIST
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

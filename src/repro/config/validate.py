@@ -117,6 +117,8 @@ def validate_config(config: SxnmConfig) -> list[str]:
             f"(expected 'auto', 'serial', 'threads', or 'shm')")
     if config.shared_memory_min_bytes < 0:
         problems.append("shared memory min bytes must be >= 0")
+    if config.index_dir is not None and not str(config.index_dir).strip():
+        problems.append("index dir must be a non-empty path or None")
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

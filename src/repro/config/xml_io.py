@@ -171,6 +171,11 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     shared_memory_min_bytes = _get_int(root, "sharedMemoryMinBytes")
     if shared_memory_min_bytes is not None:
         config.shared_memory_min_bytes = shared_memory_min_bytes
+    index_dir = root.get("indexDir")
+    if index_dir is not None:
+        config.index_dir = index_dir
+    config.index_persist = _get_bool(root, "indexPersist",
+                                     config.index_persist)
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -245,6 +250,10 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         root.set("phiCachePersist", "false")
     if not config.worker_pool_persist:
         root.set("workerPoolPersist", "false")
+    if config.index_dir is not None:
+        root.set("indexDir", config.index_dir)
+    if not config.index_persist:
+        root.set("indexPersist", "false")
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))
     return XmlDocument(root)

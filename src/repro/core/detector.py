@@ -97,6 +97,14 @@ class SxnmDetector:
         ``"threads"``, or ``"shm"`` (``repro.core.execution``).  All
         backends produce bit-identical pairs and clusters.  ``None``
         (default) defers to ``config.execution_plane``.
+    index_dir:
+        Directory for the persistent detection index
+        (``repro.core.index``): every completed candidate's state is
+        committed as the run progresses, and ``run(resume=True)``
+        continues an interrupted run from it with bit-identical
+        results.  ``None`` (default) defers to ``config.index_dir``;
+        damaged or unwritable directories warn via observers and run
+        without persistence.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -112,6 +120,7 @@ class SxnmDetector:
                  phi_cache_dir: str | None = None,
                  batch_compare: bool | None = None,
                  execution_plane: str | None = None,
+                 index_dir: str | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -131,6 +140,9 @@ class SxnmDetector:
         if execution_plane is not None:
             config.execution_plane = execution_plane
         self.execution_plane = getattr(config, "execution_plane", "auto")
+        if index_dir is not None:
+            config.index_dir = index_dir
+        self.index_dir = getattr(config, "index_dir", None)
 
         if self.workers > 1 and self.execution_plane != "serial":
             neighborhood = ParallelWindowStrategy(
@@ -157,7 +169,7 @@ class SxnmDetector:
             key_selection: KeySelection = None,
             gk: dict[str, GkTable] | None = None,
             od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
-            ) -> SxnmResult:
+            resume: bool = False) -> SxnmResult:
         """Detect duplicates in ``source`` (XML text or parsed document).
 
         Parameters
@@ -180,10 +192,15 @@ class SxnmDetector:
             same candidate OD definitions (thresholds and windows may
             differ); sweeps pass one dict to avoid recomputing edit
             distances.
+        resume:
+            Continue an interrupted run from the configured detection
+            index (see ``index_dir``); refuses with
+            :class:`~repro.errors.DetectionError` when the index does
+            not match this run's configuration, corpus, or parameters.
         """
         return self.engine.run(source, window=window,
                                key_selection=key_selection, gk=gk,
-                               od_cache=od_cache)
+                               od_cache=od_cache, resume=resume)
 
 
 def detect_duplicates(source: str | XmlDocument, config: SxnmConfig,

@@ -31,10 +31,13 @@ import os
 import time
 
 from ..config import SxnmConfig, ensure_valid
+from ..errors import DetectionError
+from ..similarity import ComparisonStats
 from ..xmlmodel import XmlDocument
 from .candidates import CandidateHierarchy
 from .clusters import ClusterSet
 from .execution import make_plane
+from .index import corpus_checksum, run_signature
 from .observer import (PHASE_CLOSURE, PHASE_KEY_GENERATION, PHASE_WINDOW,
                        EngineObserver, ObserverGroup)
 from .results import (CandidateOutcome, KeySelection, SxnmResult,
@@ -64,6 +67,11 @@ class DetectionEngine:
         ``config.workers``.  The plane itself is selected per run from
         ``config.execution_plane`` (see
         :func:`repro.core.execution.make_plane`).
+    use_index:
+        Honor ``config.index_dir`` by persisting run state to a
+        :class:`~repro.core.index.DetectionIndex`.  Wrappers that own
+        the index themselves (:class:`~repro.core.IncrementalSxnm`)
+        pass ``False`` so state is committed exactly once.
     """
 
     def __init__(self, config: SxnmConfig, *,
@@ -72,9 +80,11 @@ class DetectionEngine:
                  decision: DecisionPolicy | None = None,
                  closure: ClosureStrategy | None = None,
                  observers: list[EngineObserver] | tuple = (),
-                 workers: int | None = None):
+                 workers: int | None = None,
+                 use_index: bool = True):
         self.config = ensure_valid(config)
         self.workers = workers
+        self.use_index = use_index
         self.hierarchy = CandidateHierarchy(config)
         self.key_source = key_source if key_source is not None \
             else DomKeySource()
@@ -84,6 +94,7 @@ class DetectionEngine:
         self.closure = closure if closure is not None else UnionFindClosure()
         self.observers: list[EngineObserver] = list(observers)
         self._phi_store = None
+        self._index = None
 
     def add_observer(self, observer: EngineObserver) -> None:
         self.observers.append(observer)
@@ -102,7 +113,7 @@ class DetectionEngine:
             key_selection: KeySelection = None,
             gk: dict | None = None,
             od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
-            ) -> SxnmResult:
+            resume: bool = False) -> SxnmResult:
         """Detect duplicates in ``source`` (XML text or parsed document).
 
         Parameters
@@ -119,6 +130,14 @@ class DetectionEngine:
         od_cache:
             Mutable per-candidate cache of OD similarities, shared
             across runs with the same ``gk``.
+        resume:
+            Continue an interrupted run from the configured detection
+            index: candidates whose state is committed restore their
+            pairs/stats from disk (clusters rebuild canonically), only
+            the rest are detected.  Raises
+            :class:`~repro.errors.DetectionError` when no index is
+            configured or its manifest does not match this run's
+            config fingerprint, corpus checksum, or run parameters.
         """
         emit = ObserverGroup(self.observers) if self.observers else None
         if emit is not None:
@@ -132,15 +151,49 @@ class DetectionEngine:
             emit.cache_loaded(phi_store.directory, len(phi_store),
                               phi_store.segments_loaded)
 
+        index = self._open_index(emit) if self.use_index else None
+        if resume and index is None:
+            raise DetectionError(
+                "cannot resume: no detection index is configured "
+                "(set indexDir / pass --index)")
+        resuming = False
+        if index is not None:
+            corpus = corpus_checksum(source)
+            params = run_signature(window, key_selection)
+            if resume:
+                if not index.usable:
+                    raise DetectionError(
+                        f"cannot resume: index directory "
+                        f"{index.directory!r} is not usable")
+                problems = index.resume_mismatch(self.config, corpus,
+                                                 params)
+                if problems:
+                    raise DetectionError(
+                        "refusing to resume from "
+                        f"{index.directory!r}:\n  - "
+                        + "\n  - ".join(problems))
+                resuming = True
+            else:
+                index.begin_run(self.config, corpus, params)
+            if emit is not None:
+                emit.index_opened(index.directory, len(index.completed),
+                                  len(index.manifest.get("segments", {})))
+
         if emit is not None:
             emit.phase_started(PHASE_KEY_GENERATION)
 
         kg_start = time.perf_counter()
-        if gk is None:
-            tables = self.key_source.generate(source, self.config,
-                                              self.hierarchy)
-        else:
+        tables_from_index = False
+        if gk is not None:
             tables = gk
+        else:
+            tables = index.load_gk() if resuming else None
+            tables_from_index = tables is not None
+            if tables is None:
+                tables = self.key_source.generate(source, self.config,
+                                                  self.hierarchy)
+        if index is not None and index.usable and not tables_from_index:
+            index.save_gk(tables)
         result = SxnmResult(gk=tables)
         result.timings.key_generation = time.perf_counter() - kg_start
         if emit is not None:
@@ -157,6 +210,36 @@ class DetectionEngine:
                 table = tables[spec.name]
                 if emit is not None:
                     emit.candidate_started(spec.name, len(table))
+
+                restored = index.load_candidate(spec.name) if resuming \
+                    else None
+                if restored is not None:
+                    # The committed pairs rebuild clusters canonically
+                    # (ClusterSet sorts), so descendant evidence for
+                    # later candidates is bit-identical to the
+                    # uninterrupted run.
+                    pairs = restored["pairs"]
+                    cluster_set = self.closure.close(spec.name, pairs,
+                                                     table.eids())
+                    cluster_sets[spec.name] = cluster_set
+                    compare_stats = None
+                    if restored["stats"] is not None:
+                        compare_stats = ComparisonStats(**restored["stats"])
+                    outcome = CandidateOutcome(
+                        name=spec.name, cluster_set=cluster_set,
+                        pairs=pairs, comparisons=restored["comparisons"],
+                        window_seconds=restored["window_seconds"],
+                        closure_seconds=restored["closure_seconds"],
+                        filtered_comparisons=restored["filtered"],
+                        compare_stats=compare_stats)
+                    result.outcomes[spec.name] = outcome
+                    result.timings.window += outcome.window_seconds
+                    result.timings.closure += outcome.closure_seconds
+                    if emit is not None:
+                        if compare_stats is not None:
+                            emit.comparison_stats(spec.name, compare_stats)
+                        emit.candidate_finished(spec.name, outcome)
+                    continue
 
                 candidate_cache = None
                 if od_cache is not None:
@@ -186,7 +269,9 @@ class DetectionEngine:
                     tables=tables, window=effective_window,
                     key_indices=key_indices, compare=compare, pairs=pairs,
                     cluster_sets=cluster_sets, emit=emit, decider=decider,
-                    compare_block=compare_block, plane=plane)
+                    compare_block=compare_block, plane=plane,
+                    interned_rows=(index.interned_rows(spec.name)
+                                   if tables_from_index else None))
 
                 if emit is not None:
                     emit.phase_started(PHASE_WINDOW, spec.name)
@@ -219,6 +304,16 @@ class DetectionEngine:
                 result.outcomes[spec.name] = outcome
                 result.timings.window += window_seconds
                 result.timings.closure += closure_seconds
+                if index is not None and index.usable:
+                    stats_dict = (compare_stats.as_dict()
+                                  if compare_stats is not None else None)
+                    committed = index.commit_candidate(
+                        spec.name, pairs, neighborhood.comparisons,
+                        outcome.filtered_comparisons, window_seconds,
+                        closure_seconds, stats_dict)
+                    if committed and emit is not None:
+                        emit.index_committed(index.directory, spec.name,
+                                             len(pairs))
                 if emit is not None:
                     if compare_stats is not None:
                         emit.comparison_stats(spec.name, compare_stats)
@@ -270,6 +365,36 @@ class DetectionEngine:
                 emit.warning(message)
             self._phi_store_warned = True
         return store
+
+    def _open_index(self, emit: ObserverGroup | None):
+        """The run's detection index, opened once per engine.
+
+        Active only when the config names an ``index_dir`` and leaves
+        ``index_persist`` on.  A damaged or unusable index warns
+        through the observers and behaves as cold — persistence
+        problems never fail a detection run (only an explicit
+        ``resume`` refuses).
+        """
+        config = self.config
+        directory = getattr(config, "index_dir", None)
+        if not directory or not getattr(config, "index_persist", True):
+            return None
+        index = self._index
+        if index is None or index.directory != os.fspath(directory):
+            from .index import DetectionIndex
+            index = DetectionIndex(directory)
+            self._index = index
+        # Same warning-replay discipline as the φ store above.
+        index.warn = emit.warning if emit is not None else None
+        if not index._opened:
+            index.open()
+            self._index_warned = index.warn is not None
+        elif (emit is not None and index.warnings
+                and not getattr(self, "_index_warned", False)):
+            for message in index.warnings:
+                emit.warning(message)
+            self._index_warned = True
+        return index
 
     @staticmethod
     def _instrumented(candidate: str, compare: Compare,

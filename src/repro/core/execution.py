@@ -419,7 +419,8 @@ def _intern_rows(table: GkTable) -> list[GkRow]:
 
 def build_segment_payload(table: GkTable, key_indices: list[int],
                           comparer_pickle: bytes,
-                          batch: bool = False) -> dict:
+                          batch: bool = False,
+                          interned_rows: list[GkRow] | None = None) -> dict:
     """The per-candidate artifact bundle one shared segment publishes.
 
     Contains the interned document-order rows, the per-key sort index
@@ -427,8 +428,13 @@ def build_segment_payload(table: GkTable, key_indices: list[int],
     rows), the pre-pickled classifier, and — under ``batch`` — the
     per-string :func:`~repro.similarity.batch.string_artifacts` of every
     distinct OD value, computed once here instead of once per worker.
+
+    ``interned_rows`` short-circuits the interning copy: a
+    :class:`~repro.core.index.DetectionIndex` decodes GK rows through a
+    string pool, so rows loaded from an index already share one object
+    per distinct string and publish as-is.
     """
-    rows = _intern_rows(table)
+    rows = _intern_rows(table) if interned_rows is None else interned_rows
     orders: dict[int, list[int]] = {}
     for key_index in key_indices:
         orders[key_index] = sorted(
@@ -1023,7 +1029,8 @@ class SharedMemoryPlane(_PoolPlane):
     def _build_shards(self, ctx, comparer_pickle, duplicate_elimination):
         payload = build_segment_payload(
             ctx.table, ctx.key_indices, comparer_pickle,
-            batch=ctx.compare_block is not None)
+            batch=ctx.compare_block is not None,
+            interned_rows=getattr(ctx, "interned_rows", None))
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         segment = None
         if len(blob) >= self.min_bytes:

@@ -151,6 +151,27 @@ class EngineObserver:
         segments-written count.  Emitted just before ``run_finished``.
         """
 
+    def index_opened(self, directory: str, candidates: int,
+                     segments: int) -> None:
+        """A :class:`~repro.core.index.DetectionIndex` was opened.
+
+        ``candidates`` counts candidates with committed run state in
+        the index (0 → a cold index) and ``segments`` the segment files
+        its manifest references.  Emitted after ``run_started``
+        whenever an index directory is active; incremental sessions
+        emit it once at construction.
+        """
+
+    def index_committed(self, directory: str, candidate: str | None,
+                        pairs: int) -> None:
+        """State was durably committed to the detection index.
+
+        ``candidate`` names the candidate whose run state was written,
+        or is ``None`` for an incremental-session snapshot; ``pairs``
+        counts the confirmed pairs in the committed state.  Failed
+        commits emit a ``warning`` instead.
+        """
+
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
 
@@ -239,6 +260,18 @@ class ObserverGroup(EngineObserver):
     def cache_flushed(self, directory, entries, segments):
         for observer in self.observers:
             observer.cache_flushed(directory, entries, segments)
+
+    def index_opened(self, directory, candidates, segments):
+        for observer in self.observers:
+            hook = getattr(observer, "index_opened", None)
+            if hook is not None:
+                hook(directory, candidates, segments)
+
+    def index_committed(self, directory, candidate, pairs):
+        for observer in self.observers:
+            hook = getattr(observer, "index_committed", None)
+            if hook is not None:
+                hook(directory, candidate, pairs)
 
     def warning(self, message):
         for observer in self.observers:
@@ -352,6 +385,16 @@ class CounterObserver(EngineObserver):
         self._bump("cache_flushed")
         self.counts["cache_entries_flushed"] = \
             self.counts.get("cache_entries_flushed", 0) + entries
+
+    def index_opened(self, directory, candidates, segments):
+        self._bump("index_opened")
+        self.counts["index_candidates_resumable"] = \
+            self.counts.get("index_candidates_resumable", 0) + candidates
+
+    def index_committed(self, directory, candidate, pairs):
+        self._bump("index_committed")
+        self.counts["index_pairs_committed"] = \
+            self.counts.get("index_pairs_committed", 0) + pairs
 
     def warning(self, message):
         self._bump("warning")

@@ -1,10 +1,16 @@
-"""Persistence of the GK and CS temporary tables as XML documents.
+"""XML import/export codec for the GK and CS temporary tables.
 
 The paper materializes key generation into relations ``GK_s`` and the
 detection output into cluster-set tables ``CS_s``.  Persisting them
 decouples the two phases operationally: run key generation once over a
 large document, then experiment with windows/thresholds against the
 stored tables (``sxnm keygen`` / ``sxnm detect --gk``).
+
+Since the :class:`~repro.core.index.DetectionIndex` refactor this
+module is the *interchange* layer only: the engine's own durable run
+state lives in the index's checksummed segments, and these XML formats
+import/export tables across its boundary (:func:`export_index_gk` /
+:func:`import_index_gk`) or stand alone for experiments.
 
 Formats::
 
@@ -23,6 +29,12 @@ Formats::
         <cluster id="0"><ref eid="3"/><ref eid="9"/></cluster>
       </cs>
     </cluster-sets>
+
+An OD whose value *is* text but strips to nothing (empty string,
+whitespace-only) is carried in a ``text`` attribute — ``<od text=""/>``
+— because the pretty writer drops whitespace-only element text; the
+three OD shapes (``missing="true"`` → ``None``, ``text`` attribute →
+its exact value, element text → its value) round-trip bit-identically.
 """
 
 from __future__ import annotations
@@ -55,6 +67,11 @@ def gk_to_document(tables: dict[str, GkTable]) -> XmlDocument:
                 od_node = row_node.make_child("od", text=od)
                 if od is None:
                     od_node.set("missing", "true")
+                elif not od.strip():
+                    # Whitespace-only element text does not survive the
+                    # pretty writer; attributes do, verbatim.
+                    od_node.text = None
+                    od_node.set("text", od)
             for child_name, eids in row.children.items():
                 children_node = row_node.make_child(
                     "children", attributes={"candidate": child_name})
@@ -95,6 +112,8 @@ def gk_from_document(document: XmlDocument) -> dict[str, GkTable]:
             for od_node in row_node.find_all("od"):
                 if od_node.get("missing") == "true":
                     ods.append(None)
+                elif od_node.get("text") is not None:
+                    ods.append(od_node.get("text"))
                 else:
                     ods.append(od_node.text or "")
             row = GkRow(_int_attr(row_node, "eid"), keys, ods)
@@ -123,6 +142,33 @@ def load_gk(path: str) -> dict[str, GkTable]:
 def load_gk_text(text: str) -> dict[str, GkTable]:
     """Read GK tables from an XML string."""
     return gk_from_document(parse(text))
+
+
+def export_index_gk(index, path: str) -> dict[str, GkTable]:
+    """Export a detection index's GK tables to ``path`` as XML.
+
+    Returns the exported tables.  Raises
+    :class:`~repro.errors.DetectionError` when the index holds no
+    readable GK segment.
+    """
+    tables = index.load_gk()
+    if tables is None:
+        raise DetectionError(
+            f"detection index {index.directory!r} holds no readable "
+            f"GK tables to export")
+    save_gk(tables, path)
+    return tables
+
+
+def import_index_gk(index, path: str) -> dict[str, GkTable]:
+    """Import XML GK tables from ``path`` into a detection index.
+
+    Returns the imported tables.  The index must already carry the
+    matching configuration fingerprint (``sxnm index init``).
+    """
+    tables = load_gk(path)
+    index.save_gk(tables)
+    return tables
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,14 @@ class TestValidateConfig:
         config.phi_cache_dir = "/tmp/phicache"
         assert validate_config(config) == []
 
+    def test_empty_index_dir_rejected(self):
+        config = valid_config()
+        config.index_dir = "   "
+        problems = validate_config(config)
+        assert any("index dir" in p for p in problems)
+        config.index_dir = "/tmp/sxnm-index"
+        assert validate_config(config) == []
+
     def test_phi_cache_dir_requires_memo_capacity(self):
         # The disk spill hangs off the in-memory memo: a directory with
         # a zero-sized memo could never be consulted.

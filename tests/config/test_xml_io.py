@@ -149,6 +149,26 @@ class TestRoundTrip:
         assert "phiCacheDir" not in text
         assert "phiCachePersist" not in text
 
+    def test_index_dir_round_trip(self):
+        xml = CONFIG_XML.replace(
+            'odThreshold="0.65"',
+            'odThreshold="0.65" indexDir="/tmp/sxnm-index" '
+            'indexPersist="false"')
+        config = load_config(xml)
+        assert config.index_dir == "/tmp/sxnm-index"
+        assert config.index_persist is False
+        reloaded = load_config(dump_config(config))
+        assert reloaded.index_dir == "/tmp/sxnm-index"
+        assert reloaded.index_persist is False
+
+    def test_index_dir_defaults_and_omission(self):
+        config = load_config(CONFIG_XML)
+        assert config.index_dir is None
+        assert config.index_persist is True
+        text = dump_config(config)
+        assert "indexDir" not in text
+        assert "indexPersist" not in text
+
     def test_programmatic_config_dumps(self):
         config = SxnmConfig()
         config.add(CandidateSpec.build(

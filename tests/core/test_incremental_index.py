@@ -1,0 +1,218 @@
+"""Incremental sessions persisted through the DetectionIndex.
+
+A batch session with ``index_dir`` commits its accumulated state after
+every batch; a fresh :class:`IncrementalSxnm` over the same directory
+restores it and continues bit-identically to a session that never
+restarted.  Delete/update deltas re-window only perturbed neighborhoods
+and survive restarts the same way.  Satellite: a batch whose schema
+declares a candidate unknown to the accumulated tables raises a clear
+``DetectionError`` instead of silently drifting eids.
+"""
+
+import pytest
+
+from repro.core import CounterObserver, IncrementalSxnm
+from repro.core.index import DetectionIndex
+from repro.errors import DetectionError
+from repro.experiments import dataset1_config, dataset2_config
+
+BATCH_1 = """
+<freedb>
+  <disc>
+    <dtitle>The Blue Monkeys -- Symphony in C</dtitle>
+    <cdid>x1</cdid>
+    <tracks><title>Intro</title><title>Allegro ma non troppo</title></tracks>
+  </disc>
+  <disc>
+    <dtitle>Iron Maiden -- Powerslave</dtitle>
+    <cdid>x2</cdid>
+    <tracks><title>Aces High</title><title>2 Minutes to Midnight</title></tracks>
+  </disc>
+</freedb>
+"""
+
+BATCH_2 = """
+<freedb>
+  <disc>
+    <dtitle>The Blue Monkeys -- Symphony in C</dtitle>
+    <cdid>y1</cdid>
+    <tracks><title>Intro</title><title>Allegro ma non tropo</title></tracks>
+  </disc>
+  <disc>
+    <dtitle>Judas Priest -- Painkiller</dtitle>
+    <cdid>y2</cdid>
+    <tracks><title>Painkiller</title><title>Hell Patrol</title></tracks>
+  </disc>
+</freedb>
+"""
+
+BATCH_3 = """
+<freedb>
+  <disc>
+    <dtitle>The Blue Monkeyz -- Simphony in C</dtitle>
+    <cdid>z1</cdid>
+    <tracks><title>Intro</title><title>Allegro ma non troppo</title></tracks>
+  </disc>
+</freedb>
+"""
+
+CANDIDATES = ("disc", "title")
+
+
+def session_view(session):
+    return {name: (session.pairs(name),
+                   [list(cluster)
+                    for cluster in session.cluster_set(name)])
+            for name in CANDIDATES}
+
+
+class TestSessionRestore:
+    def test_restarted_session_continues_bit_identically(self, tmp_path):
+        continuous = IncrementalSxnm(dataset2_config(window=5))
+        for batch in (BATCH_1, BATCH_2, BATCH_3):
+            continuous.add_batch(batch)
+
+        index_dir = str(tmp_path / "session")
+        first = IncrementalSxnm(dataset2_config(window=5),
+                                index_dir=index_dir)
+        assert first.restored is False
+        first.add_batch(BATCH_1)
+        first.add_batch(BATCH_2)
+        del first  # simulate the process dying between batches
+
+        counter = CounterObserver()
+        second = IncrementalSxnm(dataset2_config(window=5),
+                                 index_dir=index_dir,
+                                 observers=[counter])
+        assert second.restored is True
+        assert counter.counts.get("index_candidates_resumable") \
+            == len(CANDIDATES)
+        second.add_batch(BATCH_3)
+        assert session_view(second) == session_view(continuous)
+
+    def test_every_batch_commits_a_snapshot(self, tmp_path):
+        index_dir = str(tmp_path / "session")
+        counter = CounterObserver()
+        session = IncrementalSxnm(dataset2_config(window=5),
+                                  index_dir=index_dir,
+                                  observers=[counter])
+        session.add_batch(BATCH_1)
+        session.add_batch(BATCH_2)
+        assert counter.counts.get("index_committed") == 2
+        index = DetectionIndex(index_dir, read_only=True).open()
+        snapshot = index.load_session()
+        assert snapshot is not None
+        assert snapshot["batches"] == 2
+        assert snapshot["pairs"]["disc"] == session.pairs("disc")
+
+    def test_restore_after_delete_and_update(self, tmp_path):
+        def eids(session, name):
+            return sorted(session._states[name].table.eids())
+
+        index_dir = str(tmp_path / "session")
+        session = IncrementalSxnm(dataset2_config(window=5),
+                                  index_dir=index_dir)
+        session.add_batch(BATCH_1)
+        session.add_batch(BATCH_2)
+        session.delete([eids(session, "disc")[0]])
+        session.update([eids(session, "disc")[0]], BATCH_3)
+
+        reopened = IncrementalSxnm(dataset2_config(window=5),
+                                   index_dir=index_dir)
+        assert reopened.restored is True
+        assert session_view(reopened) == session_view(session)
+        for name in CANDIDATES:
+            assert eids(reopened, name) == eids(session, name)
+
+    def test_foreign_fingerprint_starts_fresh_with_warning(self, tmp_path):
+        index_dir = str(tmp_path / "session")
+        stale = IncrementalSxnm(dataset2_config(window=5),
+                                index_dir=index_dir)
+        stale.add_batch(BATCH_1)
+
+        counter = CounterObserver()
+        drifted_config = dataset2_config(window=5)
+        drifted_config.od_threshold = 0.99
+        fresh = IncrementalSxnm(drifted_config, index_dir=index_dir,
+                                observers=[counter])
+        assert fresh.restored is False
+        assert any("different configuration fingerprint" in line
+                   for line in counter.warnings)
+        fresh.add_batch(BATCH_1)  # and the re-stamped index serves it
+        again = dataset2_config(window=5)
+        again.od_threshold = 0.99
+        reopened = IncrementalSxnm(again, index_dir=index_dir)
+        assert reopened.restored is True
+        assert session_view(reopened) == session_view(fresh)
+
+    def test_damaged_session_segment_starts_fresh(self, tmp_path):
+        import os
+        index_dir = tmp_path / "session"
+        session = IncrementalSxnm(dataset2_config(window=5),
+                                  index_dir=str(index_dir))
+        session.add_batch(BATCH_1)
+        for name in os.listdir(index_dir):
+            if name.endswith(".xidx"):
+                path = index_dir / name
+                blob = bytearray(path.read_bytes())
+                blob[-4] ^= 0xFF
+                path.write_bytes(bytes(blob))
+
+        counter = CounterObserver()
+        reopened = IncrementalSxnm(dataset2_config(window=5),
+                                   index_dir=str(index_dir),
+                                   observers=[counter])
+        assert reopened.restored is False
+        assert any("checksum" in line for line in counter.warnings)
+        reopened.add_batch(BATCH_1)
+        reference = IncrementalSxnm(dataset2_config(window=5))
+        reference.add_batch(BATCH_1)
+        assert session_view(reopened) == session_view(reference)
+
+
+class TestUnknownCandidateBatch:
+    ALIEN_BATCH = (
+        "<movies><movie><title>X</title><year>2001</year>"
+        "<aka>x</aka><set><actor><firstname>A</firstname>"
+        "<lastname>B</lastname></actor></set></movie></movies>")
+
+    def alien_generate(self, session):
+        # A movies-schema batch generates GK rows for candidates the
+        # accumulated freedb tables never saw — drive the accumulated
+        # key source with the alien schema's own config and hierarchy.
+        from repro.core import CandidateHierarchy
+        alien_config = dataset1_config()
+        return lambda: session._key_source.generate(
+            self.ALIEN_BATCH, alien_config,
+            CandidateHierarchy(alien_config))
+
+    def test_batch_with_alien_schema_raises(self):
+        session = IncrementalSxnm(dataset2_config(window=5))
+        session.add_batch(BATCH_1)
+        with pytest.raises(DetectionError,
+                           match="unknown to the accumulated tables"):
+            self.alien_generate(session)()
+
+    def test_error_names_the_alien_and_known_candidates(self):
+        session = IncrementalSxnm(dataset2_config(window=5))
+        session.add_batch(BATCH_1)
+        with pytest.raises(DetectionError) as excinfo:
+            self.alien_generate(session)()
+        message = str(excinfo.value)
+        assert "movie" in message
+        assert "disc" in message and "title" in message
+
+    def test_rejected_batch_leaves_state_untouched(self):
+        session = IncrementalSxnm(dataset2_config(window=5))
+        session.add_batch(BATCH_1)
+        offset_before = session._key_source._eid_offset
+        counts_before = {name: session.instance_count(name)
+                         for name in CANDIDATES}
+        with pytest.raises(DetectionError):
+            self.alien_generate(session)()
+        assert session._key_source._eid_offset == offset_before
+        assert {name: session.instance_count(name)
+                for name in CANDIDATES} == counts_before
+        # The session is still healthy: the next well-formed batch lands.
+        session.add_batch(BATCH_2)
+        assert session.instance_count("disc") == 4

@@ -1,0 +1,365 @@
+"""Fault injection for the DetectionIndex: fail cold, never wrong.
+
+Mirrors ``tests/similarity/test_store_faults.py``: every test damages an
+index directory in one specific way, then asserts that the damage
+produces exactly one human-readable warning and that whatever still
+loads is correct — a damaged index degrades to a cold start (the state
+is regenerated), it never resumes wrong state.
+"""
+
+import json
+import os
+
+from repro.core import CounterObserver, SxnmDetector
+from repro.core.index import (DetectionIndex, INDEX_MAGIC, MANIFEST_NAME,
+                              SEGMENT_SUFFIX)
+from repro.datagen import generate_dirty_movies
+from repro.experiments import dataset1_config
+from repro.xmlmodel import serialize
+
+
+def seeded_directory(tmp_path, name="index"):
+    """An index directory holding one committed detection run."""
+    directory = tmp_path / name
+    document = generate_dirty_movies(25, seed=3, profile="effectiveness")
+    detector = SxnmDetector(dataset1_config(), index_dir=str(directory))
+    result = detector.run(document, window=5)
+    return directory, serialize(document), result
+
+
+def segment_paths(directory):
+    return sorted(os.path.join(directory, name)
+                  for name in os.listdir(directory)
+                  if name.endswith(SEGMENT_SUFFIX))
+
+
+def reopen(directory):
+    warnings = []
+    index = DetectionIndex(str(directory), warn=warnings.append).open()
+    return index, warnings
+
+
+def load_everything(index):
+    """Touch every role so each fault has the chance to surface."""
+    index.load_gk()
+    for name in index.completed:
+        index.load_candidate(name)
+    index.load_session()
+
+
+class TestSegmentFaults:
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        path = segment_paths(directory)[0]
+        blob = bytearray(open(path, "rb").read())
+        blob[-5] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        assert len(warnings) == 1
+        assert "fails its checksum" in warnings[0]
+
+    def test_truncated_tail(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        path = segment_paths(directory)[0]
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-15])
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        assert len(warnings) == 1
+        assert "is truncated" in warnings[0]
+
+    def test_alien_version_header(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        path = segment_paths(directory)[0]
+        _, _, rest = open(path, "rb").read().partition(b"\n")
+        open(path, "wb").write(f"{INDEX_MAGIC} v99\n".encode() + rest)
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        assert len(warnings) == 1
+        assert "unrecognized header" in warnings[0]
+
+    def test_corrupt_metadata_line(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        path = segment_paths(directory)[0]
+        header, _, rest = open(path, "rb").read().partition(b"\n")
+        _, _, payload = rest.partition(b"\n")
+        open(path, "wb").write(header + b"\n{broken json\n" + payload)
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        assert len(warnings) == 1
+        assert "corrupt metadata" in warnings[0]
+
+    def test_stale_fingerprint_segment(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        # Rewrite one segment's metadata to claim another fingerprint;
+        # patch payload_bytes/sha256 so only the fingerprint check fires.
+        path = segment_paths(directory)[0]
+        header, _, rest = open(path, "rb").read().partition(b"\n")
+        meta_line, _, payload = rest.partition(b"\n")
+        meta = json.loads(meta_line)
+        meta["config_fingerprint"] = "0" * 16
+        open(path, "wb").write(header + b"\n"
+                               + json.dumps(meta).encode() + b"\n" + payload)
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        assert len(warnings) == 1
+        assert "different configuration fingerprint" in warnings[0]
+
+    def test_swapped_roles_detected(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        index, _ = reopen(directory)
+        segments = index.manifest["segments"]
+        roles = sorted(segments)
+        assert len(roles) >= 2
+        # Point one role's manifest entry at another role's segment:
+        # the checksum passes (the file is intact) but the role check
+        # must still refuse to deliver the wrong state.
+        segments[roles[0]] = segments[roles[1]]
+        index._flush_manifest()
+
+        reopened, warnings = reopen(directory)
+        load_everything(reopened)
+        assert len(warnings) == 1
+        assert "holds" in warnings[0] and "not" in warnings[0]
+
+    def test_each_damaged_segment_warns_once(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        paths = segment_paths(directory)
+        assert len(paths) >= 2
+        for path in paths[:2]:
+            blob = bytearray(open(path, "rb").read())
+            blob[-5] ^= 0xFF
+            open(path, "wb").write(bytes(blob))
+
+        index, warnings = reopen(directory)
+        load_everything(index)
+        load_everything(index)  # a second sweep must not re-warn
+        assert len(warnings) == 2
+
+
+class TestManifestFaults:
+    def test_unreadable_manifest_starts_cold(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        (directory / MANIFEST_NAME).write_text("{not json")
+
+        index, warnings = reopen(directory)
+        assert len(warnings) == 1
+        assert "unreadable" in warnings[0]
+        assert index.completed == []
+        assert index.load_gk() is None
+
+    def test_alien_manifest_starts_cold(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps({"magic": "other-format", "version": 1}))
+
+        index, warnings = reopen(directory)
+        assert len(warnings) == 1
+        assert "starting cold" in warnings[0]
+        assert index.completed == []
+
+    def test_unusable_directory_warns_and_runs_without(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should be")
+        index, warnings = reopen(blocker / "index")
+        assert index.usable is False
+        assert len(warnings) == 1
+        assert "cannot use directory" in warnings[0]
+
+
+class TestWriteFaults:
+    def test_failed_segment_write_warns_and_keeps_state_in_memory(
+            self, tmp_path, monkeypatch):
+        index, warnings = reopen(tmp_path / "index")
+        index.manifest["config_fingerprint"] = "f" * 16
+        import tempfile
+
+        def refuse(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(tempfile, "mkstemp", refuse)
+        assert index.commit_candidate("movie", {(1, 2)}, 3, 0,
+                                      0.0, 0.0, None) is False
+        assert len(warnings) == 1
+        assert "cannot write" in warnings[0]
+        assert index.completed == []
+
+    def test_failed_manifest_write_warns(self, tmp_path, monkeypatch):
+        index, warnings = reopen(tmp_path / "index")
+        index.manifest["config_fingerprint"] = "f" * 16
+        import os as os_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(os_module, "replace", refuse)
+        assert index._flush_manifest() is False
+        assert len(warnings) == 1
+        assert "cannot write manifest" in warnings[0]
+
+    def test_read_only_flush_is_a_silent_no_op(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        index = DetectionIndex(str(directory), read_only=True).open()
+        assert index._flush_manifest() is False
+        assert index.warnings == []
+
+    def test_open_is_idempotent(self, tmp_path):
+        index, warnings = reopen(tmp_path / "index")
+        assert index.open() is index
+        assert warnings == []
+
+    def test_unreadable_segment_file_warns(self, tmp_path):
+        directory, _, _ = seeded_directory(tmp_path)
+        index, _ = reopen(directory)
+        name = index.manifest["segments"]["gk"]
+        path = directory / name
+        path.unlink()
+        path.mkdir()  # open() on a directory raises an OSError
+
+        reopened, warnings = reopen(directory)
+        assert reopened.load_gk() is None
+        assert len(warnings) == 1
+        assert "cannot read segment" in warnings[0]
+
+
+class TestDecodeFaults:
+    """Segments that pass every integrity check but do not decode."""
+
+    def seeded_index(self, tmp_path):
+        index, warnings = reopen(tmp_path / "index")
+        index.manifest["config_fingerprint"] = "f" * 16
+        index._flush_manifest()
+        return index, warnings
+
+    def test_gk_payload_with_dangling_pool_reference(self, tmp_path):
+        index, _ = self.seeded_index(tmp_path)
+        index._commit("gk", {"strings": [], "tables": {
+            "movie": {"keys": 1, "ods": 1, "rows": [[0, [5], [0], []]]}}})
+
+        reopened, warnings = reopen(index.directory)
+        assert reopened.load_gk() is None
+        assert reopened.load_gk() is None  # warn once, not per lookup
+        assert len(warnings) == 1
+        assert "GK segment does not decode" in warnings[0]
+
+    def test_candidate_payload_missing_fields(self, tmp_path):
+        index, _ = self.seeded_index(tmp_path)
+        index._commit("run/movie", {"pairs": [[1, 2]]})
+        index.manifest["completed"] = ["movie"]
+        index._flush_manifest()
+
+        reopened, warnings = reopen(index.directory)
+        assert reopened.load_candidate("movie") is None
+        assert reopened.load_candidate("movie") is None
+        assert len(warnings) == 1
+        assert "run state for 'movie' does not decode" in warnings[0]
+
+    def test_session_payload_missing_fields(self, tmp_path):
+        index, _ = self.seeded_index(tmp_path)
+        index._commit("session", {"eid_offset": 3})
+
+        reopened, warnings = reopen(index.directory)
+        assert reopened.load_session() is None
+        assert reopened.load_session() is None
+        assert len(warnings) == 1
+        assert "session state does not decode" in warnings[0]
+
+    def test_unparsable_payload_behind_a_valid_checksum(self, tmp_path):
+        import hashlib
+
+        index, _ = self.seeded_index(tmp_path)
+        payload = b"{not json at all"
+        meta = json.dumps({
+            "role": "gk", "payload_bytes": len(payload),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "config_fingerprint": "f" * 16})
+        name = f"segment-handmade{SEGMENT_SUFFIX}"
+        with open(os.path.join(index.directory, name), "wb") as handle:
+            handle.write(f"{INDEX_MAGIC} v1\n{meta}\n".encode() + payload)
+        index.manifest["segments"]["gk"] = name
+        index._flush_manifest()
+
+        reopened, warnings = reopen(index.directory)
+        assert reopened.load_gk() is None
+        assert len(warnings) == 1
+        assert "does not parse" in warnings[0]
+
+
+class TestCompactFaults:
+    def test_unlistable_directory_warns_and_removes_nothing(
+            self, tmp_path, monkeypatch):
+        directory, _, _ = seeded_directory(tmp_path)
+        index, warnings = reopen(directory)
+        import os as os_module
+
+        def refuse(path):
+            raise OSError("permission denied")
+
+        monkeypatch.setattr(os_module, "listdir", refuse)
+        assert index.compact() == 0
+        assert len(warnings) == 1
+        assert "nothing compacted" in warnings[0]
+
+    def test_unremovable_orphan_warns_and_is_left(self, tmp_path,
+                                                  monkeypatch):
+        directory, _, _ = seeded_directory(tmp_path)
+        (directory / f"orphan{SEGMENT_SUFFIX}").write_bytes(b"junk")
+        index, warnings = reopen(directory)
+        import os as os_module
+
+        def refuse(path):
+            raise OSError("permission denied")
+
+        monkeypatch.setattr(os_module, "unlink", refuse)
+        assert index.compact() == 0
+        assert len(warnings) == 1
+        assert "could not remove" in warnings[0]
+        assert (directory / f"orphan{SEGMENT_SUFFIX}").exists()
+
+
+class TestNeverWrong:
+    def damage_all(self, directory):
+        for path in segment_paths(directory):
+            blob = bytearray(open(path, "rb").read())
+            blob[-5] ^= 0xFF
+            open(path, "wb").write(bytes(blob))
+
+    def test_detection_over_damaged_index_matches_index_free_run(
+            self, tmp_path):
+        directory, text, baseline = seeded_directory(tmp_path)
+        self.damage_all(directory)
+
+        observer = CounterObserver()
+        detector = SxnmDetector(dataset1_config(),
+                                index_dir=str(directory),
+                                observers=[observer])
+        damaged = detector.run(text, window=5)
+        clean = SxnmDetector(dataset1_config()).run(text, window=5)
+        for name in clean.outcomes:
+            assert damaged.pairs(name) == clean.pairs(name)
+            assert ([sorted(c) for c in damaged.outcomes[name].cluster_set]
+                    == [sorted(c) for c in clean.outcomes[name].cluster_set])
+        # The fresh run recommitted healthy segments over the damage.
+        index = DetectionIndex(str(directory)).open()
+        load_everything(index)
+        assert index.warnings == []
+
+    def test_resume_over_damaged_index_recomputes_cold_not_wrong(
+            self, tmp_path):
+        directory, text, baseline = seeded_directory(tmp_path)
+        self.damage_all(directory)
+
+        observer = CounterObserver()
+        detector = SxnmDetector(dataset1_config(),
+                                index_dir=str(directory),
+                                observers=[observer])
+        resumed = detector.run(text, window=5, resume=True)
+        assert observer.counts.get("pair_compared", 0) > 0  # really re-ran
+        for name in baseline.outcomes:
+            assert resumed.pairs(name) == baseline.pairs(name)

@@ -58,6 +58,55 @@ class TestGkStorage:
         with pytest.raises(DetectionError, match="gk-tables"):
             gk_from_document(parse("<nope/>"))
 
+
+class TestOdRoundTripAmbiguity:
+    """Empty, missing, and whitespace-only ODs are three distinct facts.
+
+    ``None`` (the OD path matched nothing) must never collapse into
+    ``""`` (the path matched an empty value) or vice versa — similarity
+    treats them differently — and the pretty writer must not eat
+    whitespace-only values on the way through a file.
+    """
+
+    AWKWARD = [None, "", " ", "\n", "\t ", "value", " padded "]
+
+    def make_table(self):
+        from repro.core import GkTable
+        table = GkTable("movie", key_count=1, od_count=len(self.AWKWARD))
+        table.add(GkRow(0, ["K"], list(self.AWKWARD)))
+        table.add(GkRow(1, ["K"], list(reversed(self.AWKWARD))))
+        return {"movie": table}
+
+    def assert_round_trip(self, restored):
+        rows = list(restored["movie"])
+        assert rows[0].ods == self.AWKWARD
+        assert rows[1].ods == list(reversed(self.AWKWARD))
+
+    def test_document_round_trip(self):
+        restored = gk_from_document(gk_to_document(self.make_table()))
+        self.assert_round_trip(restored)
+
+    def test_pretty_file_round_trip(self, tmp_path):
+        # save_gk writes pretty XML — the shape that historically lost
+        # whitespace-only ODs (the writer drops whitespace-only element
+        # text, so they came back as missing).
+        path = str(tmp_path / "gk.xml")
+        save_gk(self.make_table(), path)
+        self.assert_round_trip(load_gk(path))
+
+    def test_non_pretty_text_round_trip(self):
+        from repro.core import load_gk_text
+        from repro.xmlmodel import serialize
+        text = serialize(gk_to_document(self.make_table()), pretty=False)
+        self.assert_round_trip(load_gk_text(text))
+
+    def test_missing_and_empty_serialize_distinctly(self):
+        from repro.xmlmodel import serialize
+        document = gk_to_document(self.make_table())
+        text = serialize(document, pretty=False)
+        assert '<od missing="true"/>' in text
+        assert '<od text=""/>' in text
+
     def test_bad_eid_rejected(self):
         with pytest.raises(DetectionError):
             gk_from_document(parse(

@@ -92,6 +92,66 @@ class TestDetect:
         assert batched and sum(batched) > 0
 
 
+class TestIndex:
+    def clusters(self, text):
+        return [line for line in text.splitlines()
+                if line.startswith(("candidate", "  eids"))]
+
+    def test_detect_with_index_then_resume_same_clusters(self, workspace,
+                                                         capsys):
+        tmp_path, config, data = workspace
+        index_dir = str(tmp_path / "index")
+        assert main(["detect", "-c", config, data]) == 0
+        baseline = capsys.readouterr().out
+
+        assert main(["detect", "-c", config, data, "--progress",
+                     "--index", index_dir]) == 0
+        indexed, progress = capsys.readouterr()
+        assert "index: opened" in progress
+        assert "index: committed candidate" in progress
+
+        assert main(["detect", "-c", config, data, "--progress",
+                     "--index", index_dir, "--resume"]) == 0
+        resumed, resumed_progress = capsys.readouterr()
+        assert "candidate(s) resumable" in resumed_progress
+        assert self.clusters(indexed) == self.clusters(baseline)
+        assert self.clusters(resumed) == self.clusters(baseline)
+
+    def test_resume_refuses_mismatched_corpus(self, workspace, capsys):
+        tmp_path, config, data = workspace
+        index_dir = str(tmp_path / "index")
+        assert main(["detect", "-c", config, data,
+                     "--index", index_dir]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.xml"
+        write_file(generate_dirty_movies(12, seed=9), str(other))
+        assert main(["detect", "-c", config, str(other),
+                     "--index", index_dir, "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "refusing to resume" in err
+
+    def test_index_init_status_compact(self, workspace, capsys):
+        tmp_path, config, data = workspace
+        index_dir = str(tmp_path / "index")
+        assert main(["index", "init", index_dir, "-c", config]) == 0
+        assert "initialized index" in capsys.readouterr().out
+
+        assert main(["detect", "-c", config, data,
+                     "--index", index_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["index", "status", index_dir]) == 0
+        status = capsys.readouterr().out
+        assert "config fingerprint:" in status
+        assert "completed candidates: movie" in status
+        assert "gk: segment-" in status
+
+        assert main(["index", "compact", index_dir]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["index", "status", index_dir]) == 0
+        assert "(0 orphaned)" in capsys.readouterr().out
+
+
 class TestDedup:
     def test_writes_smaller_document(self, workspace, capsys):
         tmp_path, config, data = workspace
