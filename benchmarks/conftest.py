@@ -12,8 +12,11 @@ to run at full paper scale.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pathlib
+import resource
+import tracemalloc
 
 import pytest
 
@@ -28,6 +31,48 @@ DS3_DISCS = 10_000 if FULL_SCALE else 3_000
 SCALABILITY_SIZES = [100, 200, 400, 800] if FULL_SCALE else [50, 100, 200, 400]
 
 SEED = 42
+
+
+def peak_memory_snapshot() -> dict:
+    """Process-level peak-memory counters for a benchmark record.
+
+    ``ru_maxrss`` is the OS high-water mark for the whole process —
+    monotonic across scenarios, so it contextualizes a record but must
+    never be compared between scenarios of one run.  Per-scenario peaks
+    come from :func:`traced_peak` instead.  ``ru_maxrss`` is kilobytes
+    on Linux.
+    """
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    snapshot = {"ru_maxrss_kb": usage.ru_maxrss}
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot["tracemalloc_current_bytes"] = current
+        snapshot["tracemalloc_peak_bytes"] = peak
+    return snapshot
+
+
+@contextlib.contextmanager
+def traced_peak(result: dict):
+    """Measure one scenario's Python allocation peak into ``result``.
+
+    Resets the tracemalloc peak on entry (starting tracing if needed)
+    and records the with-block's high-water mark as
+    ``result["tracemalloc_peak_bytes"]`` — the resettable counterpart
+    to the monotonic ``ru_maxrss``.  Tracing slows allocation-heavy
+    code, but both scenarios of a comparison pay the same tax.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    try:
+        yield result
+        _, peak = tracemalloc.get_traced_memory()
+        result["tracemalloc_peak_bytes"] = peak
+    finally:
+        if started_here:
+            tracemalloc.stop()
 
 
 def write_result(name: str, text: str) -> None:

@@ -30,7 +30,7 @@ import os
 import pathlib
 import time
 
-from conftest import FULL_SCALE, SEED, write_result
+from conftest import FULL_SCALE, SEED, peak_memory_snapshot, write_result
 
 from repro.core import CandidateHierarchy, SxnmDetector, generate_gk
 from repro.datagen import generate_dirty_movies
@@ -188,6 +188,7 @@ def test_batched_comparison_perf_record(benchmark):
         "dp_cells_computed": arena.cells_computed,
         "dp_cells_naive": arena.cells_naive,
     }
+    record["memory"] = peak_memory_snapshot()
     (REPO_ROOT / "BENCH_batch.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8")
 

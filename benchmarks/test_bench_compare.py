@@ -16,7 +16,7 @@ import os
 import pathlib
 import time
 
-from conftest import FULL_SCALE, SEED, write_result
+from conftest import FULL_SCALE, SEED, peak_memory_snapshot, write_result
 
 from repro.core import SxnmDetector
 from repro.datagen import generate_dirty_movies
@@ -88,6 +88,7 @@ def test_comparison_plane_perf_record(benchmark):
                      "stats": filtered_stats.as_dict()},
         "edit_full_evals_drop": round(drop, 4),
     }
+    record["memory"] = peak_memory_snapshot()
     (REPO_ROOT / "BENCH_compare.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8")
 

@@ -27,7 +27,7 @@ import os
 import pathlib
 import time
 
-from conftest import FULL_SCALE, SEED, write_result
+from conftest import FULL_SCALE, SEED, peak_memory_snapshot, write_result
 
 from repro.core import IncrementalSxnm
 from repro.datagen import generate_dirty_movies
@@ -133,6 +133,7 @@ def test_index_resume_perf_record(benchmark, tmp_path):
         "wall_clock_speedup": round(speedup, 2),
         "speedup_asserted": speedup_assertable,
     }
+    record["memory"] = peak_memory_snapshot()
     (REPO_ROOT / "BENCH_index.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8")
 

@@ -26,7 +26,7 @@ import os
 import pathlib
 import time
 
-from conftest import FULL_SCALE, SEED, write_result
+from conftest import FULL_SCALE, SEED, peak_memory_snapshot, write_result
 
 from repro.core import SxnmDetector
 from repro.datagen import generate_dirty_movies
@@ -73,6 +73,7 @@ def base_record(cores: int, movies: int, document) -> dict:
 
 
 def write_record(record: dict) -> None:
+    record["memory"] = peak_memory_snapshot()
     (REPO_ROOT / "BENCH_parallel.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8")
 

@@ -27,7 +27,7 @@ import pathlib
 import tempfile
 import time
 
-from conftest import FULL_SCALE, SEED, write_result
+from conftest import FULL_SCALE, SEED, peak_memory_snapshot, write_result
 
 from repro.core import SxnmDetector
 from repro.datagen import generate_dirty_movies
@@ -182,6 +182,7 @@ def test_phicache_perf_record(benchmark):
         "reduction_target": REDUCTION_TARGET,
         "reduction_asserted": reduction_assertable,
     }
+    record["memory"] = peak_memory_snapshot()
     (REPO_ROOT / "BENCH_phicache.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8")
 

@@ -158,7 +158,14 @@ def _cmd_keygen(args: argparse.Namespace) -> int:
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     config = load_config_file(args.config)
-    document = parse_file(args.data)
+    stream = getattr(args, "stream", False)
+    if stream:
+        # Out-of-core mode never materializes the document: the
+        # detector consumes the file as an event stream.
+        from .core import XmlFileSource
+        source = XmlFileSource(args.data)
+    else:
+        source = parse_file(args.data)
     gk = None
     if getattr(args, "gk", None):
         from .core import load_gk
@@ -176,8 +183,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                           batch_compare=batch_compare,
                           execution_plane=getattr(args, "plane", None),
                           index_dir=getattr(args, "index", None),
+                          stream=(True if stream else None),
+                          spill_dir=getattr(args, "spill_dir", None),
+                          spill_max_rows=getattr(args, "spill_max_rows", None),
                           observers=observers).run(
-        document, window=args.window, gk=gk,
+        source, window=args.window, gk=gk,
         resume=getattr(args, "resume", False))
     lines = []
     for name, outcome in result.outcomes.items():
@@ -453,6 +463,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "results); refuses when the index does not "
                              "match this configuration, corpus, and "
                              "parameters")
+    detect.add_argument("--stream", action="store_true",
+                        help="run out-of-core: read the data file as an "
+                             "event stream (never materializing the "
+                             "document), spill GK rows to checksummed "
+                             "sorted run files, and slide the window over "
+                             "the externally merged streams; identical "
+                             "pairs and clusters to the in-memory path")
+    detect.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="directory for --stream run files; default: "
+                             "the configuration's 'spillDir' attribute, "
+                             "then '<index>/spill', then a self-cleaning "
+                             "temporary directory")
+    detect.add_argument("--spill-max-rows", type=int, default=None,
+                        metavar="N",
+                        help="GK rows buffered in memory before each spill "
+                             "under --stream (smaller = less memory, more "
+                             "run files); default: the configuration's "
+                             "'spillMaxRows' attribute")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

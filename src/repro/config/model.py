@@ -59,6 +59,14 @@ DEFAULT_SHARED_MEMORY_MIN_BYTES = 65536
 # path.  Kept here rather than imported from repro.core.index for the
 # same dependency-freedom reason as above.
 DEFAULT_INDEX_PERSIST = True
+# Out-of-core streaming detection: stream_parse runs the pipeline over
+# the event stream with GK rows spilled to bounded sorted run files
+# (external merge sort) instead of in-memory tables; spill_dir names
+# the run-file directory (None resolves to <index_dir>/spill or a
+# temporary directory) and spill_max_rows bounds the rows buffered
+# before each spill.  Kept here rather than imported from
+# repro.core.spill for the same dependency-freedom reason as above.
+DEFAULT_SPILL_MAX_ROWS = 4096
 
 
 @dataclass(frozen=True)
@@ -243,9 +251,13 @@ class SxnmConfig:
     directory where per-run detection state persists so interrupted
     runs and incremental sessions resume from disk (``None`` keeps run
     state in memory only); ``index_persist`` gates it without
-    forgetting the path.  None of these knobs changes detected
-    duplicates — only how much work comparisons cost, where they run,
-    and whether state survives a restart.
+    forgetting the path.  ``stream_parse`` selects the out-of-core
+    path: key generation consumes the raw event stream and spills GK
+    rows to checksummed sorted run files under ``spill_dir``, at most
+    ``spill_max_rows`` rows buffered at a time, and window passes
+    slide over the externally merged streams.  None of these knobs
+    changes detected duplicates — only how much work comparisons cost,
+    where they run, and whether state survives a restart.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -265,6 +277,9 @@ class SxnmConfig:
     shared_memory_min_bytes: int = DEFAULT_SHARED_MEMORY_MIN_BYTES
     index_dir: str | None = None
     index_persist: bool = DEFAULT_INDEX_PERSIST
+    stream_parse: bool = False
+    spill_dir: str | None = None
+    spill_max_rows: int = DEFAULT_SPILL_MAX_ROWS
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

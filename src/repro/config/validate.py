@@ -119,6 +119,10 @@ def validate_config(config: SxnmConfig) -> list[str]:
         problems.append("shared memory min bytes must be >= 0")
     if config.index_dir is not None and not str(config.index_dir).strip():
         problems.append("index dir must be a non-empty path or None")
+    if config.spill_dir is not None and not str(config.spill_dir).strip():
+        problems.append("spill dir must be a non-empty path or None")
+    if config.spill_max_rows < 1:
+        problems.append("spill max rows must be >= 1")
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

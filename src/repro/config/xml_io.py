@@ -32,7 +32,8 @@ from __future__ import annotations
 
 from ..errors import ConfigError
 from ..xmlmodel import XmlDocument, XmlElement, parse, parse_file, serialize, write_file
-from .model import CandidateSpec, KeyEntry, OdEntry, PathEntry, SxnmConfig
+from .model import (DEFAULT_SPILL_MAX_ROWS, CandidateSpec, KeyEntry, OdEntry,
+                    PathEntry, SxnmConfig)
 from .validate import ensure_valid
 
 
@@ -176,6 +177,14 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
         config.index_dir = index_dir
     config.index_persist = _get_bool(root, "indexPersist",
                                      config.index_persist)
+    config.stream_parse = _get_bool(root, "streamParse",
+                                    config.stream_parse)
+    spill_dir = root.get("spillDir")
+    if spill_dir is not None:
+        config.spill_dir = spill_dir
+    spill_max_rows = _get_int(root, "spillMaxRows")
+    if spill_max_rows is not None:
+        config.spill_max_rows = spill_max_rows
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -254,6 +263,12 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         root.set("indexDir", config.index_dir)
     if not config.index_persist:
         root.set("indexPersist", "false")
+    if config.stream_parse:
+        root.set("streamParse", "true")
+    if config.spill_dir is not None:
+        root.set("spillDir", config.spill_dir)
+    if config.spill_max_rows != DEFAULT_SPILL_MAX_ROWS:
+        root.set("spillMaxRows", str(config.spill_max_rows))
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))
     return XmlDocument(root)

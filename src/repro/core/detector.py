@@ -24,6 +24,7 @@ from .parallel import ParallelWindowStrategy
 from .results import (CandidateOutcome, KeySelection,  # noqa: F401
                       PhaseTimings, SxnmResult, select_key_indices)
 from .simmeasure import Decision
+from .spill import SpilledWindowStrategy, SpillingKeySource
 from .stages import (DomKeySource, FixedWindowStrategy, MethodClosure,
                      StreamingKeySource, TheoryPolicy, ThresholdPolicy)
 from .theory import XmlEquationalTheory
@@ -105,6 +106,23 @@ class SxnmDetector:
         results.  ``None`` (default) defers to ``config.index_dir``;
         damaged or unwritable directories warn via observers and run
         without persistence.
+    stream:
+        Run the out-of-core path (``repro.core.spill``): key generation
+        consumes the event stream directly (XML text, a parsed
+        document, or a file via
+        :class:`~repro.core.spill.XmlFileSource`), GK rows spill to
+        checksummed sorted run files, and window passes slide over the
+        externally merged streams holding only ``window`` rows.  Pairs
+        and clusters are bit-identical to the in-memory path.  ``None``
+        (default) defers to ``config.stream_parse``.
+    spill_dir:
+        Run-file directory for streaming mode.  ``None`` (default)
+        defers to ``config.spill_dir``, then ``<index_dir>/spill``,
+        then a self-cleaning temporary directory.
+    spill_max_rows:
+        Rows buffered in memory before each spill (streaming mode's
+        memory/file-count trade-off).  ``None`` (default) defers to
+        ``config.spill_max_rows``.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -121,6 +139,9 @@ class SxnmDetector:
                  batch_compare: bool | None = None,
                  execution_plane: str | None = None,
                  index_dir: str | None = None,
+                 stream: bool | None = None,
+                 spill_dir: str | None = None,
+                 spill_max_rows: int | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -143,8 +164,18 @@ class SxnmDetector:
         if index_dir is not None:
             config.index_dir = index_dir
         self.index_dir = getattr(config, "index_dir", None)
+        if stream is not None:
+            config.stream_parse = stream
+        self.stream = getattr(config, "stream_parse", False)
+        if spill_dir is not None:
+            config.spill_dir = spill_dir
+        if spill_max_rows is not None:
+            config.spill_max_rows = spill_max_rows
 
-        if self.workers > 1 and self.execution_plane != "serial":
+        if self.stream:
+            neighborhood = SpilledWindowStrategy(
+                duplicate_elimination=duplicate_elimination)
+        elif self.workers > 1 and self.execution_plane != "serial":
             neighborhood = ParallelWindowStrategy(
                 workers=self.workers,
                 duplicate_elimination=duplicate_elimination)
@@ -152,10 +183,15 @@ class SxnmDetector:
             neighborhood = FixedWindowStrategy(
                 duplicate_elimination=duplicate_elimination)
         policy = ThresholdPolicy(decision, use_filters=self.use_filters)
+        if self.stream:
+            key_source = SpillingKeySource()
+        elif streaming_keygen:
+            key_source = StreamingKeySource()
+        else:
+            key_source = DomKeySource()
         self.engine = DetectionEngine(
             config,
-            key_source=(StreamingKeySource() if streaming_keygen
-                        else DomKeySource()),
+            key_source=key_source,
             neighborhood=neighborhood,
             decision=(TheoryPolicy(self.theories, policy) if self.theories
                       else policy),
@@ -170,7 +206,11 @@ class SxnmDetector:
             gk: dict[str, GkTable] | None = None,
             od_cache: dict[str, dict[tuple[int, int], float]] | None = None,
             resume: bool = False) -> SxnmResult:
-        """Detect duplicates in ``source`` (XML text or parsed document).
+        """Detect duplicates in ``source``.
+
+        ``source`` is XML text, a parsed document, or — in streaming
+        mode — an :class:`~repro.core.spill.XmlFileSource` naming a
+        file read incrementally.
 
         Parameters
         ----------

@@ -182,18 +182,43 @@ class DetectionEngine:
         if emit is not None:
             emit.phase_started(PHASE_KEY_GENERATION)
 
+        # Spilling key sources want the index (for a durable spill
+        # directory) and the warning sink before generation starts.
+        attach_run = getattr(self.key_source, "attach_run_context", None)
+        if attach_run is not None:
+            attach_run(index=index,
+                       warn=(emit.warning if emit is not None else None))
+
         kg_start = time.perf_counter()
         tables_from_index = False
+        tables_from_spill = False
         if gk is not None:
             tables = gk
         else:
             tables = index.load_gk() if resuming else None
             tables_from_index = tables is not None
+            if tables is None and resuming:
+                restore = getattr(self.key_source, "restore_spilled", None)
+                if restore is not None:
+                    tables = restore(index, self.config, self.hierarchy)
+                    tables_from_spill = tables is not None
             if tables is None:
                 tables = self.key_source.generate(source, self.config,
                                                   self.hierarchy)
-        if index is not None and index.usable and not tables_from_index:
-            index.save_gk(tables)
+        tables_spilled = any(getattr(table, "spilled", False)
+                             for table in tables.values())
+        if tables_spilled and emit is not None and not tables_from_spill:
+            for name, table in tables.items():
+                if getattr(table, "spilled", False):
+                    emit.run_spilled(name, len(table), table.run_count())
+        if index is not None and index.usable and not tables_from_index \
+                and not tables_from_spill:
+            if tables_spilled:
+                index.save_spill({name: table.state()
+                                  for name, table in tables.items()
+                                  if getattr(table, "spilled", False)})
+            else:
+                index.save_gk(tables)
         result = SxnmResult(gk=tables)
         result.timings.key_generation = time.perf_counter() - kg_start
         if emit is not None:

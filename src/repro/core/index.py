@@ -106,10 +106,22 @@ def config_fingerprint(config) -> str:
 def corpus_checksum(source) -> str:
     """A short digest identifying the detected corpus.
 
-    XML text hashes directly; a parsed document hashes its canonical
+    XML text hashes directly; a file-backed source (anything with a
+    ``path`` attribute, e.g. a streaming ``XmlFileSource``) hashes the
+    file bytes in bounded chunks; a parsed document hashes its canonical
     (non-pretty) serialization, which is deterministic for equal trees.
     """
     if not isinstance(source, str):
+        path = getattr(source, "path", None)
+        if path is not None:
+            digest = hashlib.sha256()
+            with open(path, "rb") as handle:
+                while True:
+                    chunk = handle.read(1 << 16)
+                    if not chunk:
+                        break
+                    digest.update(chunk)
+            return digest.hexdigest()[:16]
         from ..xmlmodel import serialize
         source = serialize(source, pretty=False)
     return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
@@ -556,6 +568,46 @@ class DetectionIndex:
             return None
         table = self._tables.get(candidate)
         return list(table) if table is not None else None
+
+    # ------------------------------------------------------------------
+    # Spilled (out-of-core) GK run state
+
+    def save_spill(self, state: dict) -> bool:
+        """Persist out-of-core run-file state (names, shapes, row counts).
+
+        ``state`` maps candidate name to the
+        :meth:`~repro.core.spill.SpilledGkTable.state` manifest entry;
+        the run files themselves live under ``<directory>/spill`` and
+        carry their own checksums.  Run files no longer referenced by
+        the new state are deleted best-effort, mirroring ``compact``.
+        """
+        committed = self._commit("spill", state)
+        if committed:
+            self.bump("spill_rows",
+                      sum(entry.get("rows", 0) for entry in state.values()))
+            self._flush_manifest()
+            referenced = set()
+            for entry in state.values():
+                referenced.update(entry.get("doc", []))
+                for names in entry.get("keys", []):
+                    referenced.update(names)
+            spill_dir = os.path.join(self.directory, "spill")
+            if os.path.isdir(spill_dir):
+                from .spill import SpillStore
+                SpillStore(spill_dir).remove_unreferenced(referenced)
+        return committed
+
+    def load_spill(self) -> dict | None:
+        """The persisted spill state, if its segment is readable.
+
+        Only the manifest-level state is validated here; callers must
+        re-validate every referenced run file's checksum before trusting
+        its rows (``SpillingKeySource.restore_spilled`` does).
+        """
+        payload = self._load_segment("spill")
+        if not isinstance(payload, dict):
+            return None
+        return payload
 
     # ------------------------------------------------------------------
     # Per-candidate run state

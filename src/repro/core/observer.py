@@ -172,6 +172,22 @@ class EngineObserver:
         commits emit a ``warning`` instead.
         """
 
+    def run_spilled(self, candidate: str, rows: int, runs: int) -> None:
+        """Streaming key generation spilled ``candidate`` to disk runs.
+
+        ``rows`` is the candidate's GK row count and ``runs`` the number
+        of run files written (document-order plus per-key sorted).
+        Emitted during the KG phase, only in out-of-core mode.
+        """
+
+    def run_merged(self, candidate: str, key_index: int, runs: int) -> None:
+        """A window pass merged ``runs`` spilled runs for one key.
+
+        Emitted (between ``pass_started`` and ``pass_finished``) by the
+        disk-resident window strategy after the k-way merge for
+        ``key_index`` has been fully consumed.
+        """
+
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
 
@@ -272,6 +288,18 @@ class ObserverGroup(EngineObserver):
             hook = getattr(observer, "index_committed", None)
             if hook is not None:
                 hook(directory, candidate, pairs)
+
+    def run_spilled(self, candidate, rows, runs):
+        for observer in self.observers:
+            hook = getattr(observer, "run_spilled", None)
+            if hook is not None:
+                hook(candidate, rows, runs)
+
+    def run_merged(self, candidate, key_index, runs):
+        for observer in self.observers:
+            hook = getattr(observer, "run_merged", None)
+            if hook is not None:
+                hook(candidate, key_index, runs)
 
     def warning(self, message):
         for observer in self.observers:
@@ -395,6 +423,16 @@ class CounterObserver(EngineObserver):
         self._bump("index_committed")
         self.counts["index_pairs_committed"] = \
             self.counts.get("index_pairs_committed", 0) + pairs
+
+    def run_spilled(self, candidate, rows, runs):
+        self._bump("run_spilled")
+        self.counts["spill_runs_written"] = \
+            self.counts.get("spill_runs_written", 0) + runs
+
+    def run_merged(self, candidate, key_index, runs):
+        self._bump("run_merged")
+        self.counts["spill_runs_merged"] = \
+            self.counts.get("spill_runs_merged", 0) + runs
 
     def warning(self, message):
         self._bump("warning")

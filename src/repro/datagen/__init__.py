@@ -6,7 +6,8 @@ from .errors import (delete_char, insert_char, maybe_pollute, pollute,
 from .freedb import (FreedbProfile, generate_clean_discs, generate_dataset2,
                      generate_dataset3)
 from .movies import (FEW_DUPLICATES, MANY_DUPLICATES, generate_clean_movies,
-                     generate_dirty_movies, movie_template)
+                     generate_dirty_movies, movie_template,
+                     write_clean_movies_stream)
 from .template_io import (generate_from_template, load_template,
                           load_template_file)
 from .toxgene import (OID_ATTRIBUTE, ChildSpec, CleanGenerator,
@@ -31,6 +32,7 @@ __all__ = [
     "generate_dataset2",
     "generate_dataset3",
     "generate_dirty_movies",
+    "write_clean_movies_stream",
     "generate_from_template",
     "hex_id",
     "insert_char",

@@ -83,6 +83,36 @@ class _PersonPool:
         return self.rng.sample(self.persons, count)
 
 
+def _pool_for(rng: random.Random, movie_count: int,
+              person_pool_size: int | None) -> _PersonPool:
+    return _PersonPool(rng, person_pool_size
+                       if person_pool_size is not None
+                       else max(10, int(movie_count * 0.8)))
+
+
+def _build_movie(rng: random.Random, pool: _PersonPool, title_text,
+                 index: int) -> XmlElement:
+    """One ``<movie>`` subtree; consumes ``rng`` in the canonical order."""
+    movie = XmlElement("movie")
+    movie.set("oid", f"movie-{index}")
+    if rng.random() < 0.8:
+        movie.set("year", str(rng.randint(1950, 2005)))
+    if rng.random() < 0.9:
+        movie.set("length", str(rng.randint(70, 220)))
+    for title_index in range(rng.randint(1, 3)):
+        title = movie.make_child("title", text=title_text(rng))
+        title.set("oid", f"title-{index}-{title_index}")
+    for oid, lastname, firstnames in pool.sample(rng.randint(1, 5)):
+        person = movie.make_child("person")
+        person.set("oid", oid)
+        person.make_child("lastname", text=lastname)
+        for firstname in firstnames:
+            person.make_child("firstname", text=firstname)
+    for _ in range(rng.randint(0, 3)):
+        movie.make_child("review", text=rng.choice(vocab.REVIEW_SNIPPETS))
+    return movie
+
+
 def generate_clean_movies(movie_count: int, seed: int = 0,
                           person_pool_size: int | None = None) -> XmlDocument:
     """Clean movie database with ``movie_count`` movies.
@@ -93,34 +123,47 @@ def generate_clean_movies(movie_count: int, seed: int = 0,
     Titles and reviews are generated per movie as before.
     """
     rng = random.Random(seed)
-    pool = _PersonPool(rng, person_pool_size
-                       if person_pool_size is not None
-                       else max(10, int(movie_count * 0.8)))
+    pool = _pool_for(rng, movie_count, person_pool_size)
     title_text = _movie_title()
 
     root = XmlElement("movie_database")
     movies = root.make_child("movies")
     for index in range(movie_count):
-        movie = movies.make_child("movie")
-        movie.set("oid", f"movie-{index}")
-        if rng.random() < 0.8:
-            movie.set("year", str(rng.randint(1950, 2005)))
-        if rng.random() < 0.9:
-            movie.set("length", str(rng.randint(70, 220)))
-        for title_index in range(rng.randint(1, 3)):
-            title = movie.make_child("title", text=title_text(rng))
-            title.set("oid", f"title-{index}-{title_index}")
-        for oid, lastname, firstnames in pool.sample(rng.randint(1, 5)):
-            person = movie.make_child("person")
-            person.set("oid", oid)
-            person.make_child("lastname", text=lastname)
-            for firstname in firstnames:
-                person.make_child("firstname", text=firstname)
-        for _ in range(rng.randint(0, 3)):
-            movie.make_child("review", text=rng.choice(vocab.REVIEW_SNIPPETS))
+        movies.append(_build_movie(rng, pool, title_text, index))
     document = XmlDocument(root)
     document.assign_eids()
     return document
+
+
+def write_clean_movies_stream(path, movie_count: int, seed: int = 0,
+                              person_pool_size: int | None = None) -> int:
+    """Write the clean movie database straight to ``path``.
+
+    Byte-identical to ``write_file(generate_clean_movies(...), path)``
+    while holding only one ``<movie>`` subtree in memory at a time, so
+    corpora larger than RAM-comfortable sizes can be generated for the
+    out-of-core benchmarks.  Returns the number of movies written.
+    """
+    from ..xmlmodel.writer import _write_element
+    rng = random.Random(seed)
+    pool = _pool_for(rng, movie_count, person_pool_size)
+    title_text = _movie_title()
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('<?xml version="1.0" encoding="UTF-8"?>')
+        handle.write("<movie_database>")
+        if movie_count < 1:
+            handle.write("\n  <movies/>")
+        else:
+            handle.write("\n  <movies>")
+            for index in range(movie_count):
+                parts: list[str] = []
+                _write_element(_build_movie(rng, pool, title_text, index),
+                               parts, "  ", 2)
+                handle.write("".join(parts))
+            handle.write("\n  </movies>")
+        handle.write("\n</movie_database>\n")
+    return movie_count
 
 
 FEW_DUPLICATES = [

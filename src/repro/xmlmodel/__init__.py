@@ -13,7 +13,7 @@ Public surface:
 from .builder import document, element, text_child
 from .node import XmlDocument, XmlElement
 from .parser import (XmlEvent, is_xml_name, iter_events, iter_events_file,
-                     parse, parse_file)
+                     iter_events_stream, parse, parse_file)
 from .writer import escape_attribute, escape_text, serialize, write_file
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "is_xml_name",
     "iter_events",
     "iter_events_file",
+    "iter_events_stream",
     "parse",
     "parse_file",
     "serialize",

@@ -127,8 +127,171 @@ class _Scanner:
             self.pos += 1
         return self.data[start:self.pos]
 
+    def read_text(self) -> str:
+        """Read raw character data up to (not including) the next ``<``.
 
-def _decode_entities(raw: str, scanner: _Scanner) -> str:
+        Stops at end of input if no markup follows; the ``<`` itself is
+        left unconsumed.
+        """
+        index = self.data.find("<", self.pos)
+        if index < 0:
+            chunk = self.data[self.pos:]
+            self.pos = self.length
+        else:
+            chunk = self.data[self.pos:index]
+            self.pos = index
+        return chunk
+
+
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+class _ChunkedScanner:
+    """Scanner over a text file handle holding a bounded window in memory.
+
+    Implements the same protocol as :class:`_Scanner` but never slurps the
+    whole input: at most ``chunk_size`` characters are requested per read,
+    and the consumed prefix of the buffer is discarded as scanning
+    advances, so memory stays proportional to ``chunk_size`` plus the
+    largest single construct (one text node, comment, or attribute value).
+    Line/column tracking is kept absolute across discarded prefixes.
+    """
+
+    def __init__(self, handle, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.handle = handle
+        self.chunk_size = max(1, chunk_size)
+        self.buffer = ""
+        self.pos = 0
+        self.offset = 0  # absolute index of buffer[0] in the input
+        self.eof = False
+        self._newlines_before = 0   # newlines in the discarded prefix
+        self._last_newline_abs = -1  # absolute index of the last one
+
+    def _discard(self) -> None:
+        """Drop the consumed prefix, keeping location tracking absolute."""
+        if self.pos == 0:
+            return
+        dropped = self.buffer[:self.pos]
+        count = dropped.count("\n")
+        if count:
+            self._newlines_before += count
+            self._last_newline_abs = self.offset + dropped.rfind("\n")
+        self.offset += self.pos
+        self.buffer = self.buffer[self.pos:]
+        self.pos = 0
+
+    def _fill(self, ahead: int = 1) -> None:
+        """Buffer at least ``ahead`` characters past ``pos`` if available."""
+        while not self.eof and len(self.buffer) - self.pos < ahead:
+            if self.pos > self.chunk_size:
+                self._discard()
+            chunk = self.handle.read(self.chunk_size)
+            if chunk:
+                self.buffer += chunk
+            else:
+                self.eof = True
+
+    def location(self) -> tuple[int, int]:
+        """1-based (line, column) of the current position."""
+        line = self._newlines_before + self.buffer.count("\n", 0, self.pos) + 1
+        last_rel = self.buffer.rfind("\n", 0, self.pos)
+        last_abs = (self.offset + last_rel if last_rel >= 0
+                    else self._last_newline_abs)
+        return line, (self.offset + self.pos) - last_abs
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        self._fill(1)
+        return self.pos >= len(self.buffer)
+
+    def peek(self, offset: int = 0) -> str:
+        self._fill(offset + 1)
+        index = self.pos + offset
+        return self.buffer[index] if index < len(self.buffer) else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def match(self, literal: str) -> bool:
+        self._fill(len(literal))
+        if self.buffer.startswith(literal, self.pos):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.match(literal):
+            raise self.error(f"expected {literal!r}")
+
+    def skip_whitespace(self) -> None:
+        while True:
+            while self.pos < len(self.buffer) \
+                    and self.buffer[self.pos] in " \t\r\n":
+                self.pos += 1
+            if self.pos < len(self.buffer) or self.eof:
+                return
+            self._fill(1)
+            if self.pos >= len(self.buffer):
+                return
+
+    def read_until(self, terminator: str) -> str:
+        parts: list[str] = []
+        keep = len(terminator) - 1
+        while True:
+            self._fill(len(terminator))
+            index = self.buffer.find(terminator, self.pos)
+            if index >= 0:
+                parts.append(self.buffer[self.pos:index])
+                self.pos = index + len(terminator)
+                return "".join(parts)
+            if self.eof:
+                raise self.error(
+                    f"unterminated construct, expected {terminator!r}")
+            # Keep a terminator-straddling suffix, release the rest.
+            split = max(self.pos, len(self.buffer) - keep)
+            parts.append(self.buffer[self.pos:split])
+            self.pos = split
+            self._discard()
+
+    def read_name(self) -> str:
+        self._fill(1)
+        if self.pos >= len(self.buffer) \
+                or not _is_name_start(self.buffer[self.pos]):
+            raise self.error("expected an XML name")
+        parts = [self.buffer[self.pos]]
+        self.pos += 1
+        while True:
+            if self.pos >= len(self.buffer):
+                self._fill(1)
+                if self.pos >= len(self.buffer):
+                    break
+            char = self.buffer[self.pos]
+            if not _is_name_char(char):
+                break
+            parts.append(char)
+            self.pos += 1
+        return "".join(parts)
+
+    def read_text(self) -> str:
+        parts: list[str] = []
+        while True:
+            self._fill(1)
+            index = self.buffer.find("<", self.pos)
+            if index >= 0:
+                parts.append(self.buffer[self.pos:index])
+                self.pos = index
+                return "".join(parts)
+            parts.append(self.buffer[self.pos:])
+            self.pos = len(self.buffer)
+            if self.eof:
+                return "".join(parts)
+            self._discard()
+
+
+def _decode_entities(raw: str, scanner) -> str:
     """Replace entity and character references in ``raw``."""
     if "&" not in raw:
         return raw
@@ -162,7 +325,7 @@ def _decode_entities(raw: str, scanner: _Scanner) -> str:
     return "".join(parts)
 
 
-def _read_attributes(scanner: _Scanner) -> dict[str, str]:
+def _read_attributes(scanner) -> dict[str, str]:
     attributes: dict[str, str] = {}
     while True:
         scanner.skip_whitespace()
@@ -183,7 +346,7 @@ def _read_attributes(scanner: _Scanner) -> dict[str, str]:
         attributes[name] = _decode_entities(value, scanner)
 
 
-def _skip_prolog_and_misc(scanner: _Scanner) -> None:
+def _skip_prolog_and_misc(scanner) -> None:
     """Skip the XML declaration, DOCTYPE, comments, and PIs before the root."""
     while True:
         scanner.skip_whitespace()
@@ -214,7 +377,21 @@ def iter_events(data: str) -> Iterator[XmlEvent]:
     passed through verbatim.  Whitespace-only text between elements is
     still reported; consumers decide whether it is significant.
     """
-    scanner = _Scanner(data)
+    return _scan_events(_Scanner(data))
+
+
+def iter_events_stream(handle,
+                       chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[XmlEvent]:
+    """Yield events for the open text ``handle`` without slurping it.
+
+    The handle is read at most ``chunk_size`` characters at a time and
+    only a bounded window is buffered, so event streams over files much
+    larger than memory are actually incremental.
+    """
+    return _scan_events(_ChunkedScanner(handle, chunk_size))
+
+
+def _scan_events(scanner) -> Iterator[XmlEvent]:
     _skip_prolog_and_misc(scanner)
     if scanner.at_end():
         raise scanner.error("document has no root element")
@@ -230,14 +407,7 @@ def iter_events(data: str) -> Iterator[XmlEvent]:
             return
 
         if scanner.peek() != "<":
-            raw = ""
-            index = scanner.data.find("<", scanner.pos)
-            if index < 0:
-                raw = scanner.data[scanner.pos:]
-                scanner.pos = scanner.length
-            else:
-                raw = scanner.data[scanner.pos:index]
-                scanner.pos = index
+            raw = scanner.read_text()
             if open_tags:
                 yield XmlEvent("text", _decode_entities(raw, scanner))
             elif raw.strip():
@@ -300,11 +470,15 @@ def iter_events(data: str) -> Iterator[XmlEvent]:
 
 def parse(data: str) -> XmlDocument:
     """Parse ``data`` into an :class:`XmlDocument` and assign element ids."""
+    return _build_document(iter_events(data))
+
+
+def _build_document(events: Iterator[XmlEvent]) -> XmlDocument:
     root: XmlElement | None = None
     stack: list[XmlElement] = []
     last_closed: XmlElement | None = None
 
-    for event in iter_events(data):
+    for event in events:
         if event.kind == "start":
             tag, attributes = event.value  # type: ignore[misc]
             element = XmlElement(tag, attributes=attributes)
@@ -330,14 +504,19 @@ def parse(data: str) -> XmlDocument:
     return document
 
 
-def parse_file(path: str) -> XmlDocument:
-    """Read ``path`` (UTF-8) and parse it into an :class:`XmlDocument`."""
+def parse_file(path: str,
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> XmlDocument:
+    """Read ``path`` (UTF-8) incrementally and parse it into a document."""
     with open(path, encoding="utf-8") as handle:
-        return parse(handle.read())
+        return _build_document(iter_events_stream(handle, chunk_size))
 
 
-def iter_events_file(path: str) -> Iterator[XmlEvent]:
-    """Stream events for the document stored at ``path`` (UTF-8)."""
+def iter_events_file(path: str,
+                     chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[XmlEvent]:
+    """Stream events for the document stored at ``path`` (UTF-8).
+
+    The file is read in bounded chunks and stays open only while the
+    returned iterator is being consumed.
+    """
     with open(path, encoding="utf-8") as handle:
-        data = handle.read()
-    return iter_events(data)
+        yield from iter_events_stream(handle, chunk_size)

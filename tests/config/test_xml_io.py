@@ -169,6 +169,31 @@ class TestRoundTrip:
         assert "indexDir" not in text
         assert "indexPersist" not in text
 
+    def test_stream_knobs_round_trip(self):
+        xml = CONFIG_XML.replace(
+            'odThreshold="0.65"',
+            'odThreshold="0.65" streamParse="true" '
+            'spillDir="/tmp/sxnm-spill" spillMaxRows="512"')
+        config = load_config(xml)
+        assert config.stream_parse is True
+        assert config.spill_dir == "/tmp/sxnm-spill"
+        assert config.spill_max_rows == 512
+        reloaded = load_config(dump_config(config))
+        assert reloaded.stream_parse is True
+        assert reloaded.spill_dir == "/tmp/sxnm-spill"
+        assert reloaded.spill_max_rows == 512
+
+    def test_stream_knob_defaults_and_omission(self):
+        from repro.config.model import DEFAULT_SPILL_MAX_ROWS
+        config = load_config(CONFIG_XML)
+        assert config.stream_parse is False
+        assert config.spill_dir is None
+        assert config.spill_max_rows == DEFAULT_SPILL_MAX_ROWS
+        text = dump_config(config)
+        assert "streamParse" not in text
+        assert "spillDir" not in text
+        assert "spillMaxRows" not in text
+
     def test_programmatic_config_dumps(self):
         config = SxnmConfig()
         config.add(CandidateSpec.build(

@@ -514,6 +514,119 @@ class TestParallelDetectionGolden:
             assert partition(result.outcomes[name].cluster_set) == clusters
 
 
+class TestStreamingDetectionGolden:
+    """Out-of-core detection is bit-identical to the frozen references.
+
+    Each of the five detector configurations runs once through the
+    in-memory reference loop and once out-of-core (``stream=True``, a
+    tiny ``spill_max_rows`` so dozens of run files really form and
+    merge).  Pairs, comparison counts, and cluster partitions must match
+    exactly.  Extra dimensions re-run the streamed detector from a
+    file-backed source (``XmlFileSource`` — the document never
+    materializes) and sharded across worker processes on the configured
+    execution plane (``SXNM_TEST_PLANE`` / ``SXNM_TEST_WORKERS``);
+    ``SXNM_TEST_STREAM=1`` widens the file-source battery from the
+    plain configuration to all five.
+    """
+
+    WORKERS = int(os.environ.get("SXNM_TEST_WORKERS", "2"))
+    ALL_DIMENSIONS = os.environ.get("SXNM_TEST_STREAM") == "1"
+
+    PARAMS = pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+
+    @staticmethod
+    def common(kwargs):
+        return dict(
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+
+    @PARAMS
+    def test_movies(self, movies, kwargs, tmp_path):
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, stream=True,
+                              spill_dir=str(tmp_path / "spill"),
+                              spill_max_rows=7,
+                              **self.common(kwargs)).run(movies, window=6)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters
+
+    @PARAMS
+    def test_movies_from_file_source(self, movies, kwargs, tmp_path):
+        if kwargs and not self.ALL_DIMENSIONS:
+            pytest.skip("file-source battery beyond 'plain' runs under "
+                        "SXNM_TEST_STREAM=1")
+        from repro.core import XmlFileSource
+        from repro.xmlmodel import write_file
+        config = dataset1_config()
+        path = tmp_path / "movies.xml"
+        write_file(movies, str(path))
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, stream=True,
+                              spill_dir=str(tmp_path / "spill"),
+                              spill_max_rows=7, **self.common(kwargs)).run(
+            XmlFileSource(path), window=6)
+        for name, (pairs, comparisons, _, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+            assert partition(result.outcomes[name].cluster_set) == clusters
+
+    @PARAMS
+    def test_movies_with_parallel_plane(self, movies, kwargs, tmp_path):
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        serial = SxnmDetector(config, stream=True,
+                              spill_dir=str(tmp_path / "spill-serial"),
+                              spill_max_rows=7,
+                              **self.common(kwargs)).run(movies, window=6)
+        sharded = SxnmDetector(config, stream=True, workers=self.WORKERS,
+                               execution_plane=TEST_PLANE,
+                               spill_dir=str(tmp_path / "spill-sharded"),
+                               spill_max_rows=7,
+                               **self.common(kwargs)).run(movies, window=6)
+        for name, outcome in serial.outcomes.items():
+            other = sharded.outcomes[name]
+            assert other.pairs == outcome.pairs
+            assert (partition(other.cluster_set)
+                    == partition(outcome.cluster_set))
+            assert other.comparisons >= outcome.comparisons
+
+    def test_discs_with_key_selection(self, discs, tmp_path):
+        config = dataset2_config()
+        reference = reference_sxnm(config, discs, window=8, key_selection=0)
+        result = SxnmDetector(config, stream=True,
+                              spill_dir=str(tmp_path / "spill"),
+                              spill_max_rows=16).run(discs, window=8,
+                                                     key_selection=0)
+        for name, (pairs, comparisons, _, clusters) in reference.items():
+            assert result.outcomes[name].pairs == pairs
+            assert result.outcomes[name].comparisons == comparisons
+            assert partition(result.outcomes[name].cluster_set) == clusters
+
+    def test_observer_sees_spill_and_merge_events(self, movies, tmp_path):
+        from repro.core import CounterObserver
+        observer = CounterObserver()
+        SxnmDetector(dataset1_config(), stream=True,
+                     spill_dir=str(tmp_path / "spill"), spill_max_rows=7,
+                     observers=[observer]).run(movies, window=6)
+        assert observer.counts.get("run_spilled", 0) > 0
+        assert observer.counts.get("run_merged", 0) > 0
+        assert observer.counts.get("spill_runs_written", 0) > 0
+        assert observer.counts.get("spill_runs_merged", 0) > 0
+
+
 class TestWarmCacheGolden:
     """Persistent-φ-cache detection is bit-identical to cacheless detection.
 

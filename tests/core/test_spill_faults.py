@@ -1,0 +1,225 @@
+"""Fault injection for spill run files: fail cold, never wrong.
+
+Mirrors ``test_index_faults.py`` for the out-of-core layer: every test
+damages a run file (or the index's saved spill state) in one specific
+way, then asserts that the damage produces exactly one human-readable
+warning and that detection still returns the correct result — a damaged
+run degrades to regenerating keys from source, it never yields wrong
+rows.
+
+The payload region (row lines + string pool) is covered by the SHA-256
+in the meta line; the meta line itself is not, but its integrity fields
+(``payload_bytes`` / ``sha256``) are self-checking and the rest
+(``role`` / ``rows``) is advisory — so the tests damage payload bytes,
+truncate, or rewrite the header, the three classes a reader must catch.
+"""
+
+import os
+
+from repro.core import SpillStore, SxnmDetector
+from repro.core.spill import RUN_SUFFIX, SpillingKeySource
+from repro.datagen import generate_dirty_movies
+from repro.errors import DetectionError
+from repro.experiments import dataset1_config
+from repro.xmlmodel import serialize
+
+
+def seeded_spill(tmp_path):
+    """An index directory whose spill/ holds one streamed run's files."""
+    index_dir = tmp_path / "index"
+    document = generate_dirty_movies(25, seed=3, profile="effectiveness")
+    detector = SxnmDetector(dataset1_config(), index_dir=str(index_dir),
+                            stream=True, spill_max_rows=6)
+    result = detector.run(serialize(document), window=5)
+    spill_dir = index_dir / "spill"
+    assert spill_dir.is_dir() and run_paths(spill_dir)
+    return index_dir, serialize(document), result
+
+
+def run_paths(spill_dir):
+    return sorted(os.path.join(spill_dir, name)
+                  for name in os.listdir(spill_dir)
+                  if name.endswith(RUN_SUFFIX))
+
+
+def damage_payload(path):
+    """Flip one byte safely inside the payload (never the meta line)."""
+    blob = bytearray(open(path, "rb").read())
+    blob[-5] ^= 0xFF  # the string pool line sits at the end
+    open(path, "wb").write(bytes(blob))
+
+
+class TestValidateFaults:
+    def store(self, tmp_path):
+        warnings = []
+        store = SpillStore(str(tmp_path), warn=warnings.append)
+        from repro.core.gk import GkRow
+        rows = [GkRow(i, [f"k{i:03d}"], ["od"], {}) for i in range(20)]
+        name, _ = store.write_run("doc", iter(rows))
+        return store, name, warnings
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        store, name, warnings = self.store(tmp_path)
+        damage_payload(store.path(name))
+        assert store.validate_run(name) is False
+        assert store.validate_run(name) is False  # warn once, not twice
+        assert len(warnings) == 1
+        assert "fails its checksum" in warnings[0]
+
+    def test_truncated_run(self, tmp_path):
+        store, name, warnings = self.store(tmp_path)
+        blob = open(store.path(name), "rb").read()
+        open(store.path(name), "wb").write(blob[:-12])
+        assert store.validate_run(name) is False
+        assert len(warnings) == 1
+        assert "is truncated" in warnings[0]
+
+    def test_alien_header(self, tmp_path):
+        store, name, warnings = self.store(tmp_path)
+        _, _, rest = open(store.path(name), "rb").read().partition(b"\n")
+        open(store.path(name), "wb").write(b"sxnm-spill v99\n" + rest)
+        assert store.validate_run(name) is False
+        assert len(warnings) == 1
+        assert "unrecognized header" in warnings[0]
+
+    def test_corrupt_metadata_line(self, tmp_path):
+        store, name, warnings = self.store(tmp_path)
+        header, _, rest = open(store.path(name), "rb").read().partition(b"\n")
+        _, _, payload = rest.partition(b"\n")
+        open(store.path(name), "wb").write(
+            header + b"\n{broken json\n" + payload)
+        assert store.validate_run(name) is False
+        assert len(warnings) == 1
+        assert "unreadable metadata" in warnings[0]
+
+    def test_missing_run_is_unreadable(self, tmp_path):
+        store, name, warnings = self.store(tmp_path)
+        os.unlink(store.path(name))
+        assert store.validate_run(name) is False
+        assert len(warnings) == 1
+        assert "is unreadable" in warnings[0]
+
+    def test_damage_after_validation_raises_not_wrong(self, tmp_path):
+        # iter_run guards against damage racing in after validate_run:
+        # wrong rows must never come back, so it raises instead.
+        store, name, warnings = self.store(tmp_path)
+        assert store.validate_run(name) is True
+        header, _, rest = open(store.path(name), "rb").read().partition(b"\n")
+        meta_line, _, payload = rest.partition(b"\n")
+        open(store.path(name), "wb").write(
+            header + b"\n" + meta_line + b"\n")  # payload gone
+        try:
+            list(store.iter_run(name))
+        except DetectionError as exc:
+            assert "became unreadable mid-run" in str(exc)
+        else:
+            raise AssertionError("iter_run returned rows from a gutted file")
+
+
+class TestResumeFaults:
+    """A streamed run resumed over damaged spill state runs cold, not wrong."""
+
+    def check_cold_resume(self, index_dir, text, baseline, expected_warning):
+        warnings = []
+        detector = SxnmDetector(dataset1_config(), index_dir=str(index_dir),
+                                stream=True, spill_max_rows=6)
+        key_source = detector.engine.key_source
+        assert isinstance(key_source, SpillingKeySource)
+        original = key_source.attach_run_context
+
+        def attach(index=None, warn=None):
+            original(index=index, warn=warnings.append)
+
+        key_source.attach_run_context = attach
+        resumed = detector.run(text, window=5, resume=True)
+        for name in baseline.outcomes:
+            assert resumed.pairs(name) == baseline.pairs(name)
+            assert ([sorted(c) for c in resumed.outcomes[name].cluster_set]
+                    == [sorted(c) for c in baseline.outcomes[name].cluster_set])
+        if expected_warning is not None:
+            assert any(expected_warning in message for message in warnings), \
+                warnings
+        return resumed
+
+    def test_intact_spill_state_resumes_identically(self, tmp_path):
+        index_dir, text, baseline = seeded_spill(tmp_path)
+        self.check_cold_resume(index_dir, text, baseline, None)
+
+    def test_damaged_run_file_regenerates_cold(self, tmp_path):
+        index_dir, text, baseline = seeded_spill(tmp_path)
+        for path in run_paths(index_dir / "spill"):
+            damage_payload(path)
+        self.check_cold_resume(index_dir, text, baseline,
+                               "regenerating keys from source")
+
+    def test_deleted_run_file_regenerates_cold(self, tmp_path):
+        index_dir, text, baseline = seeded_spill(tmp_path)
+        os.unlink(run_paths(index_dir / "spill")[0])
+        self.check_cold_resume(index_dir, text, baseline,
+                               "regenerating keys from source")
+
+    def test_truncated_run_file_regenerates_cold(self, tmp_path):
+        index_dir, text, baseline = seeded_spill(tmp_path)
+        path = run_paths(index_dir / "spill")[0]
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:len(blob) // 2])
+        self.check_cold_resume(index_dir, text, baseline,
+                               "regenerating keys from source")
+
+
+class TestRestoreShapeFaults:
+    """Saved spill state that no longer matches the configuration."""
+
+    def restore(self, index_dir, state_mutator):
+        from repro.core.index import DetectionIndex
+        index = DetectionIndex(str(index_dir)).open()
+        state = index.load_spill()
+        assert isinstance(state, dict)
+        state_mutator(state)
+        index.save_spill(state)
+
+        warnings = []
+        config = dataset1_config()
+        source = SpillingKeySource()
+        source.attach_run_context(index=DetectionIndex(str(index_dir)).open(),
+                                  warn=warnings.append)
+        tables = source.restore_spilled(index, config, None)
+        return tables, warnings
+
+    def test_missing_candidate_rejected(self, tmp_path):
+        index_dir, _, _ = seeded_spill(tmp_path)
+
+        def mutate(state):
+            state["ghost"] = state.pop("movie")
+
+        tables, warnings = self.restore(index_dir, mutate)
+        assert tables is None
+        assert any("is missing candidate" in message for message in warnings)
+
+    def test_empty_state_starts_cold_silently(self, tmp_path):
+        index_dir, _, _ = seeded_spill(tmp_path)
+        tables, warnings = self.restore(
+            index_dir, lambda state: state.clear())
+        assert tables is None
+        assert warnings == []  # nothing saved is not damage
+
+    def test_key_count_mismatch_rejected(self, tmp_path):
+        index_dir, _, _ = seeded_spill(tmp_path)
+
+        def mutate(state):
+            state["movie"]["key_count"] = 99
+
+        tables, warnings = self.restore(index_dir, mutate)
+        assert tables is None
+        assert any("does not match candidate" in message
+                   for message in warnings)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        index_dir, _, _ = seeded_spill(tmp_path)
+
+        def mutate(state):
+            state["movie"]["rows"] += 1
+
+        tables, warnings = self.restore(index_dir, mutate)
+        assert tables is None
+        assert any("row-count mismatch" in message for message in warnings)

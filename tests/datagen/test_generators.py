@@ -126,6 +126,25 @@ class TestMovieDataset:
         with pytest.raises(ValueError):
             generate_dirty_movies(5, profile="tons")
 
+    @pytest.mark.parametrize("count", [0, 1, 37])
+    def test_streaming_writer_byte_identical(self, tmp_path, count):
+        from repro.datagen import write_clean_movies_stream
+        from repro.xmlmodel import write_file
+        in_memory = tmp_path / "in_memory.xml"
+        streamed = tmp_path / "streamed.xml"
+        write_file(generate_clean_movies(count, seed=5), str(in_memory))
+        written = write_clean_movies_stream(str(streamed), count, seed=5)
+        assert written == count
+        assert streamed.read_bytes() == in_memory.read_bytes()
+
+    def test_streaming_writer_parses_back(self, tmp_path):
+        from repro.datagen import write_clean_movies_stream
+        from repro.xmlmodel import parse_file
+        path = tmp_path / "movies.xml"
+        write_clean_movies_stream(str(path), 12, seed=9)
+        document = parse_file(str(path))
+        assert len(document.root.find("movies").find_all("movie")) == 12
+
 
 class TestFreedbDataset:
     def test_disc_schema(self):

@@ -70,6 +70,25 @@ class TestDetect:
         assert clusters(cold) == clusters(baseline)
         assert clusters(warm) == clusters(baseline)
 
+    def test_stream_flag_same_clusters(self, workspace, capsys):
+        tmp_path, config, data = workspace
+        assert main(["detect", "-c", config, data]) == 0
+        baseline = capsys.readouterr().out
+        spill_dir = tmp_path / "spill"
+        assert main(["detect", "-c", config, data, "--stream",
+                     "--spill-dir", str(spill_dir),
+                     "--spill-max-rows", "5"]) == 0
+        streamed = capsys.readouterr().out
+
+        def clusters(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("candidate", "  eids"))]
+
+        assert clusters(streamed) == clusters(baseline)
+        # Run files really formed on disk under the requested directory.
+        assert any(entry.name.endswith(".xrun")
+                   for entry in spill_dir.iterdir())
+
     def test_batch_flag_same_clusters(self, workspace, capsys):
         _, config, data = workspace
         assert main(["detect", "-c", config, data]) == 0

@@ -138,6 +138,60 @@ class TestStreaming:
         assert starts == [n.tag for n in doc.iter()]
 
 
+class TestChunkedReads:
+    """The file entry points read incrementally, never the whole file."""
+
+    class _CountingReader:
+        def __init__(self, handle):
+            self.handle = handle
+            self.max_read = 0
+
+        def read(self, size=-1):
+            data = self.handle.read(size)
+            self.max_read = max(self.max_read, len(data))
+            return data
+
+    def big_document_path(self, tmp_path):
+        parts = ["<db>"]
+        for index in range(4000):
+            parts.append(f"<item n='{index}'>value {index} with some "
+                         f"padding text to grow the file</item>")
+        parts.append("</db>")
+        path = tmp_path / "big.xml"
+        path.write_text("".join(parts), encoding="utf-8")
+        return path
+
+    def test_iter_events_stream_reads_at_most_chunk_size(self, tmp_path):
+        from repro.xmlmodel import iter_events_stream
+        path = self.big_document_path(tmp_path)
+        chunk_size = 1024
+        assert path.stat().st_size > 50 * chunk_size
+        with open(path, "r", encoding="utf-8") as handle:
+            reader = self._CountingReader(handle)
+            count = sum(1 for event in iter_events_stream(reader, chunk_size)
+                        if event.kind == "start")
+        assert count == 4001
+        assert 0 < reader.max_read <= chunk_size
+
+    def test_file_entry_points_agree_with_in_memory(self, tmp_path):
+        from repro.xmlmodel import iter_events_file
+        path = self.big_document_path(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        streamed = list(iter_events_file(str(path), chunk_size=512))
+        assert streamed == list(iter_events(text))
+        document = parse_file(str(path), chunk_size=512)
+        assert document.root.structurally_equal(parse(text).root)
+
+    def test_tiny_chunk_size_still_correct(self, tmp_path):
+        from repro.xmlmodel import iter_events_file
+        path = tmp_path / "small.xml"
+        path.write_text("<a x='1'>pre<b/><![CDATA[raw<>]]>&amp;post</a>",
+                        encoding="utf-8")
+        for chunk_size in (1, 2, 3, 7):
+            events = list(iter_events_file(str(path), chunk_size=chunk_size))
+            assert events == list(iter_events(path.read_text()))
+
+
 class TestRoundTrip:
     @pytest.mark.parametrize("data", [
         "<a/>",
