@@ -63,6 +63,10 @@ class ProgressObserver(EngineObserver):
                    f"merged ({comparisons} comparisons, "
                    f"{redundant} redundant)")
 
+    def strategy_pairs_generated(self, candidate, strategy, generated, fresh):
+        self._line(f"candidate {candidate}: strategy {strategy} proposed "
+                   f"{generated} pair(s) ({fresh} fresh)")
+
     def candidate_finished(self, candidate, outcome):
         self._line(f"candidate {candidate}: {len(outcome.pairs)} duplicate "
                    f"pair(s) from {outcome.comparisons} comparisons "
@@ -135,6 +139,11 @@ class TraceObserver(EngineObserver):
               f"batched={stats.batched_pairs} "
               f"batch-drops={stats.batch_prefilter_drops}",
               file=self.stream, flush=True)
+        for name, counters in sorted(stats.strategy_counters.items()):
+            print(f"# {candidate} strategy {name}: "
+                  + " ".join(f"{key}={counters[key]}"
+                             for key in sorted(counters)),
+                  file=self.stream, flush=True)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -186,6 +195,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                           stream=(True if stream else None),
                           spill_dir=getattr(args, "spill_dir", None),
                           spill_max_rows=getattr(args, "spill_max_rows", None),
+                          strategies=getattr(args, "strategy", None),
                           observers=observers).run(
         source, window=args.window, gk=gk,
         resume=getattr(args, "resume", False))
@@ -481,6 +491,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "under --stream (smaller = less memory, more "
                              "run files); default: the configuration's "
                              "'spillMaxRows' attribute")
+    detect.add_argument("--strategy", action="append", default=None,
+                        metavar="NAME[:K=V,...]", dest="strategy",
+                        help="repeatable: candidate-pair generation strategy "
+                             "('window', 'exact-key', 'composite', "
+                             "'minhash-lsh') with optional parameters, e.g. "
+                             "'minhash-lsh:hashes=64,bands=16,seed=7'; the "
+                             "deduplicated union of all named strategies "
+                             "replaces the window-only neighborhood (include "
+                             "'window' to keep the paper's passes as one "
+                             "member); default: the configuration's "
+                             "<neighborhoodStrategies> element")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(

@@ -1,8 +1,11 @@
 """SXNM configuration: the parameter set P, validation, and XML IO."""
 
 from .model import (DEFAULT_DESC_THRESHOLD, DEFAULT_DUPLICATE_THRESHOLD,
-                    DEFAULT_OD_THRESHOLD, DEFAULT_WINDOW_SIZE, CandidateSpec,
-                    KeyEntry, OdEntry, PathEntry, SxnmConfig)
+                    DEFAULT_MAX_BLOCK_SIZE, DEFAULT_MINHASH_BANDS,
+                    DEFAULT_MINHASH_HASHES, DEFAULT_MINHASH_SEED,
+                    DEFAULT_OD_THRESHOLD, DEFAULT_WINDOW_SIZE, STRATEGY_NAMES,
+                    CandidateSpec, KeyEntry, OdEntry, PathEntry, StrategySpec,
+                    SxnmConfig, parse_composite_fields, strategy_from_string)
 from .validate import ensure_valid, validate_config
 from .xml_io import (config_from_document, config_to_document, dump_config,
                      load_config, load_config_file, save_config_file)
@@ -10,12 +13,18 @@ from .xml_io import (config_from_document, config_to_document, dump_config,
 __all__ = [
     "DEFAULT_DESC_THRESHOLD",
     "DEFAULT_DUPLICATE_THRESHOLD",
+    "DEFAULT_MAX_BLOCK_SIZE",
+    "DEFAULT_MINHASH_BANDS",
+    "DEFAULT_MINHASH_HASHES",
+    "DEFAULT_MINHASH_SEED",
     "DEFAULT_OD_THRESHOLD",
     "DEFAULT_WINDOW_SIZE",
+    "STRATEGY_NAMES",
     "CandidateSpec",
     "KeyEntry",
     "OdEntry",
     "PathEntry",
+    "StrategySpec",
     "SxnmConfig",
     "config_from_document",
     "config_to_document",
@@ -23,6 +32,8 @@ __all__ = [
     "ensure_valid",
     "load_config",
     "load_config_file",
+    "parse_composite_fields",
     "save_config_file",
+    "strategy_from_string",
     "validate_config",
 ]

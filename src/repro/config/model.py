@@ -67,6 +67,86 @@ DEFAULT_INDEX_PERSIST = True
 # before each spill.  Kept here rather than imported from
 # repro.core.spill for the same dependency-freedom reason as above.
 DEFAULT_SPILL_MAX_ROWS = 4096
+# Union-of-strategies candidate generation (repro.core.blocking): the
+# strategy names the config layer accepts, the block-size cap above
+# which a blocking strategy skips a block (one giant block is an
+# all-pairs explosion, not a neighborhood), and the MinHash/LSH shape
+# (hashes must divide evenly into bands; rows-per-band = hashes/bands).
+# Kept here rather than imported from repro.core.blocking for the same
+# dependency-freedom reason as above.
+STRATEGY_NAMES = ("window", "exact-key", "composite", "minhash-lsh")
+DEFAULT_MAX_BLOCK_SIZE = 64
+DEFAULT_MINHASH_HASHES = 64
+DEFAULT_MINHASH_BANDS = 16
+DEFAULT_MINHASH_SEED = 0
+DEFAULT_COMPOSITE_FIELDS = "0:4"
+
+
+@dataclass
+class StrategySpec:
+    """One entry of ``neighborhoodStrategies``: a name plus raw params.
+
+    ``params`` maps the strategy's camelCase knob names to their string
+    values exactly as they appear as XML attributes
+    (``<strategy name="minhash-lsh" hashes="64" bands="16"/>``); the
+    strategy factory in :mod:`repro.core.blocking` parses them.  See
+    :func:`strategy_from_string` for the CLI's compact spelling.
+    """
+
+    name: str
+    params: dict[str, str] = field(default_factory=dict)
+
+
+def strategy_from_string(text: str) -> StrategySpec:
+    """Parse the CLI spelling ``name`` or ``name:key=value,key=value``.
+
+    The same params reach XML as attributes of a ``<strategy>`` element;
+    values stay strings here — range checking happens in
+    :func:`~repro.config.validate.validate_config`.
+    """
+    name, _, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ConfigError(f"strategy spec {text!r} has an empty name")
+    params: dict[str, str] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ConfigError(
+                    f"strategy spec {text!r}: expected key=value, "
+                    f"got {item.strip()!r}")
+            params[key] = value.strip()
+    return StrategySpec(name, params)
+
+
+def parse_composite_fields(text: str) -> list[tuple[int, int]]:
+    """Parse a composite-block field spec: ``odIndex[:prefixLen],...``.
+
+    ``"0:4,1"`` blocks on the first four normalized characters of OD 0
+    together with the full normalized value of OD 1.  A prefix length of
+    0 (the default) means the full value.
+    """
+    fields_out: list[tuple[int, int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise ConfigError(f"composite fields {text!r}: empty entry")
+        index_text, _, prefix_text = part.partition(":")
+        try:
+            od_index = int(index_text)
+            prefix = int(prefix_text) if prefix_text else 0
+        except ValueError:
+            raise ConfigError(f"composite fields {text!r}: entry "
+                              f"{part!r} is not odIndex[:prefixLen]")
+        if od_index < 0 or prefix < 0:
+            raise ConfigError(f"composite fields {text!r}: entry "
+                              f"{part!r} must be non-negative")
+        fields_out.append((od_index, prefix))
+    if not fields_out:
+        raise ConfigError(f"composite fields {text!r}: no entries")
+    return fields_out
 
 
 @dataclass(frozen=True)
@@ -258,6 +338,12 @@ class SxnmConfig:
     slide over the externally merged streams.  None of these knobs
     changes detected duplicates — only how much work comparisons cost,
     where they run, and whether state survives a restart.
+
+    ``neighborhood_strategies`` is the exception: a non-empty list
+    replaces the window-only neighborhood with a union of candidate-pair
+    generators (window, exact-key blocks, composite OD-field blocks,
+    MinHash/LSH — :mod:`repro.core.blocking`), trading extra
+    comparisons for recall on duplicates whose keys sort far apart.
     """
 
     candidates: list[CandidateSpec] = field(default_factory=list)
@@ -280,6 +366,12 @@ class SxnmConfig:
     stream_parse: bool = False
     spill_dir: str | None = None
     spill_max_rows: int = DEFAULT_SPILL_MAX_ROWS
+    #: Candidate-pair generation strategies unioned per candidate
+    #: (repro.core.blocking).  Empty keeps the classic window-only
+    #: neighborhood; a non-empty list replaces it with the union of the
+    #: listed members (include "window" to keep the paper's window as
+    #: one member).
+    neighborhood_strategies: list[StrategySpec] = field(default_factory=list)
 
     def add(self, candidate: CandidateSpec) -> CandidateSpec:
         """Register ``candidate``; names must be unique."""

@@ -13,9 +13,72 @@ from ..errors import ConfigError, PathSyntaxError, PatternSyntaxError
 from ..keys import parse_pattern
 from ..similarity import available_similarities
 from ..xpath import parse_path
-from .model import CandidateSpec, SxnmConfig
+from .model import (DEFAULT_MINHASH_BANDS, DEFAULT_MINHASH_HASHES,
+                    STRATEGY_NAMES, CandidateSpec, StrategySpec, SxnmConfig,
+                    parse_composite_fields)
 
 _DESC_PHIS = {"jaccard", "multiset_jaccard", "overlap", "dice"}
+
+#: Knobs each neighborhood strategy accepts (camelCase, as XML attrs).
+_STRATEGY_PARAMS = {
+    "window": frozenset(),
+    "exact-key": frozenset({"key", "maxBlock"}),
+    "composite": frozenset({"fields", "maxBlock"}),
+    "minhash-lsh": frozenset({"hashes", "bands", "seed", "maxBlock"}),
+}
+
+
+def _strategy_int(spec: StrategySpec, param: str, problems: list[str],
+                  minimum: int | None = None) -> int | None:
+    text = spec.params.get(param)
+    if text is None:
+        return None
+    prefix = f"strategy {spec.name!r}"
+    try:
+        value = int(text)
+    except ValueError:
+        problems.append(f"{prefix}: {param} {text!r} is not an integer")
+        return None
+    if minimum is not None and value < minimum:
+        problems.append(f"{prefix}: {param} must be >= {minimum}, "
+                        f"got {value}")
+        return None
+    return value
+
+
+def _validate_strategy(spec: StrategySpec, problems: list[str]) -> None:
+    allowed = _STRATEGY_PARAMS.get(spec.name)
+    if allowed is None:
+        problems.append(
+            f"unknown neighborhood strategy {spec.name!r} "
+            f"(expected one of {sorted(STRATEGY_NAMES)})")
+        return
+    prefix = f"strategy {spec.name!r}"
+    for param in sorted(set(spec.params) - allowed):
+        problems.append(f"{prefix}: unknown parameter {param!r} "
+                        f"(expected one of {sorted(allowed)})")
+    _strategy_int(spec, "maxBlock", problems, minimum=2)
+    if spec.name == "exact-key":
+        _strategy_int(spec, "key", problems, minimum=0)
+    elif spec.name == "composite":
+        fields_text = spec.params.get("fields")
+        if fields_text is not None:
+            try:
+                parse_composite_fields(fields_text)
+            except ConfigError as error:
+                problems.append(f"{prefix}: {error}")
+    elif spec.name == "minhash-lsh":
+        hashes = _strategy_int(spec, "hashes", problems, minimum=1)
+        bands = _strategy_int(spec, "bands", problems, minimum=1)
+        _strategy_int(spec, "seed", problems)
+        # Defaults fill in so a lone override is still checked for shape.
+        if "hashes" not in spec.params:
+            hashes = DEFAULT_MINHASH_HASHES
+        if "bands" not in spec.params:
+            bands = DEFAULT_MINHASH_BANDS
+        if hashes is not None and bands is not None and hashes % bands:
+            problems.append(f"{prefix}: hashes ({hashes}) must divide "
+                            f"evenly into bands ({bands})")
 
 
 def _validate_candidate(spec: CandidateSpec, problems: list[str]) -> None:
@@ -123,6 +186,13 @@ def validate_config(config: SxnmConfig) -> list[str]:
         problems.append("spill dir must be a non-empty path or None")
     if config.spill_max_rows < 1:
         problems.append("spill max rows must be >= 1")
+    strategy_names = [strategy.name
+                      for strategy in config.neighborhood_strategies]
+    if len(set(strategy_names)) != len(strategy_names):
+        problems.append("neighborhood strategies list the same strategy "
+                        "more than once")
+    for strategy in config.neighborhood_strategies:
+        _validate_strategy(strategy, problems)
     candidate_names = {spec.name for spec in config.candidates}
     for spec in config.candidates:
         _validate_candidate(spec, problems)

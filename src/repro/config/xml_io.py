@@ -33,7 +33,7 @@ from __future__ import annotations
 from ..errors import ConfigError
 from ..xmlmodel import XmlDocument, XmlElement, parse, parse_file, serialize, write_file
 from .model import (DEFAULT_SPILL_MAX_ROWS, CandidateSpec, KeyEntry, OdEntry,
-                    PathEntry, SxnmConfig)
+                    PathEntry, StrategySpec, SxnmConfig)
 from .validate import ensure_valid
 
 
@@ -185,6 +185,14 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     spill_max_rows = _get_int(root, "spillMaxRows")
     if spill_max_rows is not None:
         config.spill_max_rows = spill_max_rows
+    strategies_node = root.find("neighborhoodStrategies")
+    if strategies_node is not None:
+        for strategy_node in strategies_node.find_all("strategy"):
+            name = _require(strategy_node, "name")
+            params = {key: value
+                      for key, value in strategy_node.attributes.items()
+                      if key != "name"}
+            config.neighborhood_strategies.append(StrategySpec(name, params))
     for node in root.find_all("candidate"):
         config.add(_read_candidate(node))
     return ensure_valid(config)
@@ -269,6 +277,13 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         root.set("spillDir", config.spill_dir)
     if config.spill_max_rows != DEFAULT_SPILL_MAX_ROWS:
         root.set("spillMaxRows", str(config.spill_max_rows))
+    if config.neighborhood_strategies:
+        strategies_node = root.make_child("neighborhoodStrategies")
+        for strategy in config.neighborhood_strategies:
+            strategy_node = strategies_node.make_child(
+                "strategy", attributes={"name": strategy.name})
+            for key, value in strategy.params.items():
+                strategy_node.set(key, str(value))
     for spec in config.candidates:
         root.append(_candidate_to_xml(spec))
     return XmlDocument(root)

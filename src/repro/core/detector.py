@@ -15,8 +15,9 @@ re-exported here for backward compatibility.
 
 from __future__ import annotations
 
-from ..config import SxnmConfig
+from ..config import StrategySpec, SxnmConfig, strategy_from_string
 from ..xmlmodel import XmlDocument
+from .blocking import build_union_strategy
 from .engine import DetectionEngine
 from .gk import GkTable
 from .observer import EngineObserver
@@ -123,6 +124,19 @@ class SxnmDetector:
         Rows buffered in memory before each spill (streaming mode's
         memory/file-count trade-off).  ``None`` (default) defers to
         ``config.spill_max_rows``.
+    strategies:
+        Candidate-pair generation strategies (``repro.core.blocking``)
+        replacing the window-only neighborhood with a deduplicated
+        union of their proposals: strategy names or compact
+        ``"name:key=value,..."`` strings (the CLI spelling) or
+        :class:`~repro.config.StrategySpec` objects — e.g.
+        ``["window", "exact-key", "minhash-lsh:seed=7"]``.  Include
+        ``"window"`` to keep the paper's window as one member; a list
+        of just ``["window"]`` is bit-identical to no strategies at
+        all.  Per-strategy attribution counters land in each outcome's
+        ``compare_stats.strategy_counters``.  ``None`` (default) defers
+        to ``config.neighborhood_strategies``; in streaming mode the
+        spilled tables are materialized with a one-time warning.
     observers:
         :class:`~repro.core.observer.EngineObserver` instances streaming
         run/phase/candidate/pass/pair events.
@@ -142,6 +156,7 @@ class SxnmDetector:
                  stream: bool | None = None,
                  spill_dir: str | None = None,
                  spill_max_rows: int | None = None,
+                 strategies: list | None = None,
                  observers: list[EngineObserver] | tuple = ()):
         self.decision: Decision = decision
         self.streaming_keygen = streaming_keygen
@@ -171,8 +186,19 @@ class SxnmDetector:
             config.spill_dir = spill_dir
         if spill_max_rows is not None:
             config.spill_max_rows = spill_max_rows
+        if strategies is not None:
+            config.neighborhood_strategies = [
+                strategy if isinstance(strategy, StrategySpec)
+                else strategy_from_string(strategy)
+                for strategy in strategies]
+        self.strategies = list(
+            getattr(config, "neighborhood_strategies", ()) or ())
 
-        if self.stream:
+        if self.strategies:
+            neighborhood = build_union_strategy(
+                self.strategies,
+                duplicate_elimination=duplicate_elimination)
+        elif self.stream:
             neighborhood = SpilledWindowStrategy(
                 duplicate_elimination=duplicate_elimination)
         elif self.workers > 1 and self.execution_plane != "serial":

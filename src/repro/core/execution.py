@@ -148,9 +148,7 @@ def _shard_outcome(task: PassTask, comparer, pairs: set[tuple[int, int]],
     stats = getattr(comparer, "stats", None)
     stats_delta = None
     if stats is not None and stats_before is not None:
-        stats_delta = ComparisonStats(**{
-            name: value - stats_before[name]
-            for name, value in stats.as_dict().items()})
+        stats_delta = stats.delta(stats_before)
     phi_cache = getattr(getattr(comparer, "plan", None), "phi_cache", None)
     spill = getattr(phi_cache, "spill", None)
     phi_entries = spill.take_new() if spill is not None else None
@@ -196,6 +194,61 @@ def run_pass_task(task: PassTask) -> PassResult:
                                      compare_block=compare_block)
     else:
         raise ValueError(f"unknown pass task mode {task.mode!r}")
+    return _shard_outcome(task, comparer, pairs, comparisons,
+                          filtered_before, stats_before)
+
+
+#: Pairs per compare_block call when a plane evaluates an explicit pair
+#: list — bounds the per-call row materialization without starving the
+#: batch layer's column-wise prefilters.
+PAIR_BLOCK_ROWS = 512
+
+
+@dataclass
+class PairBlockTask:
+    """One shard of a strategy-generated explicit pair list.
+
+    Union-of-strategies neighborhoods (:mod:`repro.core.blocking`)
+    produce irregular row subsets rather than anchor ranges, so pair
+    blocks always ship inline: ``rows`` holds the distinct GK rows this
+    shard's pairs reference and ``pairs`` indexes into it as
+    ``(left_position, right_position)``, left carrying the lower eid.
+    ``key_index`` is ``-1`` — pair blocks belong to no key pass.
+    """
+
+    candidate: str
+    rows: list[GkRow]
+    pairs: list[tuple[int, int]]
+    comparer_pickle: bytes
+    batch: bool = False
+    key_index: int = -1
+
+
+def run_pair_block_task(task: PairBlockTask) -> PassResult:
+    """Execute one pair-block shard; ships back the usual deltas."""
+    comparer = pickle.loads(task.comparer_pickle)
+    compare = getattr(comparer, "compare", comparer)
+    compare_block = (getattr(comparer, "compare_block", None)
+                     if task.batch else None)
+    filtered_before = getattr(comparer, "filtered_comparisons", 0)
+    stats = getattr(comparer, "stats", None)
+    stats_before = stats.as_dict() if stats is not None else None
+    rows = task.rows
+    pairs: set[tuple[int, int]] = set()
+    comparisons = 0
+    if compare_block is not None:
+        for low in range(0, len(task.pairs), PAIR_BLOCK_ROWS):
+            chunk = task.pairs[low:low + PAIR_BLOCK_ROWS]
+            block = [(rows[left], rows[right]) for left, right in chunk]
+            comparisons += len(block)
+            for (left, right), verdict in zip(chunk, compare_block(block)):
+                if verdict.is_duplicate:
+                    pairs.add((rows[left].eid, rows[right].eid))
+    else:
+        for left, right in task.pairs:
+            comparisons += 1
+            if compare(rows[left], rows[right]).is_duplicate:
+                pairs.add((rows[left].eid, rows[right].eid))
     return _shard_outcome(task, comparer, pairs, comparisons,
                           filtered_before, stats_before)
 
@@ -730,6 +783,34 @@ class ExecutionPlane:
         pairs |= shard_pairs
         return comparisons
 
+    def pairs_pass(self, ctx, pair_list: list[tuple[int, int]],
+                   ) -> PlaneOutcome:
+        """Compare an explicit candidate-pair list (union strategies).
+
+        ``pair_list`` holds normalized ``(low_eid, high_eid)`` pairs,
+        already deduplicated by the caller; each is compared exactly
+        once, in list order, and confirmed duplicates land in
+        ``ctx.pairs``.  The fourth comparison shape of the codebase —
+        what :mod:`repro.core.blocking` generates.
+        """
+        comparisons = 0
+        row = ctx.table.row
+        if ctx.compare_block is not None:
+            for low in range(0, len(pair_list), PAIR_BLOCK_ROWS):
+                chunk = pair_list[low:low + PAIR_BLOCK_ROWS]
+                block = [(row(left), row(right)) for left, right in chunk]
+                comparisons += len(block)
+                for pair, verdict in zip(chunk, ctx.compare_block(block)):
+                    if verdict.is_duplicate:
+                        ctx.pairs.add(pair)
+            return PlaneOutcome(comparisons)
+        compare = ctx.compare
+        for left, right in pair_list:
+            comparisons += 1
+            if compare(row(left), row(right)).is_duplicate:
+                ctx.pairs.add((left, right))
+        return PlaneOutcome(comparisons)
+
 
 def _run_relational_inline(shard: RelationalShard, matcher,
                            match_block) -> tuple[set, int]:
@@ -953,6 +1034,63 @@ class _PoolPlane(ExecutionPlane):
             pairs |= shard_pairs
             comparisons += shard_comparisons
         return comparisons
+
+    # -- the pair-block ladder ------------------------------------------
+
+    def pairs_pass(self, ctx, pair_list):
+        if (self.workers <= 1
+                or len(pair_list) < self._resolved_min_rows(ctx)):
+            return super().pairs_pass(ctx, pair_list)
+        comparer = ctx.decider if ctx.decider is not None else ctx.compare
+        try:
+            comparer_pickle = pickle.dumps(comparer,
+                                           protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:  # pickle raises a zoo of types
+            ctx.warning(f"parallel pair block: pair classifier is not "
+                        f"picklable ({error}); running serially")
+            return super().pairs_pass(ctx, pair_list)
+        segments = plan_segments(len(pair_list), 1, self.workers,
+                                 self.segments_per_pass)
+        row = ctx.table.row
+        batch = ctx.compare_block is not None
+        tasks = []
+        for low, high in segment_bounds(len(pair_list), segments):
+            chunk = pair_list[low:high]
+            positions: dict[int, int] = {}
+            rows: list[GkRow] = []
+            indices: list[tuple[int, int]] = []
+            for left, right in chunk:
+                for eid in (left, right):
+                    if eid not in positions:
+                        positions[eid] = len(rows)
+                        rows.append(row(eid))
+                indices.append((positions[left], positions[right]))
+            tasks.append(PairBlockTask(
+                candidate=ctx.spec.name, rows=rows, pairs=indices,
+                comparer_pickle=comparer_pickle, batch=batch))
+        pool = self._pool()
+        futures = [pool.submit(run_pair_block_task, task) for task in tasks]
+        try:
+            results = [future.result() for future in futures]
+        except BrokenProcessPool as error:
+            self._broken_pool()
+            ctx.warning(f"parallel pair block: worker pool broke "
+                        f"({error}); retrying serially")
+            return super().pairs_pass(ctx, pair_list)
+        outcome = merge_pass_results(results, pairs=ctx.pairs)
+        accepted = 0
+        if outcome.phi_entries:
+            parent_cache = getattr(getattr(ctx.decider, "plan", None),
+                                   "phi_cache", None)
+            parent_spill = getattr(parent_cache, "spill", None)
+            if parent_spill is not None:
+                accepted = parent_spill.record_many(outcome.phi_entries)
+        if outcome.stats is not None:
+            outcome.stats.phi_cache_spilled = accepted
+        parent_stats = getattr(ctx.decider, "stats", None)
+        if parent_stats is not None and outcome.stats is not None:
+            parent_stats.merge(outcome.stats)
+        return PlaneOutcome(outcome.comparisons, filtered=outcome.filtered)
 
 
 @dataclass

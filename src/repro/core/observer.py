@@ -188,6 +188,18 @@ class EngineObserver:
         ``key_index`` has been fully consumed.
         """
 
+    def strategy_pairs_generated(self, candidate: str, strategy: str,
+                                 generated: int, fresh: int) -> None:
+        """A union-member strategy proposed its candidate pairs.
+
+        ``generated`` counts every pair the strategy proposed for
+        ``candidate`` and ``fresh`` the subset no earlier member had
+        already claimed — the pairs attributed to ``strategy`` in the
+        per-strategy :class:`~repro.similarity.plan.ComparisonStats`
+        counters.  Emitted once per member, in member order, before the
+        unioned pair set is compared.
+        """
+
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
 
@@ -301,6 +313,12 @@ class ObserverGroup(EngineObserver):
             if hook is not None:
                 hook(candidate, key_index, runs)
 
+    def strategy_pairs_generated(self, candidate, strategy, generated, fresh):
+        for observer in self.observers:
+            hook = getattr(observer, "strategy_pairs_generated", None)
+            if hook is not None:
+                hook(candidate, strategy, generated, fresh)
+
     def warning(self, message):
         for observer in self.observers:
             observer.warning(message)
@@ -402,6 +420,17 @@ class CounterObserver(EngineObserver):
             candidate, ComparisonStats())
         merged.merge(stats)
         for name, value in stats.as_dict().items():
+            if isinstance(value, dict):
+                # Mapping-valued counters (per-strategy attribution)
+                # flatten into dotted count keys.
+                for key, inner in value.items():
+                    for counter, count in (
+                            inner.items() if isinstance(inner, dict)
+                            else ((None, inner),)):
+                        flat = (f"{name}.{key}.{counter}"
+                                if counter is not None else f"{name}.{key}")
+                        self.counts[flat] = self.counts.get(flat, 0) + count
+                continue
             self.counts[name] = self.counts.get(name, 0) + value
 
     def cache_loaded(self, directory, entries, segments):
@@ -433,6 +462,13 @@ class CounterObserver(EngineObserver):
         self._bump("run_merged")
         self.counts["spill_runs_merged"] = \
             self.counts.get("spill_runs_merged", 0) + runs
+
+    def strategy_pairs_generated(self, candidate, strategy, generated, fresh):
+        self._bump("strategy_pairs_generated")
+        self.counts[f"strategy_{strategy}_generated"] = \
+            self.counts.get(f"strategy_{strategy}_generated", 0) + generated
+        self.counts[f"strategy_{strategy}_fresh"] = \
+            self.counts.get(f"strategy_{strategy}_fresh", 0) + fresh
 
     def warning(self, message):
         self._bump("warning")

@@ -125,6 +125,13 @@ class CandidateContext:
         if self.emit is not None:
             self.emit.segment_published(self.spec.name, segment, nbytes)
 
+    def strategy_pairs_generated(self, strategy: str, generated: int,
+                                 fresh: int) -> None:
+        if self.emit is not None:
+            hook = getattr(self.emit, "strategy_pairs_generated", None)
+            if hook is not None:
+                hook(self.spec.name, strategy, generated, fresh)
+
 
 #: Fallback backend for contexts built without a plane (direct strategy
 #: use in tests, incremental batches).

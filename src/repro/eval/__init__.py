@@ -6,20 +6,26 @@ from .gold import gold_clusters, gold_pairs
 from .metrics import (PrecisionRecall, evaluate_clusters, evaluate_pairs,
                       exact_cluster_accuracy, pairs_from_clusters)
 from .plots import render_ascii_chart
+from .recall import (ATTRIBUTION_COUNTERS, RecallAccount, attribution_rows,
+                     comparison_ratio, recall_account, recall_uplift)
 from .significance import (BootstrapReport, ConfidenceInterval,
                            bootstrap_metrics)
 from .report import render_series, render_table
 from .timing import PhaseTimer
 
 __all__ = [
+    "ATTRIBUTION_COUNTERS",
     "BootstrapReport",
     "ClusterQuality",
     "ConfidenceInterval",
     "PhaseTimer",
     "PrecisionRecall",
+    "RecallAccount",
+    "attribution_rows",
     "bootstrap_metrics",
     "closest_cluster_f1",
     "cluster_quality",
+    "comparison_ratio",
     "completeness",
     "evaluate_clusters",
     "evaluate_pairs",
@@ -28,6 +34,8 @@ __all__ = [
     "gold_pairs",
     "pairs_from_clusters",
     "purity",
+    "recall_account",
+    "recall_uplift",
     "render_ascii_chart",
     "render_series",
     "render_table",

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field as dataclass_field, fields
 from typing import Any
 
 from .registry import (PhiTraits, SimilarityFunction, get_similarity,
@@ -57,6 +57,54 @@ DEFAULT_PHI_CACHE_SIZE = 32768
 
 # ---------------------------------------------------------------------------
 # Instrumentation
+
+
+def _copy_counter(value):
+    """Snapshot a counter value: ints as-is, nested dicts deep-copied."""
+    if isinstance(value, dict):
+        return {key: (dict(inner) if isinstance(inner, dict) else inner)
+                for key, inner in value.items()}
+    return value
+
+
+def _add_counter(current, value):
+    """``current + value`` for int counters, recursive add for mappings."""
+    if isinstance(value, dict):
+        merged = _copy_counter(current) if current else {}
+        for key, inner in value.items():
+            if isinstance(inner, dict):
+                slot = merged.setdefault(key, {})
+                for counter, count in inner.items():
+                    slot[counter] = slot.get(counter, 0) + count
+            else:
+                merged[key] = merged.get(key, 0) + inner
+        return merged
+    return current + value
+
+
+def _sub_counter(value, before):
+    """``value - before`` for int counters, recursive diff for mappings.
+
+    Zero-valued mapping entries are dropped so an unchanged strategy
+    leaves no trace in a shard's delta.
+    """
+    if isinstance(value, dict):
+        prior = before or {}
+        result = {}
+        for key, inner in value.items():
+            if isinstance(inner, dict):
+                base = prior.get(key) or {}
+                slot = {counter: count - base.get(counter, 0)
+                        for counter, count in inner.items()
+                        if count != base.get(counter, 0)}
+                if slot:
+                    result[key] = slot
+            else:
+                diff = inner - prior.get(key, 0)
+                if diff:
+                    result[key] = diff
+        return result
+    return value - (before or 0)
 
 
 @dataclass
@@ -84,18 +132,37 @@ class ComparisonStats:
     redundant_comparisons: int = 0  # pairs re-confirmed by parallel shards
     batched_pairs: int = 0         # pairs evaluated through a PairBatch
     batch_prefilter_drops: int = 0  # batch pairs dropped by column prefilters
+    # Per-neighborhood-strategy attribution for union-of-strategies runs:
+    # strategy name -> {"generated", "fresh", "compared", "duplicates"}.
+    # Mapping-valued, unlike every counter above — merge/as_dict/delta all
+    # handle nested dicts so the field survives the parallel PassResult
+    # protocol and the detection-index JSON round-trip.
+    strategy_counters: dict = dataclass_field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, Any]:
         # Derived from the dataclass fields so a counter added later can
         # never be silently dropped by :meth:`merge` (which iterates this
         # dict) or by the parallel workers' stats-delta protocol.
-        return {spec.name: getattr(self, spec.name)
+        # Mapping-valued counters are deep-copied so a snapshot is immune
+        # to later in-place mutation of the live stats.
+        return {spec.name: _copy_counter(getattr(self, spec.name))
                 for spec in fields(self)}
 
     def merge(self, other: "ComparisonStats") -> None:
         """Add ``other``'s counters into this one."""
         for name, value in other.as_dict().items():
-            setattr(self, name, getattr(self, name) + value)
+            setattr(self, name, _add_counter(getattr(self, name), value))
+
+    def delta(self, before: dict) -> "ComparisonStats":
+        """Counters accumulated since the ``as_dict`` snapshot ``before``.
+
+        The parallel shard protocol snapshots a worker-local decider's
+        stats before a pass and ships only the difference back to the
+        parent, so counters are never double-merged.
+        """
+        return ComparisonStats(**{
+            name: _sub_counter(value, before.get(name))
+            for name, value in self.as_dict().items()})
 
     @property
     def phi_cache_hit_rate(self) -> float:

@@ -762,3 +762,110 @@ class TestBatchCompareGolden:
                       if o.compare_stats is not None]
         assert sum(s.phi_cache_disk_hits for s in warm_stats) > 0
         assert sum(s.phi_cache_spilled for s in warm_stats) == 0
+
+
+class TestStrategyGolden:
+    """Union(window + blocking + LSH) against the window-only goldens.
+
+    Each of the five detector configurations runs once through the
+    frozen window-only reference loop and once with the union
+    neighborhood (window + exact-key + composite + MinHash/LSH).  The
+    union's confirmed pairs must be a superset of the reference's, its
+    cluster partition a *coarsening* of the reference partition (the
+    closure of a pair superset can only merge clusters, never split
+    them), and the per-strategy ``compared`` counters must sum exactly
+    to its total comparisons.  A union whose only member is the window
+    must stay bit-identical to the plain detector — pairs, comparison
+    counts, filtered counts, and partitions.  ``SXNM_TEST_STRATEGY=1``
+    widens both batteries from the plain configuration to all five;
+    the sharded dimension honors ``SXNM_TEST_PLANE`` /
+    ``SXNM_TEST_WORKERS``.
+    """
+
+    WORKERS = int(os.environ.get("SXNM_TEST_WORKERS", "2"))
+    ALL_DIMENSIONS = os.environ.get("SXNM_TEST_STRATEGY") == "1"
+
+    STRATEGIES = ["window", "exact-key", "composite",
+                  "minhash-lsh:hashes=32,bands=8,seed=3"]
+
+    PARAMS = pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+
+    @staticmethod
+    def common(kwargs):
+        return dict(
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+
+    @staticmethod
+    def assert_coarsens(fine, coarse):
+        """Every cluster of ``fine`` sits inside one ``coarse`` cluster."""
+        for cluster in fine:
+            assert any(cluster <= other for other in coarse), \
+                f"cluster {set(cluster)} split by the union partition"
+
+    def _skip_unless_all(self, kwargs):
+        if kwargs and not self.ALL_DIMENSIONS:
+            pytest.skip("strategy battery beyond 'plain' runs under "
+                        "SXNM_TEST_STRATEGY=1")
+
+    @PARAMS
+    def test_union_supersets_window_reference(self, movies, kwargs):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, strategies=self.STRATEGIES,
+                              **self.common(kwargs)).run(movies, window=6)
+        for name, (pairs, _, _, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs >= pairs
+            self.assert_coarsens(clusters, partition(outcome.cluster_set))
+            counters = outcome.compare_stats.strategy_counters
+            assert set(counters) == {"window", "exact-key", "composite",
+                                     "minhash-lsh"}
+            assert sum(slot["compared"] for slot in counters.values()) \
+                == outcome.comparisons
+
+    @PARAMS
+    def test_window_only_union_is_bit_identical(self, movies, kwargs):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, strategies=["window"],
+                              **self.common(kwargs)).run(movies, window=6)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters
+
+    @PARAMS
+    def test_union_with_parallel_plane(self, movies, kwargs):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        serial = SxnmDetector(config, strategies=self.STRATEGIES,
+                              execution_plane="serial",
+                              **self.common(kwargs)).run(movies, window=6)
+        sharded = SxnmDetector(config, strategies=self.STRATEGIES,
+                               workers=self.WORKERS,
+                               execution_plane=TEST_PLANE,
+                               **self.common(kwargs)).run(movies, window=6)
+        for name, outcome in serial.outcomes.items():
+            other = sharded.outcomes[name]
+            assert other.pairs == outcome.pairs
+            # Pair shards are disjoint, so unlike sharded window passes
+            # the comparison counts (and attributions) match exactly.
+            assert other.comparisons == outcome.comparisons
+            assert (other.compare_stats.strategy_counters
+                    == outcome.compare_stats.strategy_counters)
+            assert (partition(other.cluster_set)
+                    == partition(outcome.cluster_set))

@@ -196,6 +196,38 @@ class TestPlanPruning:
         assert set(stats.as_dict()) \
             == {field.name for field in dataclasses.fields(stats)}
 
+    def test_mapping_counters_survive_merge_and_as_dict(self):
+        # Regression: merge() used to add every field with plain `+`,
+        # so the first mapping-valued field (the per-strategy
+        # attribution counters) would have raised — or, had as_dict()
+        # shallow-copied, leaked shared dicts across PassResults.
+        one = ComparisonStats(pairs_scored=2)
+        one.strategy_counters["window"] = {"generated": 5, "compared": 3}
+        two = ComparisonStats(pairs_scored=4)
+        two.strategy_counters["window"] = {"generated": 2, "compared": 1}
+        two.strategy_counters["minhash-lsh"] = {"generated": 9}
+        one.merge(two)
+        assert one.pairs_scored == 6
+        assert one.strategy_counters == {
+            "window": {"generated": 7, "compared": 4},
+            "minhash-lsh": {"generated": 9}}
+        snapshot = one.as_dict()
+        assert snapshot["strategy_counters"] == one.strategy_counters
+        # Deep copy: mutating the snapshot must not leak back.
+        snapshot["strategy_counters"]["window"]["generated"] = 999
+        assert one.strategy_counters["window"]["generated"] == 7
+
+    def test_delta_subtracts_every_field_including_mappings(self):
+        stats = ComparisonStats(pairs_scored=10, batched_pairs=4)
+        stats.strategy_counters["window"] = {"generated": 8, "compared": 6}
+        before = ComparisonStats(pairs_scored=3, batched_pairs=4)
+        before.strategy_counters["window"] = {"generated": 2, "compared": 6}
+        delta = stats.delta(before.as_dict())
+        assert delta.pairs_scored == 7
+        assert delta.batched_pairs == 0
+        # Zero-valued counter entries drop out of the delta entirely.
+        assert delta.strategy_counters == {"window": {"generated": 6}}
+
 
 class TestCustomPhiTraits:
     def teardown_method(self):
