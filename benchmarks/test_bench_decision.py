@@ -1,0 +1,152 @@
+"""Machine-readable statistical-guarantee record for three-way decisions.
+
+Calibrates a three-way band (:mod:`repro.decision`) on one seeded
+dirty-movie corpus and evaluates the band on a *second* corpus the
+calibrator never saw.  The guarantees are asserted unconditionally —
+they are the product, not the weather:
+
+* **FPR control** — the held-out empirical false-positive rate of the
+  AUTO_DUP band stays within the calibration's Clopper–Pearson upper
+  bound plus a one-sided Hoeffding slack for the held-out sample size.
+* **Conformal coverage** — held-out true duplicates land in
+  AUTO_DUP ∪ REVIEW at no less than the promised coverage level.
+* **Reconciliation** — the review queue's size equals the comparison
+  plane's ``pairs_review`` counter exactly, per candidate.
+* **Band-width response** — a wider REVIEW band never yields a smaller
+  queue; when the two coverage settings produce genuinely distinct
+  widths (they do at the default scale), strictly larger.
+
+Wall-clock seconds are recorded, never asserted.  Everything lands in
+``BENCH_decision.json``.  ``SXNM_BENCH_DECISION_MOVIES`` overrides the
+corpus size (``SXNM_BENCH_FULL=1`` runs larger).
+"""
+
+import json
+import math
+import os
+import pathlib
+import time
+
+from conftest import FULL_SCALE, peak_memory_snapshot, write_result
+
+from repro.core import SxnmDetector
+from repro.datagen import generate_dirty_movies
+from repro.decision import ReviewQueue, calibrate_document, \
+    collect_labelled_scores
+from repro.eval import evaluate_bands, render_table
+from repro.experiments import dataset1_config
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_MOVIES = "160" if FULL_SCALE else "80"
+MOVIES = int(os.environ.get("SXNM_BENCH_DECISION_MOVIES", DEFAULT_MOVIES))
+#: Seed 7 calibrates to a genuinely open band (lower < upper) at this
+#: scale — the regime where REVIEW pairs exist; the held-out corpus
+#: uses an unrelated seed.
+CAL_SEED = 7
+HELD_SEED = 42
+FPR = 0.05
+COVERAGE = 0.9
+#: The two coverage settings whose band widths the queue must track.
+NARROW_COVERAGE = 0.7
+WIDE_COVERAGE = 0.95
+
+
+def hoeffding_slack(negatives: int) -> float:
+    """One-sided finite-sample slack at ~99.5% for ``negatives`` draws."""
+    return math.sqrt(math.log(200.0) / (2.0 * negatives))
+
+
+def test_decision_guarantee_record(benchmark):
+    cal_corpus = generate_dirty_movies(MOVIES, seed=CAL_SEED)
+    held_corpus = generate_dirty_movies(MOVIES, seed=HELD_SEED)
+    config = dataset1_config()
+
+    start = time.perf_counter()
+    calibration = benchmark.pedantic(
+        lambda: calibrate_document(cal_corpus, dataset1_config(),
+                                   fpr=FPR, coverage=COVERAGE, seed=0),
+        rounds=1, iterations=1)
+    calibrate_seconds = time.perf_counter() - start
+    movie_cal = calibration["movie"]
+
+    samples = collect_labelled_scores(held_corpus, dataset1_config())
+    held = samples["movie"]
+    metrics = evaluate_bands(held.scores, held.labels, movie_cal)
+    slack = hoeffding_slack(metrics.negatives)
+
+    # Guarantee 1: held-out FPR within the reported CP bound (+ slack).
+    assert metrics.empirical_fpr <= movie_cal.fpr_upper_bound + slack
+    # Guarantee 2: held-out duplicates are covered at the target level.
+    assert metrics.coverage >= COVERAGE
+
+    # Guarantee 3: queue/stats reconciliation on a full three-way run.
+    start = time.perf_counter()
+    queue = ReviewQueue()
+    result = SxnmDetector(dataset1_config(), decision="three-way",
+                          calibration=calibration,
+                          review_queue=queue).run(held_corpus)
+    detect_seconds = time.perf_counter() - start
+    by_candidate = queue.counts_by_candidate()
+    for name, outcome in result.outcomes.items():
+        assert by_candidate.get(name, 0) == outcome.compare_stats.pairs_review
+
+    # Guarantee 4: the queue tracks the band width across coverages.
+    widths, queue_sizes = {}, {}
+    for coverage in (NARROW_COVERAGE, WIDE_COVERAGE):
+        cal = calibrate_document(cal_corpus, dataset1_config(), fpr=FPR,
+                                 coverage=coverage, seed=0)
+        sized = ReviewQueue()
+        SxnmDetector(dataset1_config(), decision="three-way",
+                     calibration=cal, review_queue=sized).run(held_corpus)
+        widths[coverage] = cal["movie"].band_width
+        queue_sizes[coverage] = len(sized)
+    assert widths[WIDE_COVERAGE] >= widths[NARROW_COVERAGE]
+    assert queue_sizes[WIDE_COVERAGE] >= queue_sizes[NARROW_COVERAGE]
+    widths_distinct = widths[WIDE_COVERAGE] > widths[NARROW_COVERAGE]
+    if widths_distinct:
+        assert queue_sizes[WIDE_COVERAGE] > queue_sizes[NARROW_COVERAGE]
+
+    record = {
+        "benchmark": "decision_guarantees",
+        "dataset": {"generator": "dirty_movies", "movies": MOVIES,
+                    "calibration_seed": CAL_SEED, "held_out_seed": HELD_SEED},
+        "targets": {"fpr": FPR, "coverage": COVERAGE},
+        "calibration": movie_cal.as_dict(),
+        "held_out": metrics.as_dict(),
+        "hoeffding_slack": round(slack, 4),
+        "fpr_asserted": True,
+        "coverage_asserted": True,
+        "reconciliation_asserted": True,
+        "band_width_response": {
+            "coverages": [NARROW_COVERAGE, WIDE_COVERAGE],
+            "band_widths": [round(widths[NARROW_COVERAGE], 6),
+                            round(widths[WIDE_COVERAGE], 6)],
+            "queue_sizes": [queue_sizes[NARROW_COVERAGE],
+                            queue_sizes[WIDE_COVERAGE]],
+            "widths_distinct": widths_distinct,
+            "strict_asserted": widths_distinct,
+        },
+        "review_queue": {"pairs": len(queue),
+                         "demoted": queue.demoted_count()},
+        "seconds": {"calibrate": round(calibrate_seconds, 4),
+                    "detect": round(detect_seconds, 4)},
+        "memory": peak_memory_snapshot(),
+    }
+    (REPO_ROOT / "BENCH_decision.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        ["fpr target", f"{FPR:.4f}", "-"],
+        ["fpr CP bound (fit)", f"{movie_cal.fpr_upper_bound:.4f}", "-"],
+        ["fpr held-out", f"{metrics.empirical_fpr:.4f}", "asserted"],
+        ["coverage target", f"{COVERAGE:.4f}", "-"],
+        ["coverage held-out", f"{metrics.coverage:.4f}", "asserted"],
+        ["review pairs", str(len(queue)), "reconciled"],
+        ["band auto-dup", str(metrics.auto_dup), "-"],
+        ["band review", str(metrics.review), "-"],
+        ["band auto-keep", str(metrics.auto_keep), "-"],
+    ]
+    write_result("bench_decision", render_table(
+        ["quantity", "value", "status"], rows,
+        title=f"Three-way guarantees: {MOVIES} movies, "
+              f"calibrate seed {CAL_SEED}, held-out seed {HELD_SEED}"))

@@ -27,12 +27,15 @@ from .core import (AdaptiveSxnmDetector, ClusterSet, DogmatixDetector,
                    XmlEquationalTheory, calibrate_thresholds,
                    deduplicate_document, detect_duplicates, explain_pair,
                    fuse_clusters, suggest_window_size)
+from .decision import (ReviewQueue, ThreeWayCalibration, ThreeWayPolicy,
+                       calibrate_document, calibrate_three_way)
 from .errors import (ConfigError, DataGenerationError, DetectionError,
                      PathEvaluationError, PathSyntaxError, PatternSyntaxError,
                      ReproError, XmlParseError)
-from .eval import (PrecisionRecall, evaluate_clusters, evaluate_pairs,
-                   gold_clusters, gold_pairs)
+from .eval import (PrecisionRecall, evaluate_bands, evaluate_clusters,
+                   evaluate_pairs, gold_clusters, gold_pairs)
 from .keys import KeyDefinition, parse_pattern
+from .merge import survivor_merge
 from .xmlmodel import (XmlDocument, XmlElement, parse, parse_file, serialize,
                        write_file)
 from .xpath import parse_path
@@ -52,9 +55,12 @@ __all__ = [
     "PatternSyntaxError",
     "PrecisionRecall",
     "ReproError",
+    "ReviewQueue",
     "SxnmConfig",
     "SxnmDetector",
     "SxnmResult",
+    "ThreeWayCalibration",
+    "ThreeWayPolicy",
     "TopDownDetector",
     "XmlDocument",
     "XmlElement",
@@ -63,12 +69,15 @@ __all__ = [
     "DogmatixDetector",
     "IncrementalSxnm",
     "XmlEquationalTheory",
+    "calibrate_document",
+    "calibrate_three_way",
     "calibrate_thresholds",
     "explain_pair",
     "suggest_window_size",
     "deduplicate_document",
     "detect_duplicates",
     "dump_config",
+    "evaluate_bands",
     "evaluate_clusters",
     "evaluate_pairs",
     "fuse_clusters",
@@ -82,5 +91,6 @@ __all__ = [
     "parse_pattern",
     "save_config_file",
     "serialize",
+    "survivor_merge",
     "write_file",
 ]

@@ -8,13 +8,17 @@ Subcommands::
     sxnm evaluate -c config.xml data.xml --candidate NAME [--oid oid]
     sxnm generate {movies,cds} -n COUNT [-o out.xml] [--profile P] [--seed S]
     sxnm index {init,status,compact} DIR [-c config.xml]
+    sxnm review export QUEUE.jsonl
 
 ``detect`` prints per-candidate duplicate clusters (``--index DIR``
-persists run state; ``--resume`` continues an interrupted indexed run);
-``dedup`` writes a deduplicated copy (prime representatives);
-``evaluate`` scores detected pairs against the oid ground truth;
-``generate`` produces the synthetic corpora used throughout the
-evaluation; ``index`` manages detection-index directories.
+persists run state; ``--resume`` continues an interrupted indexed run;
+``--decision three-way`` calibrates AUTO_DUP / REVIEW / AUTO_KEEP bands
+from the corpus's oid ground truth and ``--review-out`` saves the
+REVIEW-banded pairs as JSONL); ``dedup`` writes a deduplicated copy
+(prime representatives); ``evaluate`` scores detected pairs against the
+oid ground truth; ``generate`` produces the synthetic corpora used
+throughout the evaluation; ``index`` manages detection-index
+directories; ``review export`` renders a review queue as a table.
 """
 
 from __future__ import annotations
@@ -66,6 +70,19 @@ class ProgressObserver(EngineObserver):
     def strategy_pairs_generated(self, candidate, strategy, generated, fresh):
         self._line(f"candidate {candidate}: strategy {strategy} proposed "
                    f"{generated} pair(s) ({fresh} fresh)")
+
+    def decision_calibrated(self, candidate, calibration):
+        self._line(f"candidate {candidate}: three-way bands "
+                   f"auto-dup>={calibration.upper:.4f} "
+                   f"review>={calibration.lower:.4f} "
+                   f"(target FPR {calibration.target_fpr:.3f}, "
+                   f"empirical {calibration.empirical_fpr:.4f}, "
+                   f"CP bound {calibration.fpr_upper_bound:.4f})")
+
+    def pair_demoted(self, candidate, left_eid, right_eid, score):
+        self._line(f"candidate {candidate}: demoted {left_eid}~{right_eid} "
+                   f"(score {score:.4f}) to REVIEW "
+                   f"(anti-transitive evidence)")
 
     def candidate_finished(self, candidate, outcome):
         self._line(f"candidate {candidate}: {len(outcome.pairs)} duplicate "
@@ -121,6 +138,10 @@ class TraceObserver(EngineObserver):
     def pair_filtered(self, candidate, left_eid, right_eid):
         print(f"# {candidate} {left_eid}~{right_eid} filtered",
               file=self.stream, flush=True)
+
+    def pair_demoted(self, candidate, left_eid, right_eid, score):
+        print(f"# {candidate} {left_eid}~{right_eid} score={score:.3f} "
+              f"DEMOTED", file=self.stream, flush=True)
 
     def comparison_stats(self, candidate, stats):
         print(f"# {candidate} comparison plane: "
@@ -186,6 +207,36 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         observers.append(TraceObserver())
     use_filters = True if getattr(args, "filters", False) else None
     batch_compare = True if getattr(args, "batch", False) else None
+    decision = getattr(args, "decision", None) or "gates"
+    review_out = getattr(args, "review_out", None)
+    if review_out and decision != "three-way":
+        print("error: --review-out requires --decision three-way",
+              file=sys.stderr)
+        return 1
+    review_queue = None
+    calibration = None
+    if decision == "three-way":
+        from .decision import ReviewQueue, calibrate_document
+        from .errors import DetectionError
+        review_queue = ReviewQueue()
+        if stream:
+            print("# warning: --stream cannot self-calibrate (the document "
+                  "is never materialized); using the configured thresholds "
+                  "as a degenerate zero-width band", file=sys.stderr)
+        else:
+            fpr = getattr(args, "fpr", None)
+            coverage = getattr(args, "coverage", None)
+            try:
+                calibration = calibrate_document(
+                    source, config,
+                    fpr=fpr if fpr is not None else config.decision_fpr,
+                    coverage=(coverage if coverage is not None
+                              else config.decision_coverage),
+                    window=args.window)
+            except DetectionError as error:
+                print(f"# warning: {error}", file=sys.stderr)
+                print("# warning: falling back to the configured thresholds "
+                      "as a degenerate zero-width band", file=sys.stderr)
     result = SxnmDetector(config, use_filters=use_filters,
                           workers=getattr(args, "workers", None),
                           phi_cache_dir=getattr(args, "phi_cache_dir", None),
@@ -196,6 +247,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                           spill_dir=getattr(args, "spill_dir", None),
                           spill_max_rows=getattr(args, "spill_max_rows", None),
                           strategies=getattr(args, "strategy", None),
+                          decision=decision,
+                          decision_fpr=getattr(args, "fpr", None),
+                          decision_coverage=getattr(args, "coverage", None),
+                          calibration=calibration,
+                          review_queue=review_queue,
                           observers=observers).run(
         source, window=args.window, gk=gk,
         resume=getattr(args, "resume", False))
@@ -206,6 +262,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
                      f"{outcome.comparisons} comparisons")
         for cluster in clusters:
             lines.append(f"  eids {cluster}")
+        stats = outcome.compare_stats
+        if review_queue is not None and stats is not None:
+            lines.append(f"  bands: {stats.pairs_auto_dup} auto-dup, "
+                         f"{stats.pairs_review} review, "
+                         f"{stats.pairs_auto_keep} auto-keep")
+    if review_queue is not None:
+        lines.append(f"review queue: {len(review_queue)} pair(s), "
+                     f"{review_queue.demoted_count()} demoted")
+        if review_out:
+            written = review_queue.write(review_out)
+            lines.append(f"wrote {written} review item(s) to {review_out}")
     timings = result.timings
     lines.append(f"KG {timings.key_generation:.3f}s  "
                  f"SW {timings.window:.3f}s  TC {timings.closure:.3f}s")
@@ -344,6 +411,38 @@ def _cmd_index(args: argparse.Namespace) -> int:
         for name in sorted(counters):
             lines.append(f"    {name}: {counters[name]}")
     print("\n".join(lines))
+    return 0
+
+
+def _cmd_review(args: argparse.Namespace) -> int:
+    from .decision import ReviewQueue
+
+    queue = ReviewQueue.load(args.queue)
+    rows = []
+    for item in queue.sorted_items():
+        disagreeing = [term for term in item.fields
+                       if term.get("similarity") is not None
+                       and term["similarity"] < 1.0]
+        worst = min(disagreeing,
+                    key=lambda term: term["similarity"], default=None)
+        worst_text = "-" if worst is None else \
+            f"{worst['path']} ({worst['phi']} {worst['similarity']:.3f})"
+        rows.append([item.candidate, f"{item.left_eid}~{item.right_eid}",
+                     item.band, f"{item.od:.4f}", f"{item.combined:.4f}",
+                     "yes" if item.demoted else "no", worst_text])
+    print(render_table(["candidate", "pair", "band", "od", "combined",
+                        "demoted", "weakest field"], rows,
+                       title=f"review queue {args.queue} "
+                             f"({len(queue)} pair(s))"))
+    if args.fields:
+        for item in queue.sorted_items():
+            print(f"\n{item.candidate} {item.left_eid}~{item.right_eid}:")
+            for term in item.fields:
+                similarity = term.get("similarity")
+                rendered = "-" if similarity is None else f"{similarity:.4f}"
+                print(f"  {term['path']} ({term['phi']}, "
+                      f"w={term['relevance']:g}): {rendered}  "
+                      f"{term.get('left')!r} ~ {term.get('right')!r}")
     return 0
 
 
@@ -502,6 +601,31 @@ def build_parser() -> argparse.ArgumentParser:
                              "'window' to keep the paper's passes as one "
                              "member); default: the configuration's "
                              "<neighborhoodStrategies> element")
+    detect.add_argument("--decision", default=None,
+                        choices=("gates", "combined", "three-way"),
+                        help="pair decision rule: 'gates' the paper's "
+                             "od/descendant thresholds, 'combined' one "
+                             "weighted score, 'three-way' calibrated "
+                             "AUTO_DUP / REVIEW / AUTO_KEEP bands fitted "
+                             "from the corpus's oid ground truth "
+                             "(Neyman-Pearson FPR cutoff plus a "
+                             "split-conformal review floor); without "
+                             "labels the band collapses to the configured "
+                             "threshold and a warning is printed")
+    detect.add_argument("--fpr", type=float, default=None,
+                        help="three-way: target false-positive rate for the "
+                             "AUTO_DUP band (default: the configuration's "
+                             "<decision fpr=>, then 0.05)")
+    detect.add_argument("--coverage", type=float, default=None,
+                        help="three-way: duplicate coverage level of "
+                             "AUTO_DUP+REVIEW (default: the configuration's "
+                             "<decision coverage=>, then 0.9)")
+    detect.add_argument("--review-out", default=None, metavar="FILE",
+                        dest="review_out",
+                        help="three-way: write REVIEW-banded pairs (scores, "
+                             "band, per-field phi attribution) as JSON "
+                             "Lines to FILE; render with "
+                             "'sxnm review export FILE'")
     detect.set_defaults(handler=_cmd_detect)
 
     keygen = sub.add_parser(
@@ -562,6 +686,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "references")
     index_compact.add_argument("directory", help="index directory")
     index_compact.set_defaults(handler=_cmd_index, config=None)
+
+    review = sub.add_parser(
+        "review", help="work with review queues written by "
+                       "'sxnm detect --review-out'")
+    review_sub = review.add_subparsers(dest="action", required=True)
+    review_export = review_sub.add_parser(
+        "export", help="render a review-queue JSONL file as a table")
+    review_export.add_argument("queue", help="review queue (JSON Lines)")
+    review_export.add_argument("--fields", action="store_true",
+                               help="also print the full per-field phi "
+                                    "attribution of every queued pair")
+    review_export.set_defaults(handler=_cmd_review)
 
     experiments = sub.add_parser(
         "experiments", help="reproduce a figure of the paper's evaluation")

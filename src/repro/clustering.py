@@ -88,6 +88,93 @@ def transitive_closure(pairs: Iterable[tuple[Element, Element]],
     return forest.groups()
 
 
+def demote_antitransitive(
+        duplicate_edges: dict[tuple[Element, Element], float],
+        keep_pairs: Iterable[tuple[Element, Element]],
+        ) -> list[tuple[Element, Element]]:
+    """Demote the weakest duplicate edges that contradict AUTO_KEEP pairs.
+
+    ``duplicate_edges`` maps confirmed duplicate pairs to their scores;
+    ``keep_pairs`` are pairs the decision layer ruled *out* (AUTO_KEEP).
+    When transitive closure over the duplicate edges would place both
+    endpoints of a keep pair in one cluster, the evidence is
+    anti-transitive: some chain of AUTO_DUP edges connects two elements
+    the classifier is confident are distinct.  This pass repeatedly
+    finds the first such violated keep pair (in sorted order), walks a
+    shortest duplicate-edge path between its endpoints (BFS over sorted
+    adjacency), and removes the path's weakest edge — lowest score,
+    ties broken by the smaller edge key — until no keep pair is
+    violated.  Returns the removed edges in demotion order;
+    ``duplicate_edges`` is mutated in place.
+
+    Every choice is made on sorted structures, so the result is
+    independent of the iteration order of both inputs.
+    """
+    edges: dict[tuple[Element, Element], float] = {}
+    for (left, right), score in duplicate_edges.items():
+        key = (left, right) if left <= right else (right, left)
+        edges[key] = score
+    keeps = sorted({(left, right) if left <= right else (right, left)
+                    for left, right in keep_pairs})
+    demoted: list[tuple[Element, Element]] = []
+
+    def adjacency() -> dict[Element, list[Element]]:
+        neighbours: dict[Element, list[Element]] = {}
+        for left, right in edges:
+            neighbours.setdefault(left, []).append(right)
+            neighbours.setdefault(right, []).append(left)
+        for found in neighbours.values():
+            found.sort()
+        return neighbours
+
+    def shortest_path(start: Element, goal: Element,
+                      neighbours: dict[Element, list[Element]],
+                      ) -> list[Element]:
+        parent: dict[Element, Element] = {start: start}
+        frontier = [start]
+        while frontier:
+            nextier: list[Element] = []
+            for node in frontier:
+                for neighbour in neighbours.get(node, ()):
+                    if neighbour in parent:
+                        continue
+                    parent[neighbour] = node
+                    if neighbour == goal:
+                        path = [goal]
+                        while path[-1] != start:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return path
+                    nextier.append(neighbour)
+            frontier = nextier
+        raise ValueError(  # pragma: no cover - caller checked connectivity
+            f"no duplicate path between {start!r} and {goal!r}")
+
+    while True:
+        forest = UnionFind()
+        for left, right in edges:
+            forest.union(left, right)
+        violated = next(
+            ((left, right) for left, right in keeps
+             if left in forest and right in forest
+             and forest.connected(left, right)), None)
+        if violated is None:
+            break
+        path = shortest_path(violated[0], violated[1], adjacency())
+        path_edges = []
+        for left, right in zip(path, path[1:]):
+            key = (left, right) if left <= right else (right, left)
+            path_edges.append((edges[key], key))
+        _, weakest = min(path_edges)
+        del edges[weakest]
+        demoted.append(weakest)
+
+    for (left, right) in demoted:
+        for key in ((left, right), (right, left)):
+            duplicate_edges.pop(key, None)
+    return demoted
+
+
 def quadratic_transitive_closure(pairs: Iterable[tuple[Element, Element]],
                                  universe: Iterable[Element] = (),
                                  ) -> list[list[Element]]:

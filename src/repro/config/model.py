@@ -80,6 +80,17 @@ DEFAULT_MINHASH_HASHES = 64
 DEFAULT_MINHASH_BANDS = 16
 DEFAULT_MINHASH_SEED = 0
 DEFAULT_COMPOSITE_FIELDS = "0:4"
+# Three-way decision calibration (repro.decision): decision_mode selects
+# the plain two-way threshold decision ("threshold") or the calibrated
+# AUTO_DUP/REVIEW/AUTO_KEEP bands ("three-way"); decision_fpr is the
+# Neyman-Pearson false-positive-rate target for the AUTO_DUP cutoff and
+# decision_coverage the split-conformal coverage target for the REVIEW
+# band.  Kept here rather than imported from repro.decision for the
+# same dependency-freedom reason as above.
+DECISION_MODES = ("threshold", "three-way")
+DEFAULT_DECISION_MODE = "threshold"
+DEFAULT_DECISION_FPR = 0.05
+DEFAULT_DECISION_COVERAGE = 0.9
 
 
 @dataclass
@@ -366,6 +377,14 @@ class SxnmConfig:
     stream_parse: bool = False
     spill_dir: str | None = None
     spill_max_rows: int = DEFAULT_SPILL_MAX_ROWS
+    #: Decision mode ("threshold" or "three-way") plus the calibration
+    #: targets for three-way bands (repro.decision): the AUTO_DUP
+    #: cutoff's false-positive-rate target and the REVIEW band's
+    #: conformal coverage target.  "threshold" ignores both targets and
+    #: decides exactly as the paper does.
+    decision_mode: str = DEFAULT_DECISION_MODE
+    decision_fpr: float = DEFAULT_DECISION_FPR
+    decision_coverage: float = DEFAULT_DECISION_COVERAGE
     #: Candidate-pair generation strategies unioned per candidate
     #: (repro.core.blocking).  Empty keeps the classic window-only
     #: neighborhood; a non-empty list replaces it with the union of the

@@ -13,9 +13,9 @@ from ..errors import ConfigError, PathSyntaxError, PatternSyntaxError
 from ..keys import parse_pattern
 from ..similarity import available_similarities
 from ..xpath import parse_path
-from .model import (DEFAULT_MINHASH_BANDS, DEFAULT_MINHASH_HASHES,
-                    STRATEGY_NAMES, CandidateSpec, StrategySpec, SxnmConfig,
-                    parse_composite_fields)
+from .model import (DECISION_MODES, DEFAULT_MINHASH_BANDS,
+                    DEFAULT_MINHASH_HASHES, STRATEGY_NAMES, CandidateSpec,
+                    StrategySpec, SxnmConfig, parse_composite_fields)
 
 _DESC_PHIS = {"jaccard", "multiset_jaccard", "overlap", "dice"}
 
@@ -186,6 +186,16 @@ def validate_config(config: SxnmConfig) -> list[str]:
         problems.append("spill dir must be a non-empty path or None")
     if config.spill_max_rows < 1:
         problems.append("spill max rows must be >= 1")
+    if config.decision_mode not in DECISION_MODES:
+        problems.append(
+            f"decision mode {config.decision_mode!r} unknown "
+            f"(expected 'threshold' or 'three-way')")
+    if not 0.0 <= config.decision_fpr < 1.0:
+        problems.append(
+            f"decision fpr {config.decision_fpr} outside [0, 1)")
+    if not 0.0 < config.decision_coverage < 1.0:
+        problems.append(
+            f"decision coverage {config.decision_coverage} outside (0, 1)")
     strategy_names = [strategy.name
                       for strategy in config.neighborhood_strategies]
     if len(set(strategy_names)) != len(strategy_names):

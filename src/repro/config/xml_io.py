@@ -32,8 +32,10 @@ from __future__ import annotations
 
 from ..errors import ConfigError
 from ..xmlmodel import XmlDocument, XmlElement, parse, parse_file, serialize, write_file
-from .model import (DEFAULT_SPILL_MAX_ROWS, CandidateSpec, KeyEntry, OdEntry,
-                    PathEntry, StrategySpec, SxnmConfig)
+from .model import (DEFAULT_DECISION_COVERAGE, DEFAULT_DECISION_FPR,
+                    DEFAULT_DECISION_MODE, DEFAULT_SPILL_MAX_ROWS,
+                    CandidateSpec, KeyEntry, OdEntry, PathEntry, StrategySpec,
+                    SxnmConfig)
 from .validate import ensure_valid
 
 
@@ -185,6 +187,17 @@ def config_from_document(document: XmlDocument) -> SxnmConfig:
     spill_max_rows = _get_int(root, "spillMaxRows")
     if spill_max_rows is not None:
         config.spill_max_rows = spill_max_rows
+    decision_node = root.find("decision")
+    if decision_node is not None:
+        mode = decision_node.get("mode")
+        if mode is not None:
+            config.decision_mode = mode
+        fpr = _get_float(decision_node, "fpr")
+        if fpr is not None:
+            config.decision_fpr = fpr
+        coverage = _get_float(decision_node, "coverage")
+        if coverage is not None:
+            config.decision_coverage = coverage
     strategies_node = root.find("neighborhoodStrategies")
     if strategies_node is not None:
         for strategy_node in strategies_node.find_all("strategy"):
@@ -277,6 +290,13 @@ def config_to_document(config: SxnmConfig) -> XmlDocument:
         root.set("spillDir", config.spill_dir)
     if config.spill_max_rows != DEFAULT_SPILL_MAX_ROWS:
         root.set("spillMaxRows", str(config.spill_max_rows))
+    if (config.decision_mode != DEFAULT_DECISION_MODE
+            or config.decision_fpr != DEFAULT_DECISION_FPR
+            or config.decision_coverage != DEFAULT_DECISION_COVERAGE):
+        decision_node = root.make_child("decision")
+        decision_node.set("mode", config.decision_mode)
+        decision_node.set("fpr", repr(config.decision_fpr))
+        decision_node.set("coverage", repr(config.decision_coverage))
     if config.neighborhood_strategies:
         strategies_node = root.make_child("neighborhoodStrategies")
         for strategy in config.neighborhood_strategies:

@@ -8,6 +8,14 @@ automatically on a small sample can help determine suitable parameter
 values"): given a small labelled document, grid-search the OD and
 descendants thresholds to maximize f-measure, then apply the calibrated
 configuration to the full data set.
+
+``method="three-way"`` delegates to :mod:`repro.decision` instead: the
+OD threshold becomes the Neyman–Pearson AUTO_DUP cutoff (false-positive
+rate held at ``fpr`` with a Clopper–Pearson guard) and the result
+carries the full :class:`~repro.decision.calibrate.ThreeWayCalibration`
+so callers can run a :class:`~repro.decision.policy.ThreeWayPolicy`
+with a split-conformal REVIEW band.  The default grid search is
+untouched — its results are pinned by a regression test.
 """
 
 from __future__ import annotations
@@ -26,12 +34,21 @@ DEFAULT_DESC_GRID = [0.1, 0.2, 0.3, 0.4, 0.5]
 
 @dataclass(frozen=True)
 class CalibrationResult:
-    """Best thresholds found on the sample and their sample f-measure."""
+    """Best thresholds found on the sample and their sample f-measure.
+
+    ``method="grid"`` results carry only the legacy fields; a
+    ``method="three-way"`` result additionally exposes the fitted band
+    through ``three_way`` (``f_measure`` is 0.0 — the three-way fit
+    optimizes an FPR guarantee, not f-measure).
+    """
 
     candidate_name: str
     od_threshold: float
     desc_threshold: float
     f_measure: float
+    method: str = "grid"
+    #: The fitted band for ``method="three-way"``, else ``None``.
+    three_way: object | None = None
 
     def apply_to(self, config: SxnmConfig) -> SxnmConfig:
         """Return a copy of ``config`` with the calibrated thresholds set."""
@@ -39,6 +56,8 @@ class CalibrationResult:
         spec = calibrated.candidate(self.candidate_name)
         spec.od_threshold = self.od_threshold
         spec.desc_threshold = self.desc_threshold
+        if self.method == "three-way":
+            calibrated.decision_mode = "three-way"
         return calibrated
 
 
@@ -47,14 +66,31 @@ def calibrate_thresholds(sample: XmlDocument, config: SxnmConfig,
                          gold_pairs: set[tuple[int, int]],
                          od_grid: list[float] | None = None,
                          desc_grid: list[float] | None = None,
-                         window: int | None = None) -> CalibrationResult:
-    """Grid-search thresholds for ``candidate_name`` on a labelled sample.
+                         window: int | None = None,
+                         method: str = "grid",
+                         fpr: float = 0.05,
+                         coverage: float = 0.9,
+                         seed: int = 0) -> CalibrationResult:
+    """Calibrate thresholds for ``candidate_name`` on a labelled sample.
 
     ``gold_pairs`` are the true duplicate eid pairs within ``sample``
     (e.g. from :func:`repro.eval.gold_pairs`, or a manual labelling).
-    Key generation and OD similarities are shared across the whole grid,
-    so calibration costs little more than one detection run.
+    The default ``method="grid"`` maximizes sample f-measure over the
+    threshold grids; key generation and OD similarities are shared
+    across the whole grid, so calibration costs little more than one
+    detection run.  ``method="three-way"`` instead fits a statistical
+    band via :func:`repro.decision.calibrate_three_way` — the returned
+    ``od_threshold`` is the AUTO_DUP cutoff and ``result.three_way``
+    carries the full calibration (including the conformal REVIEW
+    floor); ``fpr``, ``coverage``, and ``seed`` apply only there.
     """
+    if method == "three-way":
+        return _calibrate_three_way(sample, config, candidate_name,
+                                    gold_pairs, window=window, fpr=fpr,
+                                    coverage=coverage, seed=seed)
+    if method != "grid":
+        raise ValueError(f"unknown calibration method {method!r}; "
+                         f"known: 'grid', 'three-way'")
     if od_grid is not None and not od_grid:
         raise ValueError("od_grid must not be empty")
     if desc_grid is not None and not desc_grid:
@@ -87,3 +123,26 @@ def calibrate_thresholds(sample: XmlDocument, config: SxnmConfig,
                 best = trial
     assert best is not None  # grids are non-empty
     return best
+
+
+def _calibrate_three_way(sample: XmlDocument, config: SxnmConfig,
+                         candidate_name: str,
+                         gold_pairs: set[tuple[int, int]], *,
+                         window: int | None, fpr: float, coverage: float,
+                         seed: int) -> CalibrationResult:
+    """Fit a three-way band from one serial scoring pass over the sample."""
+    from ..decision import ScoreCollector, calibrate_three_way
+
+    spec = config.candidate(candidate_name)  # fail fast on unknown names
+    collector = ScoreCollector()
+    SxnmDetector(config, observers=[collector]).run(sample, window=window)
+    scored = collector.scores.get(candidate_name, {})
+    keys = sorted(scored)
+    gold = {(min(pair), max(pair)) for pair in gold_pairs}
+    calibration = calibrate_three_way(
+        [scored[key] for key in keys], [key in gold for key in keys],
+        fpr=fpr, coverage=coverage, seed=seed)
+    return CalibrationResult(
+        candidate_name, od_threshold=calibration.upper,
+        desc_threshold=config.effective_desc_threshold(spec),
+        f_measure=0.0, method="three-way", three_way=calibration)

@@ -16,6 +16,10 @@ re-exported here for backward compatibility.
 from __future__ import annotations
 
 from ..config import StrategySpec, SxnmConfig, strategy_from_string
+from ..decision.calibrate import ThreeWayCalibration
+from ..decision.policy import ThreeWayPolicy
+from ..decision.queue import ReviewQueue
+from ..errors import DetectionError
 from ..xmlmodel import XmlDocument
 from .blocking import build_union_strategy
 from .engine import DetectionEngine
@@ -46,6 +50,31 @@ class SxnmDetector:
     decision:
         ``"gates"`` (independent OD/descendants thresholds, default) or
         ``"combined"`` (single threshold over the averaged similarity).
+        ``"three-way"`` is shorthand for the gates rule under
+        ``decision_mode="three-way"``.
+    decision_mode:
+        ``"threshold"`` (the paper's two-way decision, default) or
+        ``"three-way"`` — classify through a
+        :class:`~repro.decision.policy.ThreeWayPolicy` whose AUTO_DUP /
+        REVIEW / AUTO_KEEP bands come from ``calibration`` (degenerate
+        zero-width bands at the configured thresholds when omitted,
+        bit-identical to the threshold policy).  ``None`` (default)
+        defers to ``config.decision_mode``.
+    decision_fpr / decision_coverage:
+        Calibration targets recorded on the config (``<decision fpr=
+        coverage=>``) for tools that fit calibrations from labelled
+        samples (see :mod:`repro.decision.sample`); ``None`` defers to
+        the config.
+    calibration:
+        A fitted :class:`~repro.decision.calibrate.ThreeWayCalibration`
+        (or mapping of candidate name to calibration) for three-way
+        mode.
+    review_queue:
+        A :class:`~repro.decision.queue.ReviewQueue` collecting
+        REVIEW-banded pairs (serial plane).
+    consistency:
+        Force the anti-transitivity demotion pass on/off; ``None``
+        (default) enables it exactly when the band has width.
     streaming_keygen:
         Use the single-pass streaming key generator (plain candidate
         paths only).  Output is identical to the DOM generator.
@@ -142,7 +171,7 @@ class SxnmDetector:
         run/phase/candidate/pass/pair events.
     """
 
-    def __init__(self, config: SxnmConfig, decision: Decision = "gates",
+    def __init__(self, config: SxnmConfig, decision: str = "gates",
                  streaming_keygen: bool = False,
                  closure_method: str = "union_find",
                  use_filters: bool | None = None,
@@ -157,8 +186,29 @@ class SxnmDetector:
                  spill_dir: str | None = None,
                  spill_max_rows: int | None = None,
                  strategies: list | None = None,
-                 observers: list[EngineObserver] | tuple = ()):
+                 observers: list[EngineObserver] | tuple = (),
+                 decision_mode: str | None = None,
+                 decision_fpr: float | None = None,
+                 decision_coverage: float | None = None,
+                 calibration: ThreeWayCalibration
+                 | dict[str, ThreeWayCalibration] | None = None,
+                 review_queue: ReviewQueue | None = None,
+                 consistency: bool | None = None):
+        if decision == "three-way":
+            decision, decision_mode = "gates", "three-way"
+        if decision not in ("gates", "combined"):
+            raise DetectionError(f"unknown decision rule {decision!r}")
         self.decision: Decision = decision
+        if decision_mode is not None:
+            config.decision_mode = decision_mode
+        self.decision_mode = getattr(config, "decision_mode", "threshold")
+        if decision_fpr is not None:
+            config.decision_fpr = decision_fpr
+        if decision_coverage is not None:
+            config.decision_coverage = decision_coverage
+        self.calibration = calibration
+        self.review_queue = review_queue
+        self.consistency = consistency
         self.streaming_keygen = streaming_keygen
         self.closure_method = closure_method
         self.use_filters = (use_filters if use_filters is not None
@@ -208,7 +258,13 @@ class SxnmDetector:
         else:
             neighborhood = FixedWindowStrategy(
                 duplicate_elimination=duplicate_elimination)
-        policy = ThresholdPolicy(decision, use_filters=self.use_filters)
+        if self.decision_mode == "three-way":
+            policy = ThreeWayPolicy(
+                calibration=calibration, decision=decision,
+                use_filters=self.use_filters, review_queue=review_queue,
+                consistency=consistency)
+        else:
+            policy = ThresholdPolicy(decision, use_filters=self.use_filters)
         if self.stream:
             key_source = SpillingKeySource()
         elif streaming_keygen:
@@ -271,6 +327,6 @@ class SxnmDetector:
 
 def detect_duplicates(source: str | XmlDocument, config: SxnmConfig,
                       window: int | None = None,
-                      decision: Decision = "gates") -> SxnmResult:
+                      decision: str = "gates") -> SxnmResult:
     """One-call convenience: build a detector and run it."""
     return SxnmDetector(config, decision=decision).run(source, window=window)

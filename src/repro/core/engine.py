@@ -271,6 +271,10 @@ class DetectionEngine:
                     candidate_cache = od_cache.setdefault(spec.name, {})
                 decider = self.decision.decider(spec, self.config,
                                                 cluster_sets, candidate_cache)
+                if emit is not None:
+                    calibration = getattr(decider, "calibration", None)
+                    if calibration is not None:
+                        emit.decision_calibrated(spec.name, calibration)
                 filtered_before = decider.filtered_comparisons
                 compare: Compare = decider.compare
                 compare_block = None
@@ -303,6 +307,15 @@ class DetectionEngine:
                 window_start = time.perf_counter()
                 neighborhood = self.neighborhood.find_pairs(ctx)
                 window_seconds = time.perf_counter() - window_start
+                demote = getattr(decider, "demote_inconsistent", None)
+                if demote is not None:
+                    # Three-way deciders resolve anti-transitive evidence
+                    # before closure: AUTO_DUP chains that would swallow
+                    # an AUTO_KEEP pair lose their weakest edge to REVIEW.
+                    for left_eid, right_eid, score in demote(pairs):
+                        if emit is not None:
+                            emit.pair_demoted(spec.name, left_eid,
+                                              right_eid, score)
                 if emit is not None:
                     emit.phase_finished(PHASE_WINDOW, window_seconds,
                                         spec.name)

@@ -200,6 +200,29 @@ class EngineObserver:
         unioned pair set is compared.
         """
 
+    def decision_calibrated(self, candidate: str, calibration) -> None:
+        """A three-way decision band was installed for ``candidate``.
+
+        ``calibration`` is the
+        :class:`~repro.decision.calibrate.ThreeWayCalibration` whose
+        ``upper``/``lower`` bounds the candidate's decider will band
+        pairs with (degenerate zero-width calibrations are emitted
+        too).  Emitted once per candidate, before its first comparison;
+        only by three-way policies.
+        """
+
+    def pair_demoted(self, candidate: str, left_eid: int, right_eid: int,
+                     score: float) -> None:
+        """An AUTO_DUP pair was demoted to REVIEW.
+
+        The consistency pass found the pair on an anti-transitive
+        duplicate chain (its closure would swallow an AUTO_KEEP pair)
+        and it was the chain's weakest edge; it no longer reaches
+        transitive closure.  Emitted between the neighborhood and
+        closure phases, only by three-way policies with a non-degenerate
+        band.
+        """
+
     def warning(self, message: str) -> None:
         """The engine noticed something questionable but recoverable."""
 
@@ -318,6 +341,18 @@ class ObserverGroup(EngineObserver):
             hook = getattr(observer, "strategy_pairs_generated", None)
             if hook is not None:
                 hook(candidate, strategy, generated, fresh)
+
+    def decision_calibrated(self, candidate, calibration):
+        for observer in self.observers:
+            hook = getattr(observer, "decision_calibrated", None)
+            if hook is not None:
+                hook(candidate, calibration)
+
+    def pair_demoted(self, candidate, left_eid, right_eid, score):
+        for observer in self.observers:
+            hook = getattr(observer, "pair_demoted", None)
+            if hook is not None:
+                hook(candidate, left_eid, right_eid, score)
 
     def warning(self, message):
         for observer in self.observers:
@@ -462,6 +497,12 @@ class CounterObserver(EngineObserver):
         self._bump("run_merged")
         self.counts["spill_runs_merged"] = \
             self.counts.get("spill_runs_merged", 0) + runs
+
+    def decision_calibrated(self, candidate, calibration):
+        self._bump("decision_calibrated")
+
+    def pair_demoted(self, candidate, left_eid, right_eid, score):
+        self._bump("pair_demoted")
 
     def strategy_pairs_generated(self, candidate, strategy, generated, fresh):
         self._bump("strategy_pairs_generated")

@@ -1,0 +1,47 @@
+"""Calibrated three-way decisions (AUTO_DUP / REVIEW / AUTO_KEEP).
+
+The paper leaves threshold choice "an open issue" (Sec. 5); this
+package closes it with finite-sample guarantees:
+
+* :mod:`repro.decision.calibrate` — the Neyman–Pearson AUTO_DUP cutoff
+  (empirical FPR at most a target, Clopper–Pearson guarded) and the
+  split-conformal REVIEW floor (held-out duplicates land in
+  AUTO_DUP ∪ REVIEW with at least the requested coverage).
+* :mod:`repro.decision.policy` — :class:`ThreeWayPolicy` /
+  :class:`ThreeWayMeasure` riding the engine's ``DecisionPolicy`` seam;
+  degenerate zero-width bands are bit-identical to the threshold
+  policy.
+* :mod:`repro.decision.queue` — the :class:`ReviewQueue` JSONL artifact
+  with per-field φ attribution (``sxnm review export``).
+* :mod:`repro.decision.sample` — labelled score samples from
+  ``repro.datagen`` ground truth and whole-document calibration.
+"""
+
+from .calibrate import (AUTO_DUP, AUTO_KEEP, BANDS, REVIEW,
+                        ThreeWayCalibration, calibrate_three_way,
+                        clopper_pearson_upper, conformal_lower_bound,
+                        neyman_pearson_cutoff)
+from .policy import ThreeWayMeasure, ThreeWayPolicy
+from .queue import ReviewItem, ReviewQueue
+from .sample import (LabelledSample, ScoreCollector, calibrate_document,
+                     collect_labelled_scores)
+
+__all__ = [
+    "AUTO_DUP",
+    "AUTO_KEEP",
+    "BANDS",
+    "REVIEW",
+    "LabelledSample",
+    "ReviewItem",
+    "ReviewQueue",
+    "ScoreCollector",
+    "ThreeWayCalibration",
+    "ThreeWayMeasure",
+    "ThreeWayPolicy",
+    "calibrate_document",
+    "calibrate_three_way",
+    "clopper_pearson_upper",
+    "collect_labelled_scores",
+    "conformal_lower_bound",
+    "neyman_pearson_cutoff",
+]

@@ -1,0 +1,156 @@
+"""The review-queue artifact of three-way detection.
+
+Pairs banded REVIEW by a :class:`~repro.decision.policy.ThreeWayPolicy`
+— scores between the conformal floor and the Neyman–Pearson AUTO_DUP
+cutoff, plus AUTO_DUP edges demoted by the cluster-consistency pass —
+land in a :class:`ReviewQueue`.  Each :class:`ReviewItem` carries the
+pair's similarity layers, its band, whether it was demoted, and a
+per-field φ attribution (the same term decomposition
+:mod:`repro.core.explain` renders) so a human reviewer sees *which*
+object-description fields disagree.
+
+Queues serialize to JSON Lines — one item per line, deterministic sort
+order — and round-trip through :meth:`ReviewQueue.write` /
+:meth:`ReviewQueue.load`; ``sxnm review export`` renders them as a
+table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import DetectionError
+
+
+@dataclass(frozen=True)
+class ReviewItem:
+    """One pair queued for human review."""
+
+    candidate: str
+    left_eid: int
+    right_eid: int
+    band: str
+    od: float
+    descendants: float | None
+    combined: float
+    demoted: bool = False
+    #: Per-field φ attribution: one entry per OD term with the term's
+    #: path, relevance, φ name, both raw values, and the φ similarity
+    #: (``None`` when both sides lack the value).
+    fields: tuple[dict, ...] = ()
+
+    def sort_key(self) -> tuple:
+        return (self.candidate, self.left_eid, self.right_eid)
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate": self.candidate,
+            "left_eid": self.left_eid,
+            "right_eid": self.right_eid,
+            "band": self.band,
+            "od": self.od,
+            "descendants": self.descendants,
+            "combined": self.combined,
+            "demoted": self.demoted,
+            "fields": list(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReviewItem":
+        try:
+            return cls(
+                candidate=payload["candidate"],
+                left_eid=int(payload["left_eid"]),
+                right_eid=int(payload["right_eid"]),
+                band=payload["band"],
+                od=float(payload["od"]),
+                descendants=(None if payload.get("descendants") is None
+                             else float(payload["descendants"])),
+                combined=float(payload["combined"]),
+                demoted=bool(payload.get("demoted", False)),
+                fields=tuple(payload.get("fields", ())))
+        except (KeyError, TypeError, ValueError) as error:
+            raise DetectionError(
+                f"malformed review-queue item: {error}") from None
+
+
+def attribution(spec, left, right) -> tuple[dict, ...]:
+    """Per-OD-term φ attribution for one pair (explain-style)."""
+    from ..similarity import get_similarity
+
+    terms = []
+    for index, (path, relevance, phi_name) in enumerate(spec.od_items()):
+        left_value = left.ods[index]
+        right_value = right.ods[index]
+        if left_value is None and right_value is None:
+            similarity = None
+        elif left_value is None or right_value is None:
+            similarity = 0.0
+        else:
+            similarity = get_similarity(phi_name)(left_value, right_value)
+        terms.append({"path": str(path), "relevance": relevance,
+                      "phi": phi_name, "left": left_value,
+                      "right": right_value, "similarity": similarity})
+    return tuple(terms)
+
+
+@dataclass
+class ReviewQueue:
+    """An append-only collection of REVIEW-banded pairs."""
+
+    items: list[ReviewItem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def add(self, item: ReviewItem) -> None:
+        if not math.isfinite(item.od) or not math.isfinite(item.combined):
+            raise DetectionError(
+                f"review item for pair ({item.left_eid}, {item.right_eid}) "
+                f"has a non-finite score")
+        self.items.append(item)
+
+    def sorted_items(self) -> list[ReviewItem]:
+        return sorted(self.items, key=ReviewItem.sort_key)
+
+    def counts_by_candidate(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for item in self.items:
+            counts[item.candidate] = counts.get(item.candidate, 0) + 1
+        return counts
+
+    def demoted_count(self) -> int:
+        return sum(1 for item in self.items if item.demoted)
+
+    def write(self, path: str | Path) -> int:
+        """Write the queue as sorted JSON Lines; returns the item count."""
+        lines = [json.dumps(item.as_dict(), sort_keys=True)
+                 for item in self.sorted_items()]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        Path(path).write_text(text, encoding="utf-8")
+        return len(lines)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReviewQueue":
+        queue = cls()
+        for number, line in enumerate(
+                Path(path).read_text(encoding="utf-8").splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DetectionError(
+                    f"review queue line {number} is not valid JSON: "
+                    f"{error}") from None
+            queue.items.append(ReviewItem.from_dict(payload))
+        return queue
+
+
+__all__ = ["ReviewItem", "ReviewQueue", "attribution"]

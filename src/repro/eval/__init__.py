@@ -2,6 +2,7 @@
 
 from .cluster_quality import (ClusterQuality, closest_cluster_f1,
                               cluster_quality, completeness, purity)
+from .decision import DecisionMetrics, evaluate_bands
 from .gold import gold_clusters, gold_pairs
 from .metrics import (PrecisionRecall, evaluate_clusters, evaluate_pairs,
                       exact_cluster_accuracy, pairs_from_clusters)
@@ -18,6 +19,7 @@ __all__ = [
     "BootstrapReport",
     "ClusterQuality",
     "ConfidenceInterval",
+    "DecisionMetrics",
     "PhaseTimer",
     "PrecisionRecall",
     "RecallAccount",
@@ -28,6 +30,7 @@ __all__ = [
     "comparison_ratio",
     "completeness",
     "evaluate_clusters",
+    "evaluate_bands",
     "evaluate_pairs",
     "exact_cluster_accuracy",
     "gold_clusters",

@@ -1,0 +1,100 @@
+"""Held-out evaluation of calibrated three-way decisions.
+
+:func:`evaluate_bands` bands a labelled score sample with a
+:class:`~repro.decision.calibrate.ThreeWayCalibration` and reports the
+quantities the calibration guarantees bound: the empirical
+false-positive rate of the AUTO_DUP band (Neyman–Pearson control) and
+the fraction of true duplicates landing in AUTO_DUP ∪ REVIEW
+(split-conformal coverage).  The test battery and the decision benchmark
+assert these on held-out splits the calibrator never saw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..decision.calibrate import AUTO_DUP, AUTO_KEEP, REVIEW, ThreeWayCalibration
+from ..errors import DetectionError
+
+
+@dataclass(frozen=True)
+class DecisionMetrics:
+    """Band composition of a labelled score sample."""
+
+    auto_dup: int
+    review: int
+    auto_keep: int
+    #: Negatives banded AUTO_DUP — the errors FPR control bounds.
+    false_positives: int
+    #: Positives banded AUTO_DUP.
+    true_positives: int
+    positives: int
+    negatives: int
+    #: Positives banded AUTO_DUP or REVIEW — what conformal coverage bounds.
+    covered_positives: int
+
+    @property
+    def empirical_fpr(self) -> float:
+        """False positives over negatives (0.0 when no negatives)."""
+        if self.negatives == 0:
+            return 0.0
+        return self.false_positives / self.negatives
+
+    @property
+    def coverage(self) -> float:
+        """Covered positives over positives (1.0 when no positives)."""
+        if self.positives == 0:
+            return 1.0
+        return self.covered_positives / self.positives
+
+    def as_dict(self) -> dict:
+        return {
+            "auto_dup": self.auto_dup,
+            "review": self.review,
+            "auto_keep": self.auto_keep,
+            "false_positives": self.false_positives,
+            "true_positives": self.true_positives,
+            "positives": self.positives,
+            "negatives": self.negatives,
+            "covered_positives": self.covered_positives,
+            "empirical_fpr": self.empirical_fpr,
+            "coverage": self.coverage,
+        }
+
+
+def evaluate_bands(scores: list[float], labels: list[bool],
+                   calibration: ThreeWayCalibration) -> DecisionMetrics:
+    """Band every ``(score, label)`` and tally the guarantee quantities."""
+    if len(scores) != len(labels):
+        raise DetectionError(
+            f"cannot evaluate bands: {len(scores)} scores against "
+            f"{len(labels)} labels")
+    if not scores:
+        raise DetectionError("cannot evaluate bands: empty sample")
+    counts = {AUTO_DUP: 0, REVIEW: 0, AUTO_KEEP: 0}
+    false_positives = true_positives = 0
+    positives = negatives = covered = 0
+    for score, label in zip(scores, labels):
+        if isinstance(score, float) and math.isnan(score):
+            raise DetectionError("cannot evaluate bands: NaN score")
+        band = calibration.band(score)
+        counts[band] += 1
+        if label:
+            positives += 1
+            if band == AUTO_DUP:
+                true_positives += 1
+            if band in (AUTO_DUP, REVIEW):
+                covered += 1
+        else:
+            negatives += 1
+            if band == AUTO_DUP:
+                false_positives += 1
+    return DecisionMetrics(
+        auto_dup=counts[AUTO_DUP], review=counts[REVIEW],
+        auto_keep=counts[AUTO_KEEP], false_positives=false_positives,
+        true_positives=true_positives, positives=positives,
+        negatives=negatives, covered_positives=covered)
+
+
+__all__ = ["DecisionMetrics", "evaluate_bands"]

@@ -1,0 +1,9 @@
+"""Post-detection merge stages (survivor merge of duplicate clusters)."""
+
+from .survivor import canonical_value, merge_cluster, survivor_merge
+
+__all__ = [
+    "canonical_value",
+    "merge_cluster",
+    "survivor_merge",
+]

@@ -1,0 +1,161 @@
+"""Survivor merge: fuse each duplicate cluster into one canonical record.
+
+:func:`repro.core.dedup.deduplicate_document` keeps one member per
+cluster and throws the rest away — any value present only on a dropped
+member is lost.  Survivor merge closes that gap: the *survivor* is the
+most complete cluster member, and before the other members are pruned
+every object-description path is rewritten with the cluster's canonical
+value, chosen by completeness-then-frequency:
+
+1. Collect all non-null values the members carry for the path.
+2. Keep the most frequent value (agreement across dirty copies is the
+   strongest signal the value is right).
+3. Break frequency ties by length (dirty duplicates tend to *lose*
+   characters), then lexicographically (determinism).
+
+Clusters touching a protected element — typically one whose pairs sit in
+a review queue awaiting a human verdict — are left unmerged so the
+reviewer sees the original records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..config import SxnmConfig
+from ..core.dedup import most_complete_representative
+from ..core.detector import SxnmResult
+from ..errors import DetectionError
+from ..xmlmodel import XmlDocument, XmlElement
+from ..xpath import (AttributeStep, ChildStep, Path, TextStep, parse_path,
+                     select_elements, select_values)
+
+
+def canonical_value(values: list[str]) -> str | None:
+    """The completeness-then-frequency winner among ``values``.
+
+    Most frequent value first; ties broken by length (longest wins),
+    then lexicographically (smallest wins).  ``None`` when no values.
+    """
+    if not values:
+        return None
+    counts = Counter(values)
+    return min(counts, key=lambda value: (-counts[value], -len(value), value))
+
+
+def _coerce(path: Path | str) -> Path:
+    return path if isinstance(path, Path) else parse_path(path)
+
+
+def _writable_chain(steps: tuple[ChildStep, ...]) -> bool:
+    """True if a missing element chain can be created unambiguously."""
+    return all(step.name != "*" and not step.descendant
+               and step.attribute is None and step.position in (None, 1)
+               for step in steps)
+
+
+def _target_element(survivor: XmlElement, path: Path) -> XmlElement | None:
+    """The element holding ``path``'s value on ``survivor``, created if needed.
+
+    Navigates the element steps; the first hit wins (mirroring
+    :func:`repro.xpath.first_value` reading the first value).  When the
+    path finds nothing and is a plain child chain, the chain is created
+    so a value present only on dropped members still survives.  Paths
+    with wildcards, descendant axes, or predicates are never created —
+    there is no unambiguous place to put the value.
+    """
+    steps = path.element_steps
+    hits = select_elements(survivor, Path(steps))
+    if hits:
+        return hits[0]
+    if not _writable_chain(steps):
+        return None
+    node = survivor
+    for step in steps:
+        child = node.find(step.name)
+        node = child if child is not None else node.make_child(step.name)
+    return node
+
+
+def _write_value(survivor: XmlElement, path: Path, value: str) -> None:
+    last = path.steps[-1] if path.steps else None
+    if isinstance(last, AttributeStep) and not path.element_steps:
+        survivor.set(last.name, value)
+        return
+    target = _target_element(survivor, path)
+    if target is None:
+        return
+    if isinstance(last, AttributeStep):
+        target.set(last.name, value)
+    elif isinstance(last, TextStep):
+        target.text = value
+    else:
+        # Plain element path: the value is the element's own text.
+        target.text = value
+
+
+def merge_cluster(elements: dict[int, XmlElement], cluster: frozenset[int]
+                  | set[int], od_paths: list[Path]) -> tuple[int, set[int]]:
+    """Fuse one cluster in place; return ``(survivor_eid, dropped_eids)``.
+
+    The survivor (most complete member) receives the canonical value of
+    every OD path; the other members are reported for pruning.
+    """
+    members = [elements[eid] for eid in cluster]
+    survivor = most_complete_representative(members)
+    for path in od_paths:
+        values: list[str] = []
+        for member in members:
+            values.extend(select_values(member, path))
+        value = canonical_value(values)
+        if value is not None:
+            _write_value(survivor, path, value)
+    dropped = {eid for eid in cluster if eid != survivor.eid}
+    return survivor.eid, dropped  # type: ignore[return-value]
+
+
+def survivor_merge(document: XmlDocument, result: SxnmResult,
+                   config: SxnmConfig, *,
+                   protect_eids: set[int] | None = None) -> XmlDocument:
+    """Copy ``document`` with every duplicate cluster fused into a survivor.
+
+    For each cluster in ``result`` the most complete member becomes the
+    survivor, its object-description values are replaced by the
+    cluster's canonical values (completeness-then-frequency), and the
+    remaining members are removed.  Clusters containing any element in
+    ``protect_eids`` — e.g. endpoints of review-queue pairs that await a
+    human verdict — are left untouched.  The input document is not
+    modified.
+    """
+    protected = protect_eids or set()
+    od_paths_by_candidate = {
+        spec.name: [_coerce(path) for path, _, _ in spec.od_items()]
+        for spec in config.candidates}
+    clone = document.copy()  # copies preserve eids
+    elements = clone.elements_by_eid()
+    drop: set[int] = set()
+    for name, outcome in result.outcomes.items():
+        od_paths = od_paths_by_candidate.get(name, [])
+        for cluster in outcome.cluster_set:
+            if len(cluster) < 2 or not protected.isdisjoint(cluster):
+                continue
+            missing = [eid for eid in cluster if eid not in elements]
+            if missing:
+                raise DetectionError(
+                    f"candidate {name!r}: cluster references element ids "
+                    f"{sorted(missing)} absent from the document "
+                    f"(was the result computed on this document?)")
+            _, dropped = merge_cluster(elements, cluster, od_paths)
+            drop.update(dropped)
+    if clone.root.eid in drop:
+        raise DetectionError("the document root cannot be a merged duplicate")
+
+    def prune(element: XmlElement) -> None:
+        for child in list(element.children):
+            if child.eid in drop:
+                element.remove(child)
+            else:
+                prune(child)
+
+    prune(clone.root)
+    return clone

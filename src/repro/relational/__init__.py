@@ -2,7 +2,8 @@
 
 from .baselines import all_pairs, standard_blocking
 from .desnm import duplicate_elimination_snm
-from .fellegi_sunter import (FellegiSunterMatcher, FieldModel,
+from .fellegi_sunter import (FellegiSunterMatcher, FieldModel, band_of,
+                             calibrate_fellegi_sunter,
                              estimate_mu_probabilities)
 from .incremental import IncrementalSnm
 from .matchers import (Condition, FieldRule, Matcher, RuleMatcher,
@@ -26,6 +27,8 @@ __all__ = [
     "SnmResult",
     "WeightedFieldMatcher",
     "all_pairs",
+    "band_of",
+    "calibrate_fellegi_sunter",
     "duplicate_elimination_snm",
     "estimate_mu_probabilities",
     "sorted_neighborhood",

@@ -118,6 +118,53 @@ class FellegiSunterMatcher:
         return self.weight(left, right) >= self.upper
 
 
+def calibrate_fellegi_sunter(
+        fields: list[FieldModel],
+        pairs: list[tuple[Record, Record]],
+        labels: list[bool], *,
+        fpr: float = 0.05, coverage: float = 0.9, confidence: float = 0.95,
+        seed: int = 0, use_filters: bool = True):
+    """Fit the match / possible bands from labelled pairs.
+
+    Scores every pair with the summed Fellegi-Sunter weight and hands
+    the (weight, label) sample to
+    :func:`repro.decision.calibrate_three_way`: the *match* threshold is
+    the Neyman-Pearson cutoff holding the false-positive rate at or
+    below ``fpr`` (with a Clopper-Pearson guard at ``confidence``), and
+    the *possible* band widens downward until held-out true matches are
+    covered at level ``coverage``.  Returns ``(matcher, calibration)``
+    where ``matcher`` is a :class:`FellegiSunterMatcher` with
+    ``upper``/``lower`` set from the calibration — its ``classify``
+    bands then map onto the three-way decisions (*match* →
+    ``AUTO_DUP``, *possible* → ``REVIEW``, *non-match* → ``AUTO_KEEP``,
+    see :func:`band_of`).
+    """
+    # Imported lazily: repro.decision pulls in the detection core, which
+    # this module must not require at import time.
+    from ..decision.calibrate import calibrate_three_way
+    scorer = FellegiSunterMatcher(fields, upper=0.0, use_filters=use_filters)
+    weights = [scorer.weight(left, right) for left, right in pairs]
+    calibration = calibrate_three_way(
+        weights, labels, fpr=fpr, coverage=coverage, confidence=confidence,
+        seed=seed)
+    matcher = FellegiSunterMatcher(fields, upper=calibration.upper,
+                                   lower=calibration.lower,
+                                   use_filters=use_filters)
+    return matcher, calibration
+
+
+def band_of(classification: str) -> str:
+    """Map a :meth:`FellegiSunterMatcher.classify` label to a decision band."""
+    from ..decision.calibrate import AUTO_DUP, AUTO_KEEP, REVIEW
+    bands = {"match": AUTO_DUP, "possible": REVIEW, "non-match": AUTO_KEEP}
+    try:
+        return bands[classification]
+    except KeyError:
+        raise ValueError(
+            f"unknown classification {classification!r}; "
+            f"known: {sorted(bands)}") from None
+
+
 def estimate_mu_probabilities(
         matches: Iterable[tuple[Record, Record]],
         non_matches: Iterable[tuple[Record, Record]],

@@ -132,6 +132,12 @@ class ComparisonStats:
     redundant_comparisons: int = 0  # pairs re-confirmed by parallel shards
     batched_pairs: int = 0         # pairs evaluated through a PairBatch
     batch_prefilter_drops: int = 0  # batch pairs dropped by column prefilters
+    # Three-way decision bands (repro.decision): unique pairs this
+    # decider placed in each band.  Zero everywhere for plain threshold
+    # policies.
+    pairs_auto_dup: int = 0
+    pairs_review: int = 0
+    pairs_auto_keep: int = 0
     # Per-neighborhood-strategy attribution for union-of-strategies runs:
     # strategy name -> {"generated", "fresh", "compared", "duplicates"}.
     # Mapping-valued, unlike every counter above — merge/as_dict/delta all

@@ -869,3 +869,95 @@ class TestStrategyGolden:
                     == outcome.compare_stats.strategy_counters)
             assert (partition(other.cluster_set)
                     == partition(outcome.cluster_set))
+
+
+class TestDecisionGolden:
+    """Degenerate three-way decisions are bit-identical to the plain policy.
+
+    A :class:`~repro.decision.ThreeWayPolicy` with no calibration
+    collapses to a zero-width REVIEW band at the configured threshold —
+    the banding layer then must be pure bookkeeping: pairs, comparison
+    counts, filtered counts, and cluster partitions bit-identical to the
+    frozen pre-refactor references, with every confirmed pair accounted
+    AUTO_DUP and nothing in REVIEW.  Extra dimensions re-run the
+    degenerate policy sharded across worker processes on the configured
+    execution plane and out-of-core (``stream=True``).
+    ``SXNM_TEST_DECISION=1`` widens all three batteries from the plain
+    configuration to all five.
+    """
+
+    WORKERS = int(os.environ.get("SXNM_TEST_WORKERS", "2"))
+    ALL_DIMENSIONS = os.environ.get("SXNM_TEST_DECISION") == "1"
+
+    PARAMS = pytest.mark.parametrize("kwargs", [
+        {},
+        {"decision": "combined"},
+        {"use_filters": True},
+        {"duplicate_elimination": True},
+        {"closure_method": "quadratic"},
+    ], ids=["plain", "combined", "filters", "de", "quadratic"])
+
+    @staticmethod
+    def common(kwargs):
+        return dict(
+            decision=kwargs.get("decision", "gates"),
+            use_filters=kwargs.get("use_filters", False),
+            duplicate_elimination=kwargs.get("duplicate_elimination", False),
+            closure_method=kwargs.get("closure_method", "union_find"))
+
+    def _skip_unless_all(self, kwargs):
+        if kwargs and not self.ALL_DIMENSIONS:
+            pytest.skip("decision battery beyond 'plain' runs under "
+                        "SXNM_TEST_DECISION=1")
+
+    @PARAMS
+    def test_movies(self, movies, kwargs):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, decision_mode="three-way",
+                              **self.common(kwargs)).run(movies, window=6)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters
+            stats = outcome.compare_stats
+            assert stats.pairs_auto_dup == len(pairs)
+            assert stats.pairs_review == 0
+
+    @PARAMS
+    def test_movies_with_parallel_plane(self, movies, kwargs):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        config.parallel_min_rows = 0
+        threshold = SxnmDetector(config, workers=self.WORKERS,
+                                 execution_plane=TEST_PLANE,
+                                 **self.common(kwargs)).run(movies, window=6)
+        three_way = SxnmDetector(config, decision_mode="three-way",
+                                 workers=self.WORKERS,
+                                 execution_plane=TEST_PLANE,
+                                 **self.common(kwargs)).run(movies, window=6)
+        for name, outcome in threshold.outcomes.items():
+            other = three_way.outcomes[name]
+            assert other.pairs == outcome.pairs
+            assert other.comparisons == outcome.comparisons
+            assert (partition(other.cluster_set)
+                    == partition(outcome.cluster_set))
+
+    @PARAMS
+    def test_movies_streaming(self, movies, kwargs, tmp_path):
+        self._skip_unless_all(kwargs)
+        config = dataset1_config()
+        reference = reference_sxnm(config, movies, window=6, **kwargs)
+        result = SxnmDetector(config, decision_mode="three-way", stream=True,
+                              spill_dir=str(tmp_path / "spill"),
+                              spill_max_rows=7,
+                              **self.common(kwargs)).run(movies, window=6)
+        for name, (pairs, comparisons, filtered, clusters) in reference.items():
+            outcome = result.outcomes[name]
+            assert outcome.pairs == pairs
+            assert outcome.comparisons == comparisons
+            assert outcome.filtered_comparisons == filtered
+            assert partition(outcome.cluster_set) == clusters

@@ -1,0 +1,154 @@
+"""Survivor merge: canonical values, protection, and non-mutation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import SxnmDetector
+from repro.core.clusters import ClusterSet
+from repro.datagen import generate_dirty_movies
+from repro.errors import DetectionError
+from repro.experiments import dataset1_config
+from repro.merge import canonical_value, merge_cluster, survivor_merge
+from repro.xmlmodel import parse, serialize
+from repro.xpath import parse_path
+
+
+class TestCanonicalValue:
+    def test_most_frequent_wins(self):
+        assert canonical_value(["a", "b", "b", "ccc"]) == "b"
+
+    def test_frequency_tie_longest_wins(self):
+        assert canonical_value(["ab", "xyzw"]) == "xyzw"
+
+    def test_full_tie_lexicographic(self):
+        assert canonical_value(["xy", "ab"]) == "ab"
+
+    def test_empty_is_none(self):
+        assert canonical_value([]) is None
+
+    def test_single(self):
+        assert canonical_value(["only"]) == "only"
+
+
+MOVIE_DOC = """<movie_database><movies>
+<movie year="1968" length="139">
+  <title>Once Upon a Time in the West</title>
+</movie>
+<movie year="1968" length="139">
+  <title>Once Upon a Time in the West</title>
+  <genre>Western</genre>
+</movie>
+<movie year="1968" length="139">
+  <title>Once Upon a Tim in the West</title>
+</movie>
+<movie year="1972" length="175">
+  <title>The Godfather</title>
+</movie>
+</movies></movie_database>"""
+
+
+def movie_eids(document):
+    return [element.eid for element in document.root.iter()
+            if element.tag == "movie"]
+
+
+def fake_result(name, clusters, universe):
+    """The slice of an SxnmResult ``survivor_merge`` consumes."""
+    cluster_set = ClusterSet.from_pairs(
+        name, [(c[0], other) for c in clusters for other in c[1:]], universe)
+    return SimpleNamespace(outcomes={name: SimpleNamespace(
+        cluster_set=cluster_set)})
+
+
+class TestMergeCluster:
+    def test_survivor_gets_majority_title(self):
+        document = parse(MOVIE_DOC)
+        eids = movie_eids(document)
+        elements = document.elements_by_eid()
+        od_paths = [parse_path("title/text()"), parse_path("@length")]
+        survivor_eid, dropped = merge_cluster(
+            elements, set(eids[:3]), od_paths)
+        # The member with the extra genre child is the most complete.
+        assert survivor_eid == eids[1]
+        assert dropped == {eids[0], eids[2]}
+        survivor = elements[survivor_eid]
+        # Two of three members agree on the full title — majority wins
+        # over the OCR-style "Tim" variant.
+        assert survivor.find("title").text == "Once Upon a Time in the West"
+        assert survivor.get("length") == "139"
+
+    def test_attribute_and_missing_chain_written(self):
+        document = parse("<db><r id='1'><a><b>x</b></a></r>"
+                         "<r id='2'/></db>")
+        rows = [e for e in document.root.iter() if e.tag == "r"]
+        elements = document.elements_by_eid()
+        od_paths = [parse_path("a/b/text()"), parse_path("@id")]
+        survivor_eid, _ = merge_cluster(
+            elements, {rows[0].eid, rows[1].eid}, od_paths)
+        survivor = elements[survivor_eid]
+        # The chain a/b exists on the survivor either way and carries x.
+        assert survivor.find("a").find("b").text == "x"
+        assert survivor.get("id") in {"1", "2"}
+
+
+class TestSurvivorMerge:
+    @staticmethod
+    def merged(document, clusters, protect=None):
+        eids = movie_eids(document)
+        result = fake_result("movie", clusters, eids)
+        return survivor_merge(document, result, dataset1_config(),
+                              protect_eids=protect)
+
+    def test_dropped_members_removed(self):
+        document = parse(MOVIE_DOC)
+        eids = movie_eids(document)
+        merged = self.merged(document, [eids[:3]])
+        assert len(movie_eids(merged)) == 2
+        titles = [e.find("title").text for e in merged.root.iter()
+                  if e.tag == "movie"]
+        assert titles == ["Once Upon a Time in the West", "The Godfather"]
+
+    def test_input_document_unmutated(self):
+        document = parse(MOVIE_DOC)
+        before = serialize(document)
+        eids = movie_eids(document)
+        self.merged(document, [eids[:3]])
+        assert serialize(document) == before
+
+    def test_protected_cluster_untouched(self):
+        document = parse(MOVIE_DOC)
+        eids = movie_eids(document)
+        merged = self.merged(document, [eids[:3]], protect={eids[2]})
+        assert len(movie_eids(merged)) == 4
+
+    def test_singleton_clusters_ignored(self):
+        document = parse(MOVIE_DOC)
+        eids = movie_eids(document)
+        merged = self.merged(document, [])
+        assert len(movie_eids(merged)) == len(eids)
+
+    def test_foreign_eids_rejected(self):
+        document = parse(MOVIE_DOC)
+        eids = movie_eids(document)
+        result = fake_result("movie", [[eids[0], 99999]],
+                             eids + [99999])
+        with pytest.raises(DetectionError) as excinfo:
+            survivor_merge(document, result, dataset1_config())
+        assert "99999" in str(excinfo.value)
+
+    def test_end_to_end_with_detector(self):
+        document = generate_dirty_movies(40, seed=3)
+        config = dataset1_config()
+        result = SxnmDetector(config).run(document)
+        merged = survivor_merge(document, result, config)
+        duplicate_members = sum(
+            len(cluster) - 1
+            for cluster in result.outcomes["movie"].cluster_set
+            if len(cluster) > 1)
+        assert (len(movie_eids(document)) - len(movie_eids(merged))
+                == duplicate_members)
+        # Survivors keep a title — merge never blanks a field.
+        for movie in merged.root.iter():
+            if movie.tag == "movie":
+                assert movie.find("title").text
